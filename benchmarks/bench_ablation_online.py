@@ -1,0 +1,62 @@
+"""Bench A3 — ablation: online policy updates (paper §III-B future work).
+
+"One potential future research direction would be to investigate the
+impact of an online update of the policy, for instance in a periodic
+manner, or in an informed fashion following a drift-detection mechanism."
+
+Compares the static policy with periodic and drift-informed online
+updates on the drift-rich taxi dataset, reporting test RMSE and online
+runtime per mode. Expected shape: online updates keep accuracy within a
+small factor of the static policy (often improving on drift data) at a
+measurably higher online cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import prepare_dataset
+from repro.metrics import rmse
+from repro.rl.ddpg import DDPGConfig
+
+
+def test_ablation_online_updates(benchmark, bench_protocol):
+    run = prepare_dataset(9, bench_protocol)
+
+    def experiment():
+        outcomes = {}
+        for mode in ("none", "periodic", "drift"):
+            model = EADRL(
+                models=run.pool.models,
+                config=EADRLConfig(
+                    window=bench_protocol.window,
+                    episodes=bench_protocol.episodes,
+                    max_iterations=bench_protocol.max_iterations,
+                    ddpg=DDPGConfig(seed=0),
+                ),
+            )
+            model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+            t0 = time.perf_counter()
+            preds = model.rolling_forecast_online(
+                run.test_predictions,
+                run.test,
+                mode=mode,
+                interval=20,
+                updates_per_trigger=10,
+            )
+            elapsed = time.perf_counter() - t0
+            outcomes[mode] = {"rmse": rmse(preds, run.test), "seconds": elapsed}
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for mode, stats in outcomes.items():
+        print(f"online={mode:9s} rmse={stats['rmse']:.4f} "
+              f"online-time={stats['seconds'] * 1e3:8.1f} ms")
+
+    static = outcomes["none"]["rmse"]
+    for mode in ("periodic", "drift"):
+        assert outcomes[mode]["rmse"] < static * 1.5  # no blow-up

@@ -1,0 +1,73 @@
+"""Bench A4 — ablation: pool pruning before weighting (§III-B future work).
+
+"We can additionally incorporate a pruning step into our framework, so
+that only relevant models take part in the weighting/combination stage."
+
+Fits EA-DRL with no pruner and with each of the three pruning strategies
+on the same dataset; reports pool size and test RMSE. Expected shape:
+pruning shrinks the action space substantially while keeping RMSE within
+a small factor of the full pool (often improving it by removing noise
+members).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    CorrelationPruner,
+    EADRL,
+    EADRLConfig,
+    GreedyForwardPruner,
+    TopFractionPruner,
+)
+from repro.datasets import load
+from repro.metrics import rmse
+from repro.preprocessing import train_test_split
+from repro.rl.ddpg import DDPGConfig
+
+
+def test_ablation_pruning(benchmark, bench_protocol):
+    series = load(4, n=bench_protocol.series_length)
+    train, test = train_test_split(series)
+
+    pruners = {
+        "none": None,
+        "top-fraction": TopFractionPruner(0.5),
+        "correlation": CorrelationPruner(0.95),
+        "greedy-forward": GreedyForwardPruner(max_members=4),
+    }
+
+    def experiment():
+        outcomes = {}
+        for name, pruner in pruners.items():
+            model = EADRL(
+                pool_size=bench_protocol.pool_size,
+                config=EADRLConfig(
+                    window=bench_protocol.window,
+                    episodes=bench_protocol.episodes,
+                    max_iterations=bench_protocol.max_iterations,
+                    ddpg=DDPGConfig(seed=0),
+                ),
+                pruner=pruner,
+            )
+            model.fit(train)
+            preds = model.rolling_forecast(series, train.size)
+            outcomes[name] = {
+                "pool": model.n_models,
+                "rmse": rmse(preds, test),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for name, stats in outcomes.items():
+        print(f"pruner={name:15s} pool-size={stats['pool']:3d} "
+              f"rmse={stats['rmse']:.4f}")
+
+    full = outcomes["none"]
+    for name, stats in outcomes.items():
+        if name == "none":
+            continue
+        assert stats["pool"] <= full["pool"]
+        assert stats["rmse"] < full["rmse"] * 1.75

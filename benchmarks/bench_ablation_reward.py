@@ -1,0 +1,64 @@
+"""Bench A1 — ablation: rank reward vs rank+diversity reward.
+
+Paper artefact: §III-B future work proposes "adding a diversity-related
+measure in the formulation of the reward". This ablation trains EA-DRL
+with both rewards on the same pool/matrices and compares test RMSE and
+the entropy of the learned weight vectors. Expected shape: the diversity
+bonus yields higher-entropy (more spread) weights without catastrophic
+loss of accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import prepare_dataset
+from repro.metrics import rmse
+from repro.rl.ddpg import DDPGConfig
+
+
+def weight_entropy(weights: np.ndarray) -> float:
+    """Mean Shannon entropy of per-step weight vectors."""
+    clipped = np.clip(weights, 1e-12, 1.0)
+    return float(-(clipped * np.log(clipped)).sum(axis=1).mean())
+
+
+def test_ablation_reward_diversity(benchmark, bench_protocol):
+    run = prepare_dataset(9, bench_protocol)
+
+    def experiment():
+        outcomes = {}
+        for reward in ("rank", "rank+diversity"):
+            model = EADRL(
+                models=run.pool.models,
+                config=EADRLConfig(
+                    window=bench_protocol.window,
+                    episodes=bench_protocol.episodes,
+                    max_iterations=bench_protocol.max_iterations,
+                    reward=reward,
+                    diversity_weight=1.0,
+                    ddpg=DDPGConfig(seed=0),
+                ),
+            )
+            model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+            preds, weights = model.rolling_forecast_from_matrix(
+                run.test_predictions, return_weights=True
+            )
+            outcomes[reward] = {
+                "rmse": rmse(preds, run.test),
+                "entropy": weight_entropy(weights),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for reward, stats in outcomes.items():
+        print(f"{reward:16s} rmse={stats['rmse']:.4f} "
+              f"weight-entropy={stats['entropy']:.3f}")
+
+    plain = outcomes["rank"]
+    diverse = outcomes["rank+diversity"]
+    # Diversity bonus must not blow accuracy up, and tends to spread mass.
+    assert diverse["rmse"] < plain["rmse"] * 2.0
+    assert diverse["entropy"] >= plain["entropy"] * 0.5

@@ -1,0 +1,71 @@
+"""Bench A6 — continuous weighting (EA-DRL) vs discrete selection (DQN).
+
+The paper's related work ([21], Feng & Zhang 2019) selects one model per
+step with RL instead of weighting the whole pool. This bench trains both
+agents on the same MDP and compares test RMSE. Expected shape: EA-DRL's
+convex combination is at least as accurate as pure selection — averaging
+reduces variance whenever several members carry signal (the motivation
+for weighting in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import prepare_dataset
+from repro.metrics import rmse
+from repro.rl import DQNConfig, DQNSelector, EnsembleMDP, RankReward
+from repro.rl.ddpg import DDPGConfig
+
+
+def test_ablation_selection_vs_weighting(benchmark, bench_protocol):
+    run = prepare_dataset(9, bench_protocol)
+
+    def experiment():
+        # EA-DRL: continuous weighting.
+        model = EADRL(
+            models=run.pool.models,
+            config=EADRLConfig(
+                window=bench_protocol.window,
+                episodes=bench_protocol.episodes,
+                max_iterations=bench_protocol.max_iterations,
+                ddpg=DDPGConfig(seed=0),
+            ),
+        )
+        model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+        weighting_preds = model.rolling_forecast_from_matrix(run.test_predictions)
+
+        # DQN: discrete per-step selection on the same (standardised) MDP.
+        from repro.preprocessing import StandardScaler
+
+        scaler = StandardScaler().fit(run.meta_truth)
+        env = EnsembleMDP(
+            scaler.transform(run.meta_predictions),
+            scaler.transform(run.meta_truth),
+            window=bench_protocol.window,
+            reward_fn=RankReward(),
+        )
+        selector = DQNSelector(
+            env.state_dim, env.action_dim, DQNConfig(seed=0)
+        )
+        selector.train(
+            env,
+            episodes=bench_protocol.episodes,
+            max_iterations=bench_protocol.max_iterations,
+        )
+        scaled_path = selector.greedy_selection_path(
+            scaler.transform(run.test_predictions),
+            scaler.transform(run.meta_predictions),
+        )
+        selection_preds = scaler.inverse_transform(scaled_path)
+        return {
+            "EA-DRL (weighting)": rmse(weighting_preds, run.test),
+            "DQN (selection)": rmse(selection_preds, run.test),
+        }
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for name, value in outcomes.items():
+        print(f"{name:22s} rmse={value:.4f}")
+    assert outcomes["EA-DRL (weighting)"] < outcomes["DQN (selection)"] * 1.25

@@ -1,0 +1,55 @@
+"""Bench A5 — ablation: single critic (paper) vs TD3-style twin critic.
+
+The paper uses vanilla DDPG [10]. Clipped double-Q (Fujimoto et al. 2018)
+is the standard remedy for critic overestimation; this ablation checks
+whether it changes the learned combination's quality in this MDP.
+Expected shape: comparable final reward and test RMSE — the rank reward
+is bounded (0..m), so overestimation is mild and the paper's choice of
+plain DDPG is adequate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import prepare_dataset
+from repro.metrics import rmse
+from repro.rl.ddpg import DDPGConfig
+
+
+def test_ablation_twin_critic(benchmark, bench_protocol):
+    run = prepare_dataset(9, bench_protocol)
+
+    def experiment():
+        outcomes = {}
+        for twin in (False, True):
+            model = EADRL(
+                models=run.pool.models,
+                config=EADRLConfig(
+                    window=bench_protocol.window,
+                    episodes=bench_protocol.episodes,
+                    max_iterations=bench_protocol.max_iterations,
+                    ddpg=DDPGConfig(seed=0, twin_critic=twin),
+                ),
+            )
+            model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+            preds = model.rolling_forecast_from_matrix(run.test_predictions)
+            rewards = model.training_history.episode_rewards
+            outcomes["twin" if twin else "single"] = {
+                "rmse": rmse(preds, run.test),
+                "final_reward": float(np.mean(rewards[-3:])),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for name, stats in outcomes.items():
+        print(f"critic={name:7s} rmse={stats['rmse']:.4f} "
+              f"final-reward={stats['final_reward']:.3f}")
+
+    single = outcomes["single"]
+    twin = outcomes["twin"]
+    # Both variants must learn (positive reward) and stay comparable.
+    assert twin["rmse"] < single["rmse"] * 1.5
+    assert single["rmse"] < twin["rmse"] * 1.5

@@ -1,0 +1,46 @@
+"""Bench A2 — ablation: MDP window size ω ∈ {5, 10, 20}.
+
+The paper fixes ω = 10 without a sensitivity study; this ablation sweeps
+the window and reports test RMSE per setting. Expected shape: accuracy is
+not hypersensitive to ω (all settings within a small factor of the best),
+supporting the paper's fixed choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import prepare_dataset
+from repro.metrics import rmse
+from repro.rl.ddpg import DDPGConfig
+
+
+def test_ablation_window_size(benchmark, bench_protocol):
+    run = prepare_dataset(4, bench_protocol)
+
+    def experiment():
+        outcomes = {}
+        for window in (5, 10, 20):
+            model = EADRL(
+                models=run.pool.models,
+                config=EADRLConfig(
+                    window=window,
+                    episodes=bench_protocol.episodes,
+                    max_iterations=bench_protocol.max_iterations,
+                    ddpg=DDPGConfig(seed=0),
+                ),
+            )
+            model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+            preds = model.rolling_forecast_from_matrix(run.test_predictions)
+            outcomes[window] = rmse(preds, run.test)
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    for window, value in outcomes.items():
+        print(f"omega={window:3d}  rmse={value:.4f}")
+    best = min(outcomes.values())
+    worst = max(outcomes.values())
+    print(f"\nworst/best ratio: {worst / best:.2f}")
+    assert worst < best * 2.5  # no pathological sensitivity

@@ -1,0 +1,60 @@
+"""Micro-benchmarks: fit/predict throughput of pool-member families.
+
+Not a paper artefact — engineering benchmarks guarding against
+performance regressions in the from-scratch model implementations
+(these dominate the offline-phase cost of every other bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.models import (
+    ARIMA,
+    DecisionTreeForecaster,
+    GaussianProcessForecaster,
+    GradientBoostingForecaster,
+    Holt,
+    MARSForecaster,
+    MLPForecaster,
+    PLSForecaster,
+    RandomForestForecaster,
+    SVRForecaster,
+)
+
+SERIES = load(9, n=400)
+TRAIN = SERIES[:300]
+
+FAMILIES = [
+    ("arima", lambda: ARIMA(2, 0, 1)),
+    ("ets_holt", lambda: Holt()),
+    ("tree", lambda: DecisionTreeForecaster(5, max_depth=6)),
+    ("forest", lambda: RandomForestForecaster(5, n_estimators=20, seed=0)),
+    ("gbm", lambda: GradientBoostingForecaster(5, n_estimators=40, seed=0)),
+    ("gp", lambda: GaussianProcessForecaster(5)),
+    ("svr", lambda: SVRForecaster(5, n_iter=100)),
+    ("mars", lambda: MARSForecaster(5, max_terms=8)),
+    ("pls", lambda: PLSForecaster(5)),
+    ("mlp", lambda: MLPForecaster(5, epochs=50, seed=0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_fit_speed(benchmark, name, factory):
+    benchmark.pedantic(
+        lambda: factory().fit(TRAIN), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_rolling_predict_speed(benchmark, name, factory):
+    model = factory().fit(TRAIN)
+    result = benchmark.pedantic(
+        lambda: model.rolling_predictions(SERIES, 300),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert np.all(np.isfinite(result))

@@ -1,0 +1,55 @@
+"""Micro-benchmarks: autograd forward/backward and DDPG update cost.
+
+Not a paper artefact — guards the from-scratch substrate's hot paths
+(the DDPG update dominates the offline phase: episodes × iterations
+updates per dataset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Adam, Tensor, mlp, mse_loss
+from repro.rl import DDPGAgent, DDPGConfig, EnsembleMDP, RankReward
+from repro.rl.mdp import Transition
+
+
+def test_mlp_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    net = mlp([10, 64, 64, 8], rng=rng)
+    x = Tensor(rng.standard_normal((32, 10)))
+    y = Tensor(rng.standard_normal((32, 8)))
+    opt = Adam(net.parameters(), lr=1e-3)
+
+    def step():
+        opt.zero_grad()
+        loss = mse_loss(net(x), y)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    benchmark(step)
+
+
+def test_ddpg_update(benchmark):
+    rng = np.random.default_rng(0)
+    T, m = 120, 8
+    truth = np.sin(np.arange(T) * 0.2)
+    preds = truth[:, None] + 0.3 * rng.standard_normal((T, m))
+    env = EnsembleMDP(preds, truth, window=10, reward_fn=RankReward())
+    agent = DDPGAgent(env.state_dim, env.action_dim, DDPGConfig(seed=0))
+    state = env.reset()
+    for _ in range(200):
+        action = agent.act(state, explore=True)
+        next_state, reward, done = env.step(action)
+        agent.buffer.push(Transition(state, action, reward, next_state, done))
+        state = env.reset() if done else next_state
+
+    benchmark(agent.update)
+
+
+def test_policy_inference(benchmark):
+    """One Algorithm-1 step: the Table III hot path."""
+    agent = DDPGAgent(10, 43, DDPGConfig(seed=0))
+    state = np.random.default_rng(1).standard_normal(10)
+    benchmark(lambda: agent.policy_weights(state))

@@ -1,0 +1,42 @@
+"""Bench T2 — regenerate Table II (pairwise wins/losses + average ranks).
+
+Paper artefact: Table II, "Pairwise comparison between EA-DRL and baseline
+methods averaged over all 20 datasets (ω = 10)". Expected shape: EA-DRL
+attains the best (lowest) average rank; DEMSC and MLPol are the closest
+competitors; plain pools (GBM, StLSTM, Stacking) rank worst.
+
+Run ``pytest benchmarks/bench_table2_pairwise.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import run_table2
+
+
+def test_table2_pairwise(benchmark, bench_protocol, bench_datasets):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            dataset_ids=bench_datasets,
+            config=bench_protocol,
+            include_singles=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    ranks = result.avg_ranks
+    eadrl_rank = ranks["EA-DRL"][0]
+    all_ranks = sorted(mean for mean, _ in ranks.values())
+    print(f"\nEA-DRL avg rank: {eadrl_rank:.2f} "
+          f"(position {all_ranks.index(eadrl_rank) + 1} of {len(all_ranks)})")
+
+    # Shape assertions (loose, paper-faithful): EA-DRL must land in the
+    # top third of the rank distribution and beat the static ensembles.
+    assert eadrl_rank <= np.percentile(all_ranks, 40)
+    assert eadrl_rank < ranks["SE"][0]
+    assert eadrl_rank < ranks["Stacking"][0]
+    assert eadrl_rank < ranks["GBM"][0]

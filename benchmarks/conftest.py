@@ -1,0 +1,59 @@
+"""Shared benchmark configuration.
+
+Two scales are supported, selected by the ``REPRO_BENCH_SCALE`` env var:
+
+- ``quick`` (default) — laptop-scale: a 6-dataset subset, the small pool,
+  and a reduced RL budget. Finishes in a few minutes and reproduces the
+  *shape* of every table/figure.
+- ``full`` — all 20 datasets, the medium (16-family) pool, and a larger
+  RL budget. Closer to the paper's setup; takes substantially longer.
+
+Every bench prints its regenerated table/figure rows (run with ``-s``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation import ProtocolConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: Dataset subset used at quick scale: one per broad domain family
+#: (water, bikes, weather, taxi/drift, energy, stocks).
+QUICK_DATASETS = [1, 4, 6, 9, 15, 18]
+FULL_DATASETS = list(range(1, 21))
+
+
+def protocol() -> ProtocolConfig:
+    if SCALE == "full":
+        return ProtocolConfig(
+            series_length=800,
+            pool_size="medium",
+            episodes=50,
+            max_iterations=100,
+            neural_epochs=40,
+        )
+    return ProtocolConfig(
+        series_length=400,
+        pool_size="small",
+        episodes=15,
+        max_iterations=60,
+        neural_epochs=25,
+    )
+
+
+def datasets() -> list:
+    return FULL_DATASETS if SCALE == "full" else QUICK_DATASETS
+
+
+@pytest.fixture(scope="session")
+def bench_protocol() -> ProtocolConfig:
+    return protocol()
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> list:
+    return datasets()

@@ -1,0 +1,48 @@
+"""Energy-building scenario: full method comparison on a 10-minute series.
+
+Uses the appliances-energy humidity series (Table I, dataset 12) and runs
+the complete Table II roster — EA-DRL, the ten pool combiners, and the
+five standalone baselines — on one dataset, printing an RMSE leaderboard.
+This is the per-dataset slice of the Table II experiment, convenient for
+exploring a single series in depth.
+
+Usage::
+
+    python examples/energy_humidity.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ProtocolConfig, prepare_dataset, run_all_methods
+
+
+def main() -> None:
+    config = ProtocolConfig(
+        series_length=400,
+        pool_size="small",
+        episodes=20,
+        max_iterations=60,
+        neural_epochs=25,
+    )
+    print("preparing dataset 12 (humidity RH3, appliances energy) ...")
+    run = prepare_dataset(12, config)
+    print(
+        f"pool: {run.n_models} models | meta segment: "
+        f"{run.meta_truth.size} points | test: {run.test.size} points"
+    )
+
+    print("running all 16 methods (singles retrain from scratch) ...")
+    results = run_all_methods(run, config, include_singles=True)
+
+    leaderboard = sorted(results.values(), key=lambda r: r.rmse)
+    print(f"\n{'rank':4s} {'method':10s} {'RMSE':>10s} {'online ms':>10s}")
+    for position, result in enumerate(leaderboard, start=1):
+        marker = "  <-- EA-DRL" if result.method == "EA-DRL" else ""
+        print(
+            f"{position:4d} {result.method:10s} {result.rmse:10.4f} "
+            f"{result.online_seconds * 1e3:10.2f}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Tour of the 16-family model zoo with residual diagnostics.
+
+Fits one representative per family (the "medium" pool) on a benchmark
+series, then uses :mod:`repro.analysis` to report, per member: test
+RMSE, residual bias, lag-1 residual autocorrelation and the Ljung-Box
+whiteness verdict — the diagnostics that justify pruning decisions.
+
+Usage::
+
+    python examples/model_zoo_tour.py [dataset_id]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import detect_period, is_stationary, pool_residual_reports
+from repro.datasets import get_info, load
+from repro.models import ForecasterPool, build_pool
+from repro.preprocessing import train_test_split
+
+
+def main() -> None:
+    dataset_id = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    info = get_info(dataset_id)
+    series = load(dataset_id, n=400)
+    train, test = train_test_split(series)
+
+    print(f"dataset {dataset_id}: {info.name}")
+    print(f"  detected seasonal period: {detect_period(series) or 'none'}")
+    print(f"  ADF-stationary: {is_stationary(series)}")
+
+    print(f"\nfitting the 16-family medium pool on {train.size} points ...")
+    pool = ForecasterPool(build_pool("medium", neural_epochs=30)).fit(train)
+    matrix = pool.prediction_matrix(series, train.size)
+    reports = pool_residual_reports(matrix, test, pool.names)
+
+    print(f"\n{'member':26s} {'rmse':>8s} {'bias':>8s} {'rho1':>6s} "
+          f"{'LB-p':>6s}  verdict")
+    for name in sorted(reports, key=lambda n: reports[n].rmse):
+        r = reports[name]
+        verdict = []
+        if not r.is_unbiased:
+            verdict.append("biased")
+        if not r.is_white:
+            verdict.append("autocorrelated")
+        print(f"{name:26s} {r.rmse:8.3f} {r.mean:8.3f} "
+              f"{r.lag1_autocorrelation:6.2f} {r.ljung_box_p:6.3f}  "
+              f"{', '.join(verdict) or 'clean'}")
+
+    uniform_rmse = float(np.sqrt(np.mean((matrix.mean(axis=1) - test) ** 2)))
+    print(f"\nuniform-ensemble RMSE over all 16: {uniform_rmse:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Prediction intervals around EA-DRL forecasts.
+
+Splits the test horizon into a calibration half and an evaluation half,
+calibrates a conformal-style interval estimator on EA-DRL's calibration
+errors (optionally widened by live pool disagreement), and reports
+empirical coverage vs the nominal level, plus an ASCII fan chart.
+
+Usage::
+
+    python examples/prediction_intervals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig, IntervalEstimator
+from repro.datasets import load
+from repro.preprocessing import train_test_split
+from repro.rl.ddpg import DDPGConfig
+
+
+def main() -> None:
+    # NH4 wastewater: diurnal + slow drift — stationary enough for the
+    # exchangeability assumption conformal calibration rests on. (On a
+    # strongly trending series like dataset 15 the calibration errors
+    # understate evaluation errors and coverage drops below nominal.)
+    series = load(11, n=440)
+    train, test = train_test_split(series)
+    start = train.size
+
+    model = EADRL(
+        pool_size="small",
+        config=EADRLConfig(episodes=15, max_iterations=50,
+                           ddpg=DDPGConfig(seed=0)),
+    )
+    model.fit(train)
+    preds, weights = model.rolling_forecast(series, start, return_weights=True)
+    members = model.pool.prediction_matrix(series, start)
+
+    half = preds.size // 2
+    for alpha in (0.2, 0.1, 0.05):
+        estimator = IntervalEstimator(alpha=alpha, disagreement_blend=0.5)
+        estimator.fit(
+            preds[:half], test[:half],
+            member_predictions=members[:half], weights=weights[:half],
+        )
+        band = estimator.predict(
+            preds[half:], member_predictions=members[half:],
+            weights=weights[half:],
+        )
+        print(f"nominal {1 - alpha:.0%} band: empirical coverage "
+              f"{band.coverage(test[half:]):.1%}, mean width "
+              f"{band.mean_width():.3f}")
+
+    estimator = IntervalEstimator(alpha=0.1, disagreement_blend=0.5)
+    estimator.fit(preds[:half], test[:half],
+                  member_predictions=members[:half], weights=weights[:half])
+    band = estimator.predict(preds[half:], member_predictions=members[half:],
+                             weights=weights[half:])
+    print("\nfirst 20 evaluation steps (x = truth, | = 90% band):")
+    lo_all, hi_all = band.lower[:20], band.upper[:20]
+    span_lo, span_hi = lo_all.min(), hi_all.max()
+    width = 56
+    for i in range(20):
+        row = [" "] * width
+        def col(v):
+            return int((v - span_lo) / (span_hi - span_lo + 1e-12) * (width - 1))
+        for c in range(col(band.lower[i]), col(band.upper[i]) + 1):
+            row[c] = "-"
+        row[col(band.mean[i])] = "|"
+        truth_col = col(test[half + i])
+        row[truth_col] = "x"
+        print("  " + "".join(row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Reward ablation: reproduce Figure 2 interactively on any dataset.
+
+Trains the same DDPG agent with the paper's rank reward (Eq. 3) and the
+1−NRMSE alternative, prints both learning curves as ASCII art, and
+reports the convergence diagnostics that drive the Fig. 2 bench. Pass a
+dataset id (1-20) as the first CLI argument to try other series.
+
+Usage::
+
+    python examples/reward_ablation.py [dataset_id]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evaluation import ProtocolConfig, ascii_curve, run_fig2
+
+
+def main() -> None:
+    dataset_id = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    config = ProtocolConfig(
+        series_length=400,
+        pool_size="small",
+        episodes=30,
+        max_iterations=60,
+        neural_epochs=20,
+    )
+    print(f"training both reward settings on dataset {dataset_id} ...")
+    result = run_fig2(dataset_id=dataset_id, config=config)
+
+    rank = result.rank_curve()
+    nrmse = result.nrmse_curve()
+    print()
+    print(ascii_curve(rank.episode_rewards,
+                      label="Fig 2b analogue: rank reward (Eq. 3)"))
+    print()
+    print(ascii_curve(nrmse.episode_rewards,
+                      label="Fig 2a analogue: 1-NRMSE reward"))
+
+    print("\nconvergence diagnostics (normalised curves):")
+    print(f"  rank  reward: improvement={rank.improvement():+.3f} "
+          f"tail-std={rank.tail_stability():.3f}")
+    print(f"  nrmse reward: improvement={nrmse.improvement():+.3f} "
+          f"tail-std={nrmse.tail_stability():.3f}")
+    print(
+        "\nThe paper's Q2 claim: the rank-based reward is scale-free and "
+        "converges,\nwhile the error-magnitude reward inherits the series' "
+        "non-stationarity and\ndoes not settle."
+    )
+
+
+if __name__ == "__main__":
+    main()

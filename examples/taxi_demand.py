@@ -1,0 +1,76 @@
+"""Taxi-demand scenario: dynamic weighting under concept drift.
+
+The Porto taxi series (Table I, datasets 9-10; the BRIGHT paper's
+motivating workload) contains abrupt demand-level shifts. This example
+shows the behaviour the paper's introduction motivates: a *dynamic*
+combination policy shifts weight between pool members as the series
+drifts, while a static average cannot.
+
+It fits EA-DRL, SWE and the static SE on the same pool, prints
+per-segment RMSE around the drift point, and renders how EA-DRL's weight
+allocation evolves over the test horizon.
+
+Usage::
+
+    python examples/taxi_demand.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import SimpleEnsemble, SlidingWindowEnsemble
+from repro.core import EADRL, EADRLConfig
+from repro.datasets import load
+from repro.metrics import rmse
+from repro.preprocessing import train_test_split
+from repro.rl.ddpg import DDPGConfig
+
+
+def segment_rmse(pred: np.ndarray, truth: np.ndarray, pieces: int = 3):
+    """RMSE per contiguous test segment (drift shows up as a step)."""
+    bounds = np.linspace(0, truth.size, pieces + 1).astype(int)
+    return [
+        rmse(pred[a:b], truth[a:b]) for a, b in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def main() -> None:
+    series = load(9, n=480)  # drift injected at 40% and 75% of the series
+    train, test = train_test_split(series)
+    start = train.size
+
+    model = EADRL(
+        pool_size="small",
+        config=EADRLConfig(episodes=25, max_iterations=60,
+                           ddpg=DDPGConfig(seed=1)),
+    )
+    model.fit(train)
+    eadrl_pred, weights = model.rolling_forecast(series, start, return_weights=True)
+
+    pool_matrix = model.pool.prediction_matrix(series, start)
+    se_pred = SimpleEnsemble().run(pool_matrix, test)
+    swe_pred = SlidingWindowEnsemble(window=10).run(pool_matrix, test)
+
+    print("overall test RMSE:")
+    for name, pred in [("EA-DRL", eadrl_pred), ("SWE", swe_pred), ("SE", se_pred)]:
+        print(f"  {name:8s} {rmse(pred, test):8.4f}")
+
+    print("\nper-segment RMSE (drift at the final-quarter boundary):")
+    header = "  ".join(f"seg{i+1:>7d}" for i in range(3))
+    print(f"  {'method':8s} {header}")
+    for name, pred in [("EA-DRL", eadrl_pred), ("SWE", swe_pred), ("SE", se_pred)]:
+        cells = "  ".join(f"{v:10.4f}" for v in segment_rmse(pred, test))
+        print(f"  {name:8s}{cells}")
+
+    print("\nEA-DRL weight trajectory (per-quarter mean weight per member):")
+    quarters = np.array_split(np.arange(weights.shape[0]), 4)
+    names = model.member_names()
+    print("  member                  " + "  ".join(f"Q{i+1}" for i in range(4)))
+    for i, name in enumerate(names):
+        cells = "  ".join(f"{weights[q][:, i].mean():4.2f}" for q in quarters)
+        print(f"  {name:22s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

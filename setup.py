@@ -1,0 +1,13 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build an editable wheel (PEP 660); in fully
+offline environments lacking ``wheel``, install with::
+
+    python setup.py develop
+
+which produces the same editable import path.
+"""
+
+from setuptools import setup
+
+setup()

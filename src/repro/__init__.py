@@ -1,0 +1,28 @@
+"""EA-DRL: Actor-Critic Ensemble Aggregation for Time-Series Forecasting.
+
+Reproduction of Saadallah, Tavakol & Morik (ICDE 2021). The public API
+re-exports the main entry points:
+
+- :class:`repro.core.EADRL` — the paper's method (pool + DDPG policy).
+- :mod:`repro.models` — the 16-family base-forecaster zoo (43-model pool).
+- :mod:`repro.baselines` — SE/SWE/EWA/FS/OGD/MLPol/Stacking/Clus/Top.sel/DEMSC.
+- :mod:`repro.datasets` — the 20-series benchmark registry (Table I).
+- :mod:`repro.evaluation` — harness regenerating Tables II/III and Fig. 2.
+"""
+
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DataValidationError",
+    "NotFittedError",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Series diagnostics and decomposition utilities."""
+
+from repro.analysis.decomposition import Decomposition, decompose, deseasonalise
+from repro.analysis.residuals import (
+    ResidualReport,
+    analyse_residuals,
+    pool_residual_reports,
+    rank_by_whiteness,
+)
+from repro.analysis.diagnostics import (
+    acf,
+    adf_statistic,
+    detect_period,
+    is_stationary,
+    ljung_box,
+    pacf,
+)
+
+__all__ = [
+    "Decomposition",
+    "ResidualReport",
+    "analyse_residuals",
+    "acf",
+    "adf_statistic",
+    "decompose",
+    "deseasonalise",
+    "detect_period",
+    "is_stationary",
+    "ljung_box",
+    "pacf",
+    "pool_residual_reports",
+    "rank_by_whiteness",
+]

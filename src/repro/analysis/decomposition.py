@@ -1,0 +1,91 @@
+"""Classical seasonal decomposition (trend + seasonal + remainder).
+
+Moving-average decomposition in the style of ``decompose`` in R /
+``seasonal_decompose`` in statsmodels: additive model
+``x_t = trend_t + seasonal_t + remainder_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.preprocessing.embedding import validate_series
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Additive decomposition components, each aligned with the input."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    remainder: np.ndarray
+
+    def reconstruct(self) -> np.ndarray:
+        """trend + seasonal + remainder (== the original series)."""
+        return self.trend + self.seasonal + self.remainder
+
+    @property
+    def seasonal_strength(self) -> float:
+        """1 − Var(remainder)/Var(seasonal+remainder) (Hyndman's F_S).
+
+        Close to 1 for strongly seasonal series, near 0 when the
+        seasonal component explains nothing.
+        """
+        detrended = self.seasonal + self.remainder
+        var_detrended = float(np.var(detrended))
+        if var_detrended < 1e-24:
+            return 0.0
+        return max(0.0, 1.0 - float(np.var(self.remainder)) / var_detrended)
+
+    @property
+    def trend_strength(self) -> float:
+        """1 − Var(remainder)/Var(trend+remainder) (Hyndman's F_T)."""
+        deseasoned = self.trend + self.remainder
+        var_deseasoned = float(np.var(deseasoned))
+        if var_deseasoned < 1e-24:
+            return 0.0
+        return max(0.0, 1.0 - float(np.var(self.remainder)) / var_deseasoned)
+
+
+def _centred_moving_average(series: np.ndarray, period: int) -> np.ndarray:
+    """2×m centred MA for even periods, plain m-MA for odd; edges are
+    filled by extending the first/last computable value."""
+    n = series.size
+    if period % 2 == 0:
+        kernel = np.ones(period + 1)
+        kernel[0] = kernel[-1] = 0.5
+        kernel /= period
+    else:
+        kernel = np.ones(period) / period
+    half = kernel.size // 2
+    valid = np.convolve(series, kernel, mode="valid")
+    out = np.empty(n)
+    out[half : half + valid.size] = valid
+    out[:half] = valid[0]
+    out[half + valid.size :] = valid[-1]
+    return out
+
+
+def decompose(series: np.ndarray, period: int) -> Decomposition:
+    """Additive classical decomposition with seasonal period ``period``."""
+    if period < 2:
+        raise ConfigurationError(f"period must be >= 2, got {period}")
+    array = validate_series(series, min_length=2 * period)
+    trend = _centred_moving_average(array, period)
+    detrended = array - trend
+    seasonal_means = np.array(
+        [detrended[phase::period].mean() for phase in range(period)]
+    )
+    seasonal_means -= seasonal_means.mean()  # identifiability: zero-sum season
+    seasonal = seasonal_means[np.arange(array.size) % period]
+    remainder = array - trend - seasonal
+    return Decomposition(trend=trend, seasonal=seasonal, remainder=remainder)
+
+
+def deseasonalise(series: np.ndarray, period: int) -> np.ndarray:
+    """Series minus its estimated seasonal component."""
+    decomposition = decompose(series, period)
+    return np.asarray(series, dtype=np.float64) - decomposition.seasonal

@@ -1,0 +1,138 @@
+"""Time-series diagnostics: ACF/PACF, whiteness and stationarity tests.
+
+Support tooling for configuring the pool (ARIMA orders, Holt-Winters
+periods) and for analysing residuals of fitted forecasters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import DataValidationError
+from repro.preprocessing.embedding import validate_series
+
+
+def acf(series: np.ndarray, max_lag: int = 40) -> np.ndarray:
+    """Sample autocorrelation function for lags 0..max_lag.
+
+    Uses the biased (1/n) estimator, the convention under which the ACF
+    of a finite sample is a positive-semidefinite sequence.
+    """
+    array = validate_series(series, min_length=3)
+    max_lag = min(max_lag, array.size - 1)
+    centred = array - array.mean()
+    variance = float(centred @ centred) / array.size
+    if variance < 1e-24:
+        raise DataValidationError("series is constant; ACF undefined")
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        out[lag] = float(centred[lag:] @ centred[:-lag]) / array.size / variance
+    return out
+
+
+def pacf(series: np.ndarray, max_lag: int = 40) -> np.ndarray:
+    """Partial autocorrelation via Durbin-Levinson recursion.
+
+    ``pacf(x)[k]`` is the correlation between ``x_t`` and ``x_{t-k}``
+    after removing the linear influence of intermediate lags; the classic
+    order-selection tool for AR(p) (cuts off after lag p).
+    """
+    rho = acf(series, max_lag=max_lag)
+    max_lag = rho.size - 1
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    if max_lag == 0:
+        return out
+    phi = np.zeros((max_lag + 1, max_lag + 1))
+    phi[1, 1] = rho[1]
+    out[1] = rho[1]
+    for k in range(2, max_lag + 1):
+        numerator = rho[k] - phi[k - 1, 1:k] @ rho[1:k][::-1]
+        denominator = 1.0 - phi[k - 1, 1:k] @ rho[1:k]
+        phi[k, k] = numerator / denominator if abs(denominator) > 1e-12 else 0.0
+        for j in range(1, k):
+            phi[k, j] = phi[k - 1, j] - phi[k, k] * phi[k - 1, k - j]
+        out[k] = phi[k, k]
+    return out
+
+
+def ljung_box(series: np.ndarray, lags: int = 10) -> Tuple[float, float]:
+    """Ljung-Box portmanteau test for autocorrelation.
+
+    Returns ``(Q statistic, p-value)``; small p-values reject the
+    null of white noise. Apply to model residuals: a well-specified
+    forecaster leaves approximately white residuals.
+    """
+    array = validate_series(series, min_length=lags + 2)
+    n = array.size
+    rho = acf(array, max_lag=lags)[1:]
+    q = n * (n + 2.0) * float(np.sum(rho ** 2 / (n - np.arange(1, lags + 1))))
+    p_value = float(stats.chi2.sf(q, df=lags))
+    return q, p_value
+
+
+def adf_statistic(series: np.ndarray, max_lag: int = 1) -> float:
+    """Augmented Dickey-Fuller t-statistic (constant, no trend).
+
+    Regresses ``Δx_t`` on ``x_{t-1}`` (plus ``max_lag`` lagged
+    differences and a constant) and returns the t-statistic of the
+    ``x_{t-1}`` coefficient. Values well below ≈ −2.9 indicate
+    stationarity at the 5 % level; values near 0 indicate a unit root.
+    """
+    array = validate_series(series, min_length=max_lag + 10)
+    dx = np.diff(array)
+    rows = dx.size - max_lag
+    X_cols = [np.ones(rows), array[max_lag:-1]]
+    for j in range(1, max_lag + 1):
+        X_cols.append(dx[max_lag - j : dx.size - j])
+    X = np.column_stack(X_cols)
+    y = dx[max_lag:]
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    residuals = y - X @ beta
+    dof = max(rows - X.shape[1], 1)
+    sigma2 = float(residuals @ residuals) / dof
+    cov = sigma2 * np.linalg.inv(X.T @ X)
+    return float(beta[1] / np.sqrt(cov[1, 1]))
+
+
+def is_stationary(series: np.ndarray, threshold: float = -2.9) -> bool:
+    """Heuristic stationarity decision from the ADF t-statistic."""
+    return adf_statistic(series) < threshold
+
+
+def detect_period(
+    series: np.ndarray,
+    min_period: int = 2,
+    max_period: int = None,
+    min_power_fraction: float = 0.2,
+) -> int:
+    """Dominant seasonal period via the periodogram (0 = no clear season).
+
+    The peak frequency must carry at least ``min_power_fraction`` of the
+    total spectral power in the valid band to count as a genuine season —
+    for white noise each of the ~n/2 frequencies carries ≈ 2/n of the
+    power, so even the sample maximum stays far below the default 20 %.
+    """
+    array = validate_series(series, min_length=16)
+    detrended = array - np.polyval(np.polyfit(np.arange(array.size), array, 1),
+                                   np.arange(array.size))
+    spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+    freqs = np.fft.rfftfreq(array.size)
+    spectrum[0] = 0.0  # drop the mean component
+    if max_period is None:
+        max_period = array.size // 3
+    valid = (freqs > 0) & (1.0 / np.maximum(freqs, 1e-12) >= min_period) & (
+        1.0 / np.maximum(freqs, 1e-12) <= max_period
+    )
+    if not np.any(valid):
+        return 0
+    masked = np.where(valid, spectrum, 0.0)
+    peak = int(np.argmax(masked))
+    total = float(masked.sum())
+    if total < 1e-24 or masked[peak] < min_power_fraction * total:
+        return 0
+    return int(round(1.0 / freqs[peak]))

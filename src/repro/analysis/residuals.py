@@ -1,0 +1,96 @@
+"""Residual analysis for fitted forecasters.
+
+A well-specified forecaster leaves residuals that are unbiased and
+approximately white; these helpers quantify both and produce a compact
+per-model report for a whole pool (useful when deciding what to prune).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import acf, ljung_box
+from repro.exceptions import DataValidationError
+
+
+@dataclass(frozen=True)
+class ResidualReport:
+    """Summary statistics of a forecaster's one-step residuals."""
+
+    mean: float
+    std: float
+    lag1_autocorrelation: float
+    ljung_box_p: float
+    rmse: float
+
+    @property
+    def is_unbiased(self) -> bool:
+        """|mean| below a tenth of the residual std (rough t-test)."""
+        return abs(self.mean) < 0.1 * max(self.std, 1e-12)
+
+    @property
+    def is_white(self) -> bool:
+        """Ljung-Box fails to reject whiteness at the 5 % level."""
+        return self.ljung_box_p > 0.05
+
+
+def analyse_residuals(
+    predictions: np.ndarray, truth: np.ndarray, lags: int = 10
+) -> ResidualReport:
+    """Residual report from aligned one-step predictions and truths."""
+    pred = np.asarray(predictions, dtype=np.float64)
+    y = np.asarray(truth, dtype=np.float64)
+    if pred.shape != y.shape or pred.ndim != 1:
+        raise DataValidationError(
+            f"predictions {pred.shape} and truth {y.shape} must align"
+        )
+    if pred.size < lags + 3:
+        raise DataValidationError(
+            f"need at least {lags + 3} points for a {lags}-lag report"
+        )
+    residuals = y - pred
+    if np.ptp(residuals) < 1e-12:
+        # Perfectly constant residuals: whiteness is ill-defined; report
+        # a degenerate but safe summary.
+        return ResidualReport(
+            mean=float(residuals.mean()),
+            std=0.0,
+            lag1_autocorrelation=0.0,
+            ljung_box_p=1.0,
+            rmse=float(np.sqrt(np.mean(residuals ** 2))),
+        )
+    rho1 = float(acf(residuals, max_lag=1)[1])
+    _, p = ljung_box(residuals, lags=min(lags, residuals.size // 3))
+    return ResidualReport(
+        mean=float(residuals.mean()),
+        std=float(residuals.std()),
+        lag1_autocorrelation=rho1,
+        ljung_box_p=float(p),
+        rmse=float(np.sqrt(np.mean(residuals ** 2))),
+    )
+
+
+def pool_residual_reports(
+    prediction_matrix: np.ndarray,
+    truth: np.ndarray,
+    names: Sequence[str],
+    lags: int = 10,
+) -> Dict[str, ResidualReport]:
+    """Per-member residual reports over a pool prediction matrix."""
+    P = np.asarray(prediction_matrix, dtype=np.float64)
+    if P.ndim != 2 or P.shape[1] != len(names):
+        raise DataValidationError(
+            f"matrix {P.shape} does not match {len(names)} member names"
+        )
+    return {
+        name: analyse_residuals(P[:, i], truth, lags=lags)
+        for i, name in enumerate(names)
+    }
+
+
+def rank_by_whiteness(reports: Dict[str, ResidualReport]) -> List[str]:
+    """Member names sorted by Ljung-Box p-value (whitest first)."""
+    return sorted(reports, key=lambda name: -reports[name].ljung_box_p)

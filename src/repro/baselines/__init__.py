@@ -1,0 +1,49 @@
+"""Comparison methods from the paper's Table II."""
+
+from repro.baselines.adwin import ADWIN
+from repro.baselines.base import Combiner, inverse_error_weights, validate_matrix
+from repro.baselines.demsc import DEMSC
+from repro.baselines.drift import PageHinkley
+from repro.baselines.experts import (
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    MLPoly,
+    OnlineGradientDescent,
+)
+from repro.baselines.regret import (
+    RegretTrajectory,
+    run_with_regret,
+    squared_loss_regret,
+)
+from repro.baselines.selection import (
+    ClusterSelection,
+    TopSelection,
+    correlation_clusters,
+)
+from repro.baselines.single import SingleModelBaseline, make_single_baselines
+from repro.baselines.stacking import StackingCombiner
+from repro.baselines.static import SimpleEnsemble, SlidingWindowEnsemble
+
+__all__ = [
+    "ADWIN",
+    "ClusterSelection",
+    "Combiner",
+    "DEMSC",
+    "ExponentiallyWeightedAverage",
+    "FixedShare",
+    "MLPoly",
+    "OnlineGradientDescent",
+    "PageHinkley",
+    "RegretTrajectory",
+    "SimpleEnsemble",
+    "SingleModelBaseline",
+    "SlidingWindowEnsemble",
+    "StackingCombiner",
+    "TopSelection",
+    "correlation_clusters",
+    "inverse_error_weights",
+    "run_with_regret",
+    "squared_loss_regret",
+    "make_single_baselines",
+    "validate_matrix",
+]

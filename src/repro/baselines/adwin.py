@@ -1,0 +1,100 @@
+"""ADWIN drift detection (Bifet & Gavaldà 2007), simplified.
+
+ADaptive WINdowing keeps a window of recent observations and signals a
+drift whenever two adjacent sub-windows have means that differ by more
+than a Hoeffding-style bound; the older sub-window is then dropped. This
+is the standard alternative to Page-Hinkley for informed-update triggers
+(DEMSC accepts either via its ``detector`` hook).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class ADWIN:
+    """Adaptive-windowing change detector.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter; smaller = fewer, surer detections.
+    max_window:
+        Memory cap on the stored window.
+    min_sub_window:
+        Minimum observations on each side of a candidate cut.
+    check_every:
+        Evaluate cuts only every k-th update (standard efficiency knob).
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        max_window: int = 500,
+        min_sub_window: int = 5,
+        check_every: int = 4,
+    ):
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        if max_window < 2 * min_sub_window:
+            raise ConfigurationError(
+                "max_window must hold two minimum sub-windows"
+            )
+        if check_every < 1:
+            raise ConfigurationError("check_every must be >= 1")
+        self.delta = delta
+        self.max_window = max_window
+        self.min_sub_window = min_sub_window
+        self.check_every = check_every
+        self._window: Deque[float] = deque(maxlen=max_window)
+        self._count = 0
+        self.n_detections = 0
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._count = 0
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    def _cut_found(self) -> bool:
+        values = np.fromiter(self._window, dtype=np.float64)
+        n = values.size
+        total_var = float(values.var()) + 1e-12
+        prefix = np.cumsum(values)
+        total = prefix[-1]
+        for cut in range(self.min_sub_window, n - self.min_sub_window + 1):
+            n0, n1 = cut, n - cut
+            mean0 = prefix[cut - 1] / n0
+            mean1 = (total - prefix[cut - 1]) / n1
+            harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+            delta_prime = self.delta / n
+            bound = np.sqrt(
+                2.0 / harmonic * total_var * np.log(2.0 / delta_prime)
+            ) + 2.0 / (3.0 * harmonic) * np.log(2.0 / delta_prime)
+            if abs(mean0 - mean1) > bound:
+                # Drop the stale prefix.
+                for _ in range(cut):
+                    self._window.popleft()
+                return True
+        return False
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns ``True`` on detected drift."""
+        self._window.append(float(value))
+        self._count += 1
+        if (
+            len(self._window) < 2 * self.min_sub_window
+            or self._count % self.check_every
+        ):
+            return False
+        if self._cut_found():
+            self.n_detections += 1
+            return True
+        return False

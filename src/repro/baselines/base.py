@@ -1,0 +1,83 @@
+"""Combiner interface: prequential ensemble aggregation over a pool.
+
+A :class:`Combiner` consumes the pool's prequential prediction matrix
+``P`` (rows = time, columns = models) together with the true values and
+emits combined one-step forecasts. Causality is the contract: the weight
+vector used at row ``t`` may depend only on rows ``< t``.
+
+``fit(train_predictions, train_truth)`` is an optional meta-training hook
+(used by stacking); stateless combiners inherit the no-op default.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def validate_matrix(
+    predictions: np.ndarray, truth: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a (T, m) prediction matrix against a length-T truth."""
+    P = np.asarray(predictions, dtype=np.float64)
+    y = np.asarray(truth, dtype=np.float64)
+    if P.ndim != 2:
+        raise DataValidationError(f"predictions must be 2-D, got {P.shape}")
+    if y.ndim != 1 or y.size != P.shape[0]:
+        raise DataValidationError(
+            f"truth length {y.shape} does not match prediction rows {P.shape}"
+        )
+    if not (np.all(np.isfinite(P)) and np.all(np.isfinite(y))):
+        raise DataValidationError("predictions/truth contain NaN or inf")
+    return P, y
+
+
+class Combiner(abc.ABC):
+    """Base class for all ensemble-combination baselines."""
+
+    name: str = "combiner"
+
+    def fit(
+        self, train_predictions: np.ndarray, train_truth: np.ndarray
+    ) -> "Combiner":
+        """Optional meta-training on a training-segment matrix (no-op)."""
+        validate_matrix(train_predictions, train_truth)
+        return self
+
+    @abc.abstractmethod
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        """Prequential combined forecasts, shape ``(T,)``."""
+
+    def run_with_weights(
+        self, predictions: np.ndarray, truth: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`run` but also returns the (T, m) weight trail.
+
+        The default re-runs the combiner; subclasses that track weights
+        internally override this for efficiency.
+        """
+        P, y = validate_matrix(predictions, truth)
+        output = self.run(P, y)
+        uniform = np.full(P.shape, 1.0 / P.shape[1])
+        return output, uniform
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def inverse_error_weights(errors: np.ndarray, power: float = 2.0) -> np.ndarray:
+    """Normalised inverse-error weights: ``w_i ∝ 1 / err_i^power``.
+
+    Zero errors receive the whole mass (split among exact-zero models).
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    zero = errors <= 1e-12
+    if np.any(zero):
+        w = zero.astype(np.float64)
+        return w / w.sum()
+    inv = errors ** (-power)
+    return inv / inv.sum()

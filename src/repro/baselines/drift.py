@@ -1,0 +1,61 @@
+"""Page-Hinkley drift detection (used by DEMSC's informed updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class PageHinkley:
+    """Page-Hinkley test on a stream of (error) values.
+
+    Signals drift when the cumulative deviation of the stream above its
+    running mean exceeds ``threshold`` (after allowing ``delta`` slack per
+    step). Reset after each detection.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance (fraction of running mean absolute value).
+    threshold:
+        Detection threshold λ; larger values mean fewer, surer detections.
+    burn_in:
+        Minimum observations before a detection may fire.
+    """
+
+    def __init__(self, delta: float = 0.05, threshold: float = 5.0, burn_in: int = 10):
+        if delta < 0 or threshold <= 0 or burn_in < 1:
+            raise ConfigurationError("invalid Page-Hinkley parameters")
+        self.delta = delta
+        self.threshold = threshold
+        self.burn_in = burn_in
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear statistics (called automatically after a detection)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns ``True`` when drift is detected."""
+        value = float(value)
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        slack = self.delta * max(abs(self._mean), 1e-12)
+        self._cumulative += value - self._mean - slack
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.burn_in:
+            return False
+        # Normalise by the running mean so the threshold is scale-free.
+        deviation = (self._cumulative - self._minimum) / max(abs(self._mean), 1e-12)
+        if deviation > self.threshold:
+            self.reset()
+            return True
+        return False
+
+    @property
+    def observations(self) -> int:
+        return self._count

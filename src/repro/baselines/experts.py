@@ -1,0 +1,184 @@
+"""Prediction-with-expert-advice combiners: EWA, Fixed Share, OGD, ML-Poly.
+
+These are the four `opera` (Gaillard & Goude 2016) aggregation rules the
+paper compares against. All use the square loss; losses are normalised by
+a running range estimate so the tuned learning rates stay meaningful
+across series with very different scales.
+
+- **EWA** — exponentially weighted average (Cesa-Bianchi & Lugosi 2006).
+- **FS** — fixed share: EWA plus mass redistribution, tracks the best
+  expert through regime changes.
+- **OGD** — projected online gradient descent on the simplex (Zinkevich
+  2003) with the standard 1/√t step schedule and its regret guarantee.
+- **MLPol** — ML-Poly: polynomially weighted averages with multiple
+  per-expert learning rates (Gaillard, Stoltz & van Erven 2014).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Combiner, validate_matrix
+from repro.exceptions import ConfigurationError
+from repro.rl.mdp import euclidean_simplex_projection
+
+
+class _ScaleTracker:
+    """Running estimate of the squared value range, for loss normalisation."""
+
+    def __init__(self) -> None:
+        self._low = np.inf
+        self._high = -np.inf
+
+    def update(self, value: float) -> None:
+        self._low = min(self._low, value)
+        self._high = max(self._high, value)
+
+    @property
+    def squared_range(self) -> float:
+        if not np.isfinite(self._low) or self._high <= self._low:
+            return 1.0
+        return (self._high - self._low) ** 2
+
+
+class ExponentiallyWeightedAverage(Combiner):
+    """EWA: ``w_i ∝ exp(−η · cumulative loss_i)``."""
+
+    name = "EWA"
+
+    def __init__(self, eta: float = 2.0):
+        if eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {eta}")
+        self.eta = eta
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        cumulative = np.zeros(m)
+        scale = _ScaleTracker()
+        out = np.empty(T)
+        weights = np.empty((T, m))
+        for t in range(T):
+            shifted = cumulative - cumulative.min()
+            w = np.exp(-self.eta * shifted)
+            w /= w.sum()
+            weights[t] = w
+            out[t] = P[t] @ w
+            scale.update(float(y[t]))
+            cumulative += np.minimum((P[t] - y[t]) ** 2 / scale.squared_range, 1.0)
+        return out, weights
+
+
+class FixedShare(Combiner):
+    """FS: EWA with an α-fraction of weight shared uniformly each step."""
+
+    name = "FS"
+
+    def __init__(self, eta: float = 2.0, alpha: float = 0.05):
+        if eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {eta}")
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
+        self.eta = eta
+        self.alpha = alpha
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        w = np.full(m, 1.0 / m)
+        scale = _ScaleTracker()
+        out = np.empty(T)
+        weights = np.empty((T, m))
+        for t in range(T):
+            weights[t] = w
+            out[t] = P[t] @ w
+            scale.update(float(y[t]))
+            loss = np.minimum((P[t] - y[t]) ** 2 / scale.squared_range, 1.0)
+            v = w * np.exp(-self.eta * (loss - loss.min()))
+            total = v.sum()
+            v = v / total if total > 0 else np.full(m, 1.0 / m)
+            w = (1.0 - self.alpha) * v + self.alpha / m
+        return out, weights
+
+
+class OnlineGradientDescent(Combiner):
+    """OGD on the simplex with η_t = η₀/√t (Zinkevich 2003)."""
+
+    name = "OGD"
+
+    def __init__(self, eta0: float = 0.5):
+        if eta0 <= 0:
+            raise ConfigurationError(f"eta0 must be positive, got {eta0}")
+        self.eta0 = eta0
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        w = np.full(m, 1.0 / m)
+        scale = _ScaleTracker()
+        out = np.empty(T)
+        weights = np.empty((T, m))
+        for t in range(T):
+            weights[t] = w
+            pred = float(P[t] @ w)
+            out[t] = pred
+            scale.update(float(y[t]))
+            norm = scale.squared_range
+            grad = 2.0 * (pred - y[t]) * P[t] / norm
+            # Only the tangent component moves the iterate on the simplex;
+            # removing the mean also makes the step scale-robust when all
+            # experts predict similar values.
+            grad = grad - grad.mean()
+            grad = np.clip(grad, -1.0, 1.0)
+            step = self.eta0 / np.sqrt(t + 1.0)
+            w = euclidean_simplex_projection(w - step * grad)
+        return out, weights
+
+
+class MLPoly(Combiner):
+    """ML-Poly: per-expert adaptive learning rates on positive regrets.
+
+    Maintains cumulative regrets ``R_i`` and squared instantaneous
+    regrets ``E_i``; weights are ``w_i ∝ η_i (R_i)₊`` with
+    ``η_i = 1/(1 + E_i)``, falling back to uniform when all regrets are
+    non-positive. This is the algorithm behind `opera::MLpol`.
+    """
+
+    name = "MLPol"
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        regret = np.zeros(m)
+        sq_regret = np.zeros(m)
+        scale = _ScaleTracker()
+        out = np.empty(T)
+        weights = np.empty((T, m))
+        for t in range(T):
+            eta = 1.0 / (1.0 + sq_regret)
+            positive = np.maximum(regret, 0.0) * eta
+            total = positive.sum()
+            w = positive / total if total > 0 else np.full(m, 1.0 / m)
+            weights[t] = w
+            pred = float(P[t] @ w)
+            out[t] = pred
+            scale.update(float(y[t]))
+            norm = scale.squared_range
+            agg_loss = (pred - y[t]) ** 2 / norm
+            expert_loss = (P[t] - y[t]) ** 2 / norm
+            instantaneous = np.clip(agg_loss - expert_loss, -1.0, 1.0)
+            regret += instantaneous
+            sq_regret += instantaneous ** 2
+        return out, weights

@@ -1,0 +1,79 @@
+"""Regret accounting for the expert-advice combiners.
+
+The EWA/FS/OGD/MLPol baselines carry theoretical guarantees stated in
+terms of *regret* — cumulative loss of the aggregated forecast minus the
+cumulative loss of the best expert in hindsight. This module computes
+the realised regret trajectory of any combiner run, which the test suite
+uses to verify the sublinear-regret behaviour the theory promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Combiner, validate_matrix
+from repro.exceptions import DataValidationError
+
+
+@dataclass(frozen=True)
+class RegretTrajectory:
+    """Cumulative regret of a combiner against the best fixed expert."""
+
+    cumulative_regret: np.ndarray  # shape (T,)
+    best_expert: int
+
+    @property
+    def final(self) -> float:
+        return float(self.cumulative_regret[-1])
+
+    def average_regret(self) -> np.ndarray:
+        """Per-step average regret R_t / t; → 0 for no-regret learners."""
+        steps = np.arange(1, self.cumulative_regret.size + 1)
+        return self.cumulative_regret / steps
+
+    def is_sublinear(self, tail_fraction: float = 0.25, decay: float = 0.9) -> bool:
+        """Average regret over the last ``tail_fraction`` of the run has
+        decayed to at most ``decay`` × its early value (strict decrease,
+        so exactly-linear regret — constant R_t/t — fails).
+
+        Negative early regret (the learner beating the best expert from
+        the start) counts as sublinear immediately.
+        """
+        avg = self.average_regret()
+        k = max(1, int(tail_fraction * avg.size))
+        head = float(avg[:k].mean())
+        tail = float(avg[-k:].mean())
+        if head <= 0.0:
+            return tail <= max(head, 0.0) + 1e-12
+        return tail <= decay * head
+
+
+def squared_loss_regret(
+    combined: np.ndarray, predictions: np.ndarray, truth: np.ndarray
+) -> RegretTrajectory:
+    """Regret of realised combined forecasts under squared loss.
+
+    The comparator is the *single best expert in hindsight* (the standard
+    external-regret benchmark of Cesa-Bianchi & Lugosi 2006).
+    """
+    P, y = validate_matrix(predictions, truth)
+    combined = np.asarray(combined, dtype=np.float64)
+    if combined.shape != y.shape:
+        raise DataValidationError(
+            f"combined {combined.shape} does not match truth {y.shape}"
+        )
+    agg_losses = (combined - y) ** 2
+    expert_losses = (P - y[:, None]) ** 2
+    best_expert = int(np.argmin(expert_losses.sum(axis=0)))
+    regret = np.cumsum(agg_losses - expert_losses[:, best_expert])
+    return RegretTrajectory(cumulative_regret=regret, best_expert=best_expert)
+
+
+def run_with_regret(
+    combiner: Combiner, predictions: np.ndarray, truth: np.ndarray
+) -> RegretTrajectory:
+    """Run a combiner prequentially and compute its regret trajectory."""
+    combined = combiner.run(predictions, truth)
+    return squared_loss_regret(combined, predictions, truth)

@@ -1,0 +1,121 @@
+"""Dynamic ensemble-member selection: Top.sel and Clus (Saadallah 2019).
+
+- **Top.sel** — keep the ``top_k`` members with the lowest recent window
+  error and combine them with SWE weights.
+- **Clus** — group members whose recent *error trajectories* are highly
+  correlated (redundant models), keep one representative per group (the
+  most accurate), and SWE-combine the representatives. Clustering uses
+  connected components of the high-correlation graph (networkx).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.base import Combiner, inverse_error_weights, validate_matrix
+from repro.exceptions import ConfigurationError
+
+
+def correlation_clusters(errors: np.ndarray, threshold: float) -> List[np.ndarray]:
+    """Cluster models by error-trajectory correlation.
+
+    ``errors`` has shape ``(window, m)``. Two models join the same cluster
+    when the Pearson correlation of their error sequences exceeds
+    ``threshold``; clusters are the connected components of that graph.
+    """
+    m = errors.shape[1]
+    if m == 1:
+        return [np.array([0])]
+    centred = errors - errors.mean(axis=0, keepdims=True)
+    norms = np.sqrt((centred ** 2).sum(axis=0))
+    norms = np.where(norms > 1e-12, norms, 1.0)
+    corr = (centred.T @ centred) / np.outer(norms, norms)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(m))
+    rows, cols = np.where(np.triu(corr, k=1) > threshold)
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return [np.array(sorted(component)) for component in nx.connected_components(graph)]
+
+
+class TopSelection(Combiner):
+    """Top.sel: SWE over the ``top_k`` recent best members."""
+
+    def __init__(self, top_k: int = 5, window: int = 10):
+        if top_k < 1 or window < 1:
+            raise ConfigurationError("top_k and window must be >= 1")
+        self.top_k = top_k
+        self.window = window
+        self.name = f"Top.sel(k={top_k})"
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        k = min(self.top_k, m)
+        out = np.empty(T)
+        weights = np.zeros((T, m))
+        for t in range(T):
+            if t == 0:
+                w = np.full(m, 1.0 / m)
+            else:
+                lo = max(0, t - self.window)
+                window_err = np.sqrt(np.mean((P[lo:t] - y[lo:t, None]) ** 2, axis=0))
+                chosen = np.argsort(window_err)[:k]
+                w = np.zeros(m)
+                w[chosen] = inverse_error_weights(window_err[chosen])
+            weights[t] = w
+            out[t] = P[t] @ w
+        return out, weights
+
+
+class ClusterSelection(Combiner):
+    """Clus: per-cluster representatives combined with SWE weights."""
+
+    def __init__(self, window: int = 10, correlation_threshold: float = 0.9):
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if not -1.0 < correlation_threshold < 1.0:
+            raise ConfigurationError(
+                f"correlation_threshold must be in (-1, 1), "
+                f"got {correlation_threshold}"
+            )
+        self.window = window
+        self.correlation_threshold = correlation_threshold
+        self.name = f"Clus(rho={correlation_threshold})"
+
+    def _representative_weights(
+        self, window_preds: np.ndarray, window_truth: np.ndarray
+    ) -> np.ndarray:
+        errors = window_preds - window_truth[:, None]
+        window_rmse = np.sqrt(np.mean(errors ** 2, axis=0))
+        clusters = correlation_clusters(errors, self.correlation_threshold)
+        reps = np.array(
+            [cluster[np.argmin(window_rmse[cluster])] for cluster in clusters]
+        )
+        m = window_preds.shape[1]
+        w = np.zeros(m)
+        w[reps] = inverse_error_weights(window_rmse[reps])
+        return w
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        out = np.empty(T)
+        weights = np.zeros((T, m))
+        for t in range(T):
+            if t < 2:
+                w = np.full(m, 1.0 / m)
+            else:
+                lo = max(0, t - self.window)
+                w = self._representative_weights(P[lo:t], y[lo:t])
+            weights[t] = w
+            out[t] = P[t] @ w
+        return out, weights

@@ -1,0 +1,63 @@
+"""Standalone-model baselines for Table II (ARIMA, RF, GBM, LSTM, StLSTM).
+
+These wrap a single :class:`~repro.models.base.Forecaster` into the same
+evaluation surface as the combiners: given the full series and the test
+start index, they fit on the training prefix and emit prequential
+one-step forecasts for the test segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.models.arima import ARIMA
+from repro.models.base import Forecaster
+from repro.models.forest import RandomForestForecaster
+from repro.models.gbm import GradientBoostingForecaster
+from repro.models.recurrent_forecasters import LSTMForecaster, StackedLSTMForecaster
+from repro.preprocessing.embedding import validate_series
+
+
+class SingleModelBaseline:
+    """Adapter: fit on ``series[:start]``, roll over ``series[start:]``."""
+
+    def __init__(self, forecaster: Forecaster, name: str):
+        self.forecaster = forecaster
+        self.name = name
+
+    def run(self, series: np.ndarray, start: int) -> np.ndarray:
+        array = validate_series(series, min_length=start + 1)
+        if start < 10:
+            raise DataValidationError(f"start={start} leaves too little training data")
+        self.forecaster.fit(array[:start])
+        return self.forecaster.rolling_predictions(array, start)
+
+
+def make_single_baselines(
+    embedding_dimension: int = 5, neural_epochs: int = 60, seed: int = 0
+):
+    """The five standalone baselines of the paper's Table II."""
+    return [
+        SingleModelBaseline(ARIMA(2, 0, 1), "ARIMA"),
+        SingleModelBaseline(
+            RandomForestForecaster(embedding_dimension, n_estimators=50, seed=seed),
+            "RF",
+        ),
+        SingleModelBaseline(
+            GradientBoostingForecaster(
+                embedding_dimension, n_estimators=80, max_depth=3, seed=seed
+            ),
+            "GBM",
+        ),
+        SingleModelBaseline(
+            LSTMForecaster(window=10, hidden=8, epochs=neural_epochs, seed=seed),
+            "LSTM",
+        ),
+        SingleModelBaseline(
+            StackedLSTMForecaster(
+                window=10, hidden=8, num_layers=2, epochs=neural_epochs, seed=seed
+            ),
+            "StLSTM",
+        ),
+    ]

@@ -1,0 +1,66 @@
+"""Stacking (Wolpert 1992) with a random-forest meta-learner.
+
+The meta-learner is trained on a held-out segment of base-model
+predictions (features) against the true values (target) — the
+configuration the paper evaluates ("An ensemble approach using random
+forest as a meta-learner").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import Combiner, validate_matrix
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.models.tree import RegressionTree
+
+
+class StackingCombiner(Combiner):
+    """Random-forest stacking over the pool's prediction matrix.
+
+    Parameters
+    ----------
+    n_estimators, max_depth:
+        Meta-forest capacity.
+    seed:
+        Bootstrap seed.
+    """
+
+    name = "Stacking"
+
+    def __init__(self, n_estimators: int = 50, max_depth: Optional[int] = 6, seed: int = 0):
+        if n_estimators < 1:
+            raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: List[RegressionTree] = []
+
+    def fit(self, train_predictions: np.ndarray, train_truth: np.ndarray) -> "StackingCombiner":
+        P, y = validate_matrix(train_predictions, train_truth)
+        rng = np.random.default_rng(self.seed)
+        n, m = P.shape
+        max_features = max(1, int(np.ceil(np.sqrt(m))))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=2,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(P[rows], y[rows])
+            self._trees.append(tree)
+        return self
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError(type(self).__name__)
+        P, _ = validate_matrix(predictions, truth)
+        total = np.zeros(P.shape[0])
+        for tree in self._trees:
+            total += tree.predict(P)
+        return total / len(self._trees)

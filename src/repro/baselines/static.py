@@ -1,0 +1,71 @@
+"""Static and sliding-window ensembles: SE and SWE.
+
+- **SE** (Clemen & Winkler 1986): the arithmetic mean of all base
+  learners — the classic "forecast combination puzzle" baseline.
+- **SWE** (Saadallah et al., BRIGHT 2018): a linear combination whose
+  weights are proportional to each model's inverse error over a recent
+  sliding window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Combiner, inverse_error_weights, validate_matrix
+from repro.exceptions import ConfigurationError
+
+
+class SimpleEnsemble(Combiner):
+    """SE: uniform average of the pool at every step."""
+
+    name = "SE"
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        P, _ = validate_matrix(predictions, truth)
+        return P.mean(axis=1)
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        return P.mean(axis=1), np.full(P.shape, 1.0 / P.shape[1])
+
+
+class SlidingWindowEnsemble(Combiner):
+    """SWE: weights from inverse window RMSE of each member.
+
+    Parameters
+    ----------
+    window:
+        Number of recent steps used to score members (paper setups use
+        the same ω as EA-DRL).
+    power:
+        Sharpness of the inverse-error weighting.
+    """
+
+    def __init__(self, window: int = 10, power: float = 2.0):
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.power = power
+        self.name = f"SWE(w={window})"
+
+    def run(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        return self.run_with_weights(predictions, truth)[0]
+
+    def run_with_weights(self, predictions: np.ndarray, truth: np.ndarray):
+        P, y = validate_matrix(predictions, truth)
+        T, m = P.shape
+        out = np.empty(T)
+        weights = np.empty((T, m))
+        uniform = np.full(m, 1.0 / m)
+        for t in range(T):
+            if t == 0:
+                w = uniform
+            else:
+                lo = max(0, t - self.window)
+                window_err = np.sqrt(
+                    np.mean((P[lo:t] - y[lo:t, None]) ** 2, axis=0)
+                )
+                w = inverse_error_weights(window_err, power=self.power)
+            weights[t] = w
+            out[t] = P[t] @ w
+        return out, weights

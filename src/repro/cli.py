@@ -1,0 +1,203 @@
+"""Command-line interface for the EA-DRL reproduction.
+
+Four subcommands map to the main workflows::
+
+    python -m repro.cli list                      # show the dataset registry
+    python -m repro.cli forecast --dataset 9      # fit EA-DRL, report RMSE
+    python -m repro.cli table2 --datasets 1,4,9   # regenerate Table II
+    python -m repro.cli fig2 --dataset 9          # regenerate Figure 2
+
+Every subcommand accepts ``--length/--episodes/--pool`` to trade speed
+against fidelity (see ``--help`` per subcommand).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--length", type=int, default=400,
+                        help="series length (default 400)")
+    parser.add_argument("--episodes", type=int, default=20,
+                        help="DDPG training episodes (paper: 100)")
+    parser.add_argument("--iterations", type=int, default=60,
+                        help="max iterations per episode (paper: 100)")
+    parser.add_argument("--pool", choices=("small", "medium", "full"),
+                        default="small", help="base-model pool preset")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _protocol(args) -> "ProtocolConfig":
+    from repro.evaluation import ProtocolConfig
+
+    return ProtocolConfig(
+        series_length=args.length,
+        pool_size=args.pool,
+        episodes=args.episodes,
+        max_iterations=args.iterations,
+        seed=args.seed,
+    )
+
+
+def cmd_list(args) -> int:
+    from repro.datasets import list_datasets
+    from repro.evaluation import format_table
+
+    rows = [
+        [str(info.dataset_id), info.name, info.source, info.cadence]
+        for info in list_datasets()
+    ]
+    print(format_table(["id", "name", "source", "cadence"], rows,
+                       title="Benchmark datasets (paper Table I stand-ins)"))
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    from repro.core import EADRL, EADRLConfig
+    from repro.datasets import get_info, load
+    from repro.metrics import rmse
+    from repro.preprocessing import train_test_split
+    from repro.rl.ddpg import DDPGConfig
+
+    info = get_info(args.dataset)
+    series = load(args.dataset, n=args.length)
+    train, test = train_test_split(series)
+    print(f"dataset {args.dataset} ({info.name}): "
+          f"{train.size} train / {test.size} test")
+    model = EADRL(
+        pool_size=args.pool,
+        config=EADRLConfig(
+            episodes=args.episodes,
+            max_iterations=args.iterations,
+            ddpg=DDPGConfig(seed=args.seed),
+        ),
+    )
+    model.fit(train)
+    preds = model.rolling_forecast(series, start=train.size)
+    matrix = model.pool.prediction_matrix(series, train.size)
+    print(f"EA-DRL RMSE : {rmse(preds, test):.4f}")
+    print(f"uniform RMSE: {rmse(matrix.mean(axis=1), test):.4f}")
+    if args.save_policy:
+        model.save_policy(args.save_policy)
+        print(f"policy saved to {args.save_policy}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.evaluation import run_table2
+
+    ids = [int(x) for x in args.datasets.split(",")]
+    result = run_table2(
+        dataset_ids=ids,
+        config=_protocol(args),
+        include_singles=not args.no_singles,
+    )
+    print(result.render())
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    from repro.evaluation import ascii_curve, run_fig2
+
+    result = run_fig2(dataset_id=args.dataset, config=_protocol(args))
+    rank = result.rank_curve()
+    nrmse = result.nrmse_curve()
+    print(ascii_curve(rank.episode_rewards, label="rank reward (Fig 2b)"))
+    print()
+    print(ascii_curve(nrmse.episode_rewards, label="1-NRMSE reward (Fig 2a)"))
+    print(f"\nrank : improvement={rank.improvement():+.3f} "
+          f"tail-std={rank.tail_stability():.3f}")
+    print(f"nrmse: improvement={nrmse.improvement():+.3f} "
+          f"tail-std={nrmse.tail_stability():.3f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.evaluation.report import write_report
+
+    ids = [int(x) for x in args.datasets.split(",")]
+    text = write_report(
+        args.output,
+        dataset_ids=ids,
+        config=_protocol(args),
+        include_singles=not args.no_singles,
+    )
+    print(f"report written to {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_export_data(args) -> int:
+    from repro.datasets import export_registry_csv
+
+    paths = export_registry_csv(args.output_dir, n=args.length)
+    print(f"wrote {len(paths)} CSV files to {args.output_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EA-DRL reproduction (ICDE 2021) command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_list = subparsers.add_parser("list", help="show the dataset registry")
+    p_list.set_defaults(func=cmd_list)
+
+    p_forecast = subparsers.add_parser(
+        "forecast", help="fit EA-DRL on one dataset and report test RMSE"
+    )
+    p_forecast.add_argument("--dataset", type=int, default=9)
+    p_forecast.add_argument("--save-policy", default=None,
+                            help="path to save the trained policy (.npz)")
+    _add_scale_arguments(p_forecast)
+    p_forecast.set_defaults(func=cmd_forecast)
+
+    p_table2 = subparsers.add_parser(
+        "table2", help="regenerate the paper's Table II"
+    )
+    p_table2.add_argument("--datasets", default="1,4,6,9,15,18",
+                          help="comma-separated dataset ids")
+    p_table2.add_argument("--no-singles", action="store_true",
+                          help="skip the slow standalone baselines")
+    _add_scale_arguments(p_table2)
+    p_table2.set_defaults(func=cmd_table2)
+
+    p_fig2 = subparsers.add_parser(
+        "fig2", help="regenerate the paper's Figure 2 learning curves"
+    )
+    p_fig2.add_argument("--dataset", type=int, default=9)
+    _add_scale_arguments(p_fig2)
+    p_fig2.set_defaults(func=cmd_fig2)
+
+    p_report = subparsers.add_parser(
+        "report", help="regenerate every experiment into a markdown report"
+    )
+    p_report.add_argument("--datasets", default="1,4,6,9,15,18")
+    p_report.add_argument("--output", default="report.md")
+    p_report.add_argument("--no-singles", action="store_true")
+    _add_scale_arguments(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_export = subparsers.add_parser(
+        "export-data", help="write all 20 benchmark datasets as CSV"
+    )
+    p_export.add_argument("--output-dir", default="datasets_csv")
+    p_export.add_argument("--length", type=int, default=None)
+    p_export.set_defaults(func=cmd_export_data)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

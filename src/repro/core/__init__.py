@@ -1,0 +1,29 @@
+"""EA-DRL core: the paper's primary contribution + future-work extensions."""
+
+from repro.core.config import EADRLConfig
+from repro.core.eadrl import EADRL
+from repro.core.intervals import (
+    IntervalEstimator,
+    IntervalForecast,
+    weighted_disagreement,
+)
+from repro.core.pruning import (
+    CorrelationPruner,
+    GreedyForwardPruner,
+    Pruner,
+    TopFractionPruner,
+    apply_pruning,
+)
+
+__all__ = [
+    "CorrelationPruner",
+    "EADRL",
+    "EADRLConfig",
+    "GreedyForwardPruner",
+    "IntervalEstimator",
+    "IntervalForecast",
+    "Pruner",
+    "TopFractionPruner",
+    "apply_pruning",
+    "weighted_disagreement",
+]

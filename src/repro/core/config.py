@@ -1,0 +1,66 @@
+"""Configuration dataclasses for the EA-DRL estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.rl.ddpg import DDPGConfig
+
+
+@dataclass
+class EADRLConfig:
+    """EA-DRL hyper-parameters (paper defaults in §III).
+
+    Attributes
+    ----------
+    window:
+        ω — the MDP state window (paper: 10).
+    embedding_dimension:
+        k — embedding for the window-regressor pool members (paper: 5).
+    episodes, max_iterations:
+        DDPG training budget (paper: max.ep = max.iter = 100).
+    pool_train_fraction:
+        Fraction of the training series used to fit the base models; the
+        remainder provides the prequential predictions that drive the
+        MDP (keeps the meta-learner from training on in-sample,
+        overfitted base-model outputs).
+    reward:
+        ``"rank"`` (paper Eq. 3), ``"nrmse"`` (Fig. 2a comparison), or
+        ``"rank+diversity"`` (§III-B future-work ablation).
+    ddpg:
+        Nested agent hyper-parameters; ``ddpg.sampling`` selects the
+        paper's median-balanced replay (Eq. 4) vs. uniform.
+    """
+
+    window: int = 10
+    embedding_dimension: int = 5
+    episodes: int = 100
+    max_iterations: Optional[int] = 100
+    pool_train_fraction: float = 0.7
+    reward: str = "rank"
+    diversity_weight: float = 0.5
+    ddpg: DDPGConfig = field(default_factory=DDPGConfig)
+
+    def validate(self) -> None:
+        if self.window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {self.window}")
+        if self.embedding_dimension < 1:
+            raise ConfigurationError(
+                f"embedding_dimension must be >= 1, "
+                f"got {self.embedding_dimension}"
+            )
+        if not 0.1 <= self.pool_train_fraction <= 0.95:
+            raise ConfigurationError(
+                f"pool_train_fraction must be in [0.1, 0.95], "
+                f"got {self.pool_train_fraction}"
+            )
+        if self.reward not in ("rank", "nrmse", "rank+diversity"):
+            raise ConfigurationError(
+                f"reward must be 'rank', 'nrmse' or 'rank+diversity', "
+                f"got {self.reward!r}"
+            )
+        if self.episodes < 1:
+            raise ConfigurationError(f"episodes must be >= 1, got {self.episodes}")
+        self.ddpg.validate()

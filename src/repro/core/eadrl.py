@@ -1,0 +1,492 @@
+"""EA-DRL: the paper's ensemble-aggregation estimator.
+
+Offline phase (:meth:`EADRL.fit`):
+
+1. Fit the base-model pool on the first ``pool_train_fraction`` of the
+   training series ("trained in parallel and separately").
+2. Compute the pool's prequential prediction matrix on the held-out
+   meta-segment of the training series.
+3. Standardise predictions/truth with training statistics, build the
+   :class:`~repro.rl.mdp.EnsembleMDP`, and train the DDPG agent
+   (γ = 0.9, rank reward, median-balanced replay — all paper defaults).
+
+Online phase:
+
+- :meth:`rolling_forecast` — prequential one-step forecasting over a test
+  segment (the Table II protocol): the policy sees the window of its own
+  recent ensemble outputs, emits weights, and combines the pool's
+  one-step predictions computed from the true history.
+- :meth:`forecast` — the paper's Algorithm 1: multi-step forecasting of
+  ``N_f`` future values, feeding ensemble predictions back into the
+  window and the pool inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pruning import Pruner
+
+import numpy as np
+
+from repro.core.config import EADRLConfig
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.models.base import Forecaster
+from repro.models.pool import ForecasterPool, build_pool
+from repro.preprocessing.embedding import validate_series
+from repro.preprocessing.scaling import StandardScaler
+from repro.rl.ddpg import DDPGAgent, TrainingHistory
+from repro.rl.mdp import EnsembleMDP, project_to_simplex
+from repro.rl.rewards import DiversityRankReward, NRMSEReward, RankReward, RewardFunction
+
+
+def _make_reward(config: EADRLConfig) -> RewardFunction:
+    if config.reward == "rank":
+        return RankReward()
+    if config.reward == "nrmse":
+        return NRMSEReward()
+    return DiversityRankReward(config.diversity_weight)
+
+
+class EADRL:
+    """Ensemble Aggregation using Deep Reinforcement Learning.
+
+    Parameters
+    ----------
+    models:
+        Unfitted base forecasters for the pool ``M``. If ``None``, a pool
+        is built with :func:`repro.models.build_pool` (``pool_size``
+        selects the preset).
+    config:
+        Hyper-parameters; defaults follow the paper.
+    pool_size:
+        Preset used when ``models`` is ``None``.
+
+    Examples
+    --------
+    >>> from repro.datasets import load
+    >>> from repro.preprocessing import train_test_split
+    >>> series = load(9, n=400)
+    >>> train, test = train_test_split(series)
+    >>> model = EADRL(pool_size="small",
+    ...               config=EADRLConfig(episodes=5, max_iterations=30))
+    >>> model.fit(train)                                    # doctest: +ELLIPSIS
+    <...EADRL...>
+    >>> preds = model.rolling_forecast(series, start=len(train))
+    >>> preds.shape == test.shape
+    True
+    """
+
+    def __init__(
+        self,
+        models: Optional[Sequence[Forecaster]] = None,
+        config: Optional[EADRLConfig] = None,
+        pool_size: str = "medium",
+        pruner: Optional["Pruner"] = None,
+    ):
+        self.config = config if config is not None else EADRLConfig()
+        self.config.validate()
+        if models is None:
+            models = build_pool(
+                pool_size, embedding_dimension=self.config.embedding_dimension
+            )
+        self.pruner = pruner
+        self.pruned_indices_: Optional[np.ndarray] = None
+        self.pool = ForecasterPool(models)
+        self.agent: Optional[DDPGAgent] = None
+        self._scaler = StandardScaler()
+        self._fitted = False
+        self._fitted_from_matrix = False
+        self._matrix_bootstrap: Optional[np.ndarray] = None
+        self._train_tail: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_models(self) -> int:
+        return len(self.pool)
+
+    @property
+    def training_history(self) -> TrainingHistory:
+        if self.agent is None:
+            raise NotFittedError(type(self).__name__)
+        return self.agent.history
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(type(self).__name__)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_series: np.ndarray) -> "EADRL":
+        """Run the full offline phase (pool + policy learning)."""
+        series = validate_series(train_series, min_length=60)
+        cut = int(round(series.size * self.config.pool_train_fraction))
+        min_cut = max(20, self._min_pool_context() + 5)
+        cut = min(max(cut, min_cut), series.size - self.config.window - 5)
+        if cut <= 0:
+            raise DataValidationError(
+                f"training series of length {series.size} is too short for "
+                f"the configured window/pool"
+            )
+
+        self.pool.fit(series[:cut])
+        meta_start = max(cut, self.pool.max_min_context())
+        predictions = self.pool.prediction_matrix(series, meta_start)
+        truth = series[meta_start:]
+
+        if self.pruner is not None:
+            # Paper §III-B: "incorporate a pruning step ... so that only
+            # relevant models take part in the weighting stage".
+            self.pruned_indices_ = self.pruner.select(predictions, truth)
+            self.pool = self.pool.subset(self.pruned_indices_)
+            predictions = predictions[:, self.pruned_indices_]
+
+        self._scaler.fit(series[:cut])
+        env = EnsembleMDP(
+            self._scaler.transform(predictions),
+            self._scaler.transform(truth),
+            window=self.config.window,
+            reward_fn=_make_reward(self.config),
+        )
+        self.agent = DDPGAgent(env.state_dim, env.action_dim, self.config.ddpg)
+        self.agent.train(
+            env,
+            episodes=self.config.episodes,
+            max_iterations=self.config.max_iterations,
+        )
+        self._train_tail = series[-max(self.config.window * 4, 64) :].copy()
+        self._fitted = True
+        return self
+
+    def _min_pool_context(self) -> int:
+        return max(m.min_context for m in self.pool.models)
+
+    # ------------------------------------------------------------------
+    # Matrix-level API: share one fitted pool across many combiners.
+    # ------------------------------------------------------------------
+    def fit_policy_from_matrix(
+        self, meta_predictions: np.ndarray, meta_truth: np.ndarray
+    ) -> "EADRL":
+        """Train only the DDPG policy from a precomputed prediction matrix.
+
+        Used by the evaluation harness, which fits one pool per dataset
+        and hands the same prequential matrix to every combiner. The
+        estimator is marked fitted for the matrix-level prediction API
+        (:meth:`rolling_forecast_from_matrix`); the series-level API still
+        requires :meth:`fit`.
+        """
+        meta_predictions = np.asarray(meta_predictions, dtype=np.float64)
+        meta_truth = np.asarray(meta_truth, dtype=np.float64)
+        if meta_predictions.ndim != 2 or meta_predictions.shape[0] != meta_truth.size:
+            raise DataValidationError(
+                f"matrix {meta_predictions.shape} does not align with truth "
+                f"{meta_truth.shape}"
+            )
+        self._scaler.fit(meta_truth)
+        env = EnsembleMDP(
+            self._scaler.transform(meta_predictions),
+            self._scaler.transform(meta_truth),
+            window=self.config.window,
+            reward_fn=_make_reward(self.config),
+        )
+        self.agent = DDPGAgent(
+            env.state_dim, meta_predictions.shape[1], self.config.ddpg
+        )
+        self.agent.train(
+            env,
+            episodes=self.config.episodes,
+            max_iterations=self.config.max_iterations,
+        )
+        self._matrix_bootstrap = meta_predictions[-self.config.window :]
+        self._fitted_from_matrix = True
+        return self
+
+    def rolling_forecast_from_matrix(
+        self,
+        predictions: np.ndarray,
+        bootstrap_predictions: Optional[np.ndarray] = None,
+        return_weights: bool = False,
+    ):
+        """Rolling forecasts over a precomputed test prediction matrix.
+
+        ``bootstrap_predictions`` supplies the ω rows preceding the test
+        segment for the initial state (defaults to the tail of the
+        meta-training matrix seen by :meth:`fit_policy_from_matrix`).
+        """
+        if self.agent is None or not getattr(self, "_fitted_from_matrix", False):
+            raise NotFittedError(type(self).__name__)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        boot = (
+            np.asarray(bootstrap_predictions, dtype=np.float64)
+            if bootstrap_predictions is not None
+            else self._matrix_bootstrap
+        )
+        if boot.shape[0] < self.config.window:
+            raise DataValidationError(
+                f"bootstrap matrix needs >= ω={self.config.window} rows"
+            )
+        uniform = np.full(predictions.shape[1], 1.0 / predictions.shape[1])
+        state = self._scaler.transform(boot[-self.config.window :] @ uniform)
+        scaled_predictions = self._scaler.transform(predictions)
+        outputs = np.empty(predictions.shape[0])
+        weight_log = np.empty_like(predictions)
+        for i in range(predictions.shape[0]):
+            weights = self.agent.policy_weights(state)
+            weight_log[i] = weights
+            scaled_out = float(scaled_predictions[i] @ weights)
+            outputs[i] = self._scaler.inverse_transform(scaled_out)
+            state = np.append(state[1:], scaled_out)
+        if return_weights:
+            return outputs, weight_log
+        return outputs
+
+    # ------------------------------------------------------------------
+    def _bootstrap_state(self, series: np.ndarray, start: int) -> np.ndarray:
+        """Initial ω-window of (standardised) uniform-ensemble outputs.
+
+        Mirrors ``EnsembleMDP.reset``: before the policy has produced any
+        outputs, the window is filled with uniform-weight combinations of
+        the pool's predictions for the ω positions preceding ``start``.
+        """
+        omega = self.config.window
+        boot_start = start - omega
+        if boot_start < self.pool.max_min_context():
+            raise DataValidationError(
+                f"start={start} leaves no room for the ω={omega} bootstrap "
+                f"window before the forecast origin"
+            )
+        preds = self.pool.prediction_matrix(series[:start], boot_start)
+        uniform = np.full(self.n_models, 1.0 / self.n_models)
+        return self._scaler.transform(preds @ uniform)
+
+    def rolling_forecast(
+        self, series: np.ndarray, start: int, return_weights: bool = False
+    ):
+        """Prequential one-step forecasts for ``t in [start, len(series))``.
+
+        ``series`` must include the training prefix so pool members can
+        condition on the true history. Returns the prediction array, or
+        ``(predictions, weights)`` with per-step weight vectors when
+        ``return_weights`` is set.
+        """
+        self._check_fitted()
+        array = validate_series(series, min_length=start + 1)
+        predictions = self.pool.prediction_matrix(array, start)
+        scaled_predictions = self._scaler.transform(predictions)
+
+        state = self._bootstrap_state(array, start)
+        outputs = np.empty(predictions.shape[0])
+        weight_log = np.empty_like(predictions)
+        for i in range(predictions.shape[0]):
+            weights = self.agent.policy_weights(state)
+            weight_log[i] = weights
+            scaled_out = float(scaled_predictions[i] @ weights)
+            outputs[i] = self._scaler.inverse_transform(scaled_out)
+            state = np.append(state[1:], scaled_out)
+        if return_weights:
+            return outputs, weight_log
+        return outputs
+
+    def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        """Paper Algorithm 1: forecast the next ``horizon`` values.
+
+        Predictions are fed back both into the policy's state window and
+        into the pool members' inputs (fully autonomous multi-step mode).
+        """
+        self._check_fitted()
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        array = validate_series(
+            history, min_length=self.pool.max_min_context() + self.config.window
+        )
+        state = self._bootstrap_state(array, array.size)
+        working = array.copy()
+        out = np.empty(horizon)
+        for j in range(horizon):
+            weights = self.agent.policy_weights(state)
+            member_preds = self.pool.predict_next(working)
+            scaled = self._scaler.transform(member_preds)
+            scaled_out = float(scaled @ project_to_simplex(weights))
+            value = float(self._scaler.inverse_transform(scaled_out))
+            out[j] = value
+            working = np.append(working, value)
+            state = np.append(state[1:], scaled_out)
+        return out
+
+    # ------------------------------------------------------------------
+    def rolling_forecast_online(
+        self,
+        predictions: np.ndarray,
+        truth: np.ndarray,
+        mode: str = "periodic",
+        interval: int = 25,
+        updates_per_trigger: int = 10,
+        bootstrap_predictions: Optional[np.ndarray] = None,
+        return_weights: bool = False,
+    ):
+        """Online forecasting *with policy updates* (paper §III-B future work).
+
+        Like :meth:`rolling_forecast_from_matrix`, but realised truths are
+        fed back as MDP transitions and the DDPG agent keeps learning:
+
+        - ``mode="periodic"`` — run ``updates_per_trigger`` gradient
+          updates every ``interval`` steps;
+        - ``mode="drift"`` — run them when a Page-Hinkley detector fires
+          on the ensemble's absolute error stream (the paper's "informed
+          fashion following a drift-detection mechanism");
+        - ``mode="none"`` — behave exactly like the static policy.
+
+        Requires a policy trained via :meth:`fit_policy_from_matrix`.
+        """
+        from repro.baselines.drift import PageHinkley
+
+        if mode not in ("periodic", "drift", "none"):
+            raise ConfigurationError(
+                f"mode must be 'periodic', 'drift' or 'none', got {mode!r}"
+            )
+        if interval < 1 or updates_per_trigger < 1:
+            raise ConfigurationError(
+                "interval and updates_per_trigger must be >= 1"
+            )
+        if self.agent is None or not self._fitted_from_matrix:
+            raise NotFittedError(type(self).__name__)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        truth = np.asarray(truth, dtype=np.float64)
+        if predictions.shape[0] != truth.size:
+            raise DataValidationError(
+                f"matrix {predictions.shape} does not align with truth "
+                f"{truth.shape}"
+            )
+        omega = self.config.window
+        boot = (
+            np.asarray(bootstrap_predictions, dtype=np.float64)
+            if bootstrap_predictions is not None
+            else self._matrix_bootstrap
+        )
+        if boot.shape[0] < omega:
+            raise DataValidationError(f"bootstrap matrix needs >= ω={omega} rows")
+
+        from repro.rl.mdp import Transition
+
+        reward_fn = _make_reward(self.config)
+        scaled_predictions = self._scaler.transform(predictions)
+        scaled_truth = self._scaler.transform(truth)
+        scaled_boot = self._scaler.transform(boot[-omega:])
+        uniform = np.full(predictions.shape[1], 1.0 / predictions.shape[1])
+        state = scaled_boot @ uniform
+        detector = PageHinkley(delta=0.05, threshold=3.0)
+        outputs = np.empty(predictions.shape[0])
+        weight_log = np.empty_like(predictions)
+        steps_since_update = 0
+        for i in range(predictions.shape[0]):
+            weights = self.agent.policy_weights(state)
+            weight_log[i] = weights
+            scaled_out = float(scaled_predictions[i] @ weights)
+            outputs[i] = self._scaler.inverse_transform(scaled_out)
+
+            # Once ω true values have been observed, score the action the
+            # same way the offline MDP does and store the transition.
+            if i >= omega:
+                recent_preds = scaled_predictions[i - omega : i]
+                recent_truth = scaled_truth[i - omega : i]
+                reward = reward_fn(recent_preds, recent_truth, weights)
+                next_state = np.append(state[1:], scaled_out)
+                self.agent.buffer.push(
+                    Transition(state, weights, reward, next_state, False)
+                )
+
+            state = np.append(state[1:], scaled_out)
+            steps_since_update += 1
+
+            error = abs(float(outputs[i]) - float(truth[i]))
+            drifted = detector.update(error)
+            periodic_due = mode == "periodic" and steps_since_update >= interval
+            drift_due = mode == "drift" and drifted
+            if periodic_due or drift_due:
+                for _ in range(updates_per_trigger):
+                    self.agent.update()
+                steps_since_update = 0
+        if return_weights:
+            return outputs, weight_log
+        return outputs
+
+    # ------------------------------------------------------------------
+    def timed_rolling_forecast(self, series: np.ndarray, start: int):
+        """Rolling forecast plus elapsed *online* seconds (Table III).
+
+        The pool's prediction matrix and the policy inference are both
+        part of the online phase; pool *training* is not.
+        """
+        self._check_fitted()
+        t0 = time.perf_counter()
+        outputs = self.rolling_forecast(series, start)
+        elapsed = time.perf_counter() - t0
+        return outputs, elapsed
+
+    def member_names(self) -> List[str]:
+        """Names of the surviving pool members (weight-vector order)."""
+        return self.pool.names
+
+    # ------------------------------------------------------------------
+    # Policy persistence
+    # ------------------------------------------------------------------
+    def save_policy(self, path) -> None:
+        """Save the trained policy (actor/critic/targets + scaler) to npz.
+
+        Base models are not serialised — they retrain quickly and their
+        fitted state is dataset-specific; the policy network is the
+        expensive artefact (paper: ~300 min offline).
+        """
+        if self.agent is None:
+            raise NotFittedError(type(self).__name__)
+        payload = {"meta.state_dim": np.array([self.agent.state_dim]),
+                   "meta.action_dim": np.array([self.agent.action_dim]),
+                   "scaler.mean": np.atleast_1d(self._scaler.mean_),
+                   "scaler.scale": np.atleast_1d(self._scaler.scale_)}
+        for prefix, module in (
+            ("actor", self.agent.actor),
+            ("critic", self.agent.critic),
+            ("target_actor", self.agent.target_actor),
+            ("target_critic", self.agent.target_critic),
+        ):
+            for name, value in module.state_dict().items():
+                payload[f"{prefix}.{name}"] = value
+        if self._matrix_bootstrap is not None:
+            payload["bootstrap"] = self._matrix_bootstrap
+        np.savez(path, **payload)
+
+    def load_policy(self, path) -> "EADRL":
+        """Restore a policy saved with :meth:`save_policy`.
+
+        Rebuilds the DDPG agent (architecture from the file's metadata
+        plus this estimator's ``config.ddpg``) and marks the matrix-level
+        prediction API as ready.
+        """
+        with np.load(path) as archive:
+            data = {name: archive[name] for name in archive.files}
+        state_dim = int(data.pop("meta.state_dim")[0])
+        action_dim = int(data.pop("meta.action_dim")[0])
+        self._scaler.mean_ = data.pop("scaler.mean")
+        self._scaler.scale_ = data.pop("scaler.scale")
+        if self._scaler.mean_.size == 1:
+            self._scaler.mean_ = self._scaler.mean_[0]
+            self._scaler.scale_ = self._scaler.scale_[0]
+        bootstrap = data.pop("bootstrap", None)
+        self.agent = DDPGAgent(state_dim, action_dim, self.config.ddpg)
+        for prefix, module in (
+            ("actor", self.agent.actor),
+            ("critic", self.agent.critic),
+            ("target_actor", self.agent.target_actor),
+            ("target_critic", self.agent.target_critic),
+        ):
+            state = {
+                name[len(prefix) + 1 :]: value
+                for name, value in data.items()
+                if name.startswith(prefix + ".")
+            }
+            module.load_state_dict(state)
+        if bootstrap is not None:
+            self._matrix_bootstrap = bootstrap
+            self._fitted_from_matrix = True
+        return self

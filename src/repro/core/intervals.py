@@ -1,0 +1,151 @@
+"""Prediction intervals for ensemble forecasts.
+
+Two complementary interval sources are combined:
+
+- **Residual quantiles** — empirical quantiles of the combiner's recent
+  one-step errors (split-conformal style: distribution-free coverage when
+  the error process is exchangeable over the calibration window);
+- **Pool disagreement** — the weighted standard deviation of member
+  predictions, a model-based width that reacts instantly to regime
+  changes before errors have been observed.
+
+:class:`IntervalEstimator` calibrates on a held-out segment and widens
+its conformal quantile by the live disagreement ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class IntervalForecast:
+    """Point forecast plus a symmetric (lower, upper) band."""
+
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def coverage(self, truth: np.ndarray) -> float:
+        """Fraction of true values inside the band."""
+        truth = np.asarray(truth, dtype=np.float64)
+        inside = (truth >= self.lower) & (truth <= self.upper)
+        return float(inside.mean())
+
+    def mean_width(self) -> float:
+        return float(np.mean(self.upper - self.lower))
+
+
+def weighted_disagreement(
+    predictions: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted std of member predictions per row, shape ``(T,)``.
+
+    ``weights`` may be a single (m,) vector or a per-row (T, m) matrix.
+    """
+    P = np.asarray(predictions, dtype=np.float64)
+    W = np.asarray(weights, dtype=np.float64)
+    if W.ndim == 1:
+        W = np.broadcast_to(W, P.shape)
+    if W.shape != P.shape:
+        raise DataValidationError(
+            f"weights {W.shape} do not align with predictions {P.shape}"
+        )
+    mean = (P * W).sum(axis=1, keepdims=True)
+    variance = (W * (P - mean) ** 2).sum(axis=1)
+    return np.sqrt(np.maximum(variance, 0.0))
+
+
+class IntervalEstimator:
+    """Conformal-style interval estimator for any combiner output.
+
+    Parameters
+    ----------
+    alpha:
+        Miscoverage rate; the target band is the ``(1 − alpha)`` interval.
+    disagreement_blend:
+        In [0, 1]: 0 uses pure residual quantiles, 1 scales the band
+        entirely by the live/calibration disagreement ratio.
+    """
+
+    def __init__(self, alpha: float = 0.1, disagreement_blend: float = 0.5):
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        if not 0.0 <= disagreement_blend <= 1.0:
+            raise ConfigurationError(
+                f"disagreement_blend must be in [0, 1], got {disagreement_blend}"
+            )
+        self.alpha = alpha
+        self.disagreement_blend = disagreement_blend
+        self._quantile: Optional[float] = None
+        self._calibration_disagreement: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        calibration_predictions: np.ndarray,
+        calibration_truth: np.ndarray,
+        member_predictions: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> "IntervalEstimator":
+        """Calibrate on held-out combined predictions vs truth.
+
+        ``member_predictions``/``weights`` additionally calibrate the
+        disagreement scale (optional; required for blending > 0).
+        """
+        pred = np.asarray(calibration_predictions, dtype=np.float64)
+        truth = np.asarray(calibration_truth, dtype=np.float64)
+        if pred.shape != truth.shape or pred.ndim != 1:
+            raise DataValidationError(
+                f"calibration shapes mismatch: {pred.shape} vs {truth.shape}"
+            )
+        if pred.size < 10:
+            raise DataValidationError(
+                "need at least 10 calibration points for stable quantiles"
+            )
+        residuals = np.abs(pred - truth)
+        # Finite-sample conformal correction: ceil((n+1)(1-α))/n quantile.
+        n = residuals.size
+        level = min(np.ceil((n + 1) * (1 - self.alpha)) / n, 1.0)
+        self._quantile = float(np.quantile(residuals, level))
+        if member_predictions is not None:
+            if weights is None:
+                weights = np.full(
+                    member_predictions.shape[1],
+                    1.0 / member_predictions.shape[1],
+                )
+            spread = weighted_disagreement(member_predictions, weights)
+            self._calibration_disagreement = float(max(spread.mean(), 1e-12))
+        return self
+
+    def predict(
+        self,
+        point_forecasts: np.ndarray,
+        member_predictions: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> IntervalForecast:
+        """Wrap point forecasts in a calibrated band."""
+        if self._quantile is None:
+            raise NotFittedError(type(self).__name__)
+        mean = np.asarray(point_forecasts, dtype=np.float64)
+        width = np.full(mean.shape, self._quantile)
+        blend = self.disagreement_blend
+        if (
+            blend > 0.0
+            and member_predictions is not None
+            and self._calibration_disagreement is not None
+        ):
+            if weights is None:
+                weights = np.full(
+                    member_predictions.shape[1],
+                    1.0 / member_predictions.shape[1],
+                )
+            spread = weighted_disagreement(member_predictions, weights)
+            ratio = spread / self._calibration_disagreement
+            width = width * ((1.0 - blend) + blend * ratio)
+        return IntervalForecast(mean=mean, lower=mean - width, upper=mean + width)

@@ -1,0 +1,142 @@
+"""Pool-pruning strategies (paper §III-B future work).
+
+"We can additionally incorporate a pruning step into our framework, so
+that only relevant models take part in the weighting/combination stage."
+
+Three strategies are provided, all operating on a validation prediction
+matrix so they compose with any pool:
+
+- :class:`TopFractionPruner` — keep the best fraction by validation RMSE
+  (the Top.sel criterion applied once, offline).
+- :class:`CorrelationPruner` — drop redundant members whose error
+  trajectories correlate above a threshold with a better member (the
+  Clus criterion applied once, offline).
+- :class:`GreedyForwardPruner` — forward selection of the subset whose
+  uniform average minimises validation RMSE (classic ensemble pruning à
+  la Caruana et al. 2004).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.selection import correlation_clusters
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class Pruner(abc.ABC):
+    """Selects a subset of pool columns from a validation matrix."""
+
+    @abc.abstractmethod
+    def select(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        """Return sorted indices of the members to keep."""
+
+    @staticmethod
+    def _validate(predictions: np.ndarray, truth: np.ndarray):
+        P = np.asarray(predictions, dtype=np.float64)
+        y = np.asarray(truth, dtype=np.float64)
+        if P.ndim != 2 or y.ndim != 1 or P.shape[0] != y.size:
+            raise DataValidationError(
+                f"bad pruning inputs: predictions {P.shape}, truth {y.shape}"
+            )
+        if P.shape[0] < 2:
+            raise DataValidationError("need at least two validation rows")
+        return P, y
+
+    @staticmethod
+    def _rmse_per_member(P: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.sqrt(np.mean((P - y[:, None]) ** 2, axis=0))
+
+
+class TopFractionPruner(Pruner):
+    """Keep the ``fraction`` of members with the lowest validation RMSE."""
+
+    def __init__(self, fraction: float = 0.5, min_members: int = 2):
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        if min_members < 1:
+            raise ConfigurationError(f"min_members must be >= 1, got {min_members}")
+        self.fraction = fraction
+        self.min_members = min_members
+
+    def select(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        P, y = self._validate(predictions, truth)
+        errors = self._rmse_per_member(P, y)
+        keep = max(self.min_members, int(round(self.fraction * errors.size)))
+        keep = min(keep, errors.size)
+        return np.sort(np.argsort(errors)[:keep])
+
+
+class CorrelationPruner(Pruner):
+    """Keep one representative (lowest RMSE) per error-correlation cluster."""
+
+    def __init__(self, threshold: float = 0.95):
+        if not -1.0 < threshold < 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (-1, 1), got {threshold}"
+            )
+        self.threshold = threshold
+
+    def select(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        P, y = self._validate(predictions, truth)
+        errors_matrix = P - y[:, None]
+        member_rmse = self._rmse_per_member(P, y)
+        clusters = correlation_clusters(errors_matrix, self.threshold)
+        reps = [
+            int(cluster[np.argmin(member_rmse[cluster])]) for cluster in clusters
+        ]
+        return np.sort(np.asarray(reps))
+
+
+class GreedyForwardPruner(Pruner):
+    """Forward-select the subset whose uniform average has minimal RMSE.
+
+    Members are added greedily while the validation RMSE of the running
+    uniform average improves; ``max_members`` caps the subset size.
+    Selection with replacement is disabled — each member enters once.
+    """
+
+    def __init__(self, max_members: int = 10, min_members: int = 2):
+        if max_members < 1 or min_members < 1 or min_members > max_members:
+            raise ConfigurationError(
+                f"invalid member bounds ({min_members}, {max_members})"
+            )
+        self.max_members = max_members
+        self.min_members = min_members
+
+    def select(self, predictions: np.ndarray, truth: np.ndarray) -> np.ndarray:
+        P, y = self._validate(predictions, truth)
+        m = P.shape[1]
+        chosen: List[int] = []
+        remaining = set(range(m))
+        running_sum = np.zeros(P.shape[0])
+        best_rmse = np.inf
+        while remaining and len(chosen) < min(self.max_members, m):
+            scores = {}
+            for candidate in remaining:
+                avg = (running_sum + P[:, candidate]) / (len(chosen) + 1)
+                scores[candidate] = float(np.sqrt(np.mean((avg - y) ** 2)))
+            candidate = min(scores, key=scores.get)
+            if scores[candidate] >= best_rmse and len(chosen) >= self.min_members:
+                break
+            best_rmse = scores[candidate]
+            chosen.append(candidate)
+            remaining.discard(candidate)
+            running_sum += P[:, candidate]
+        return np.sort(np.asarray(chosen))
+
+
+def apply_pruning(
+    pruner: Pruner,
+    predictions: np.ndarray,
+    truth: np.ndarray,
+    names: Sequence[str],
+):
+    """Convenience: run a pruner and return (indices, pruned names)."""
+    indices = pruner.select(predictions, truth)
+    return indices, [names[i] for i in indices]

@@ -1,0 +1,24 @@
+"""Benchmark dataset suite (synthetic stand-ins for the paper's Table I)."""
+
+from repro.datasets.io import export_registry_csv, load_series_csv, save_series_csv
+
+from repro.datasets.registry import (
+    DatasetInfo,
+    dataset_ids,
+    get_info,
+    list_datasets,
+    load,
+    load_by_name,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "dataset_ids",
+    "export_registry_csv",
+    "get_info",
+    "list_datasets",
+    "load",
+    "load_series_csv",
+    "save_series_csv",
+    "load_by_name",
+]

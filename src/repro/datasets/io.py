@@ -1,0 +1,105 @@
+"""CSV import/export so users can bring their own series.
+
+The benchmark registry covers the paper's Table I; real deployments load
+their own data. These helpers read/write simple one-or-two-column CSV
+(optional header, optional index column) without any pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.preprocessing.embedding import validate_series
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_series_csv(
+    series: np.ndarray,
+    path: PathLike,
+    column: str = "value",
+    include_index: bool = True,
+) -> None:
+    """Write a series as CSV with a header row."""
+    array = validate_series(series)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if include_index:
+            writer.writerow(["t", column])
+            for i, value in enumerate(array):
+                writer.writerow([i, repr(float(value))])
+        else:
+            writer.writerow([column])
+            for value in array:
+                writer.writerow([repr(float(value))])
+
+
+def load_series_csv(
+    path: PathLike,
+    column: Optional[str] = None,
+) -> np.ndarray:
+    """Read a univariate series from CSV.
+
+    Accepts headerless single-column files, single-column files with a
+    header, and multi-column files (pass ``column`` to pick one; defaults
+    to the last column, which skips a leading index).
+    """
+    with open(path, newline="") as handle:
+        rows: List[List[str]] = [row for row in csv.reader(handle) if row]
+    if not rows:
+        raise DataValidationError(f"{path} is empty")
+
+    def _is_number(text: str) -> bool:
+        try:
+            float(text)
+            return True
+        except ValueError:
+            return False
+
+    header: Optional[List[str]] = None
+    if not all(_is_number(cell) for cell in rows[0]):
+        header = [cell.strip() for cell in rows[0]]
+        rows = rows[1:]
+    if not rows:
+        raise DataValidationError(f"{path} contains a header but no data")
+
+    if column is not None:
+        if header is None:
+            raise DataValidationError(
+                f"{path} has no header row; cannot select column {column!r}"
+            )
+        if column not in header:
+            raise DataValidationError(
+                f"column {column!r} not in header {header}"
+            )
+        idx = header.index(column)
+    else:
+        idx = len(rows[0]) - 1
+
+    try:
+        values = np.array([float(row[idx]) for row in rows])
+    except (ValueError, IndexError) as exc:
+        raise DataValidationError(f"failed to parse {path}: {exc}") from exc
+    return validate_series(values)
+
+
+def export_registry_csv(directory: PathLike, n: Optional[int] = None) -> List[str]:
+    """Materialise all 20 registry datasets as CSV files in ``directory``.
+
+    Returns the written file paths; useful for handing the benchmark to
+    external tools.
+    """
+    from repro.datasets.registry import list_datasets
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for info in list_datasets():
+        path = os.path.join(directory, f"{info.dataset_id:02d}_{info.name}.csv")
+        save_series_csv(info.generate(n=n), path, column=info.name)
+        paths.append(path)
+    return paths

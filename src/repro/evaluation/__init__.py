@@ -1,0 +1,92 @@
+"""Evaluation harness regenerating every table and figure of the paper."""
+
+from repro.evaluation.crossval import CrossValResult, rolling_origin_evaluation
+from repro.evaluation.export import load_result, result_to_dict, save_result
+from repro.evaluation.report import generate_report, write_report
+from repro.evaluation.fig2 import Fig2Result, LearningCurve, run_fig2
+from repro.evaluation.protocol import (
+    DatasetRun,
+    ProtocolConfig,
+    prepare_dataset,
+    prepare_datasets,
+)
+from repro.evaluation.q3 import Q3Result, episodes_to_convergence, run_q3
+from repro.evaluation.reporting import ascii_curve, format_table, summarise_rmse
+from repro.evaluation.significance import SignificanceMatrix, significance_matrix
+from repro.evaluation.runner import (
+    MethodResult,
+    default_combiners,
+    run_all_methods,
+    run_combiner,
+    run_eadrl,
+    run_singles,
+)
+from repro.evaluation.multistep import (
+    HorizonProfile,
+    evaluate_eadrl_multistep,
+    evaluate_forecaster_multistep,
+    multistep_comparison,
+)
+from repro.evaluation.table1 import (
+    DatasetCharacteristics,
+    characterise_datasets,
+    run_table1,
+)
+from repro.evaluation.table2 import Table2Result, run_table2
+from repro.evaluation.weights import (
+    WeightSummary,
+    compare_weight_trajectories,
+    dominant_members,
+    effective_pool_size,
+    weight_entropy,
+    weight_turnover,
+)
+from repro.evaluation.table3 import Table3Result, run_table3
+
+__all__ = [
+    "CrossValResult",
+    "DatasetCharacteristics",
+    "DatasetRun",
+    "Fig2Result",
+    "HorizonProfile",
+    "LearningCurve",
+    "MethodResult",
+    "ProtocolConfig",
+    "Q3Result",
+    "SignificanceMatrix",
+    "Table2Result",
+    "Table3Result",
+    "WeightSummary",
+    "ascii_curve",
+    "characterise_datasets",
+    "default_combiners",
+    "compare_weight_trajectories",
+    "dominant_members",
+    "effective_pool_size",
+    "episodes_to_convergence",
+    "evaluate_eadrl_multistep",
+    "evaluate_forecaster_multistep",
+    "format_table",
+    "generate_report",
+    "load_result",
+    "prepare_dataset",
+    "prepare_datasets",
+    "rolling_origin_evaluation",
+    "run_all_methods",
+    "run_combiner",
+    "run_eadrl",
+    "multistep_comparison",
+    "run_fig2",
+    "run_q3",
+    "run_singles",
+    "run_table1",
+    "run_table2",
+    "result_to_dict",
+    "run_table3",
+    "save_result",
+    "significance_matrix",
+    "summarise_rmse",
+    "weight_entropy",
+    "weight_turnover",
+    "write_report",
+]

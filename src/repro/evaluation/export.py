@@ -1,0 +1,72 @@
+"""Persist experiment results as JSON for later analysis.
+
+The harness objects (`Table2Result`, `Table3Result`, `Fig2Result`,
+`Q3Result`) are converted to plain dicts and written with metadata
+(timestamp is the caller's responsibility to inject if needed — the
+library stays clock-free for reproducibility).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.evaluation.fig2 import Fig2Result
+from repro.evaluation.q3 import Q3Result
+from repro.evaluation.table2 import Table2Result
+from repro.evaluation.table3 import Table3Result
+
+PathLike = Union[str, os.PathLike]
+
+ResultObject = Union[Table2Result, Table3Result, Fig2Result, Q3Result]
+
+
+def result_to_dict(result: ResultObject) -> dict:
+    """Convert any harness result object to a JSON-serialisable dict."""
+    if isinstance(result, Table2Result):
+        return {"kind": "table2", **result.to_dict()}
+    if isinstance(result, Table3Result):
+        return {
+            "kind": "table3",
+            "dataset_ids": list(result.dataset_ids),
+            "runtimes": {
+                name: list(map(float, values))
+                for name, values in result.runtimes.items()
+            },
+        }
+    if isinstance(result, Fig2Result):
+        return {
+            "kind": "fig2",
+            "dataset_id": result.dataset_id,
+            "curves": {
+                name: list(map(float, curve.episode_rewards))
+                for name, curve in result.curves.items()
+            },
+        }
+    if isinstance(result, Q3Result):
+        return {
+            "kind": "q3",
+            "dataset_id": result.dataset_id,
+            "convergence_episodes": dict(result.convergence_episodes),
+            "training_seconds": {
+                k: float(v) for k, v in result.training_seconds.items()
+            },
+            "curves": {
+                name: list(map(float, curve))
+                for name, curve in result.curves.items()
+            },
+        }
+    raise TypeError(f"unsupported result type {type(result).__name__}")
+
+
+def save_result(result: ResultObject, path: PathLike) -> None:
+    """Write a harness result to ``path`` as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+
+
+def load_result(path: PathLike) -> dict:
+    """Read a saved result back as a dict (``"kind"`` tags the type)."""
+    with open(path) as handle:
+        return json.load(handle)

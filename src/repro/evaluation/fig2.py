@@ -1,0 +1,93 @@
+"""Figure 2 regeneration: learning curves under two reward definitions.
+
+The paper's Fig. 2 contrasts DDPG learning curves (average reward per
+episode) with (a) reward = 1 − NRMSE (does not converge: the reward
+tracks the series' own time-varying error magnitude) and (b) the
+rank-based reward of Eq. 3 (converges). This module runs both settings
+on the same prepared dataset and returns the two curves, plus a simple
+convergence diagnostic (variance of the curve's last quarter relative to
+its first quarter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation.protocol import DatasetRun, ProtocolConfig, prepare_dataset
+from repro.rl.ddpg import DDPGConfig
+
+
+@dataclass
+class LearningCurve:
+    """One reward setting's per-episode average rewards."""
+
+    reward: str
+    episode_rewards: List[float]
+
+    def normalised(self) -> np.ndarray:
+        """Rewards rescaled to [0, 1] (for cross-setting comparison)."""
+        rewards = np.asarray(self.episode_rewards)
+        span = rewards.max() - rewards.min()
+        if span < 1e-12:
+            return np.zeros_like(rewards)
+        return (rewards - rewards.min()) / span
+
+    def improvement(self) -> float:
+        """Mean of the last quarter minus mean of the first quarter
+        (positive = the curve climbed; the rank reward should climb)."""
+        rewards = self.normalised()
+        q = max(1, rewards.size // 4)
+        return float(rewards[-q:].mean() - rewards[:q].mean())
+
+    def tail_stability(self) -> float:
+        """Std of the last-quarter normalised rewards (small = settled)."""
+        rewards = self.normalised()
+        q = max(2, rewards.size // 4)
+        return float(rewards[-q:].std())
+
+
+@dataclass
+class Fig2Result:
+    """Both learning curves for one dataset."""
+
+    dataset_id: int
+    curves: Dict[str, LearningCurve]
+
+    def rank_curve(self) -> LearningCurve:
+        return self.curves["rank"]
+
+    def nrmse_curve(self) -> LearningCurve:
+        return self.curves["nrmse"]
+
+
+def run_fig2(
+    dataset_id: int = 9,
+    config: Optional[ProtocolConfig] = None,
+    prepared: Optional[DatasetRun] = None,
+    seed: int = 0,
+) -> Fig2Result:
+    """Train DDPG under both reward settings on one dataset."""
+    config = config if config is not None else ProtocolConfig()
+    run = prepared if prepared is not None else prepare_dataset(dataset_id, config)
+    curves: Dict[str, LearningCurve] = {}
+    for reward in ("rank", "nrmse"):
+        model = EADRL(
+            models=run.pool.models,
+            config=EADRLConfig(
+                window=config.window,
+                episodes=config.episodes,
+                max_iterations=config.max_iterations,
+                reward=reward,
+                ddpg=DDPGConfig(seed=seed),
+            ),
+        )
+        model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+        curves[reward] = LearningCurve(
+            reward=reward,
+            episode_rewards=list(model.training_history.episode_rewards),
+        )
+    return Fig2Result(dataset_id=run.dataset_id, curves=curves)

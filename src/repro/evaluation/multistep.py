@@ -1,0 +1,114 @@
+"""Multi-step (N_f-horizon) forecast evaluation (paper Eq. 1, j ≥ 1).
+
+The paper's Algorithm 1 forecasts ``N_f`` values by feeding ensemble
+predictions back into the state window and the pool inputs. This module
+evaluates that recursive mode with a rolling-origin protocol: from many
+forecast origins in the test region, produce an ``N_f``-step forecast and
+score it per horizon step, for EA-DRL and for reference forecasters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.eadrl import EADRL
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models.base import Forecaster
+from repro.preprocessing.embedding import validate_series
+
+
+@dataclass
+class HorizonProfile:
+    """Per-horizon-step RMSE of one method, averaged over origins."""
+
+    method: str
+    horizon_rmse: np.ndarray  # shape (N_f,)
+
+    @property
+    def overall(self) -> float:
+        return float(np.sqrt(np.mean(self.horizon_rmse ** 2)))
+
+    def degradation_ratio(self) -> float:
+        """RMSE at the last step over RMSE at the first step."""
+        first = max(float(self.horizon_rmse[0]), 1e-12)
+        return float(self.horizon_rmse[-1]) / first
+
+
+def _origin_indices(
+    n: int, test_start: int, horizon: int, n_origins: int
+) -> np.ndarray:
+    last_valid = n - horizon
+    if last_valid <= test_start:
+        raise DataValidationError(
+            f"series too short for horizon {horizon} beyond index {test_start}"
+        )
+    return np.unique(
+        np.linspace(test_start, last_valid, n_origins).astype(int)
+    )
+
+
+def evaluate_forecaster_multistep(
+    forecaster: Forecaster,
+    series: np.ndarray,
+    test_start: int,
+    horizon: int = 10,
+    n_origins: int = 10,
+) -> HorizonProfile:
+    """Rolling-origin multi-step evaluation of a fitted forecaster."""
+    array = validate_series(series, min_length=test_start + horizon + 1)
+    origins = _origin_indices(array.size, test_start, horizon, n_origins)
+    errors = np.zeros((origins.size, horizon))
+    for row, origin in enumerate(origins):
+        forecast = forecaster.forecast(array[:origin], horizon)
+        errors[row] = forecast - array[origin : origin + horizon]
+    rmse = np.sqrt(np.mean(errors ** 2, axis=0))
+    return HorizonProfile(method=forecaster.name, horizon_rmse=rmse)
+
+
+def evaluate_eadrl_multistep(
+    model: EADRL,
+    series: np.ndarray,
+    test_start: int,
+    horizon: int = 10,
+    n_origins: int = 10,
+) -> HorizonProfile:
+    """Rolling-origin multi-step evaluation of EA-DRL's Algorithm 1."""
+    array = validate_series(series, min_length=test_start + horizon + 1)
+    origins = _origin_indices(array.size, test_start, horizon, n_origins)
+    errors = np.zeros((origins.size, horizon))
+    for row, origin in enumerate(origins):
+        forecast = model.forecast(array[:origin], horizon)
+        errors[row] = forecast - array[origin : origin + horizon]
+    rmse = np.sqrt(np.mean(errors ** 2, axis=0))
+    return HorizonProfile(method="EA-DRL", horizon_rmse=rmse)
+
+
+def multistep_comparison(
+    model: EADRL,
+    reference_forecasters: Sequence[Forecaster],
+    series: np.ndarray,
+    test_start: int,
+    horizon: int = 10,
+    n_origins: int = 10,
+) -> Dict[str, HorizonProfile]:
+    """EA-DRL vs fitted reference forecasters over an N_f horizon.
+
+    All reference forecasters must already be fitted (they are *not*
+    refitted here, matching the offline-training protocol).
+    """
+    if horizon < 1 or n_origins < 1:
+        raise ConfigurationError("horizon and n_origins must be >= 1")
+    profiles: Dict[str, HorizonProfile] = {
+        "EA-DRL": evaluate_eadrl_multistep(
+            model, series, test_start, horizon, n_origins
+        )
+    }
+    for forecaster in reference_forecasters:
+        profile = evaluate_forecaster_multistep(
+            forecaster, series, test_start, horizon, n_origins
+        )
+        profiles[profile.method] = profile
+    return profiles

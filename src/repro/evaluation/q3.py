@@ -1,0 +1,96 @@
+"""Q3 regeneration: episodes-to-convergence, median-balanced vs uniform.
+
+The paper reports that the median-balanced replay sampling (Eq. 4)
+converges in ~100 episodes where uniform sampling needs >250, with a
+proportional wall-clock saving. This module trains two otherwise
+identical agents and measures when each learning curve first stays within
+a tolerance band of its final level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation.protocol import DatasetRun, ProtocolConfig, prepare_dataset
+from repro.rl.ddpg import DDPGConfig
+
+
+def episodes_to_convergence(
+    episode_rewards: np.ndarray, tolerance: float = 0.1, patience: int = 5
+) -> int:
+    """First episode from which the smoothed curve stays within
+    ``tolerance`` × reward-span of its final plateau for ``patience``
+    consecutive episodes. Returns the curve length when it never settles.
+    """
+    rewards = np.asarray(episode_rewards, dtype=np.float64)
+    if rewards.size < patience + 1:
+        return rewards.size
+    span = float(rewards.max() - rewards.min())
+    if span < 1e-12:
+        return 1
+    plateau = float(rewards[-max(patience, rewards.size // 10) :].mean())
+    within = np.abs(rewards - plateau) <= tolerance * span
+    run_length = 0
+    for i, ok in enumerate(within):
+        run_length = run_length + 1 if ok else 0
+        if run_length >= patience:
+            return i - patience + 2  # 1-based episode index where the run began
+    return rewards.size
+
+
+@dataclass
+class Q3Result:
+    """Convergence episodes + training seconds for both samplers."""
+
+    dataset_id: int
+    convergence_episodes: Dict[str, int]
+    training_seconds: Dict[str, float]
+    curves: Dict[str, np.ndarray]
+
+    @property
+    def speedup(self) -> float:
+        """Uniform / median episode ratio (paper: ≈ 250/100 = 2.5×)."""
+        median = max(self.convergence_episodes["median"], 1)
+        return self.convergence_episodes["uniform"] / median
+
+
+def run_q3(
+    dataset_id: int = 9,
+    config: Optional[ProtocolConfig] = None,
+    prepared: Optional[DatasetRun] = None,
+    seed: int = 0,
+) -> Q3Result:
+    """Train twin agents with the two sampling strategies and compare."""
+    import time
+
+    config = config if config is not None else ProtocolConfig()
+    run = prepared if prepared is not None else prepare_dataset(dataset_id, config)
+    convergence: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    curves: Dict[str, np.ndarray] = {}
+    for sampling in ("median", "uniform"):
+        model = EADRL(
+            models=run.pool.models,
+            config=EADRLConfig(
+                window=config.window,
+                episodes=config.episodes,
+                max_iterations=config.max_iterations,
+                ddpg=DDPGConfig(seed=seed, sampling=sampling),
+            ),
+        )
+        t0 = time.perf_counter()
+        model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+        seconds[sampling] = time.perf_counter() - t0
+        rewards = np.asarray(model.training_history.episode_rewards)
+        curves[sampling] = rewards
+        convergence[sampling] = episodes_to_convergence(rewards)
+    return Q3Result(
+        dataset_id=run.dataset_id,
+        convergence_episodes=convergence,
+        training_seconds=seconds,
+        curves=curves,
+    )

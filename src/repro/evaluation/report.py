@@ -1,0 +1,104 @@
+"""One-command experiment report: regenerate every artefact into markdown.
+
+:func:`generate_report` runs Table II, Table III, Fig. 2 and Q3 at the
+given protocol scale and renders a self-contained markdown document with
+the same structure as the repository's EXPERIMENTS.md — useful for
+re-validating the reproduction after code changes::
+
+    from repro.evaluation import ProtocolConfig
+    from repro.evaluation.report import generate_report
+    text = generate_report(dataset_ids=[9, 4], config=ProtocolConfig(...))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.evaluation.fig2 import run_fig2
+from repro.evaluation.protocol import ProtocolConfig
+from repro.evaluation.q3 import run_q3
+from repro.evaluation.reporting import ascii_curve
+from repro.evaluation.table2 import run_table2
+from repro.evaluation.table3 import run_table3
+
+
+def generate_report(
+    dataset_ids: Optional[List[int]] = None,
+    config: Optional[ProtocolConfig] = None,
+    include_singles: bool = True,
+    fig2_dataset: int = 9,
+) -> str:
+    """Run all four experiments and return a markdown report."""
+    ids = dataset_ids if dataset_ids is not None else list(range(1, 21))
+    config = config if config is not None else ProtocolConfig()
+
+    sections = [
+        "# EA-DRL reproduction report",
+        "",
+        f"Datasets: {ids} | series length {config.series_length} | "
+        f"pool `{config.pool_size}` | RL budget "
+        f"{config.episodes}×{config.max_iterations}",
+        "",
+    ]
+
+    table2 = run_table2(ids, config, include_singles=include_singles)
+    sections += ["## Table II", "", "```", table2.render(), "```", ""]
+    eadrl_rank = table2.avg_ranks["EA-DRL"][0]
+    all_ranks = sorted(mean for mean, _ in table2.avg_ranks.values())
+    position = all_ranks.index(eadrl_rank) + 1
+    sections += [
+        f"EA-DRL average rank **{eadrl_rank:.2f}** "
+        f"(position {position} of {len(all_ranks)}).",
+        "",
+    ]
+
+    table3 = run_table3(ids, config)
+    sections += ["## Table III", "", "```", table3.render(), "```", ""]
+    summary = table3.summary()
+    ratio = summary["DEMSC"][0] / max(summary["EA-DRL"][0], 1e-12)
+    sections += [f"DEMSC / EA-DRL online-runtime ratio: **{ratio:.2f}×**.", ""]
+
+    fig2 = run_fig2(dataset_id=fig2_dataset, config=config)
+    rank_curve = fig2.rank_curve()
+    nrmse_curve = fig2.nrmse_curve()
+    sections += [
+        "## Figure 2",
+        "",
+        "```",
+        ascii_curve(rank_curve.episode_rewards, label="rank reward (Fig 2b)"),
+        "",
+        ascii_curve(nrmse_curve.episode_rewards, label="1-NRMSE reward (Fig 2a)"),
+        "```",
+        "",
+        f"rank reward: improvement {rank_curve.improvement():+.3f}, "
+        f"tail std {rank_curve.tail_stability():.3f}; "
+        f"1−NRMSE reward: improvement {nrmse_curve.improvement():+.3f}, "
+        f"tail std {nrmse_curve.tail_stability():.3f}.",
+        "",
+    ]
+
+    q3 = run_q3(dataset_id=fig2_dataset, config=config)
+    sections += [
+        "## Q3 — replay-sampling convergence",
+        "",
+        f"median-balanced: **{q3.convergence_episodes['median']}** episodes, "
+        f"uniform: **{q3.convergence_episodes['uniform']}** episodes "
+        f"(speed-up {q3.speedup:.2f}×).",
+        "",
+    ]
+    return "\n".join(sections)
+
+
+def write_report(
+    path,
+    dataset_ids: Optional[List[int]] = None,
+    config: Optional[ProtocolConfig] = None,
+    include_singles: bool = True,
+) -> str:
+    """Generate the report and write it to ``path``; returns the text."""
+    text = generate_report(dataset_ids, config, include_singles)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

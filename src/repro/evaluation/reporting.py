@@ -1,0 +1,61 @@
+"""Plain-text table / chart rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(row[i]).ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    values: Sequence[float], width: int = 60, height: int = 12, label: str = ""
+) -> str:
+    """Render a learning curve as ASCII art (for terminal benchmark output)."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        return f"{label}: (no data)"
+    if data.size > width:
+        # Average-pool down to the target width.
+        chunks = np.array_split(data, width)
+        data = np.array([c.mean() for c in chunks])
+    low, high = float(data.min()), float(data.max())
+    span = high - low if high > low else 1.0
+    grid = [[" "] * data.size for _ in range(height)]
+    for x, value in enumerate(data):
+        y = int(round((value - low) / span * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = [f"{label}  (min={low:.3f}, max={high:.3f})"] if label else []
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * data.size)
+    return "\n".join(lines)
+
+
+def summarise_rmse(
+    rmse_by_method: Dict[str, List[float]]
+) -> List[Tuple[str, float, float]]:
+    """(method, mean RMSE, std) sorted ascending by mean."""
+    summary = [
+        (name, float(np.mean(values)), float(np.std(values)))
+        for name, values in rmse_by_method.items()
+    ]
+    return sorted(summary, key=lambda item: item[1])

@@ -1,0 +1,161 @@
+"""Per-dataset method runner: every Table II method on a prepared dataset.
+
+Combiner methods share the dataset's pool matrices; standalone models
+(ARIMA/RF/GBM/LSTM/StLSTM) fit on the raw training series. EA-DRL trains
+its policy on the meta matrix and rolls over the test matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    DEMSC,
+    ClusterSelection,
+    Combiner,
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    MLPoly,
+    OnlineGradientDescent,
+    SimpleEnsemble,
+    SlidingWindowEnsemble,
+    StackingCombiner,
+    TopSelection,
+    make_single_baselines,
+)
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation.protocol import DatasetRun, ProtocolConfig
+from repro.metrics.errors import rmse
+from repro.rl.ddpg import DDPGConfig
+
+
+@dataclass
+class MethodResult:
+    """Predictions + timing of one method on one dataset."""
+
+    method: str
+    dataset_id: int
+    predictions: np.ndarray
+    truth: np.ndarray
+    online_seconds: float
+
+    @property
+    def rmse(self) -> float:
+        return rmse(self.predictions, self.truth)
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Per-step signed errors (input to the Bayesian block tests)."""
+        return self.predictions - self.truth
+
+
+def default_combiners(window: int = 10, seed: int = 0) -> List[Combiner]:
+    """The ten pool-combination baselines of Table II."""
+    return [
+        SimpleEnsemble(),
+        SlidingWindowEnsemble(window=window),
+        ExponentiallyWeightedAverage(),
+        FixedShare(),
+        OnlineGradientDescent(),
+        MLPoly(),
+        StackingCombiner(seed=seed),
+        ClusterSelection(window=window),
+        TopSelection(top_k=5, window=window),
+        DEMSC(window=window),
+    ]
+
+
+# Canonical display names (Table II rows) for the combiner classes.
+_CANONICAL = {
+    "SimpleEnsemble": "SE",
+    "SlidingWindowEnsemble": "SWE",
+    "ExponentiallyWeightedAverage": "EWA",
+    "FixedShare": "FS",
+    "OnlineGradientDescent": "OGD",
+    "MLPoly": "MLPol",
+    "StackingCombiner": "Stacking",
+    "ClusterSelection": "Clus",
+    "TopSelection": "Top.sel",
+    "DEMSC": "DEMSC",
+}
+
+
+def canonical_name(combiner: Combiner) -> str:
+    return _CANONICAL.get(type(combiner).__name__, combiner.name)
+
+
+def run_eadrl(
+    run: DatasetRun,
+    protocol: ProtocolConfig,
+    reward: str = "rank",
+    sampling: str = "median",
+    seed: Optional[int] = None,
+) -> MethodResult:
+    """Train and evaluate EA-DRL on a prepared dataset."""
+    ddpg = DDPGConfig(seed=seed if seed is not None else protocol.seed,
+                      sampling=sampling)
+    config = EADRLConfig(
+        window=protocol.window,
+        embedding_dimension=protocol.embedding_dimension,
+        episodes=protocol.episodes,
+        max_iterations=protocol.max_iterations,
+        reward=reward,
+        ddpg=ddpg,
+    )
+    model = EADRL(models=run.pool.models, config=config)
+    model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)
+    t0 = time.perf_counter()
+    predictions = model.rolling_forecast_from_matrix(run.test_predictions)
+    elapsed = time.perf_counter() - t0
+    return MethodResult("EA-DRL", run.dataset_id, predictions, run.test, elapsed)
+
+
+def run_combiner(run: DatasetRun, combiner: Combiner) -> MethodResult:
+    """Meta-fit (if any) on the meta matrix, then time the online pass."""
+    combiner.fit(run.meta_predictions, run.meta_truth)
+    t0 = time.perf_counter()
+    predictions = combiner.run(run.test_predictions, run.test)
+    elapsed = time.perf_counter() - t0
+    return MethodResult(
+        canonical_name(combiner), run.dataset_id, predictions, run.test, elapsed
+    )
+
+
+def run_singles(
+    run: DatasetRun, protocol: ProtocolConfig
+) -> List[MethodResult]:
+    """The five standalone baselines (each fits on the raw train prefix)."""
+    results = []
+    for baseline in make_single_baselines(
+        embedding_dimension=protocol.embedding_dimension,
+        neural_epochs=protocol.neural_epochs,
+        seed=protocol.seed,
+    ):
+        t0 = time.perf_counter()
+        predictions = baseline.run(run.series, run.test_start)
+        elapsed = time.perf_counter() - t0
+        results.append(
+            MethodResult(baseline.name, run.dataset_id, predictions, run.test, elapsed)
+        )
+    return results
+
+
+def run_all_methods(
+    run: DatasetRun,
+    protocol: ProtocolConfig,
+    include_singles: bool = True,
+) -> Dict[str, MethodResult]:
+    """Every Table II method on one dataset; keyed by canonical name."""
+    results: Dict[str, MethodResult] = {}
+    if include_singles:
+        for result in run_singles(run, protocol):
+            results[result.method] = result
+    for combiner in default_combiners(window=protocol.window, seed=protocol.seed):
+        result = run_combiner(run, combiner)
+        results[result.method] = result
+    results["EA-DRL"] = run_eadrl(run, protocol)
+    return results

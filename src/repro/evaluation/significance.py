@@ -1,0 +1,74 @@
+"""Any-vs-any significance matrix over a Table II run.
+
+`run_table2` compares every method against EA-DRL (the paper's Table II
+layout); this module generalises to the full pairwise grid: for every
+ordered method pair, the Bayes sign test posterior that the row method
+has lower RMSE than the column method across datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.exceptions import DataValidationError
+from repro.metrics.bayes import bayes_sign_test
+
+
+@dataclass
+class SignificanceMatrix:
+    """``probability[row][col]`` = P(row better than col across datasets)."""
+
+    methods: List[str]
+    probability: np.ndarray  # (k, k); diagonal is 0.5 by convention
+
+    def wins_at(self, threshold: float = 0.95) -> Dict[str, int]:
+        """Per method: count of rivals beaten at ``threshold`` posterior."""
+        counts = (self.probability >= threshold).sum(axis=1)
+        return dict(zip(self.methods, (int(c) for c in counts)))
+
+    def render(self, digits: int = 2) -> str:
+        header = ["method"] + [m[:8] for m in self.methods]
+        rows = []
+        for i, name in enumerate(self.methods):
+            cells = [name]
+            for j in range(len(self.methods)):
+                if i == j:
+                    cells.append("-")
+                else:
+                    cells.append(f"{self.probability[i, j]:.{digits}f}")
+            rows.append(cells)
+        return format_table(
+            header,
+            rows,
+            title="P(row beats column) — Bayes sign test across datasets",
+        )
+
+
+def significance_matrix(
+    rmse_by_method: Dict[str, List[float]],
+    rope: float = 0.0,
+    seed: int = 0,
+) -> SignificanceMatrix:
+    """Full pairwise Bayes-sign-test grid from per-dataset RMSE lists."""
+    methods = sorted(rmse_by_method)
+    if len(methods) < 2:
+        raise DataValidationError("need at least two methods to compare")
+    lengths = {len(v) for v in rmse_by_method.values()}
+    if len(lengths) != 1:
+        raise DataValidationError("methods cover different dataset counts")
+    k = len(methods)
+    probability = np.full((k, k), 0.5)
+    for i, row in enumerate(methods):
+        for j, col in enumerate(methods):
+            if i == j:
+                continue
+            diffs = np.asarray(rmse_by_method[col]) - np.asarray(
+                rmse_by_method[row]
+            )
+            posterior = bayes_sign_test(diffs, rope=rope, seed=seed)
+            probability[i, j] = posterior.p_right
+    return SignificanceMatrix(methods=methods, probability=probability)

@@ -1,0 +1,81 @@
+"""Table I regeneration: the dataset roster with measured characteristics.
+
+The paper's Table I lists each series' source and sampling cadence; this
+module renders the same roster from the registry, augmented with the
+statistics our synthetic stand-ins actually realise (length, mean, std,
+detected seasonal period, ADF stationarity) so the substitution is
+auditable at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.diagnostics import detect_period, is_stationary
+from repro.datasets.registry import list_datasets
+from repro.evaluation.reporting import format_table
+
+
+@dataclass
+class DatasetCharacteristics:
+    """One row of the regenerated Table I."""
+
+    dataset_id: int
+    name: str
+    source: str
+    cadence: str
+    length: int
+    mean: float
+    std: float
+    detected_period: int
+    stationary: bool
+
+
+def characterise_datasets(n: Optional[int] = None) -> List[DatasetCharacteristics]:
+    """Measure every registry dataset (deterministic)."""
+    rows = []
+    for info in list_datasets():
+        series = info.generate(n=n)
+        rows.append(
+            DatasetCharacteristics(
+                dataset_id=info.dataset_id,
+                name=info.name,
+                source=info.source,
+                cadence=info.cadence,
+                length=series.size,
+                mean=float(series.mean()),
+                std=float(series.std()),
+                detected_period=detect_period(series),
+                stationary=is_stationary(series),
+            )
+        )
+    return rows
+
+
+def run_table1(n: Optional[int] = None) -> str:
+    """Render the Table I roster with measured characteristics."""
+    rows = []
+    for c in characterise_datasets(n=n):
+        rows.append(
+            [
+                str(c.dataset_id),
+                c.name,
+                c.source,
+                c.cadence,
+                str(c.length),
+                f"{c.mean:.1f}",
+                f"{c.std:.1f}",
+                str(c.detected_period) if c.detected_period else "-",
+                "yes" if c.stationary else "no",
+            ]
+        )
+    return format_table(
+        ["id", "series", "source", "cadence", "n", "mean", "std",
+         "period", "stationary"],
+        rows,
+        title="Table I: benchmark datasets (synthetic stand-ins; "
+              "period/stationarity measured)",
+    )

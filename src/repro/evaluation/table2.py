@@ -1,0 +1,146 @@
+"""Table II regeneration: pairwise comparison + average ranks.
+
+Runs EA-DRL and the fifteen baselines over the chosen datasets, then
+reports, per baseline, the number of EA-DRL wins/losses (with the
+Bayesian-correlated-t-test significant counts in parentheses) and each
+method's average rank ± std — the same row structure as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.evaluation.protocol import ProtocolConfig, prepare_dataset
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import MethodResult, run_all_methods
+from repro.metrics.bayes import ComparisonPosterior, bayes_sign_test
+from repro.metrics.comparison import PairwiseResult, pairwise_against_reference
+from repro.metrics.ranking import average_ranks
+
+
+@dataclass
+class Table2Result:
+    """Structured output of the Table II experiment."""
+
+    pairwise: List[PairwiseResult]
+    avg_ranks: Dict[str, tuple]
+    rmse_by_method: Dict[str, List[float]] = field(default_factory=dict)
+    dataset_ids: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        rank_of = self.avg_ranks
+        rows = []
+        for result in self.pairwise:
+            mean, std = rank_of[result.method]
+            rows.append(
+                [
+                    result.method,
+                    f"{result.losses}({result.significant_losses})",
+                    f"{result.wins}({result.significant_wins})",
+                    f"{mean:.2f} ± {std:.1f}",
+                ]
+            )
+        mean, std = rank_of["EA-DRL"]
+        rows.append(["EA-DRL", "-", "-", f"{mean:.2f} ± {std:.1f}"])
+        return format_table(
+            ["Method", "Losses", "Wins", "Avg. Rank"],
+            rows,
+            title=(
+                "Table II: pairwise comparison vs EA-DRL over "
+                f"{len(self.dataset_ids)} datasets (wins = EA-DRL better; "
+                "parentheses = significant at 95%)"
+            ),
+        )
+
+
+    def sign_test(self, method: str, rope: float = 0.0,
+                  seed: int = 0) -> ComparisonPosterior:
+        """Bayes sign test of EA-DRL vs ``method`` across the datasets.
+
+        Differences are oriented ``RMSE(method) − RMSE(EA-DRL)``, so
+        ``p_right`` is the posterior probability that EA-DRL is better
+        across datasets (the paper's cross-dataset test [25]).
+        """
+        import numpy as np
+
+        if method not in self.rmse_by_method:
+            raise KeyError(f"unknown method {method!r}")
+        diffs = np.asarray(self.rmse_by_method[method]) - np.asarray(
+            self.rmse_by_method["EA-DRL"]
+        )
+        return bayes_sign_test(diffs, rope=rope, seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for experiment logging)."""
+        return {
+            "dataset_ids": list(self.dataset_ids),
+            "avg_ranks": {
+                name: {"mean": mean, "std": std}
+                for name, (mean, std) in self.avg_ranks.items()
+            },
+            "pairwise": [
+                {
+                    "method": r.method,
+                    "wins": r.wins,
+                    "significant_wins": r.significant_wins,
+                    "losses": r.losses,
+                    "significant_losses": r.significant_losses,
+                }
+                for r in self.pairwise
+            ],
+            "rmse_by_method": {
+                name: list(map(float, values))
+                for name, values in self.rmse_by_method.items()
+            },
+        }
+
+
+def run_table2(
+    dataset_ids: Optional[List[int]] = None,
+    config: Optional[ProtocolConfig] = None,
+    include_singles: bool = True,
+) -> Table2Result:
+    """Execute the full Table II protocol.
+
+    Parameters
+    ----------
+    dataset_ids:
+        Subset of 1-20; defaults to all twenty (paper scale).
+    config:
+        Shared protocol settings (series length, pool, RL budget).
+    include_singles:
+        Include the standalone ARIMA/RF/GBM/LSTM/StLSTM baselines (they
+        dominate runtime; benches expose this for quick modes).
+    """
+    ids = dataset_ids if dataset_ids is not None else list(range(1, 21))
+    config = config if config is not None else ProtocolConfig()
+
+    per_dataset: List[Dict[str, MethodResult]] = []
+    for dataset_id in ids:
+        run = prepare_dataset(dataset_id, config)
+        per_dataset.append(
+            run_all_methods(run, config, include_singles=include_singles)
+        )
+
+    methods = [m for m in per_dataset[0] if m != "EA-DRL"]
+    reference_errors = [results["EA-DRL"].errors for results in per_dataset]
+    competitor_errors = {
+        method: [results[method].errors for results in per_dataset]
+        for method in methods
+    }
+    pairwise = pairwise_against_reference(reference_errors, competitor_errors)
+
+    rmse_by_method: Dict[str, List[float]] = {
+        method: [results[method].rmse for results in per_dataset]
+        for method in list(methods) + ["EA-DRL"]
+    }
+    ranks = average_ranks(rmse_by_method)
+    return Table2Result(
+        pairwise=pairwise,
+        avg_ranks=ranks,
+        rmse_by_method=rmse_by_method,
+        dataset_ids=ids,
+    )

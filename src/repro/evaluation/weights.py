@@ -1,0 +1,98 @@
+"""Weight-trajectory analysis for dynamic combiners.
+
+EA-DRL and the adaptive baselines all emit a per-step simplex weight
+vector; these summaries quantify *how* a policy combines the pool:
+
+- entropy / effective pool size — concentration of the combination;
+- turnover — how fast the weighting changes step to step;
+- dominance — which members ever matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def _validate_weights(weights: np.ndarray) -> np.ndarray:
+    W = np.asarray(weights, dtype=np.float64)
+    if W.ndim != 2:
+        raise DataValidationError(f"weights must be (T, m), got {W.shape}")
+    if np.any(W < -1e-9):
+        raise DataValidationError("weights must be non-negative")
+    sums = W.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise DataValidationError("weight rows must sum to one")
+    return W
+
+
+def weight_entropy(weights: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each step's weight vector, shape (T,)."""
+    W = _validate_weights(weights)
+    clipped = np.clip(W, 1e-12, 1.0)
+    return -(clipped * np.log(clipped)).sum(axis=1)
+
+
+def effective_pool_size(weights: np.ndarray) -> np.ndarray:
+    """``exp(entropy)`` — the 'number of models effectively in play'."""
+    return np.exp(weight_entropy(weights))
+
+
+def weight_turnover(weights: np.ndarray) -> np.ndarray:
+    """Half the L1 distance between consecutive weight vectors, (T−1,).
+
+    0 = static weighting; 1 = complete reallocation every step.
+    """
+    W = _validate_weights(weights)
+    if W.shape[0] < 2:
+        raise DataValidationError("need at least two steps for turnover")
+    return 0.5 * np.abs(np.diff(W, axis=0)).sum(axis=1)
+
+
+def dominant_members(
+    weights: np.ndarray, names: Sequence[str], threshold: float = 0.1
+) -> List[str]:
+    """Members whose *mean* weight exceeds ``threshold``."""
+    W = _validate_weights(weights)
+    if len(names) != W.shape[1]:
+        raise DataValidationError(
+            f"{len(names)} names for {W.shape[1]} weight columns"
+        )
+    means = W.mean(axis=0)
+    return [name for name, mean in zip(names, means) if mean > threshold]
+
+
+@dataclass(frozen=True)
+class WeightSummary:
+    """Aggregate weight-trajectory statistics for one combiner run."""
+
+    mean_entropy: float
+    mean_effective_size: float
+    mean_turnover: float
+    max_mean_weight: float
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray) -> "WeightSummary":
+        W = _validate_weights(weights)
+        return cls(
+            mean_entropy=float(weight_entropy(W).mean()),
+            mean_effective_size=float(effective_pool_size(W).mean()),
+            mean_turnover=(
+                float(weight_turnover(W).mean()) if W.shape[0] > 1 else 0.0
+            ),
+            max_mean_weight=float(W.mean(axis=0).max()),
+        )
+
+
+def compare_weight_trajectories(
+    trajectories: Dict[str, np.ndarray]
+) -> Dict[str, WeightSummary]:
+    """Weight summaries for several methods at once."""
+    return {
+        name: WeightSummary.from_weights(weights)
+        for name, weights in trajectories.items()
+    }

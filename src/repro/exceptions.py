@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so that
+callers can catch library-specific failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+    def __init__(self, estimator_name: str):
+        super().__init__(
+            f"{estimator_name} is not fitted yet; call 'fit' before using "
+            "this method."
+        )
+        self.estimator_name = estimator_name
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data failed validation (wrong shape, NaNs, too short, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An estimator or experiment was configured with invalid parameters."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""
+
+
+class GradientError(ReproError):
+    """Autograd failure: backward called on an invalid graph or shape."""

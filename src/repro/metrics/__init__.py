@@ -1,0 +1,29 @@
+"""Error metrics, rankings, and Bayesian comparison tests."""
+
+from repro.metrics.bayes import (
+    ComparisonPosterior,
+    bayes_sign_test,
+    block_differences,
+    correlated_t_test,
+)
+from repro.metrics.comparison import PairwiseResult, pairwise_against_reference
+from repro.metrics.errors import mae, mape, mase, nrmse, rmse, smape
+from repro.metrics.ranking import average_ranks, rank_errors, rank_table
+
+__all__ = [
+    "ComparisonPosterior",
+    "PairwiseResult",
+    "average_ranks",
+    "bayes_sign_test",
+    "block_differences",
+    "correlated_t_test",
+    "mae",
+    "mape",
+    "mase",
+    "nrmse",
+    "pairwise_against_reference",
+    "rank_errors",
+    "rank_table",
+    "rmse",
+    "smape",
+]

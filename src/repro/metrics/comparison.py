@@ -1,0 +1,89 @@
+"""Pairwise win/loss tabulation (the structure of the paper's Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.metrics.bayes import block_differences, correlated_t_test
+
+
+@dataclass
+class PairwiseResult:
+    """Wins/losses of a reference method against one competitor.
+
+    ``wins``: datasets where the reference beats the competitor;
+    ``significant_wins``: subset where the Bayesian correlated t-test puts
+    ≥ ``threshold`` probability on the reference being better (the
+    parenthesised counts in Table II). Mirrored for losses.
+    """
+
+    method: str
+    wins: int
+    significant_wins: int
+    losses: int
+    significant_losses: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.method:12s} losses={self.losses}({self.significant_losses}) "
+            f"wins={self.wins}({self.significant_wins})"
+        )
+
+
+def pairwise_against_reference(
+    reference_errors: Sequence[np.ndarray],
+    competitor_errors: Dict[str, Sequence[np.ndarray]],
+    threshold: float = 0.95,
+    n_blocks: int = 10,
+    rho: float = 0.1,
+) -> List[PairwiseResult]:
+    """Per-competitor wins/losses of the reference across datasets.
+
+    Parameters
+    ----------
+    reference_errors:
+        Per-dataset arrays of per-step errors of the reference method
+        (EA-DRL in the paper).
+    competitor_errors:
+        Method name → per-dataset arrays of per-step errors.
+    threshold:
+        Posterior-probability cut for "significant" (paper: 0.95).
+
+    Notes
+    -----
+    Wins are counted from the *competitor's* perspective in Table II
+    ("wins of EA-DRL compared to the other methods"): a win means the
+    reference has lower RMSE on that dataset.
+    """
+    results = []
+    n_datasets = len(reference_errors)
+    for method, error_list in competitor_errors.items():
+        if len(error_list) != n_datasets:
+            raise DataValidationError(
+                f"method {method!r} has {len(error_list)} datasets, "
+                f"expected {n_datasets}"
+            )
+        wins = significant_wins = losses = significant_losses = 0
+        for ref_err, comp_err in zip(reference_errors, error_list):
+            ref_rmse = float(np.sqrt(np.mean(np.asarray(ref_err) ** 2)))
+            comp_rmse = float(np.sqrt(np.mean(np.asarray(comp_err) ** 2)))
+            # differences oriented competitor − reference: positive mean
+            # (p_right) → the reference has smaller error → reference win.
+            diffs = block_differences(ref_err, comp_err, n_blocks=n_blocks)
+            posterior = correlated_t_test(diffs, rho=rho)
+            if ref_rmse < comp_rmse:
+                wins += 1
+                if posterior.p_right >= threshold:
+                    significant_wins += 1
+            elif comp_rmse < ref_rmse:
+                losses += 1
+                if posterior.p_left >= threshold:
+                    significant_losses += 1
+        results.append(
+            PairwiseResult(method, wins, significant_wins, losses, significant_losses)
+        )
+    return results

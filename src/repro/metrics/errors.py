@@ -1,0 +1,69 @@
+"""Forecast error measures: RMSE, NRMSE, MAE, MAPE, sMAPE, MASE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def _validate_pair(pred: np.ndarray, truth: np.ndarray):
+    p = np.asarray(pred, dtype=np.float64)
+    t = np.asarray(truth, dtype=np.float64)
+    if p.shape != t.shape or p.ndim != 1:
+        raise DataValidationError(
+            f"pred/truth must be equal-length 1-D arrays, got {p.shape} vs {t.shape}"
+        )
+    if p.size == 0:
+        raise DataValidationError("cannot score empty arrays")
+    if not (np.all(np.isfinite(p)) and np.all(np.isfinite(t))):
+        raise DataValidationError("pred/truth contain NaN or inf")
+    return p, t
+
+
+def rmse(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Root mean squared error (the paper's headline metric)."""
+    p, t = _validate_pair(pred, truth)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def nrmse(pred: np.ndarray, truth: np.ndarray) -> float:
+    """RMSE normalised by the truth's value range (used by the Fig. 2a
+    reward setting); degenerate ranges fall back to the absolute mean."""
+    p, t = _validate_pair(pred, truth)
+    value_range = float(np.ptp(t))
+    if value_range < 1e-12:
+        value_range = max(abs(float(t.mean())), 1.0)
+    return rmse(p, t) / value_range
+
+
+def mae(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error."""
+    p, t = _validate_pair(pred, truth)
+    return float(np.mean(np.abs(p - t)))
+
+
+def mape(pred: np.ndarray, truth: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (%); near-zero truths are floored."""
+    p, t = _validate_pair(pred, truth)
+    denom = np.maximum(np.abs(t), eps)
+    return float(100.0 * np.mean(np.abs(p - t) / denom))
+
+
+def smape(pred: np.ndarray, truth: np.ndarray, eps: float = 1e-8) -> float:
+    """Symmetric MAPE (%), bounded in [0, 200]."""
+    p, t = _validate_pair(pred, truth)
+    denom = np.maximum((np.abs(p) + np.abs(t)) / 2.0, eps)
+    return float(100.0 * np.mean(np.abs(p - t) / denom))
+
+
+def mase(pred: np.ndarray, truth: np.ndarray, train: np.ndarray) -> float:
+    """Mean absolute scaled error against the naive forecast on ``train``."""
+    p, t = _validate_pair(pred, truth)
+    train = np.asarray(train, dtype=np.float64)
+    if train.size < 2:
+        raise DataValidationError("MASE needs a training series of length >= 2")
+    scale = float(np.mean(np.abs(np.diff(train))))
+    if scale < 1e-12:
+        raise DataValidationError("training series is constant; MASE undefined")
+    return mae(p, t) / scale

@@ -1,0 +1,59 @@
+"""Model ranking utilities (the paper evaluates by rank distributions)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def rank_errors(errors: Sequence[float]) -> np.ndarray:
+    """1-based ranks, lowest error = rank 1; ties get the average rank.
+
+    Average ("fractional") ranking matches the convention of the paper's
+    rank-distribution evaluation and the Friedman-test literature.
+    """
+    values = np.asarray(errors, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise DataValidationError("errors must be a non-empty 1-D sequence")
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1)
+    # Average ranks over exact ties.
+    for value in np.unique(values):
+        mask = values == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def rank_table(errors_by_method: Dict[str, List[float]]) -> Dict[str, np.ndarray]:
+    """Per-dataset ranks for each method.
+
+    ``errors_by_method`` maps method name → list of errors (one per
+    dataset, same order for all methods). Returns method → rank array.
+    """
+    names = list(errors_by_method)
+    if not names:
+        raise DataValidationError("no methods supplied")
+    lengths = {len(v) for v in errors_by_method.values()}
+    if len(lengths) != 1:
+        raise DataValidationError("all methods need the same number of datasets")
+    n_datasets = lengths.pop()
+    if n_datasets == 0:
+        raise DataValidationError("no datasets supplied")
+    matrix = np.array([errors_by_method[name] for name in names])  # (methods, datasets)
+    ranks = np.empty_like(matrix)
+    for j in range(n_datasets):
+        ranks[:, j] = rank_errors(matrix[:, j])
+    return {name: ranks[i] for i, name in enumerate(names)}
+
+
+def average_ranks(errors_by_method: Dict[str, List[float]]) -> Dict[str, tuple]:
+    """Mean ± std of ranks across datasets (the Table II right column)."""
+    table = rank_table(errors_by_method)
+    return {
+        name: (float(r.mean()), float(r.std())) for name, r in table.items()
+    }

@@ -1,0 +1,68 @@
+"""Base-forecaster zoo: 16 families, 43-model pool (paper §III)."""
+
+from repro.models.arima import ARIMA, auto_arima
+from repro.models.base import (
+    Forecaster,
+    MeanForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+    WindowRegressor,
+)
+from repro.models.ets import Holt, HoltWinters, SimpleExpSmoothing
+from repro.models.forest import RandomForestForecaster
+from repro.models.gbm import GradientBoostingForecaster
+from repro.models.gp import GaussianProcessForecaster, rbf_kernel
+from repro.models.mars import MARSForecaster
+from repro.models.neural import MLPForecaster
+from repro.models.pool import ForecasterPool, build_pool, build_pool_for_series
+from repro.models.ppr import ProjectionPursuitForecaster
+from repro.models.projection import (
+    PLSForecaster,
+    PrincipalComponentForecaster,
+    RidgeForecaster,
+)
+from repro.models.recurrent_forecasters import (
+    BiLSTMForecaster,
+    CNNLSTMForecaster,
+    ConvLSTMCell,
+    ConvLSTMForecaster,
+    LSTMForecaster,
+    StackedLSTMForecaster,
+)
+from repro.models.svr import SVRForecaster
+from repro.models.tree import DecisionTreeForecaster, RegressionTree
+
+__all__ = [
+    "ARIMA",
+    "BiLSTMForecaster",
+    "CNNLSTMForecaster",
+    "ConvLSTMCell",
+    "ConvLSTMForecaster",
+    "DecisionTreeForecaster",
+    "Forecaster",
+    "ForecasterPool",
+    "GaussianProcessForecaster",
+    "GradientBoostingForecaster",
+    "Holt",
+    "HoltWinters",
+    "LSTMForecaster",
+    "MARSForecaster",
+    "MLPForecaster",
+    "MeanForecaster",
+    "NaiveForecaster",
+    "PLSForecaster",
+    "PrincipalComponentForecaster",
+    "ProjectionPursuitForecaster",
+    "RandomForestForecaster",
+    "RegressionTree",
+    "RidgeForecaster",
+    "SVRForecaster",
+    "SeasonalNaiveForecaster",
+    "SimpleExpSmoothing",
+    "StackedLSTMForecaster",
+    "WindowRegressor",
+    "auto_arima",
+    "build_pool",
+    "build_pool_for_series",
+    "rbf_kernel",
+]

@@ -1,0 +1,76 @@
+"""Random-forest regression (Breiman 1996/2001) on embedded windows."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import WindowRegressor
+from repro.models.tree import RegressionTree
+
+
+class RandomForestForecaster(WindowRegressor):
+    """Bagged CART ensemble with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of bootstrap trees.
+    max_depth:
+        Depth cap per tree (``None`` = grown out).
+    max_features:
+        Features considered per split; defaults to ``ceil(sqrt(k))``.
+    seed:
+        Seed for bootstrap resampling and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        embedding_dimension: int = 5,
+        n_estimators: int = 50,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        super().__init__(embedding_dimension)
+        if n_estimators < 1:
+            raise ConfigurationError(
+                f"n_estimators must be >= 1, got {n_estimators}"
+            )
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[RegressionTree] = []
+        self.name = f"rf(n={n_estimators})"
+
+    def _fit_xy(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n = y.size
+        k = X.shape[1]
+        max_features = (
+            self.max_features
+            if self.max_features is not None
+            else max(1, int(np.ceil(np.sqrt(k))))
+        )
+        self._trees = []
+        for _ in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[rows], y[rows])
+            self._trees.append(tree)
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        total = np.zeros(X.shape[0])
+        for tree in self._trees:
+            total += tree.predict(X)
+        return total / len(self._trees)

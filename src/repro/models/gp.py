@@ -1,0 +1,94 @@
+"""Gaussian-process regression with an RBF kernel (Rasmussen & Williams).
+
+Exact GP inference via Cholesky factorisation of ``K + σ²I``; inputs and
+targets are standardised internally so a unit length-scale is meaningful
+across datasets with very different value ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import WindowRegressor
+from repro.preprocessing.scaling import StandardScaler
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, length_scale: float) -> np.ndarray:
+    """Squared-exponential kernel matrix between row sets ``A`` and ``B``."""
+    sq_a = (A * A).sum(axis=1)[:, None]
+    sq_b = (B * B).sum(axis=1)[None, :]
+    sq_dist = np.maximum(sq_a + sq_b - 2.0 * A @ B.T, 0.0)
+    return np.exp(-0.5 * sq_dist / (length_scale * length_scale))
+
+
+class GaussianProcessForecaster(WindowRegressor):
+    """GP family of the pool.
+
+    Parameters
+    ----------
+    length_scale:
+        RBF kernel length-scale (after input standardisation).
+    noise:
+        Observation-noise variance added to the kernel diagonal.
+    max_train:
+        Cap on training rows (most recent are kept) so the Cholesky stays
+        cheap on long series.
+    """
+
+    def __init__(
+        self,
+        embedding_dimension: int = 5,
+        length_scale: float = 1.0,
+        noise: float = 0.1,
+        max_train: int = 1000,
+    ):
+        super().__init__(embedding_dimension)
+        if length_scale <= 0 or noise <= 0:
+            raise ConfigurationError(
+                f"length_scale and noise must be positive, got "
+                f"({length_scale}, {noise})"
+            )
+        self.length_scale = length_scale
+        self.noise = noise
+        self.max_train = max_train
+        self._x_scaler = StandardScaler()
+        self._y_scaler = StandardScaler()
+        self._X: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self.name = f"gp(ls={length_scale})"
+
+    def _fit_xy(self, X: np.ndarray, y: np.ndarray) -> None:
+        if X.shape[0] > self.max_train:
+            X = X[-self.max_train :]
+            y = y[-self.max_train :]
+        Xs = self._x_scaler.fit_transform(X)
+        ys = self._y_scaler.fit_transform(y)
+        K = rbf_kernel(Xs, Xs, self.length_scale)
+        K[np.diag_indices_from(K)] += self.noise
+        self._chol = np.linalg.cholesky(K)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, ys)
+        )
+        self._X = Xs
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        Xs = self._x_scaler.transform(X)
+        k_star = rbf_kernel(Xs, self._X, self.length_scale)
+        mean = k_star @ self._alpha
+        return self._y_scaler.inverse_transform(mean)
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation for embedding rows ``X``."""
+        self._check_fitted()
+        Xs = self._x_scaler.transform(np.asarray(X, dtype=np.float64))
+        k_star = rbf_kernel(Xs, self._X, self.length_scale)
+        mean = self._y_scaler.inverse_transform(k_star @ self._alpha)
+        v = np.linalg.solve(self._chol, k_star.T)
+        prior_var = 1.0  # RBF kernel has unit signal variance
+        var = np.maximum(prior_var - (v * v).sum(axis=0), 1e-12)
+        std = np.sqrt(var) * self._y_scaler.scale_
+        return mean, std

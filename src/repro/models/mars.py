@@ -1,0 +1,143 @@
+"""Multivariate adaptive regression splines (Friedman 1991), simplified.
+
+Forward pass: greedily add mirrored hinge pairs ``max(0, x_j − t)`` /
+``max(0, t − x_j)`` that most reduce least-squares error, up to
+``max_terms`` basis functions. Backward pass: prune terms one at a time
+whenever removal improves the generalised cross-validation (GCV) score.
+Interactions are limited to degree 1 (additive MARS), which is the
+standard default of the R ``earth`` package for small k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import WindowRegressor
+
+
+@dataclass(frozen=True)
+class _Hinge:
+    """One hinge basis function max(0, s·(x_j − t)) with s ∈ {+1, −1}."""
+
+    feature: int
+    threshold: float
+    sign: int
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return np.maximum(self.sign * (X[:, self.feature] - self.threshold), 0.0)
+
+
+def _lstsq(B: np.ndarray, y: np.ndarray) -> np.ndarray:
+    coeffs, *_ = np.linalg.lstsq(B, y, rcond=None)
+    return coeffs
+
+
+def _gcv(rss: float, n: int, n_terms: int, penalty: float = 3.0) -> float:
+    """Friedman's GCV criterion with the standard d=3 penalty."""
+    effective = n_terms + penalty * max(n_terms - 1, 0) / 2.0
+    denom = (1.0 - effective / n) ** 2
+    if denom <= 0:
+        return np.inf
+    return rss / (n * denom)
+
+
+class MARSForecaster(WindowRegressor):
+    """MARS family of the pool.
+
+    Parameters
+    ----------
+    max_terms:
+        Maximum basis functions (excluding the intercept).
+    n_candidate_knots:
+        Candidate thresholds per feature (quantile grid).
+    """
+
+    def __init__(
+        self,
+        embedding_dimension: int = 5,
+        max_terms: int = 10,
+        n_candidate_knots: int = 15,
+    ):
+        super().__init__(embedding_dimension)
+        if max_terms < 1:
+            raise ConfigurationError(f"max_terms must be >= 1, got {max_terms}")
+        self.max_terms = max_terms
+        self.n_candidate_knots = n_candidate_knots
+        self._hinges: List[_Hinge] = []
+        self._coeffs: Optional[np.ndarray] = None
+        self.name = f"mars(terms={max_terms})"
+
+    # ------------------------------------------------------------------
+    def _design(self, X: np.ndarray, hinges: List[_Hinge]) -> np.ndarray:
+        columns = [np.ones(X.shape[0])]
+        columns.extend(h.evaluate(X) for h in hinges)
+        return np.column_stack(columns)
+
+    def _fit_xy(self, X: np.ndarray, y: np.ndarray) -> None:
+        n, k = X.shape
+        quantiles = np.linspace(0.05, 0.95, self.n_candidate_knots)
+        candidates: List[_Hinge] = []
+        for j in range(k):
+            thresholds = np.unique(np.quantile(X[:, j], quantiles))
+            for t in thresholds:
+                candidates.append(_Hinge(j, float(t), +1))
+                candidates.append(_Hinge(j, float(t), -1))
+
+        hinges: List[_Hinge] = []
+        B = self._design(X, hinges)
+        coeffs = _lstsq(B, y)
+        residual = y - B @ coeffs
+        best_rss = float(residual @ residual)
+
+        # Forward pass: greedy hinge additions.
+        while len(hinges) < self.max_terms and candidates:
+            best_gain, best_idx = 1e-10, -1
+            for idx, hinge in enumerate(candidates):
+                col = hinge.evaluate(X)
+                trial = np.column_stack([B, col])
+                c = _lstsq(trial, y)
+                rss = float(np.sum((y - trial @ c) ** 2))
+                if best_rss - rss > best_gain:
+                    best_gain = best_rss - rss
+                    best_idx = idx
+            if best_idx < 0:
+                break
+            chosen = candidates.pop(best_idx)
+            hinges.append(chosen)
+            B = self._design(X, hinges)
+            coeffs = _lstsq(B, y)
+            best_rss = float(np.sum((y - B @ coeffs) ** 2))
+
+        # Backward pass: GCV pruning.
+        improved = True
+        best_score = _gcv(best_rss, n, len(hinges) + 1)
+        while improved and hinges:
+            improved = False
+            for i in range(len(hinges)):
+                trial_hinges = hinges[:i] + hinges[i + 1 :]
+                B_trial = self._design(X, trial_hinges)
+                c = _lstsq(B_trial, y)
+                rss = float(np.sum((y - B_trial @ c) ** 2))
+                score = _gcv(rss, n, len(trial_hinges) + 1)
+                if score < best_score:
+                    best_score = score
+                    hinges = trial_hinges
+                    improved = True
+                    break
+
+        self._hinges = hinges
+        B = self._design(X, hinges)
+        self._coeffs = _lstsq(B, y)
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        return self._design(X, self._hinges) @ self._coeffs
+
+    @property
+    def n_terms_(self) -> int:
+        """Number of hinge terms surviving the backward pass."""
+        self._check_fitted()
+        return len(self._hinges)

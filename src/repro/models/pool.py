@@ -1,0 +1,296 @@
+"""Pool construction: the paper's 43 base models from 16 families.
+
+:func:`build_pool` assembles the heterogeneous pool ``M`` used throughout
+the paper ("Using different parameter settings for each approach, we
+generate a pool of 43 single base models"). Three sizes are provided:
+
+- ``"full"`` — 43 models across all 16 families (the paper's setup);
+- ``"medium"`` — 16 models, one representative per family;
+- ``"small"`` — 8 fast models (no sequence networks), for tests and
+  quick experiments.
+
+:class:`ForecasterPool` fits every member independently ("trained in
+parallel and separately from each other to maximize diversity"), drops
+members whose training fails, and produces the prequential prediction
+matrix every combiner in this library consumes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models.arima import ARIMA
+from repro.models.base import Forecaster
+from repro.models.ets import Holt, HoltWinters, SimpleExpSmoothing
+from repro.models.forest import RandomForestForecaster
+from repro.models.gbm import GradientBoostingForecaster
+from repro.models.gp import GaussianProcessForecaster
+from repro.models.mars import MARSForecaster
+from repro.models.neural import MLPForecaster
+from repro.models.ppr import ProjectionPursuitForecaster
+from repro.models.projection import PLSForecaster, PrincipalComponentForecaster
+from repro.models.recurrent_forecasters import (
+    BiLSTMForecaster,
+    CNNLSTMForecaster,
+    ConvLSTMForecaster,
+    LSTMForecaster,
+)
+from repro.models.svr import SVRForecaster
+from repro.models.tree import DecisionTreeForecaster
+from repro.preprocessing.embedding import validate_series
+
+
+def build_pool(
+    size: str = "full",
+    embedding_dimension: int = 5,
+    seasonal_period: int = 24,
+    seed: int = 0,
+    neural_epochs: int = 60,
+) -> List[Forecaster]:
+    """Build the heterogeneous base-model pool.
+
+    Parameters
+    ----------
+    size:
+        ``"full"`` (43 models), ``"medium"`` (16), or ``"small"`` (8).
+    embedding_dimension:
+        k for the window regressors (paper: 5).
+    seasonal_period:
+        Period handed to Holt-Winters (cadence-dependent).
+    seed:
+        Base seed; individual stochastic models get distinct offsets.
+    neural_epochs:
+        Training epochs for the neural members (scale knob for runtime).
+    """
+    k = embedding_dimension
+    if size == "small":
+        return [
+            ARIMA(2, 0, 0),
+            ARIMA(1, 1, 1),
+            SimpleExpSmoothing(),
+            Holt(),
+            DecisionTreeForecaster(k, max_depth=4),
+            RandomForestForecaster(k, n_estimators=20, max_depth=6, seed=seed),
+            GradientBoostingForecaster(k, n_estimators=40, max_depth=2, seed=seed),
+            PLSForecaster(k, n_components=min(2, k)),
+        ]
+    if size == "medium":
+        return [
+            ARIMA(2, 0, 1),
+            Holt(),
+            GradientBoostingForecaster(k, n_estimators=60, max_depth=3, seed=seed),
+            GaussianProcessForecaster(k, length_scale=1.5),
+            SVRForecaster(k, kernel="rbf", C=1.0, epsilon=0.1),
+            RandomForestForecaster(k, n_estimators=40, seed=seed),
+            ProjectionPursuitForecaster(k, n_terms=2, seed=seed),
+            MARSForecaster(k, max_terms=8),
+            PrincipalComponentForecaster(k, n_components=min(3, k)),
+            DecisionTreeForecaster(k, max_depth=5),
+            PLSForecaster(k, n_components=min(2, k)),
+            MLPForecaster(k, hidden=(16,), epochs=max(100, neural_epochs), seed=seed),
+            LSTMForecaster(hidden=8, epochs=neural_epochs, seed=seed),
+            BiLSTMForecaster(hidden=6, epochs=neural_epochs, seed=seed),
+            CNNLSTMForecaster(hidden=8, epochs=neural_epochs, seed=seed),
+            ConvLSTMForecaster(epochs=neural_epochs, seed=seed),
+        ]
+    if size != "full":
+        raise ConfigurationError(
+            f"pool size must be 'small', 'medium' or 'full', got {size!r}"
+        )
+
+    mlp_epochs = max(120, neural_epochs)
+    models: List[Forecaster] = [
+        # ARIMA family — 5 configurations.
+        ARIMA(1, 0, 0),
+        ARIMA(2, 0, 1),
+        ARIMA(1, 1, 1),
+        ARIMA(2, 1, 2),
+        ARIMA(5, 0, 0),
+        # ETS family — 3.
+        SimpleExpSmoothing(),
+        Holt(),
+        HoltWinters(period=seasonal_period),
+        # GBM family — 4.
+        GradientBoostingForecaster(k, n_estimators=60, max_depth=2,
+                                   learning_rate=0.1, seed=seed),
+        GradientBoostingForecaster(k, n_estimators=100, max_depth=3,
+                                   learning_rate=0.1, seed=seed + 1),
+        GradientBoostingForecaster(k, n_estimators=60, max_depth=3,
+                                   learning_rate=0.05, seed=seed + 2),
+        GradientBoostingForecaster(k, n_estimators=80, max_depth=2,
+                                   learning_rate=0.2, subsample=0.8, seed=seed + 3),
+        # GP family — 2.
+        GaussianProcessForecaster(k, length_scale=1.0, noise=0.1),
+        GaussianProcessForecaster(k, length_scale=3.0, noise=0.05),
+        # SVR family — 3.
+        SVRForecaster(k, kernel="rbf", C=1.0, epsilon=0.1),
+        SVRForecaster(k, kernel="rbf", C=10.0, epsilon=0.05),
+        SVRForecaster(k, kernel="linear", C=1.0, epsilon=0.1),
+        # RFR family — 3.
+        RandomForestForecaster(k, n_estimators=30, max_depth=6, seed=seed),
+        RandomForestForecaster(k, n_estimators=80, seed=seed + 1),
+        RandomForestForecaster(k, n_estimators=50, max_depth=10,
+                               max_features=max(1, k - 1), seed=seed + 2),
+        # PPR family — 2.
+        ProjectionPursuitForecaster(k, n_terms=2, seed=seed),
+        ProjectionPursuitForecaster(k, n_terms=4, seed=seed + 1),
+        # MARS family — 2.
+        MARSForecaster(k, max_terms=6),
+        MARSForecaster(k, max_terms=12),
+        # PCMR family — 2.
+        PrincipalComponentForecaster(k, n_components=min(2, k)),
+        PrincipalComponentForecaster(k, n_components=min(4, k)),
+        # DT family — 3.
+        DecisionTreeForecaster(k, max_depth=3),
+        DecisionTreeForecaster(k, max_depth=6),
+        DecisionTreeForecaster(k, max_depth=None, min_samples_leaf=4),
+        # PLS family — 2.
+        PLSForecaster(k, n_components=min(2, k)),
+        PLSForecaster(k, n_components=min(3, k)),
+        # MLP family — 4.
+        MLPForecaster(k, hidden=(8,), epochs=mlp_epochs, seed=seed),
+        MLPForecaster(k, hidden=(16,), epochs=mlp_epochs, seed=seed + 1),
+        MLPForecaster(k, hidden=(32,), epochs=mlp_epochs, seed=seed + 2),
+        MLPForecaster(k, hidden=(16, 8), epochs=mlp_epochs,
+                      activation="tanh", seed=seed + 3),
+        # LSTM family — 3.
+        LSTMForecaster(window=10, hidden=8, epochs=neural_epochs, seed=seed),
+        LSTMForecaster(window=10, hidden=16, epochs=neural_epochs, seed=seed + 1),
+        LSTMForecaster(window=16, hidden=8, epochs=neural_epochs, seed=seed + 2),
+        # Bi-LSTM family — 2.
+        BiLSTMForecaster(window=10, hidden=6, epochs=neural_epochs, seed=seed),
+        BiLSTMForecaster(window=10, hidden=10, epochs=neural_epochs, seed=seed + 1),
+        # CNN-LSTM family — 2.
+        CNNLSTMForecaster(window=12, filters=8, hidden=8,
+                          epochs=neural_epochs, seed=seed),
+        CNNLSTMForecaster(window=12, filters=4, kernel=5, hidden=6,
+                          epochs=neural_epochs, seed=seed + 1),
+        # Conv-LSTM family — 1.
+        ConvLSTMForecaster(frame_width=4, n_frames=3, epochs=neural_epochs, seed=seed),
+    ]
+    return models
+
+
+def build_pool_for_series(
+    series: np.ndarray,
+    size: str = "full",
+    embedding_dimension: int = 5,
+    seed: int = 0,
+    neural_epochs: int = 60,
+) -> List[Forecaster]:
+    """Build a pool auto-configured from the series' diagnostics.
+
+    Detects the dominant seasonal period (periodogram) and hands it to
+    the Holt-Winters member; a series with no clear season gets the
+    default hourly period (whose HW member will then simply rank low and
+    receive negligible weight).
+    """
+    from repro.analysis.diagnostics import detect_period
+
+    array = validate_series(series, min_length=50)
+    period = detect_period(array)
+    if period < 2:
+        period = 24
+    # Guard: HoltWinters needs two full seasons inside the series.
+    if 2 * period > array.size // 2:
+        period = max(2, array.size // 8)
+    return build_pool(
+        size=size,
+        embedding_dimension=embedding_dimension,
+        seasonal_period=period,
+        seed=seed,
+        neural_epochs=neural_epochs,
+    )
+
+
+class ForecasterPool:
+    """The trained pool ``M`` plus its prequential prediction matrix.
+
+    Parameters
+    ----------
+    models:
+        Base forecasters (unfitted). Members whose ``fit`` raises are
+        dropped with a warning, keeping the pool robust to pathological
+        series (e.g. Holt-Winters on a series shorter than two periods).
+    """
+
+    def __init__(self, models: Sequence[Forecaster]):
+        if not models:
+            raise ConfigurationError("pool must contain at least one model")
+        self._models: List[Forecaster] = list(models)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def models(self) -> List[Forecaster]:
+        return list(self._models)
+
+    @property
+    def names(self) -> List[str]:
+        return [m.name for m in self._models]
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_series: np.ndarray) -> "ForecasterPool":
+        """Fit all members on the training series; drop failing members."""
+        array = validate_series(train_series, min_length=10)
+        survivors: List[Forecaster] = []
+        for model in self._models:
+            try:
+                model.fit(array)
+                survivors.append(model)
+            except Exception as exc:  # noqa: BLE001 - pool must stay robust
+                warnings.warn(
+                    f"dropping pool member {model.name!r}: {exc}",
+                    stacklevel=2,
+                )
+        if not survivors:
+            raise DataValidationError("every pool member failed to fit")
+        self._models = survivors
+        self._fitted = True
+        return self
+
+    def prediction_matrix(self, series: np.ndarray, start: int) -> np.ndarray:
+        """One-step predictions of every member for ``t in [start, n)``.
+
+        Returns shape ``(n - start, m)``; column ``i`` belongs to
+        ``self.models[i]``. ``series`` must contain the training prefix so
+        each model sees the true history (prequential protocol).
+        """
+        if not self._fitted:
+            raise DataValidationError("pool must be fitted before predicting")
+        columns = [m.rolling_predictions(series, start) for m in self._models]
+        return np.column_stack(columns)
+
+    def predict_next(self, history: np.ndarray) -> np.ndarray:
+        """Vector of one-step forecasts (one per member)."""
+        if not self._fitted:
+            raise DataValidationError("pool must be fitted before predicting")
+        return np.array([m.predict_next(history) for m in self._models])
+
+    def max_min_context(self) -> int:
+        """Largest context any member requires (lower bound for ``start``)."""
+        return max(m.min_context for m in self._models)
+
+    def subset(self, indices) -> "ForecasterPool":
+        """A new pool holding only the members at ``indices``.
+
+        The members are shared (not copied) and keep their fitted state;
+        used by the pruning step (paper §III-B future work).
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            raise ConfigurationError("subset must keep at least one member")
+        if indices.min() < 0 or indices.max() >= len(self._models):
+            raise ConfigurationError(
+                f"subset indices out of range for pool of {len(self._models)}"
+            )
+        pruned = ForecasterPool([self._models[i] for i in indices])
+        pruned._fitted = self._fitted
+        return pruned

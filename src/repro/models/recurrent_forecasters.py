@@ -1,0 +1,322 @@
+"""Sequence-model forecasters: LSTM, Bi-LSTM, CNN-LSTM, and Conv-LSTM.
+
+All four consume a length-``window`` slice of the series (their own
+"embedding" — the paper lets every family pick its parameters) reshaped
+to a batch-first sequence, and are trained with Adam through the
+from-scratch autograd. Inputs/targets are standardised internally.
+
+The Conv-LSTM follows Shi et al. (2015): the LSTM gates are computed by
+*convolutions* over a spatial axis. Here the spatial axis is a short
+sub-window of the series and the temporal axis iterates over consecutive
+sub-windows, which is the standard adaptation for univariate forecasting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import WindowRegressor
+from repro.nn import (
+    Adam,
+    BiLSTM,
+    Conv1d,
+    LSTM,
+    Linear,
+    Module,
+    Parameter,
+    Tensor,
+    mse_loss,
+)
+from repro.nn.init import xavier_uniform
+from repro.preprocessing.scaling import StandardScaler
+
+
+class _SequenceForecaster(WindowRegressor):
+    """Shared fit/predict loop; subclasses provide the network builder."""
+
+    def __init__(
+        self,
+        window: int,
+        epochs: int,
+        lr: float,
+        seed: int,
+    ):
+        super().__init__(embedding_dimension=window)
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.window = window
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._x_scaler = StandardScaler()
+        self._y_scaler = StandardScaler()
+        self._net: Optional[Module] = None
+        self.loss_history_: List[float] = []
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        raise NotImplementedError
+
+    def _to_sequence(self, X: np.ndarray) -> Tensor:
+        """Reshape flat windows (rows, window) to (rows, window, 1)."""
+        return Tensor(X[:, :, None])
+
+    def _fit_xy(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        Xs = self._x_scaler.fit_transform(X.reshape(-1, 1)).reshape(X.shape)
+        ys = self._y_scaler.fit_transform(y)[:, None]
+        self._net = self._build(rng)
+        optimizer = Adam(self._net.parameters(), lr=self.lr)
+        inputs = self._to_sequence(Xs)
+        targets = Tensor(ys)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            loss = mse_loss(self._net(inputs), targets)
+            loss.backward()
+            optimizer.step()
+            self.loss_history_.append(loss.item())
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        Xs = self._x_scaler.transform(X.reshape(-1, 1)).reshape(X.shape)
+        out = self._net(self._to_sequence(Xs)).numpy()[:, 0]
+        return self._y_scaler.inverse_transform(out)
+
+
+class _LSTMHead(Module):
+    def __init__(self, hidden: int, rng: np.random.Generator, bidirectional: bool):
+        super().__init__()
+        if bidirectional:
+            self.rnn = BiLSTM(1, hidden, rng=rng)
+            head_in = 2 * hidden
+        else:
+            self.rnn = LSTM(1, hidden, rng=rng)
+            head_in = hidden
+        self.head = Linear(head_in, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.rnn.last_hidden(x))
+
+
+class LSTMForecaster(_SequenceForecaster):
+    """Vanilla LSTM regressor over the last ``window`` values."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        hidden: int = 8,
+        epochs: int = 60,
+        lr: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(window, epochs, lr, seed)
+        self.hidden = hidden
+        self.name = f"lstm(w={window},h={hidden})"
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        return _LSTMHead(self.hidden, rng, bidirectional=False)
+
+
+class BiLSTMForecaster(_SequenceForecaster):
+    """Bidirectional LSTM regressor (Sun et al. 2018 style)."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        hidden: int = 6,
+        epochs: int = 60,
+        lr: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(window, epochs, lr, seed)
+        self.hidden = hidden
+        self.name = f"bilstm(h={hidden})"
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        return _LSTMHead(self.hidden, rng, bidirectional=True)
+
+
+class _CNNLSTMNet(Module):
+    """Conv1d feature extractor feeding an LSTM (Kim & Cho 2019)."""
+
+    def __init__(
+        self, filters: int, kernel: int, hidden: int, rng: np.random.Generator
+    ):
+        super().__init__()
+        self.conv = Conv1d(1, filters, kernel, rng=rng)
+        self.rnn = LSTM(filters, hidden, rng=rng)
+        self.head = Linear(hidden, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = self.conv(x).relu()
+        return self.head(self.rnn.last_hidden(features))
+
+
+class CNNLSTMForecaster(_SequenceForecaster):
+    """CNN-LSTM family of the pool."""
+
+    def __init__(
+        self,
+        window: int = 12,
+        filters: int = 8,
+        kernel: int = 3,
+        hidden: int = 8,
+        epochs: int = 60,
+        lr: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(window, epochs, lr, seed)
+        if kernel >= window:
+            raise ConfigurationError(
+                f"kernel {kernel} must be smaller than window {window}"
+            )
+        self.filters = filters
+        self.kernel = kernel
+        self.hidden = hidden
+        self.name = f"cnnlstm(f={filters},h={hidden})"
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        return _CNNLSTMNet(self.filters, self.kernel, self.hidden, rng)
+
+
+class ConvLSTMCell(Module):
+    """ConvLSTM cell (Shi et al. 2015): gates via 'same' convolutions.
+
+    States have shape ``(batch, width, hidden_channels)``; the gate
+    convolution acts over the width (spatial) axis of the concatenated
+    input and hidden state.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.hidden_channels = hidden_channels
+        self.gates = Conv1d(
+            in_channels + hidden_channels,
+            4 * hidden_channels,
+            kernel,
+            rng=rng,
+            padding="same",
+        )
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        stacked = Tensor.concatenate([x, h_prev], axis=2)
+        gates = self.gates(stacked)
+        hc = self.hidden_channels
+        i = gates[:, :, 0:hc].sigmoid()
+        f = gates[:, :, hc : 2 * hc].sigmoid()
+        g = gates[:, :, 2 * hc : 3 * hc].tanh()
+        o = gates[:, :, 3 * hc : 4 * hc].sigmoid()
+        c_new = f * c_prev + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int, width: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, width, self.hidden_channels))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class _ConvLSTMNet(Module):
+    """Conv-LSTM over sub-window frames, mean-pooled into a linear head."""
+
+    def __init__(
+        self,
+        frame_width: int,
+        n_frames: int,
+        hidden_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.frame_width = frame_width
+        self.n_frames = n_frames
+        self.cell = ConvLSTMCell(1, hidden_channels, kernel, rng=rng)
+        self.head = Linear(frame_width * hidden_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (batch, window, 1) → frames (batch, n_frames, frame_width, 1)
+        batch = x.shape[0]
+        frames = x.reshape(batch, self.n_frames, self.frame_width, 1)
+        h, c = self.cell.initial_state(batch, self.frame_width)
+        for t in range(self.n_frames):
+            h, c = self.cell(frames[:, t, :, :], (h, c))
+        flat = h.reshape(batch, self.frame_width * self.cell.hidden_channels)
+        return self.head(flat)
+
+
+class ConvLSTMForecaster(_SequenceForecaster):
+    """Conv-LSTM family of the pool.
+
+    The ``window`` is split into ``n_frames`` consecutive sub-windows of
+    ``frame_width`` values; ``window = n_frames * frame_width`` must hold.
+    """
+
+    def __init__(
+        self,
+        frame_width: int = 4,
+        n_frames: int = 3,
+        hidden_channels: int = 4,
+        kernel: int = 3,
+        epochs: int = 60,
+        lr: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(frame_width * n_frames, epochs, lr, seed)
+        if kernel > frame_width:
+            raise ConfigurationError(
+                f"kernel {kernel} must be <= frame width {frame_width}"
+            )
+        self.frame_width = frame_width
+        self.n_frames = n_frames
+        self.hidden_channels = hidden_channels
+        self.kernel = kernel
+        self.name = f"convlstm(w={frame_width}x{n_frames})"
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        return _ConvLSTMNet(
+            self.frame_width, self.n_frames, self.hidden_channels, self.kernel, rng
+        )
+
+
+class StackedLSTMForecaster(_SequenceForecaster):
+    """StLSTM baseline: multiple LSTM layers stacked (cascading ensemble)."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        hidden: int = 8,
+        num_layers: int = 2,
+        epochs: int = 60,
+        lr: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(window, epochs, lr, seed)
+        if num_layers < 2:
+            raise ConfigurationError(
+                f"a stacked LSTM needs num_layers >= 2, got {num_layers}"
+            )
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.name = f"stlstm(h={hidden},l={num_layers})"
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        class _Net(Module):
+            def __init__(net_self):
+                super().__init__()
+                net_self.rnn = LSTM(1, self.hidden, num_layers=self.num_layers, rng=rng)
+                net_self.head = Linear(self.hidden, 1, rng=rng)
+
+            def forward(net_self, x: Tensor) -> Tensor:
+                return net_self.head(net_self.rnn.last_hidden(x))
+
+        return _Net()

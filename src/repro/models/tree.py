@@ -1,0 +1,222 @@
+"""CART regression tree built from scratch (variance-reduction splits).
+
+The tree is the workhorse for three pool families: decision-tree
+regression (DT), random forests (RFR), and gradient boosting (GBM). The
+split search is vectorised per feature via argsort + cumulative sums, so
+building stays fast on embedded series (n up to a few thousand, k small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models.base import WindowRegressor
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry ``value``, internal nodes a split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+):
+    """Best (feature, threshold) by squared-error reduction, or ``None``.
+
+    For each candidate feature the rows are sorted once; prefix sums give
+    the SSE of every split position in O(n).
+    """
+    n = y.size
+    best_gain = 1e-12
+    best: Optional[tuple] = None
+    total_sum = y.sum()
+    total_sq = float(y @ y)
+    base_sse = total_sq - total_sum * total_sum / n
+
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        xs = X[order, feature]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys * ys)
+        # split after position i (left = 0..i), i from min_leaf-1 .. n-min_leaf-1
+        idx = np.arange(min_samples_leaf - 1, n - min_samples_leaf)
+        if idx.size == 0:
+            continue
+        valid = xs[idx] < xs[idx + 1]  # cannot split between equal values
+        if not np.any(valid):
+            continue
+        idx = idx[valid]
+        left_n = idx + 1.0
+        right_n = n - left_n
+        left_sum = csum[idx]
+        right_sum = total_sum - left_sum
+        left_sse = csq[idx] - left_sum * left_sum / left_n
+        right_sse = (total_sq - csq[idx]) - right_sum * right_sum / right_n
+        gains = base_sse - (left_sse + right_sse)
+        pos = int(np.argmax(gains))
+        if gains[pos] > best_gain:
+            best_gain = float(gains[pos])
+            threshold = 0.5 * (xs[idx[pos]] + xs[idx[pos] + 1])
+            best = (int(feature), float(threshold))
+    return best
+
+
+class RegressionTree:
+    """Plain CART regressor on design matrices (used standalone and as a
+    weak learner inside RF/GBM).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth; ``None`` grows until leaves are pure/small.
+    min_samples_split, min_samples_leaf:
+        Pre-pruning controls.
+    max_features:
+        If set, the number of features sampled per split (random forests).
+    rng:
+        Generator used when ``max_features`` subsamples features.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ConfigurationError("invalid min_samples settings")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._root: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.size:
+            raise DataValidationError(
+                f"bad shapes for tree fit: X{X.shape}, y{y.shape}"
+            )
+        if y.size == 0:
+            raise DataValidationError("cannot fit a tree on empty data")
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        n = y.size
+        if n < self.min_samples_split:
+            return node
+        if self.max_depth is not None and depth >= self.max_depth:
+            return node
+        if np.ptp(y) < 1e-12:
+            return node
+
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            feature_indices = self._rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+        else:
+            feature_indices = np.arange(n_features)
+
+        split = _best_split(X, y, feature_indices, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise DataValidationError("tree not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0])
+        # Iterative routing; stack of (node, row-index array).
+        stack: List[tuple] = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    @property
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+
+class DecisionTreeForecaster(WindowRegressor):
+    """DT family of the pool: CART on the k-dimensional embedding."""
+
+    def __init__(
+        self,
+        embedding_dimension: int = 5,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 2,
+    ):
+        super().__init__(embedding_dimension)
+        self._tree = RegressionTree(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf
+        )
+        depth_tag = max_depth if max_depth is not None else "inf"
+        self.name = f"dt(depth={depth_tag})"
+
+    def _fit_xy(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._tree.fit(X, y)
+
+    def _predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        return self._tree.predict(X)

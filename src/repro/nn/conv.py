@@ -1,0 +1,99 @@
+"""1-D convolution layers for CNN-LSTM and ConvLSTM forecasters.
+
+``Conv1d`` works on batch-first sequences ``(batch, time, channels)`` and is
+implemented as gather-windows + matmul so that autograd handles the backward
+pass through the fancy-indexing gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Conv1d(Module):
+    """Temporal convolution: ``(batch, time, c_in) -> (batch, t_out, c_out)``.
+
+    Uses 'valid' padding: ``t_out = time - kernel_size + 1`` (with
+    ``padding="same"`` the input is zero-padded so ``t_out = time``).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: Optional[np.random.Generator] = None,
+        padding: str = "valid",
+    ):
+        super().__init__()
+        if kernel_size < 1:
+            raise ConfigurationError(f"kernel_size must be >= 1, got {kernel_size}")
+        if padding not in ("valid", "same"):
+            raise ConfigurationError(f"padding must be 'valid' or 'same', got {padding!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.padding = padding
+        fan_in = kernel_size * in_channels
+        self.weight = Parameter(xavier_uniform(fan_in, out_channels, rng))
+        self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ConfigurationError(
+                f"Conv1d expects (batch, time, channels), got shape {x.shape}"
+            )
+        steps = x.shape[1]
+        if self.padding == "same":
+            left = (self.kernel_size - 1) // 2
+            right = self.kernel_size - 1 - left
+            zeros_left = Tensor(np.zeros((x.shape[0], left, x.shape[2])))
+            zeros_right = Tensor(np.zeros((x.shape[0], right, x.shape[2])))
+            x = Tensor.concatenate([zeros_left, x, zeros_right], axis=1)
+            steps = x.shape[1]
+        t_out = steps - self.kernel_size + 1
+        if t_out < 1:
+            raise ConfigurationError(
+                f"sequence length {steps} shorter than kernel {self.kernel_size}"
+            )
+        # Gather sliding windows with a single fancy index: (t_out, k).
+        idx = np.arange(t_out)[:, None] + np.arange(self.kernel_size)[None, :]
+        windows = x[:, idx, :]  # (batch, t_out, k, c_in)
+        flat = windows.reshape(x.shape[0], t_out, self.kernel_size * self.in_channels)
+        return flat @ self.weight + self.bias
+
+
+class MaxPool1d(Module):
+    """Non-overlapping temporal max pooling ``(batch, time, c) -> (batch, time//k, c)``."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        if kernel_size < 1:
+            raise ConfigurationError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, channels = x.shape
+        out_steps = steps // self.kernel_size
+        if out_steps < 1:
+            raise ConfigurationError(
+                f"sequence length {steps} shorter than pool {self.kernel_size}"
+            )
+        trimmed = x[:, : out_steps * self.kernel_size, :]
+        windows = trimmed.reshape(batch, out_steps, self.kernel_size, channels)
+        return windows.max(axis=2)
+
+
+class GlobalAveragePool1d(Module):
+    """Average over the time axis: ``(batch, time, c) -> (batch, c)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=1)

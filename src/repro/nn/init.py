@@ -1,0 +1,42 @@
+"""Weight-initialisation schemes for the nn substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: ``U(-a, a)``, ``a = gain·sqrt(6/(in+out))``."""
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init for ReLU layers."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def uniform_fanin(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """DDPG-paper hidden-layer init: ``U(-1/sqrt(f), 1/sqrt(f))``."""
+    bound = 1.0 / np.sqrt(fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def final_layer_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, scale: float = 3e-3
+) -> np.ndarray:
+    """DDPG-paper output-layer init: small uniform so initial outputs ≈ 0."""
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+def orthogonal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init (used for recurrent kernels)."""
+    matrix = rng.standard_normal((max(fan_in, fan_out), min(fan_in, fan_out)))
+    q, r = np.linalg.qr(matrix)
+    q *= np.sign(np.diag(r))
+    if fan_in < fan_out:
+        q = q.T
+    return q[:fan_in, :fan_out]

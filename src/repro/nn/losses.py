@@ -1,0 +1,30 @@
+"""Regression losses operating on autograd tensors."""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements."""
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta``, linear outside.
+
+    Implemented as a smooth composite of autograd primitives:
+    ``0.5·e²`` where ``|e| <= delta``, else ``delta·(|e| − 0.5·delta)``.
+    """
+    error = pred - target
+    abs_error = error.abs()
+    quadratic = abs_error.clip(0.0, delta)
+    linear = abs_error - quadratic
+    per_element = quadratic * quadratic * 0.5 + linear * delta
+    return per_element.mean()

@@ -1,0 +1,153 @@
+"""Recurrent layers: LSTM cell, (stacked) LSTM, and bidirectional LSTM.
+
+All layers take batch-first input of shape ``(batch, time, features)`` and
+are built from autograd primitives, so backpropagation-through-time falls
+out of the graph structure without any bespoke backward code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with standard gates (input, forget, cell, output).
+
+    The four gates are computed in one fused affine map over the
+    concatenation ``[x_t, h_{t-1}]`` for speed. The forget-gate bias is
+    initialised to 1.0, the usual trick for healthy gradient flow.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ConfigurationError(
+                f"LSTMCell sizes must be positive, got "
+                f"({input_size}, {hidden_size})"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        w_x = xavier_uniform(input_size, 4 * hidden_size, rng)
+        w_h = orthogonal(hidden_size, 4 * hidden_size, rng)
+        self.weight = Parameter(np.concatenate([w_x, w_h], axis=0))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(batch, input_size)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        stacked = Tensor.concatenate([x, h_prev], axis=1)
+        gates = stacked @ self.weight + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0:hs].sigmoid()
+        f_gate = gates[:, hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional (optionally stacked) LSTM over batch-first sequences.
+
+    Parameters
+    ----------
+    input_size, hidden_size:
+        Feature sizes.
+    num_layers:
+        Stacking depth; layer ``i > 0`` consumes layer ``i-1``'s hidden
+        sequence — this is the "StLSTM" cascade the paper uses as baseline.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ConfigurationError(f"num_layers must be >= 1, got {num_layers}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return the full hidden sequence ``(batch, time, hidden_size)``
+        of the top layer."""
+        batch, steps, _ = x.shape
+        sequence = [x[:, t, :] for t in range(steps)]
+        for cell in self.cells:
+            h, c = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for step_input in sequence:
+                h, c = cell(step_input, (h, c))
+                outputs.append(h)
+            sequence = outputs
+        return Tensor.stack(sequence, axis=1)
+
+    def last_hidden(self, x: Tensor) -> Tensor:
+        """Return only the final time-step hidden state ``(batch, hidden)``."""
+        return self.forward(x)[:, -1, :]
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; outputs forward/backward concatenation.
+
+    The output feature size is ``2 * hidden_size``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.forward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        steps = x.shape[1]
+        fwd = self.forward_lstm(x)
+        reversed_x = Tensor.stack(
+            [x[:, t, :] for t in range(steps - 1, -1, -1)], axis=1
+        )
+        bwd_rev = self.backward_lstm(reversed_x)
+        bwd = Tensor.stack(
+            [bwd_rev[:, t, :] for t in range(steps - 1, -1, -1)], axis=1
+        )
+        return Tensor.concatenate([fwd, bwd], axis=2)
+
+    def last_hidden(self, x: Tensor) -> Tensor:
+        """Final forward state ++ final (earliest-input) backward state."""
+        out = self.forward(x)
+        return out[:, -1, :]

@@ -1,0 +1,38 @@
+"""Parameter persistence for Modules (npz-based, dependency-free)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.nn.module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Save a module's parameters to ``path`` (numpy ``.npz``).
+
+    Only parameter values are stored — the architecture must be rebuilt
+    by the caller before :func:`load_module` (the usual state-dict
+    convention).
+    """
+    state = module.state_dict()
+    if not state:
+        raise DataValidationError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The module must have the same architecture (names and shapes).
+    Returns the module for chaining.
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,28 @@
+"""Series preprocessing: embedding, scaling, splits, sliding windows."""
+
+from repro.preprocessing.embedding import embed, last_window, validate_series
+from repro.preprocessing.outliers import hampel_filter, outlier_fraction
+from repro.preprocessing.scaling import MinMaxScaler, StandardScaler
+from repro.preprocessing.splits import rolling_origin_splits, train_test_split
+from repro.preprocessing.windows import (
+    difference,
+    shift_window,
+    sliding_windows,
+    undifference_last,
+)
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "difference",
+    "embed",
+    "hampel_filter",
+    "last_window",
+    "outlier_fraction",
+    "rolling_origin_splits",
+    "shift_window",
+    "sliding_windows",
+    "train_test_split",
+    "undifference_last",
+    "validate_series",
+]

@@ -1,0 +1,75 @@
+"""Time-delay embedding of univariate series into supervised pairs.
+
+The paper applies "time series embedding to dimension k" (k = 5) before
+feeding regression-style base models: each target value ``x_t`` is paired
+with the ``k`` preceding values ``(x_{t-k}, ..., x_{t-1})``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def validate_series(series: np.ndarray, min_length: int = 2) -> np.ndarray:
+    """Validate and coerce a 1-D float series.
+
+    Raises :class:`DataValidationError` for non-1-D input, NaN/inf values,
+    or series shorter than ``min_length``.
+    """
+    array = np.asarray(series, dtype=np.float64)
+    if array.ndim != 1:
+        raise DataValidationError(
+            f"expected a 1-D series, got shape {array.shape}"
+        )
+    if array.size < min_length:
+        raise DataValidationError(
+            f"series of length {array.size} is shorter than required "
+            f"minimum {min_length}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise DataValidationError("series contains NaN or infinite values")
+    return array
+
+
+def embed(series: np.ndarray, dimension: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Time-delay embed ``series`` into ``(X, y)`` supervised pairs.
+
+    Parameters
+    ----------
+    series:
+        1-D array of length ``n``.
+    dimension:
+        Embedding dimension ``k`` (number of lagged inputs).
+
+    Returns
+    -------
+    X : ndarray of shape ``(n - k, k)``
+        Row ``i`` holds ``series[i : i + k]`` (oldest lag first).
+    y : ndarray of shape ``(n - k,)``
+        ``y[i] = series[i + k]``.
+
+    Examples
+    --------
+    >>> X, y = embed(np.arange(6.0), 2)
+    >>> X[0]
+    array([0., 1.])
+    >>> float(y[0])
+    2.0
+    """
+    if dimension < 1:
+        raise DataValidationError(f"embedding dimension must be >= 1, got {dimension}")
+    array = validate_series(series, min_length=dimension + 1)
+    n = array.size - dimension
+    strides = (array.strides[0], array.strides[0])
+    X = np.lib.stride_tricks.as_strided(array, shape=(n, dimension), strides=strides)
+    return X.copy(), array[dimension:].copy()
+
+
+def last_window(series: np.ndarray, dimension: int) -> np.ndarray:
+    """Return the final ``dimension`` values as a single embedding row."""
+    array = validate_series(series, min_length=dimension)
+    return array[-dimension:].copy()

@@ -1,0 +1,82 @@
+"""Feature scalers with fit/transform/inverse_transform semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+class StandardScaler:
+    """Standardise to zero mean and unit variance (per feature column).
+
+    Works on 1-D series and 2-D design matrices; constant features get
+    a unit scale so transform is a no-op shift for them.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        array = np.asarray(data, dtype=np.float64)
+        if array.size == 0:
+            raise DataValidationError("cannot fit scaler on empty data")
+        self.mean_ = array.mean(axis=0)
+        scale = array.std(axis=0)
+        self.scale_ = np.where(scale > 1e-12, scale, 1.0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError(type(self).__name__)
+        return (np.asarray(data, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError(type(self).__name__)
+        return np.asarray(data, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into ``[low, high]`` (default unit interval)."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)):
+        low, high = feature_range
+        if low >= high:
+            raise DataValidationError(
+                f"feature_range must satisfy low < high, got {feature_range}"
+            )
+        self.low, self.high = float(low), float(high)
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        array = np.asarray(data, dtype=np.float64)
+        if array.size == 0:
+            raise DataValidationError("cannot fit scaler on empty data")
+        self.data_min_ = array.min(axis=0)
+        self.data_max_ = array.max(axis=0)
+        return self
+
+    def _span(self) -> np.ndarray:
+        span = self.data_max_ - self.data_min_
+        return np.where(span > 1e-12, span, 1.0)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None:
+            raise NotFittedError(type(self).__name__)
+        unit = (np.asarray(data, dtype=np.float64) - self.data_min_) / self._span()
+        return unit * (self.high - self.low) + self.low
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None:
+            raise NotFittedError(type(self).__name__)
+        unit = (np.asarray(data, dtype=np.float64) - self.low) / (self.high - self.low)
+        return unit * self._span() + self.data_min_

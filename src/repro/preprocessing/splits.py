@@ -1,0 +1,48 @@
+"""Chronological train/test splitting (paper: 75% train, 25% test)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.preprocessing.embedding import validate_series
+
+
+def train_test_split(
+    series: np.ndarray, train_fraction: float = 0.75
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a series chronologically; never shuffles.
+
+    The paper evaluates with a 75/25 chronological split; shuffling would
+    leak future information into training.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DataValidationError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    array = validate_series(series, min_length=4)
+    cut = int(round(array.size * train_fraction))
+    cut = min(max(cut, 1), array.size - 1)
+    return array[:cut].copy(), array[cut:].copy()
+
+
+def rolling_origin_splits(
+    series: np.ndarray,
+    initial_fraction: float = 0.5,
+    horizon: int = 1,
+    step: int = 1,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield rolling-origin evaluation folds ``(history, future)``.
+
+    Standard time-series cross-validation: training history grows by
+    ``step`` each fold, the test block is the next ``horizon`` values.
+    """
+    if horizon < 1 or step < 1:
+        raise DataValidationError("horizon and step must be >= 1")
+    array = validate_series(series, min_length=4)
+    start = int(round(array.size * initial_fraction))
+    start = min(max(start, 1), array.size - horizon)
+    for cut in range(start, array.size - horizon + 1, step):
+        yield array[:cut].copy(), array[cut : cut + horizon].copy()

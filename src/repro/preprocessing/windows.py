@@ -1,0 +1,76 @@
+"""Sliding-window utilities used by the MDP state and the SWE baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.preprocessing.embedding import validate_series
+
+
+def sliding_windows(series: np.ndarray, window: int, step: int = 1) -> np.ndarray:
+    """Return all length-``window`` views of ``series`` as rows.
+
+    Output shape is ``((n - window) // step + 1, window)``.
+    """
+    if window < 1 or step < 1:
+        raise DataValidationError("window and step must be >= 1")
+    array = validate_series(series, min_length=window)
+    n_windows = (array.size - window) // step + 1
+    indices = np.arange(window)[None, :] + step * np.arange(n_windows)[:, None]
+    return array[indices]
+
+
+def shift_window(window: np.ndarray, new_value: float) -> np.ndarray:
+    """Drop the oldest value and append ``new_value`` (paper Alg. 1 line 5)."""
+    array = np.asarray(window, dtype=np.float64)
+    if array.ndim != 1 or array.size < 1:
+        raise DataValidationError(f"window must be a non-empty 1-D array")
+    result = np.empty_like(array)
+    result[:-1] = array[1:]
+    result[-1] = new_value
+    return result
+
+
+def difference(series: np.ndarray, order: int = 1) -> np.ndarray:
+    """Apply ``order`` rounds of first differencing (ARIMA's 'I' step)."""
+    if order < 0:
+        raise DataValidationError(f"difference order must be >= 0, got {order}")
+    array = validate_series(series, min_length=order + 1)
+    for _ in range(order):
+        array = np.diff(array)
+    return array
+
+
+def undifference_last(
+    history_tail: np.ndarray, diffed_prediction: float, order: int = 1
+) -> float:
+    """Invert differencing for a one-step-ahead prediction.
+
+    ``history_tail`` must hold at least the last ``order`` original values.
+    For order 1 this is ``x̂_{t+1} = x_t + Δx̂_{t+1}``; for order 2 the
+    second difference is integrated twice.
+    """
+    if order == 0:
+        return float(diffed_prediction)
+    tail = np.asarray(history_tail, dtype=np.float64)
+    if tail.size < order:
+        raise DataValidationError(
+            f"need at least {order} trailing values to undifference"
+        )
+    # Reconstruct by cumulative integration of the differenced tail:
+    # Δ^k x̂_{t+1} = Δ^k x_t + Δ^{k+1} x̂_{t+1}, applied from k=order-1 to 0.
+    value = float(diffed_prediction)
+    for level in reversed(_difference_stack(tail, order)):
+        value = level + value
+    return value
+
+
+def _difference_stack(tail: np.ndarray, order: int) -> list:
+    """Last value of each successive difference of ``tail`` (orders 0..order-1)."""
+    stack = []
+    current = np.asarray(tail, dtype=np.float64)
+    for _ in range(order):
+        stack.append(float(current[-1]))
+        current = np.diff(current)
+    return stack

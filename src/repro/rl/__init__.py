@@ -1,0 +1,37 @@
+"""Reinforcement-learning substrate: MDP, rewards, replay, noise, DDPG."""
+
+from repro.rl.ddpg import Actor, Critic, DDPGAgent, DDPGConfig, TrainingHistory
+from repro.rl.dqn import DQNConfig, DQNSelector
+from repro.rl.mdp import EnsembleMDP, Transition, project_to_simplex
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+from repro.rl.replay import ReplayBuffer
+from repro.rl.rewards import (
+    DiversityRankReward,
+    NRMSEReward,
+    RankReward,
+    RewardFunction,
+    ensemble_window_error,
+    model_window_errors,
+)
+
+__all__ = [
+    "Actor",
+    "Critic",
+    "DDPGAgent",
+    "DDPGConfig",
+    "DQNConfig",
+    "DQNSelector",
+    "DiversityRankReward",
+    "EnsembleMDP",
+    "GaussianNoise",
+    "NRMSEReward",
+    "OrnsteinUhlenbeckNoise",
+    "RankReward",
+    "ReplayBuffer",
+    "RewardFunction",
+    "TrainingHistory",
+    "Transition",
+    "ensemble_window_error",
+    "model_window_errors",
+    "project_to_simplex",
+]

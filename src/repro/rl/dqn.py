@@ -1,0 +1,182 @@
+"""DQN-based dynamic model *selection* (paper reference [21]).
+
+Feng & Zhang (2019) select a single best forecaster per step with
+Q-learning over a discrete action space — the natural RL competitor to
+EA-DRL's continuous weighting. This module implements that approach on
+the same :class:`~repro.rl.mdp.EnsembleMDP`: action ``i`` plays the
+one-hot weight vector ``e_i`` (pure model selection), the state and
+reward definitions are shared with EA-DRL, and learning is standard DQN
+(replay buffer, target network, ε-greedy exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.nn import Adam, Tensor, clip_grad_norm, mlp, mse_loss
+from repro.rl.mdp import EnsembleMDP, Transition
+from repro.rl.replay import ReplayBuffer
+
+
+@dataclass
+class DQNConfig:
+    """Hyper-parameters of the selection agent."""
+
+    gamma: float = 0.9
+    lr: float = 0.005
+    hidden: int = 64
+    batch_size: int = 32
+    buffer_capacity: int = 10_000
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay: float = 0.9
+    target_sync_every: int = 50
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.gamma < 1.0:
+            raise ConfigurationError(f"gamma must be in [0, 1), got {self.gamma}")
+        if not 0.0 <= self.epsilon_end <= self.epsilon_start <= 1.0:
+            raise ConfigurationError("need 0 <= eps_end <= eps_start <= 1")
+        if self.target_sync_every < 1:
+            raise ConfigurationError("target_sync_every must be >= 1")
+
+
+class DQNSelector:
+    """Q-learning agent that picks one pool member per step.
+
+    Actions are indices ``0..m-1``; playing action ``i`` applies the
+    one-hot weight vector, i.e. forecasts with model ``i`` alone.
+    """
+
+    def __init__(self, state_dim: int, n_models: int, config: Optional[DQNConfig] = None):
+        self.config = config if config is not None else DQNConfig()
+        self.config.validate()
+        if state_dim < 1 or n_models < 1:
+            raise ConfigurationError("state_dim and n_models must be >= 1")
+        self.state_dim = state_dim
+        self.n_models = n_models
+        rng = np.random.default_rng(self.config.seed)
+        self._rng = rng
+        hidden = self.config.hidden
+        self.network = mlp([state_dim, hidden, hidden, n_models], rng=rng)
+        self.target_network = mlp([state_dim, hidden, hidden, n_models], rng=rng)
+        self.target_network.copy_from(self.network)
+        self.optimizer = Adam(self.network.parameters(), lr=self.config.lr)
+        self.buffer = ReplayBuffer(self.config.buffer_capacity, seed=self.config.seed)
+        self._epsilon = self.config.epsilon_start
+        self._updates = 0
+        self.episode_rewards: List[float] = []
+
+    # ------------------------------------------------------------------
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        state = np.asarray(state, dtype=np.float64)
+        if state.shape != (self.state_dim,):
+            raise DataValidationError(
+                f"state must have shape ({self.state_dim},), got {state.shape}"
+            )
+        return self.network(Tensor(state[None, :])).numpy()[0]
+
+    def select(self, state: np.ndarray, explore: bool = False) -> int:
+        """ε-greedy model index."""
+        if explore and self._rng.random() < self._epsilon:
+            return int(self._rng.integers(self.n_models))
+        return int(np.argmax(self.q_values(state)))
+
+    def one_hot(self, action: int) -> np.ndarray:
+        weights = np.zeros(self.n_models)
+        weights[action] = 1.0
+        return weights
+
+    # ------------------------------------------------------------------
+    def update(self) -> None:
+        if len(self.buffer) < self.config.batch_size:
+            return
+        states, actions, rewards, next_states, dones = self.buffer.sample_uniform(
+            self.config.batch_size
+        )
+        action_idx = actions.argmax(axis=1)
+        next_q = self.target_network(Tensor(next_states)).numpy()
+        targets = rewards + self.config.gamma * (1.0 - dones) * next_q.max(axis=1)
+
+        self.network.zero_grad()
+        q_all = self.network(Tensor(states))
+        rows = np.arange(self.config.batch_size)
+        q_taken = q_all[rows, action_idx]
+        loss = mse_loss(q_taken, Tensor(targets))
+        loss.backward()
+        clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+        self.optimizer.step()
+
+        self._updates += 1
+        if self._updates % self.config.target_sync_every == 0:
+            self.target_network.copy_from(self.network)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        env: EnsembleMDP,
+        episodes: int = 50,
+        max_iterations: Optional[int] = 100,
+    ) -> List[float]:
+        """Episode loop mirroring :meth:`DDPGAgent.train`."""
+        if episodes < 1:
+            raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+        if env.action_dim != self.n_models:
+            raise DataValidationError(
+                f"environment has {env.action_dim} models, agent expects "
+                f"{self.n_models}"
+            )
+        for _ in range(episodes):
+            state = env.reset()
+            total = 0.0
+            steps = env.steps_per_episode
+            if max_iterations is not None:
+                steps = min(steps, max_iterations)
+            for _ in range(steps):
+                action = self.select(state, explore=True)
+                weights = self.one_hot(action)
+                next_state, reward, done = env.step(weights)
+                self.buffer.push(
+                    Transition(state, weights, reward, next_state, done)
+                )
+                total += reward
+                state = next_state
+                self.update()
+                if done:
+                    break
+            self.episode_rewards.append(total / max(steps, 1))
+            self._epsilon = max(
+                self.config.epsilon_end, self._epsilon * self.config.epsilon_decay
+            )
+        return self.episode_rewards
+
+    # ------------------------------------------------------------------
+    def greedy_selection_path(
+        self, predictions: np.ndarray, bootstrap: np.ndarray
+    ) -> np.ndarray:
+        """Deployment: greedy per-step selections over a prediction matrix.
+
+        Returns the combined forecasts (each step = one model's output).
+        ``bootstrap`` supplies the initial state window (uniform-combined,
+        matching the MDP reset convention).
+        """
+        predictions = np.asarray(predictions, dtype=np.float64)
+        bootstrap = np.asarray(bootstrap, dtype=np.float64)
+        if bootstrap.shape[0] < self.state_dim:
+            raise DataValidationError(
+                f"bootstrap needs >= {self.state_dim} rows"
+            )
+        uniform = np.full(predictions.shape[1], 1.0 / predictions.shape[1])
+        state = bootstrap[-self.state_dim :] @ uniform
+        out = np.empty(predictions.shape[0])
+        for i in range(predictions.shape[0]):
+            action = self.select(state, explore=False)
+            out[i] = predictions[i, action]
+            state = np.append(state[1:], out[i])
+        return out

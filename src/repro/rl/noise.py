@@ -1,0 +1,64 @@
+"""Exploration-noise processes for continuous-action DDPG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated noise (the DDPG paper's exploration process).
+
+    ``dx = θ(μ − x)dt + σ dW`` discretised with unit dt.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+        mu: float = 0.0,
+        seed: int = 0,
+    ):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if theta < 0 or sigma < 0:
+            raise ConfigurationError("theta and sigma must be non-negative")
+        self.size = size
+        self.theta = theta
+        self.sigma = sigma
+        self.mu = mu
+        self._rng = np.random.default_rng(seed)
+        self._state = np.full(size, mu, dtype=np.float64)
+
+    def reset(self) -> None:
+        self._state[:] = self.mu
+
+    def sample(self) -> np.ndarray:
+        drift = self.theta * (self.mu - self._state)
+        diffusion = self.sigma * self._rng.standard_normal(self.size)
+        self._state = self._state + drift + diffusion
+        return self._state.copy()
+
+
+class GaussianNoise:
+    """I.i.d. Gaussian exploration noise with optional decay per episode."""
+
+    def __init__(self, size: int, sigma: float = 0.1, decay: float = 1.0, seed: int = 0):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if sigma < 0 or not 0.0 < decay <= 1.0:
+            raise ConfigurationError("need sigma >= 0 and decay in (0, 1]")
+        self.size = size
+        self.sigma = sigma
+        self.decay = decay
+        self._current_sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Apply one decay step (called at episode boundaries)."""
+        self._current_sigma *= self.decay
+
+    def sample(self) -> np.ndarray:
+        return self._rng.normal(0.0, self._current_sigma, size=self.size)

@@ -1,0 +1,158 @@
+"""Reward functions for the ensemble-aggregation MDP (paper §II-B).
+
+Three rewards are provided:
+
+- :class:`RankReward` — the paper's Eq. (3): rank the m base models plus
+  the ensemble by window forecasting error; ``r = m + 1 − rank(ensemble)``.
+  Scale-free, hence stable across time-varying series (the property the
+  paper's Fig. 2b demonstrates).
+- :class:`NRMSEReward` — the paper's Fig. 2a comparison setting:
+  ``r = 1 − NRMSE`` of the ensemble on the window. Tracks error
+  magnitude, which drifts with the series itself, so DDPG fails to
+  converge with it.
+- :class:`DiversityRankReward` — the future-work extension sketched in
+  §III-B: the rank reward plus a bonus for weight dispersion across
+  disagreeing members.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+def ensemble_window_error(
+    window_predictions: np.ndarray, window_truth: np.ndarray, weights: np.ndarray
+) -> float:
+    """RMSE of the weighted ensemble over a window.
+
+    ``window_predictions`` has shape ``(ω, m)``; ``weights`` shape ``(m,)``.
+    """
+    combined = window_predictions @ weights
+    diff = combined - window_truth
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def model_window_errors(
+    window_predictions: np.ndarray, window_truth: np.ndarray
+) -> np.ndarray:
+    """Per-model RMSE over the window; shape ``(m,)``."""
+    diff = window_predictions - window_truth[:, None]
+    return np.sqrt(np.mean(diff * diff, axis=0))
+
+
+class RewardFunction(abc.ABC):
+    """Maps (window predictions, window truth, action weights) → scalar."""
+
+    name: str = "reward"
+
+    @abc.abstractmethod
+    def __call__(
+        self,
+        window_predictions: np.ndarray,
+        window_truth: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        """Compute the reward for taking ``weights`` on this window."""
+
+    def _validate(
+        self,
+        window_predictions: np.ndarray,
+        window_truth: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        if window_predictions.ndim != 2:
+            raise DataValidationError(
+                f"window predictions must be 2-D, got {window_predictions.shape}"
+            )
+        if window_truth.shape[0] != window_predictions.shape[0]:
+            raise DataValidationError("window truth/predictions length mismatch")
+        if weights.shape[0] != window_predictions.shape[1]:
+            raise DataValidationError(
+                f"got {weights.shape[0]} weights for "
+                f"{window_predictions.shape[1]} models"
+            )
+
+
+class RankReward(RewardFunction):
+    """Paper Eq. (3): ``r_t = m + 1 − ρ(f̄)``.
+
+    Ranks are 1-based; rank 1 = lowest window RMSE. Ties are broken in
+    favour of the ensemble (standard competition ranking via sorting
+    keeps the ensemble's position stable under exact ties).
+    """
+
+    name = "rank"
+
+    def __call__(
+        self,
+        window_predictions: np.ndarray,
+        window_truth: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        self._validate(window_predictions, window_truth, weights)
+        base_errors = model_window_errors(window_predictions, window_truth)
+        ens_error = ensemble_window_error(window_predictions, window_truth, weights)
+        # Rank of the ensemble = 1 + number of strictly better base models.
+        rank = 1 + int(np.sum(base_errors < ens_error))
+        m = base_errors.size
+        return float(m + 1 - rank)
+
+
+class NRMSEReward(RewardFunction):
+    """Fig. 2a comparison reward: ``1 − NRMSE`` on the window.
+
+    NRMSE normalises the window RMSE by the window's value range, so the
+    reward still inherits the series' time-varying structure — exactly
+    the instability the paper attributes the non-convergence to.
+    """
+
+    name = "nrmse"
+
+    def __call__(
+        self,
+        window_predictions: np.ndarray,
+        window_truth: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        self._validate(window_predictions, window_truth, weights)
+        error = ensemble_window_error(window_predictions, window_truth, weights)
+        value_range = float(np.ptp(window_truth))
+        if value_range < 1e-12:
+            value_range = max(abs(float(window_truth.mean())), 1.0)
+        return 1.0 - error / value_range
+
+
+class DiversityRankReward(RewardFunction):
+    """Rank reward plus a diversity bonus (paper §III-B future work).
+
+    The bonus is the weighted standard deviation of member predictions at
+    the newest window position, normalised by the window value range —
+    rewarding combinations that keep disagreeing members in play.
+    """
+
+    name = "rank+diversity"
+
+    def __init__(self, diversity_weight: float = 0.5):
+        if diversity_weight < 0:
+            raise ConfigurationError(
+                f"diversity_weight must be >= 0, got {diversity_weight}"
+            )
+        self.diversity_weight = diversity_weight
+        self._rank = RankReward()
+
+    def __call__(
+        self,
+        window_predictions: np.ndarray,
+        window_truth: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        base = self._rank(window_predictions, window_truth, weights)
+        latest = window_predictions[-1]
+        mean = float(weights @ latest)
+        spread = float(np.sqrt(weights @ (latest - mean) ** 2))
+        value_range = max(float(np.ptp(window_truth)), 1e-9)
+        return base + self.diversity_weight * min(spread / value_range, 1.0)

@@ -1,0 +1,163 @@
+"""Tests for diagnostics (ACF/PACF/tests) and decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    acf,
+    adf_statistic,
+    decompose,
+    deseasonalise,
+    detect_period,
+    is_stationary,
+    ljung_box,
+    pacf,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+def ar1(n=1000, phi=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = phi * x[t - 1] + rng.normal()
+    return x
+
+
+class TestACF:
+    def test_lag_zero_is_one(self, rng):
+        assert acf(rng.standard_normal(100))[0] == 1.0
+
+    def test_ar1_geometric_decay(self):
+        rho = acf(ar1(phi=0.8), max_lag=3)
+        assert rho[1] == pytest.approx(0.8, abs=0.05)
+        assert rho[2] == pytest.approx(0.64, abs=0.08)
+
+    def test_white_noise_near_zero(self, rng):
+        rho = acf(rng.standard_normal(2000), max_lag=5)
+        assert np.all(np.abs(rho[1:]) < 0.1)
+
+    def test_bounded_by_one(self, rng):
+        rho = acf(rng.standard_normal(300).cumsum(), max_lag=20)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-12)
+
+    def test_constant_series_raises(self):
+        with pytest.raises(DataValidationError):
+            acf(np.full(50, 2.0))
+
+    def test_max_lag_clamped(self, rng):
+        rho = acf(rng.standard_normal(10), max_lag=50)
+        assert rho.size == 10
+
+
+class TestPACF:
+    def test_ar1_cuts_off_after_lag1(self):
+        phi = pacf(ar1(phi=0.7), max_lag=5)
+        assert phi[1] == pytest.approx(0.7, abs=0.06)
+        assert np.all(np.abs(phi[2:]) < 0.1)
+
+    def test_ar2_cuts_off_after_lag2(self):
+        rng = np.random.default_rng(1)
+        x = np.zeros(3000)
+        for t in range(2, 3000):
+            x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + rng.normal()
+        phi = pacf(x, max_lag=5)
+        assert abs(phi[2]) > 0.2
+        assert np.all(np.abs(phi[3:]) < 0.1)
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self, rng):
+        _, p = ljung_box(rng.standard_normal(500))
+        assert p > 0.01
+
+    def test_correlated_rejected(self):
+        _, p = ljung_box(ar1())
+        assert p < 1e-6
+
+    def test_statistic_nonnegative(self, rng):
+        q, _ = ljung_box(rng.standard_normal(200))
+        assert q >= 0
+
+
+class TestADF:
+    def test_stationary_detected(self):
+        assert is_stationary(ar1(phi=0.5))
+
+    def test_random_walk_not_stationary(self, rng):
+        assert not is_stationary(rng.standard_normal(1000).cumsum())
+
+    def test_statistic_ordering(self, rng):
+        stationary_stat = adf_statistic(ar1(phi=0.3))
+        walk_stat = adf_statistic(rng.standard_normal(1000).cumsum())
+        assert stationary_stat < walk_stat
+
+
+class TestDetectPeriod:
+    def test_pure_sine(self):
+        t = np.arange(480)
+        assert detect_period(np.sin(2 * np.pi * t / 24)) == 24
+
+    def test_noisy_sine(self, rng):
+        t = np.arange(480)
+        series = 3 * np.sin(2 * np.pi * t / 12) + rng.normal(0, 0.5, 480)
+        assert detect_period(series) == 12
+
+    def test_white_noise_gives_zero(self, rng):
+        assert detect_period(rng.standard_normal(400)) == 0
+
+    def test_trend_only_gives_zero(self):
+        assert detect_period(np.linspace(0, 10, 300)) == 0
+
+    def test_respects_bounds(self):
+        t = np.arange(480)
+        series = np.sin(2 * np.pi * t / 24)
+        assert detect_period(series, min_period=30) != 24
+
+
+class TestDecomposition:
+    def test_reconstruction_exact(self, rng):
+        t = np.arange(240)
+        series = 0.05 * t + 4 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.2, 240)
+        d = decompose(series, 24)
+        np.testing.assert_allclose(d.reconstruct(), series)
+
+    def test_seasonal_zero_sum(self, rng):
+        t = np.arange(240)
+        series = 4 * np.sin(2 * np.pi * t / 12) + rng.normal(0, 0.3, 240)
+        d = decompose(series, 12)
+        assert abs(d.seasonal[:12].sum()) < 1e-9
+
+    def test_seasonal_strength_strong_vs_weak(self, rng):
+        t = np.arange(240)
+        strong = 5 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.1, 240)
+        weak = 0.1 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.0, 240)
+        assert decompose(strong, 24).seasonal_strength > 0.9
+        assert decompose(weak, 24).seasonal_strength < 0.5
+
+    def test_trend_strength(self, rng):
+        t = np.arange(240)
+        trending = 0.5 * t + rng.normal(0, 1.0, 240)
+        assert decompose(trending, 24).trend_strength > 0.9
+
+    def test_deseasonalise_removes_cycle(self, rng):
+        t = np.arange(240)
+        series = 10 + 5 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.1, 240)
+        flat = deseasonalise(series, 24)
+        assert np.std(flat) < np.std(series) * 0.3
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            decompose(np.arange(100.0), 1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataValidationError):
+            decompose(np.arange(20.0), 15)
+
+    def test_odd_period_supported(self, rng):
+        t = np.arange(210)
+        series = np.sin(2 * np.pi * t / 7) + rng.normal(0, 0.1, 210)
+        d = decompose(series, 7)
+        assert d.seasonal_strength > 0.7

@@ -1,0 +1,82 @@
+"""Tests for residual analysis reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ResidualReport,
+    analyse_residuals,
+    pool_residual_reports,
+    rank_by_whiteness,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestAnalyseResiduals:
+    def test_white_residuals(self, rng):
+        truth = rng.standard_normal(300).cumsum()
+        pred = truth + rng.normal(0, 1.0, 300)
+        report = analyse_residuals(pred, truth)
+        assert report.is_unbiased
+        assert report.is_white
+        assert abs(report.lag1_autocorrelation) < 0.15
+
+    def test_biased_predictions_flagged(self, rng):
+        truth = rng.standard_normal(200)
+        pred = truth - 5.0  # constant bias
+        report = analyse_residuals(pred + rng.normal(0, 0.1, 200), truth)
+        assert not report.is_unbiased
+        assert report.mean > 4.0
+
+    def test_correlated_residuals_flagged(self, rng):
+        truth = np.zeros(400)
+        residual = np.zeros(400)
+        for t in range(1, 400):
+            residual[t] = 0.9 * residual[t - 1] + rng.normal(0, 0.3)
+        report = analyse_residuals(truth - residual, truth)
+        assert not report.is_white
+        assert report.lag1_autocorrelation > 0.6
+
+    def test_rmse_matches_definition(self, rng):
+        truth = rng.standard_normal(100)
+        pred = truth + 1.0
+        report = analyse_residuals(pred, truth)
+        assert report.rmse == pytest.approx(1.0)
+
+    def test_perfect_predictions_degenerate_safe(self):
+        truth = np.arange(50.0)
+        report = analyse_residuals(truth, truth)
+        assert report.std == 0.0
+        assert report.is_white
+
+    def test_misaligned_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            analyse_residuals(rng.standard_normal(10), rng.standard_normal(11))
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            analyse_residuals(rng.standard_normal(5), rng.standard_normal(5))
+
+
+class TestPoolReports:
+    def test_per_member_reports(self, toy_matrix):
+        P, y = toy_matrix
+        names = ["m0", "m1", "m2", "m3"]
+        reports = pool_residual_reports(P, y, names)
+        assert set(reports) == set(names)
+        # the low-noise member must have the lowest residual RMSE
+        assert min(reports, key=lambda n: reports[n].rmse) == "m1"
+
+    def test_name_mismatch_raises(self, toy_matrix):
+        P, y = toy_matrix
+        with pytest.raises(DataValidationError):
+            pool_residual_reports(P, y, ["a", "b"])
+
+    def test_rank_by_whiteness(self):
+        reports = {
+            "white": ResidualReport(0, 1, 0.0, 0.9, 1.0),
+            "coloured": ResidualReport(0, 1, 0.8, 0.001, 1.0),
+        }
+        assert rank_by_whiteness(reports) == ["white", "coloured"]

@@ -1,0 +1,86 @@
+"""Tests for the ADWIN drift detector and its DEMSC integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ADWIN, DEMSC
+from repro.exceptions import ConfigurationError
+
+
+class TestADWIN:
+    def test_no_false_alarms_on_stationary(self, rng):
+        detector = ADWIN(delta=0.002)
+        fires = sum(detector.update(v) for v in rng.normal(0, 1, 1500))
+        assert fires == 0
+
+    def test_detects_level_shift_promptly(self, rng):
+        detector = ADWIN(delta=0.01)
+        stream = np.concatenate(
+            [rng.normal(0, 0.5, 300), rng.normal(5, 0.5, 300)]
+        )
+        fired = [i for i, v in enumerate(stream) if detector.update(v)]
+        assert fired
+        assert 300 <= fired[0] <= 340  # shortly after the true change
+
+    def test_window_shrinks_after_detection(self, rng):
+        detector = ADWIN(delta=0.01)
+        for v in rng.normal(0, 0.5, 200):
+            detector.update(v)
+        size_before = detector.window_size
+        for v in rng.normal(8, 0.5, 100):
+            if detector.update(v):
+                break
+        assert detector.window_size < size_before + 100
+
+    def test_detects_gradual_drift(self, rng):
+        detector = ADWIN(delta=0.01)
+        ramp = np.linspace(0, 6, 600) + rng.normal(0, 0.3, 600)
+        fires = sum(detector.update(v) for v in ramp)
+        assert fires >= 1
+
+    def test_reset(self, rng):
+        detector = ADWIN()
+        for v in rng.normal(0, 1, 50):
+            detector.update(v)
+        detector.reset()
+        assert detector.window_size == 0
+
+    def test_memory_bounded(self, rng):
+        detector = ADWIN(max_window=100)
+        for v in rng.normal(0, 1, 1000):
+            detector.update(v)
+        assert detector.window_size <= 100
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ADWIN(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            ADWIN(max_window=5, min_sub_window=5)
+        with pytest.raises(ConfigurationError):
+            ADWIN(check_every=0)
+
+
+class TestDEMSCDetectorHook:
+    def test_demsc_accepts_adwin(self, toy_matrix):
+        P, y = toy_matrix
+        demsc = DEMSC(window=10, detector_factory=lambda: ADWIN(delta=0.05))
+        out = demsc.run(P, y)
+        assert np.all(np.isfinite(out))
+
+    def test_detector_choice_changes_update_count(self, rng):
+        """The monitored stream is the *ensemble error*; it only drifts
+        when every member degrades at once — inject exactly that."""
+        T = 300
+        truth = rng.normal(0, 0.3, T)
+        # all members accurate before t=150, all noisy after
+        member_noise = np.where(np.arange(T) < 150, 0.1, 3.0)
+        P = truth[:, None] + member_noise[:, None] * rng.standard_normal((T, 4))
+        ph = DEMSC(window=10, drift_threshold=2.0)
+        ph.run(P, truth)
+        adwin = DEMSC(window=10, detector_factory=lambda: ADWIN(delta=0.05))
+        adwin.run(P, truth)
+        # both detectors must fire on this system-wide degradation
+        assert ph.n_drift_updates_ >= 1
+        assert adwin.n_drift_updates_ >= 1

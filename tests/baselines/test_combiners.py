@@ -1,0 +1,182 @@
+"""Tests for SE, SWE, and the expert-advice combiners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    MLPoly,
+    OnlineGradientDescent,
+    SimpleEnsemble,
+    SlidingWindowEnsemble,
+    inverse_error_weights,
+    validate_matrix,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+ALL_COMBINERS = [
+    SimpleEnsemble,
+    SlidingWindowEnsemble,
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    OnlineGradientDescent,
+    MLPoly,
+]
+
+
+class TestValidateMatrix:
+    def test_happy_path(self, toy_matrix):
+        P, y = toy_matrix
+        P2, y2 = validate_matrix(P, y)
+        assert P2.shape == P.shape
+
+    def test_rejects_1d_predictions(self):
+        with pytest.raises(DataValidationError):
+            validate_matrix(np.zeros(5), np.zeros(5))
+
+    def test_rejects_misaligned(self, toy_matrix):
+        P, y = toy_matrix
+        with pytest.raises(DataValidationError):
+            validate_matrix(P, y[:-1])
+
+    def test_rejects_nan(self, toy_matrix):
+        P, y = toy_matrix
+        P = P.copy()
+        P[0, 0] = np.nan
+        with pytest.raises(DataValidationError):
+            validate_matrix(P, y)
+
+
+class TestInverseErrorWeights:
+    def test_sums_to_one(self):
+        w = inverse_error_weights(np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_allclose(w.sum(), 1.0)
+
+    def test_lower_error_gets_more_weight(self):
+        w = inverse_error_weights(np.array([1.0, 2.0]))
+        assert w[0] > w[1]
+
+    def test_power_sharpens(self):
+        errors = np.array([1.0, 2.0])
+        soft = inverse_error_weights(errors, power=1.0)
+        sharp = inverse_error_weights(errors, power=4.0)
+        assert sharp[0] > soft[0]
+
+    def test_zero_error_takes_all(self):
+        w = inverse_error_weights(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(w, [1.0, 0.0])
+
+
+class TestCommonCombinerContract:
+    @pytest.mark.parametrize("cls", ALL_COMBINERS)
+    def test_output_shape(self, toy_matrix, cls):
+        P, y = toy_matrix
+        out = cls().run(P, y)
+        assert out.shape == y.shape
+        assert np.all(np.isfinite(out))
+
+    @pytest.mark.parametrize("cls", ALL_COMBINERS)
+    def test_weights_are_simplex(self, toy_matrix, cls):
+        P, y = toy_matrix
+        _, weights = cls().run_with_weights(P, y)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, rtol=1e-8)
+        assert np.all(weights >= -1e-12)
+
+    @pytest.mark.parametrize("cls", ALL_COMBINERS)
+    def test_output_within_member_hull(self, toy_matrix, cls):
+        """Convex combinations stay inside the member prediction range."""
+        P, y = toy_matrix
+        out = cls().run(P, y)
+        assert np.all(out <= P.max(axis=1) + 1e-9)
+        assert np.all(out >= P.min(axis=1) - 1e-9)
+
+    @pytest.mark.parametrize("cls", ALL_COMBINERS)
+    def test_causality(self, toy_matrix, cls):
+        """Changing future rows must not change earlier outputs."""
+        P, y = toy_matrix
+        out_full = cls().run(P, y)
+        P2, y2 = P.copy(), y.copy()
+        P2[-5:] += 100.0
+        y2[-5:] -= 50.0
+        out_mod = cls().run(P2, y2)
+        np.testing.assert_allclose(out_full[:-5], out_mod[:-5])
+
+    @pytest.mark.parametrize("cls", ALL_COMBINERS)
+    def test_identical_experts_reduce_to_single(self, cls, rng):
+        truth = rng.standard_normal(50).cumsum()
+        column = truth + rng.standard_normal(50) * 0.2
+        P = np.column_stack([column, column, column])
+        out = cls().run(P, truth)
+        np.testing.assert_allclose(out, column, rtol=1e-6)
+
+
+class TestSE:
+    def test_is_row_mean(self, toy_matrix):
+        P, y = toy_matrix
+        np.testing.assert_allclose(SimpleEnsemble().run(P, y), P.mean(axis=1))
+
+
+class TestSWE:
+    def test_tracks_dominant_model(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = SlidingWindowEnsemble(window=10).run_with_weights(P, y)
+        # after warm-up, the low-noise model (column 1) dominates on average
+        assert weights[20:].mean(axis=0).argmax() == 1
+
+    def test_first_step_uniform(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = SlidingWindowEnsemble().run_with_weights(P, y)
+        np.testing.assert_allclose(weights[0], 0.25)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowEnsemble(window=0)
+
+
+class TestExpertCombiners:
+    def test_ewa_concentrates_on_best(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = ExponentiallyWeightedAverage(eta=5.0).run_with_weights(P, y)
+        assert weights[-1].argmax() == 1
+
+    def test_fs_keeps_minimum_share(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = FixedShare(eta=5.0, alpha=0.1).run_with_weights(P, y)
+        m = P.shape[1]
+        assert np.all(weights[5:] >= 0.1 / m - 1e-12)
+
+    def test_fs_recovers_after_regime_switch(self, rng):
+        """FS must move weight back to a model that becomes good again."""
+        T = 120
+        truth = np.zeros(T)
+        good_then_bad = np.where(np.arange(T) < 60, 0.01, 5.0)
+        bad_then_good = np.where(np.arange(T) < 60, 5.0, 0.01)
+        P = np.column_stack([
+            truth + good_then_bad * rng.standard_normal(T),
+            truth + bad_then_good * rng.standard_normal(T),
+        ])
+        _, w_fs = FixedShare(eta=5.0, alpha=0.1).run_with_weights(P, truth)
+        assert w_fs[-1, 1] > 0.5  # switched to the now-good expert
+
+    def test_ogd_moves_from_uniform(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = OnlineGradientDescent(eta0=1.0).run_with_weights(P, y)
+        assert not np.allclose(weights[-1], 0.25)
+
+    def test_mlpol_uniform_until_positive_regret(self, rng):
+        """With one expert exactly matching truth, MLPol must lock on."""
+        truth = rng.standard_normal(60).cumsum()
+        P = np.column_stack([truth, truth + 3.0, truth - 5.0])
+        _, weights = MLPoly().run_with_weights(P, truth)
+        assert weights[-1, 0] > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ExponentiallyWeightedAverage(eta=0.0)
+        with pytest.raises(ConfigurationError):
+            FixedShare(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            OnlineGradientDescent(eta0=-1.0)

@@ -1,0 +1,98 @@
+"""Tests for regret accounting of the expert-advice combiners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    MLPoly,
+    OnlineGradientDescent,
+    RegretTrajectory,
+    run_with_regret,
+    squared_loss_regret,
+)
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def expert_setup(rng):
+    """60-step problem where expert 0 is clearly best in hindsight."""
+    T = 60
+    truth = np.sin(np.arange(T) * 0.2)
+    P = np.column_stack([
+        truth + 0.05 * rng.standard_normal(T),
+        truth + 1.0 * rng.standard_normal(T),
+        truth + 2.0 * rng.standard_normal(T),
+    ])
+    return P, truth
+
+
+class TestSquaredLossRegret:
+    def test_identifies_best_expert(self, expert_setup):
+        P, y = expert_setup
+        trajectory = squared_loss_regret(P[:, 0], P, y)
+        assert trajectory.best_expert == 0
+
+    def test_playing_best_expert_zero_regret(self, expert_setup):
+        P, y = expert_setup
+        trajectory = squared_loss_regret(P[:, 0], P, y)
+        np.testing.assert_allclose(trajectory.cumulative_regret, 0.0)
+
+    def test_playing_worst_expert_positive_regret(self, expert_setup):
+        P, y = expert_setup
+        trajectory = squared_loss_regret(P[:, 2], P, y)
+        assert trajectory.final > 0
+
+    def test_shape_mismatch_raises(self, expert_setup):
+        P, y = expert_setup
+        with pytest.raises(DataValidationError):
+            squared_loss_regret(np.zeros(10), P, y)
+
+    def test_average_regret_length(self, expert_setup):
+        P, y = expert_setup
+        trajectory = squared_loss_regret(P.mean(axis=1), P, y)
+        assert trajectory.average_regret().shape == y.shape
+
+
+class TestCombinerRegret:
+    @pytest.mark.parametrize(
+        "combiner_cls",
+        [ExponentiallyWeightedAverage, FixedShare, OnlineGradientDescent, MLPoly],
+    )
+    def test_no_regret_learners_are_sublinear(self, combiner_cls, rng):
+        """All four expert algorithms must show decaying average regret
+        on a long run with a stable best expert."""
+        T = 400
+        truth = np.sin(np.arange(T) * 0.1)
+        P = np.column_stack([
+            truth + 0.05 * rng.standard_normal(T),
+            truth + 1.5 * rng.standard_normal(T),
+            truth + 1.5 * rng.standard_normal(T),
+        ])
+        trajectory = run_with_regret(combiner_cls(), P, truth)
+        assert trajectory.is_sublinear()
+
+    def test_ewa_regret_bounded_by_uniform(self, rng):
+        """EWA must end with less regret than the static uniform average
+        when one expert dominates."""
+        from repro.baselines import SimpleEnsemble
+
+        T = 400
+        truth = rng.standard_normal(T).cumsum()
+        P = np.column_stack([
+            truth + 0.05 * rng.standard_normal(T),
+            truth + 3.0 * rng.standard_normal(T),
+            truth + 3.0 * rng.standard_normal(T),
+        ])
+        ewa = run_with_regret(ExponentiallyWeightedAverage(eta=5.0), P, truth)
+        uniform = run_with_regret(SimpleEnsemble(), P, truth)
+        assert ewa.final < uniform.final
+
+    def test_sublinearity_helper(self):
+        decaying = RegretTrajectory(np.sqrt(np.arange(1, 101)), 0)
+        linear = RegretTrajectory(np.arange(1, 101, dtype=float), 0)
+        assert decaying.is_sublinear()
+        assert not linear.is_sublinear()

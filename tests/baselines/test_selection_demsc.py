@@ -1,0 +1,193 @@
+"""Tests for stacking, Top.sel, Clus, Page-Hinkley, DEMSC, and singles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DEMSC,
+    ClusterSelection,
+    PageHinkley,
+    SingleModelBaseline,
+    StackingCombiner,
+    TopSelection,
+    correlation_clusters,
+    make_single_baselines,
+)
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.models import NaiveForecaster
+
+
+class TestStacking:
+    def test_requires_fit(self, toy_matrix):
+        P, y = toy_matrix
+        with pytest.raises(NotFittedError):
+            StackingCombiner().run(P, y)
+
+    def test_fit_then_run(self, toy_matrix):
+        P, y = toy_matrix
+        combiner = StackingCombiner(n_estimators=10, seed=0)
+        combiner.fit(P[:50], y[:50])
+        out = combiner.run(P[50:], y[50:])
+        assert out.shape == (30,)
+        assert np.all(np.isfinite(out))
+
+    def test_meta_learner_tracks_best_column(self, toy_matrix):
+        P, y = toy_matrix
+        combiner = StackingCombiner(n_estimators=30, seed=0).fit(P[:60], y[:60])
+        out = combiner.run(P[60:], y[60:])
+        rmse = np.sqrt(np.mean((out - y[60:]) ** 2))
+        uniform_rmse = np.sqrt(np.mean((P[60:].mean(axis=1) - y[60:]) ** 2))
+        assert rmse < uniform_rmse * 2.0
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ConfigurationError):
+            StackingCombiner(n_estimators=0)
+
+
+class TestCorrelationClusters:
+    def test_identical_errors_cluster_together(self, rng):
+        base = rng.standard_normal(30)
+        errors = np.column_stack([base, base * 1.01, rng.standard_normal(30)])
+        clusters = correlation_clusters(errors, threshold=0.9)
+        cluster_sets = [set(c.tolist()) for c in clusters]
+        assert {0, 1} in cluster_sets
+
+    def test_independent_errors_stay_apart(self, rng):
+        errors = rng.standard_normal((40, 3))
+        clusters = correlation_clusters(errors, threshold=0.95)
+        assert len(clusters) == 3
+
+    def test_single_model(self):
+        clusters = correlation_clusters(np.zeros((10, 1)), threshold=0.9)
+        assert len(clusters) == 1
+
+    def test_covers_all_models(self, rng):
+        errors = rng.standard_normal((25, 6))
+        clusters = correlation_clusters(errors, threshold=0.5)
+        members = sorted(int(i) for c in clusters for i in c)
+        assert members == list(range(6))
+
+
+class TestTopSelection:
+    def test_only_top_k_weighted(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = TopSelection(top_k=2).run_with_weights(P, y)
+        nonzero_counts = (weights[5:] > 0).sum(axis=1)
+        assert np.all(nonzero_counts <= 2)
+
+    def test_selects_best_model(self, toy_matrix):
+        P, y = toy_matrix
+        _, weights = TopSelection(top_k=1, window=15).run_with_weights(P, y)
+        assert weights[30:].mean(axis=0).argmax() == 1
+
+    def test_k_larger_than_pool_ok(self, toy_matrix):
+        P, y = toy_matrix
+        out = TopSelection(top_k=100).run(P, y)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TopSelection(top_k=0)
+
+
+class TestClusterSelection:
+    def test_output_finite(self, toy_matrix):
+        P, y = toy_matrix
+        out = ClusterSelection().run(P, y)
+        assert np.all(np.isfinite(out))
+
+    def test_redundant_models_share_one_representative(self, rng):
+        truth = rng.standard_normal(60).cumsum()
+        noise = rng.standard_normal(60)
+        # models 0/1 nearly identical errors; model 2 independent
+        P = np.column_stack(
+            [truth + noise, truth + noise * 1.02, truth + rng.standard_normal(60)]
+        )
+        _, weights = ClusterSelection(
+            window=20, correlation_threshold=0.9
+        ).run_with_weights(P, truth)
+        late = weights[30:]
+        both_twins_active = np.mean((late[:, 0] > 0) & (late[:, 1] > 0))
+        assert both_twins_active < 0.2  # twins almost never co-selected
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSelection(correlation_threshold=1.5)
+
+
+class TestPageHinkley:
+    def test_no_drift_on_stationary_stream(self, rng):
+        detector = PageHinkley(threshold=10.0)
+        detections = sum(detector.update(abs(v)) for v in rng.normal(1.0, 0.1, 500))
+        assert detections == 0
+
+    def test_detects_level_shift(self, rng):
+        detector = PageHinkley(delta=0.05, threshold=5.0)
+        stream = np.concatenate([rng.normal(1.0, 0.1, 100), rng.normal(5.0, 0.1, 100)])
+        fired_at = [i for i, v in enumerate(stream) if detector.update(v)]
+        assert fired_at and fired_at[0] >= 100
+
+    def test_resets_after_detection(self, rng):
+        detector = PageHinkley(delta=0.05, threshold=5.0, burn_in=5)
+        stream = np.concatenate([np.ones(50), np.full(20, 10.0)])
+        any_detection = any(detector.update(v) for v in stream)
+        assert any_detection
+        assert detector.observations < 70  # reset cleared the count
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PageHinkley(threshold=0.0)
+
+
+class TestDEMSC:
+    def test_runs_and_is_finite(self, toy_matrix):
+        P, y = toy_matrix
+        out = DEMSC().run(P, y)
+        assert np.all(np.isfinite(out))
+
+    def test_prunes_to_fraction(self, toy_matrix):
+        P, y = toy_matrix
+        demsc = DEMSC(prune_fraction=0.5)
+        _, weights = demsc.run_with_weights(P, y)
+        active = (weights[10:] > 0).sum(axis=1)
+        assert np.all(active <= 2)  # half of 4 models
+
+    def test_drift_counter_exposed(self, rng):
+        T = 200
+        truth = np.concatenate([np.zeros(100), np.full(100, 8.0)])
+        P = truth[:, None] + 0.5 * rng.standard_normal((T, 3))
+        P[:, 2] += np.where(np.arange(T) < 100, 0.0, 4.0)  # model 2 breaks at drift
+        demsc = DEMSC(drift_threshold=2.0)
+        demsc.run(P, truth)
+        assert demsc.n_drift_updates_ >= 1
+
+    def test_competitive_accuracy(self, toy_matrix):
+        P, y = toy_matrix
+        out = DEMSC().run(P, y)
+        rmse = np.sqrt(np.mean((out - y) ** 2))
+        uniform = np.sqrt(np.mean((P.mean(axis=1) - y) ** 2))
+        assert rmse < uniform * 1.5
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            DEMSC(prune_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            DEMSC(window=1)
+
+
+class TestSingleBaselines:
+    def test_roster(self):
+        names = [b.name for b in make_single_baselines(neural_epochs=5)]
+        assert names == ["ARIMA", "RF", "GBM", "LSTM", "StLSTM"]
+
+    def test_adapter_runs(self, short_series):
+        baseline = SingleModelBaseline(NaiveForecaster(), "naive")
+        out = baseline.run(short_series, 150)
+        np.testing.assert_allclose(out, short_series[149:-1])
+
+    def test_start_too_small_raises(self, short_series):
+        baseline = SingleModelBaseline(NaiveForecaster(), "naive")
+        with pytest.raises(DataValidationError):
+            baseline.run(short_series, 5)

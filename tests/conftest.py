@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def short_series(rng) -> np.ndarray:
+    """A 200-point AR(1)-plus-season series for quick model fits."""
+    n = 200
+    t = np.arange(n)
+    season = 3.0 * np.sin(2 * np.pi * t / 24)
+    noise = np.zeros(n)
+    for i in range(1, n):
+        noise[i] = 0.6 * noise[i - 1] + rng.normal(0, 0.5)
+    return 10.0 + season + noise
+
+
+@pytest.fixture
+def toy_matrix(rng):
+    """(T, m) prediction matrix + truth where model 1 is clearly best."""
+    T, m = 80, 4
+    truth = np.sin(np.arange(T) * 0.25) * 2.0 + 5.0
+    noise_scale = np.array([1.0, 0.1, 0.7, 1.5])
+    predictions = truth[:, None] + noise_scale[None, :] * rng.standard_normal((T, m))
+    return predictions, truth

@@ -1,0 +1,206 @@
+"""Tests for the EADRL estimator (offline fit + online forecasting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EADRL, EADRLConfig
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.models import build_pool
+from repro.rl.ddpg import DDPGConfig
+
+
+def quick_config(**overrides) -> EADRLConfig:
+    defaults = dict(
+        episodes=4,
+        max_iterations=25,
+        ddpg=DDPGConfig(seed=0, batch_size=8, warmup_steps=40),
+    )
+    defaults.update(overrides)
+    return EADRLConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    from repro.datasets import load
+    from repro.preprocessing import train_test_split
+
+    series = load(9, n=300)
+    train, _ = train_test_split(series)
+    model = EADRL(pool_size="small", config=quick_config())
+    model.fit(train)
+    return model, series, train
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        EADRLConfig().validate()
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            EADRLConfig(window=1).validate()
+
+    def test_invalid_reward(self):
+        with pytest.raises(ConfigurationError):
+            EADRLConfig(reward="accuracy").validate()
+
+    def test_invalid_pool_fraction(self):
+        with pytest.raises(ConfigurationError):
+            EADRLConfig(pool_train_fraction=0.99).validate()
+
+    def test_paper_defaults(self):
+        config = EADRLConfig()
+        assert config.window == 10
+        assert config.embedding_dimension == 5
+        assert config.episodes == 100
+        assert config.ddpg.gamma == 0.9
+
+
+class TestFit:
+    def test_fit_returns_self(self, fitted_model):
+        model, _, _ = fitted_model
+        assert isinstance(model, EADRL)
+        assert model.agent is not None
+
+    def test_history_available_after_fit(self, fitted_model):
+        model, _, _ = fitted_model
+        assert model.training_history.n_episodes == 4
+
+    def test_unfitted_raises(self):
+        model = EADRL(pool_size="small", config=quick_config())
+        with pytest.raises(NotFittedError):
+            model.rolling_forecast(np.arange(100.0), 50)
+        with pytest.raises(NotFittedError):
+            model.training_history
+
+    def test_too_short_series_raises(self):
+        model = EADRL(pool_size="small", config=quick_config())
+        with pytest.raises(DataValidationError):
+            model.fit(np.arange(30.0))
+
+    def test_n_models(self, fitted_model):
+        model, _, _ = fitted_model
+        assert model.n_models == len(model.member_names())
+
+
+class TestRollingForecast:
+    def test_shape_and_finite(self, fitted_model):
+        model, series, train = fitted_model
+        preds = model.rolling_forecast(series, start=len(train))
+        assert preds.shape == (len(series) - len(train),)
+        assert np.all(np.isfinite(preds))
+
+    def test_weights_are_simplex(self, fitted_model):
+        model, series, train = fitted_model
+        _, weights = model.rolling_forecast(
+            series, start=len(train), return_weights=True
+        )
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        assert np.all(weights >= 0)
+
+    def test_reasonable_accuracy(self, fitted_model):
+        """EA-DRL must at worst be in the same ballpark as uniform."""
+        model, series, train = fitted_model
+        start = len(train)
+        preds = model.rolling_forecast(series, start=start)
+        truth = series[start:]
+        P = model.pool.prediction_matrix(series, start)
+        uniform_rmse = np.sqrt(np.mean((P.mean(axis=1) - truth) ** 2))
+        model_rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        assert model_rmse < uniform_rmse * 1.5
+
+    def test_predictions_in_series_units(self, fitted_model):
+        model, series, train = fitted_model
+        preds = model.rolling_forecast(series, start=len(train))
+        assert series.min() - 5 * series.std() < preds.mean() < series.max() + 5 * series.std()
+
+
+class TestAlgorithm1:
+    def test_multi_step_shape(self, fitted_model):
+        model, _, train = fitted_model
+        out = model.forecast(train, horizon=8)
+        assert out.shape == (8,)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_horizon(self, fitted_model):
+        model, _, train = fitted_model
+        with pytest.raises(ConfigurationError):
+            model.forecast(train, horizon=0)
+
+    def test_timed_forecast_returns_elapsed(self, fitted_model):
+        model, series, train = fitted_model
+        preds, elapsed = model.timed_rolling_forecast(series, len(train))
+        assert elapsed > 0
+        assert preds.shape == (len(series) - len(train),)
+
+
+class TestMatrixAPI:
+    def test_fit_policy_from_matrix(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        preds = model.rolling_forecast_from_matrix(P[60:])
+        assert preds.shape == (20,)
+
+    def test_matrix_weights_simplex(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        _, weights = model.rolling_forecast_from_matrix(P[60:], return_weights=True)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+
+    def test_matrix_mismatch_raises(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        with pytest.raises(DataValidationError):
+            model.fit_policy_from_matrix(P[:60], y[:50])
+
+    def test_forecast_before_matrix_fit_raises(self, toy_matrix):
+        P, _ = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        with pytest.raises(NotFittedError):
+            model.rolling_forecast_from_matrix(P)
+
+    def test_learns_dominant_model_weights(self, toy_matrix):
+        """On the fixture (model 1 clearly best) EA-DRL should shift most
+        of its mass onto column 1."""
+        P, y = toy_matrix
+        model = EADRL(
+            pool_size="small",
+            config=quick_config(episodes=20, max_iterations=40),
+        )
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        _, weights = model.rolling_forecast_from_matrix(P[60:], return_weights=True)
+        assert weights.mean(axis=0).argmax() == 1
+
+    def test_custom_bootstrap(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        preds = model.rolling_forecast_from_matrix(
+            P[60:], bootstrap_predictions=P[45:60]
+        )
+        assert preds.shape == (20,)
+
+    def test_short_bootstrap_raises(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        with pytest.raises(DataValidationError):
+            model.rolling_forecast_from_matrix(P[60:], bootstrap_predictions=P[:3])
+
+
+class TestRewardVariants:
+    @pytest.mark.parametrize("reward", ["rank", "nrmse", "rank+diversity"])
+    def test_all_rewards_train(self, toy_matrix, reward):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config(reward=reward))
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        assert model.training_history.n_episodes == 4
+
+    def test_custom_models_accepted(self, toy_matrix, short_series):
+        models = build_pool("small")[:4]
+        model = EADRL(models=models, config=quick_config())
+        model.fit(short_series)
+        assert model.n_models <= 4

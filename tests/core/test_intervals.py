@@ -1,0 +1,141 @@
+"""Tests for the prediction-interval estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IntervalEstimator, IntervalForecast, weighted_disagreement
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+
+
+@pytest.fixture
+def gaussian_setup(rng):
+    """Point forecasts with N(0, 1) errors on both calibration and test."""
+    n_cal, n_test = 300, 300
+    truth_cal = rng.standard_normal(n_cal).cumsum()
+    truth_test = rng.standard_normal(n_test).cumsum()
+    pred_cal = truth_cal + rng.normal(0, 1.0, n_cal)
+    pred_test = truth_test + rng.normal(0, 1.0, n_test)
+    return pred_cal, truth_cal, pred_test, truth_test
+
+
+class TestWeightedDisagreement:
+    def test_zero_for_identical_members(self):
+        P = np.ones((5, 3)) * 4.0
+        np.testing.assert_allclose(
+            weighted_disagreement(P, np.full(3, 1 / 3)), np.zeros(5)
+        )
+
+    def test_matches_std_under_uniform_weights(self, rng):
+        P = rng.standard_normal((20, 6))
+        spread = weighted_disagreement(P, np.full(6, 1 / 6))
+        np.testing.assert_allclose(spread, P.std(axis=1), rtol=1e-10)
+
+    def test_per_row_weights(self, rng):
+        P = rng.standard_normal((10, 4))
+        W = rng.dirichlet(np.ones(4), size=10)
+        spread = weighted_disagreement(P, W)
+        assert spread.shape == (10,)
+        assert np.all(spread >= 0)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            weighted_disagreement(rng.standard_normal((5, 3)), np.ones((4, 3)) / 3)
+
+
+class TestIntervalEstimator:
+    def test_coverage_near_nominal(self, gaussian_setup):
+        pred_cal, truth_cal, pred_test, truth_test = gaussian_setup
+        estimator = IntervalEstimator(alpha=0.1, disagreement_blend=0.0)
+        estimator.fit(pred_cal, truth_cal)
+        band = estimator.predict(pred_test)
+        assert 0.82 <= band.coverage(truth_test) <= 0.98
+
+    def test_lower_alpha_widens_band(self, gaussian_setup):
+        pred_cal, truth_cal, pred_test, _ = gaussian_setup
+        narrow = IntervalEstimator(alpha=0.4).fit(pred_cal, truth_cal)
+        wide = IntervalEstimator(alpha=0.05).fit(pred_cal, truth_cal)
+        assert (
+            wide.predict(pred_test).mean_width()
+            > narrow.predict(pred_test).mean_width()
+        )
+
+    def test_band_contains_mean(self, gaussian_setup):
+        pred_cal, truth_cal, pred_test, _ = gaussian_setup
+        band = IntervalEstimator().fit(pred_cal, truth_cal).predict(pred_test)
+        assert np.all(band.lower <= band.mean)
+        assert np.all(band.mean <= band.upper)
+
+    def test_disagreement_widens_in_uncertain_regimes(self, rng):
+        n = 200
+        truth = np.zeros(n)
+        pred = truth + rng.normal(0, 1.0, n)
+        members_cal = truth[:, None] + rng.normal(0, 1.0, (n, 4))
+        estimator = IntervalEstimator(alpha=0.1, disagreement_blend=1.0)
+        estimator.fit(pred, truth, member_predictions=members_cal)
+        calm = truth[:, None] + rng.normal(0, 0.2, (n, 4))
+        stormy = truth[:, None] + rng.normal(0, 5.0, (n, 4))
+        band_calm = estimator.predict(pred, member_predictions=calm)
+        band_stormy = estimator.predict(pred, member_predictions=stormy)
+        assert band_stormy.mean_width() > band_calm.mean_width()
+
+    def test_zero_blend_ignores_members(self, gaussian_setup, rng):
+        pred_cal, truth_cal, pred_test, _ = gaussian_setup
+        estimator = IntervalEstimator(disagreement_blend=0.0)
+        estimator.fit(pred_cal, truth_cal)
+        plain = estimator.predict(pred_test)
+        with_members = estimator.predict(
+            pred_test, member_predictions=rng.standard_normal((pred_test.size, 3))
+        )
+        np.testing.assert_allclose(plain.upper, with_members.upper)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IntervalEstimator().predict(np.zeros(5))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            IntervalEstimator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            IntervalEstimator(disagreement_blend=2.0)
+
+    def test_too_few_calibration_points(self):
+        with pytest.raises(DataValidationError):
+            IntervalEstimator().fit(np.zeros(5), np.zeros(5))
+
+    def test_interval_forecast_helpers(self):
+        band = IntervalForecast(
+            mean=np.array([0.0, 0.0]),
+            lower=np.array([-1.0, -1.0]),
+            upper=np.array([1.0, 1.0]),
+        )
+        assert band.coverage(np.array([0.5, 3.0])) == 0.5
+        assert band.mean_width() == 2.0
+
+    def test_end_to_end_with_eadrl(self, toy_matrix):
+        from repro.core import EADRL, EADRLConfig
+        from repro.rl.ddpg import DDPGConfig
+
+        P, y = toy_matrix
+        model = EADRL(
+            pool_size="small",
+            config=EADRLConfig(
+                episodes=3, max_iterations=15,
+                ddpg=DDPGConfig(seed=0, batch_size=8, warmup_steps=30),
+            ),
+        )
+        model.fit_policy_from_matrix(P[:50], y[:50])
+        cal_pred, cal_w = model.rolling_forecast_from_matrix(
+            P[50:65], return_weights=True
+        )
+        test_pred, test_w = model.rolling_forecast_from_matrix(
+            P[65:], return_weights=True
+        )
+        estimator = IntervalEstimator(alpha=0.2, disagreement_blend=0.5)
+        estimator.fit(cal_pred, y[50:65],
+                      member_predictions=P[50:65], weights=cal_w)
+        band = estimator.predict(test_pred, member_predictions=P[65:],
+                                 weights=test_w)
+        assert band.mean.shape == (15,)
+        assert band.coverage(y[65:]) >= 0.4

@@ -1,0 +1,200 @@
+"""Tests for synthetic components, generators, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import components as cmp
+from repro.datasets import generators as gen
+from repro.datasets import (
+    dataset_ids,
+    get_info,
+    list_datasets,
+    load,
+    load_by_name,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestComponents:
+    def test_linear_trend_endpoints(self):
+        trend = cmp.linear_trend(100, slope=5.0, intercept=2.0)
+        assert trend[0] == pytest.approx(2.0)
+        assert trend[-1] == pytest.approx(7.0)
+
+    def test_seasonal_periodicity(self):
+        wave = cmp.seasonal(240, period=24.0, amplitude=2.0)
+        np.testing.assert_allclose(wave[:24], wave[24:48], atol=1e-9)
+
+    def test_seasonal_amplitude(self):
+        wave = cmp.seasonal(1000, period=50.0, amplitude=3.0)
+        assert np.max(np.abs(wave)) <= 3.0 + 1e-9
+
+    def test_seasonal_invalid_period(self):
+        with pytest.raises(DataValidationError):
+            cmp.seasonal(10, period=0.0)
+
+    def test_ar_process_stationary_scale(self, rng):
+        x = cmp.ar_process(5000, [0.5], sigma=1.0, rng=rng)
+        # stationary std = sigma / sqrt(1 - phi²) ≈ 1.155
+        assert 1.0 < x.std() < 1.35
+
+    def test_ar_burn_in_removes_transient(self, rng):
+        x = cmp.ar_process(2000, [0.95], sigma=1.0, rng=rng)
+        first, second = x[:1000], x[1000:]
+        assert abs(first.std() - second.std()) < first.std()
+
+    def test_random_walk_starts_near_zero(self, rng):
+        walk = cmp.random_walk(100, sigma=1.0, rng=rng)
+        assert abs(walk[0]) < 5.0
+
+    def test_level_shifts(self):
+        shifts = cmp.level_shifts(100, [0.5], [3.0])
+        assert shifts[49] == 0.0
+        assert shifts[50] == 3.0
+
+    def test_level_shifts_validation(self):
+        with pytest.raises(DataValidationError):
+            cmp.level_shifts(100, [0.5], [1.0, 2.0])
+        with pytest.raises(DataValidationError):
+            cmp.level_shifts(100, [1.5], [1.0])
+
+    def test_bursts_nonnegative_and_decaying(self, rng):
+        x = cmp.bursts(500, rate=0.05, magnitude=2.0, decay=0.8, rng=rng)
+        assert np.all(x >= 0)
+        assert x.max() > 0
+
+    def test_bursts_rate_validation(self, rng):
+        with pytest.raises(DataValidationError):
+            cmp.bursts(10, rate=1.5, magnitude=1.0, decay=0.5, rng=rng)
+
+    def test_regime_volatility_switches(self, rng):
+        x = cmp.regime_volatility(5000, 0.1, 5.0, switch_prob=0.02, rng=rng)
+        # both regimes must appear: overall std between the two levels
+        assert 0.1 < x.std() < 5.0
+
+    def test_gbm_positive(self, rng):
+        path = cmp.geometric_brownian(500, 100.0, 0.0, 0.01, rng=rng)
+        assert np.all(path > 0)
+        assert path[0] == pytest.approx(100.0)
+
+    def test_gbm_invalid_start(self, rng):
+        with pytest.raises(DataValidationError):
+            cmp.geometric_brownian(10, -1.0, 0.0, 0.01, rng=rng)
+
+    def test_day_night_gate(self):
+        gate = cmp.day_night_gate(48, period=24, duty=0.5)
+        assert gate[:12].sum() == 12
+        assert gate[12:24].sum() == 0
+
+    def test_clamp(self):
+        np.testing.assert_allclose(
+            cmp.clamp_nonnegative(np.array([-1.0, 2.0])), [0.0, 2.0]
+        )
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            gen.water_consumption,
+            gen.humidity,
+            gen.wind_speed,
+            gen.bike_rentals,
+            gen.river_flow,
+            gen.cloud_cover,
+            gen.precipitation,
+            gen.solar_radiation,
+            gen.taxi_demand,
+            gen.nh4_concentration,
+            gen.indoor_temperature,
+            gen.dewpoint,
+            gen.stock_index,
+        ],
+    )
+    def test_finite_and_deterministic(self, fn):
+        a = fn(300, 42)
+        b = fn(300, 42)
+        assert np.all(np.isfinite(a))
+        np.testing.assert_array_equal(a, b)
+
+    def test_humidity_bounded(self):
+        h = gen.humidity(1000, 0)
+        assert np.all((h >= 1.0) & (h <= 100.0))
+
+    def test_cloud_cover_bounded(self):
+        c = gen.cloud_cover(1000, 0)
+        assert np.all((c >= 0.0) & (c <= 8.0))
+
+    def test_solar_radiation_has_nights(self):
+        s = gen.solar_radiation(480, 0)
+        assert np.mean(s == 0.0) > 0.3  # nights are dark
+
+    def test_precipitation_mostly_dry(self):
+        p = gen.precipitation(1000, 0)
+        assert np.all(p >= 0)
+        assert np.mean(p == 0.0) > 0.2
+
+    def test_taxi_demand_drift_changes_level(self):
+        with_drift = gen.taxi_demand(1000, 5, drift=True)
+        without = gen.taxi_demand(1000, 5, drift=False)
+        late_diff = with_drift[800:].mean() - without[800:].mean()
+        assert abs(late_diff) > 2.0
+
+    def test_stock_index_near_start(self):
+        s = gen.stock_index(500, 0, start=5000.0)
+        assert 3000 < s.mean() < 7000
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(gen.river_flow(200, 1), gen.river_flow(200, 2))
+
+
+class TestRegistry:
+    def test_twenty_datasets(self):
+        assert dataset_ids() == list(range(1, 21))
+        assert len(list_datasets()) == 20
+
+    def test_info_fields(self):
+        info = get_info(9)
+        assert info.name == "taxi_demand_1"
+        assert info.source == "Porto taxi data"
+        assert info.cadence == "half-hourly"
+
+    def test_load_deterministic(self):
+        np.testing.assert_array_equal(load(3), load(3))
+
+    def test_load_custom_length(self):
+        assert load(5, n=250).size == 250
+
+    def test_load_custom_seed_changes_data(self):
+        assert not np.array_equal(load(5, seed=1), load(5, seed=2))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            load(21)
+        with pytest.raises(ConfigurationError):
+            get_info(0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ConfigurationError):
+            load(1, n=10)
+
+    def test_load_by_name(self):
+        np.testing.assert_array_equal(load_by_name("taxi_demand_1"), load(9))
+
+    def test_load_by_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load_by_name("nope")
+
+    def test_all_series_finite(self):
+        for info in list_datasets():
+            series = info.generate(n=200)
+            assert np.all(np.isfinite(series)), info.name
+
+    def test_taxi_pair_distinct(self):
+        assert not np.array_equal(load(9), load(10))
+
+    def test_stock_indices_distinct(self):
+        assert not np.array_equal(load(18), load(19))
+        assert not np.array_equal(load(19), load(20))

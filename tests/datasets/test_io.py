@@ -1,0 +1,96 @@
+"""Tests for CSV dataset import/export."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    export_registry_csv,
+    load,
+    load_series_csv,
+    save_series_csv,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestRoundtrip:
+    def test_with_index(self, tmp_path, rng):
+        series = rng.standard_normal(50)
+        path = tmp_path / "series.csv"
+        save_series_csv(series, path)
+        np.testing.assert_allclose(load_series_csv(path), series)
+
+    def test_without_index(self, tmp_path, rng):
+        series = rng.standard_normal(30)
+        path = tmp_path / "plain.csv"
+        save_series_csv(series, path, include_index=False)
+        np.testing.assert_allclose(load_series_csv(path), series)
+
+    def test_exact_float_precision(self, tmp_path):
+        series = np.array([1.0 / 3.0, np.pi, 1e-17 + 1.0])
+        path = tmp_path / "precise.csv"
+        save_series_csv(series, path)
+        np.testing.assert_array_equal(load_series_csv(path), series)
+
+
+class TestLoadVariants:
+    def test_headerless_single_column(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.5\n2.5\n3.5\n")
+        np.testing.assert_allclose(load_series_csv(path), [1.5, 2.5, 3.5])
+
+    def test_named_column_selection(self, tmp_path):
+        path = tmp_path / "multi.csv"
+        path.write_text("a,b\n1,10\n2,20\n")
+        np.testing.assert_allclose(load_series_csv(path, column="a"), [1, 2])
+        np.testing.assert_allclose(load_series_csv(path, column="b"), [10, 20])
+
+    def test_default_is_last_column(self, tmp_path):
+        path = tmp_path / "indexed.csv"
+        path.write_text("t,value\n0,7.0\n1,8.0\n")
+        np.testing.assert_allclose(load_series_csv(path), [7.0, 8.0])
+
+    def test_unknown_column_raises(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(DataValidationError):
+            load_series_csv(path, column="missing")
+
+    def test_column_without_header_raises(self, tmp_path):
+        path = tmp_path / "nh.csv"
+        path.write_text("1\n2\n")
+        with pytest.raises(DataValidationError):
+            load_series_csv(path, column="a")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataValidationError):
+            load_series_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("value\n")
+        with pytest.raises(DataValidationError):
+            load_series_csv(path)
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("value\n1.0\nnot_a_number\n")
+        with pytest.raises(DataValidationError):
+            load_series_csv(path)
+
+
+class TestRegistryExport:
+    def test_exports_twenty_files(self, tmp_path):
+        paths = export_registry_csv(tmp_path, n=100)
+        assert len(paths) == 20
+        assert all(os.path.exists(p) for p in paths)
+
+    def test_exported_content_matches_registry(self, tmp_path):
+        paths = export_registry_csv(tmp_path, n=100)
+        taxi = [p for p in paths if "taxi_demand_1" in p][0]
+        np.testing.assert_allclose(load_series_csv(taxi), load(9, n=100))

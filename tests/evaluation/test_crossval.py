@@ -1,0 +1,67 @@
+"""Tests for rolling-origin cross-validated evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimpleEnsemble, SlidingWindowEnsemble
+from repro.evaluation import (
+    CrossValResult,
+    ProtocolConfig,
+    rolling_origin_evaluation,
+)
+from repro.exceptions import ConfigurationError
+
+TINY = ProtocolConfig(
+    series_length=240, episodes=2, max_iterations=10, neural_epochs=5
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return rolling_origin_evaluation(
+        9,
+        {"SE": SimpleEnsemble, "SWE": SlidingWindowEnsemble},
+        config=TINY,
+        n_folds=3,
+    )
+
+
+class TestRollingOriginEvaluation:
+    def test_fold_counts(self, result):
+        assert result.n_folds == 3
+        assert set(result.fold_rmse) == {"SE", "SWE", "EA-DRL"}
+
+    def test_all_rmse_finite(self, result):
+        for values in result.fold_rmse.values():
+            assert all(np.isfinite(v) for v in values)
+
+    def test_summary_shapes(self, result):
+        summary = result.summary()
+        for mean, std in summary.values():
+            assert mean > 0
+            assert std >= 0
+
+    def test_best_method_is_min_mean(self, result):
+        summary = result.summary()
+        best = result.best_method()
+        assert summary[best][0] == min(mean for mean, _ in summary.values())
+
+    def test_without_eadrl(self):
+        res = rolling_origin_evaluation(
+            15,
+            {"SE": SimpleEnsemble},
+            config=TINY,
+            n_folds=2,
+            include_eadrl=False,
+        )
+        assert set(res.fold_rmse) == {"SE"}
+
+    def test_invalid_folds(self):
+        with pytest.raises(ConfigurationError):
+            rolling_origin_evaluation(9, {"SE": SimpleEnsemble}, n_folds=1)
+
+    def test_mismatched_folds_give_zero(self):
+        broken = CrossValResult(9, {"a": [1.0, 2.0], "b": [1.0]})
+        assert broken.n_folds == 0

@@ -1,0 +1,173 @@
+"""Tests for the evaluation harness (protocol, runner, tables, figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ProtocolConfig,
+    ascii_curve,
+    episodes_to_convergence,
+    format_table,
+    prepare_dataset,
+    run_all_methods,
+    run_combiner,
+    run_eadrl,
+    run_fig2,
+    run_q3,
+    run_table2,
+    run_table3,
+    summarise_rmse,
+)
+from repro.baselines import SimpleEnsemble
+from repro.exceptions import ConfigurationError
+
+
+QUICK = ProtocolConfig(
+    series_length=220,
+    episodes=3,
+    max_iterations=20,
+    neural_epochs=5,
+    pool_size="small",
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare_dataset(9, QUICK)
+
+
+class TestProtocol:
+    def test_prepared_shapes(self, prepared):
+        assert prepared.test_predictions.shape[0] == prepared.test.size
+        assert prepared.meta_predictions.shape[0] == prepared.meta_truth.size
+        assert prepared.meta_predictions.shape[1] == prepared.n_models
+
+    def test_split_is_75_25(self, prepared):
+        total = prepared.train.size + prepared.test.size
+        assert prepared.train.size == pytest.approx(0.75 * total, abs=1)
+
+    def test_matrices_finite(self, prepared):
+        assert np.all(np.isfinite(prepared.meta_predictions))
+        assert np.all(np.isfinite(prepared.test_predictions))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(series_length=50).validate()
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(train_fraction=0.3).validate()
+
+
+class TestRunner:
+    def test_run_eadrl(self, prepared):
+        result = run_eadrl(prepared, QUICK)
+        assert result.method == "EA-DRL"
+        assert result.predictions.shape == prepared.test.shape
+        assert result.online_seconds > 0
+        assert np.isfinite(result.rmse)
+
+    def test_run_combiner_canonical_name(self, prepared):
+        result = run_combiner(prepared, SimpleEnsemble())
+        assert result.method == "SE"
+
+    def test_run_all_methods_roster(self, prepared):
+        results = run_all_methods(prepared, QUICK, include_singles=False)
+        expected = {
+            "SE", "SWE", "EWA", "FS", "OGD", "MLPol",
+            "Stacking", "Clus", "Top.sel", "DEMSC", "EA-DRL",
+        }
+        assert set(results) == expected
+
+    def test_errors_property(self, prepared):
+        result = run_combiner(prepared, SimpleEnsemble())
+        np.testing.assert_allclose(
+            result.errors, result.predictions - result.truth
+        )
+
+
+class TestTable2:
+    def test_structure(self):
+        result = run_table2(dataset_ids=[9], config=QUICK, include_singles=False)
+        assert len(result.pairwise) == 10  # ten combiner baselines
+        assert "EA-DRL" in result.avg_ranks
+        rendered = result.render()
+        assert "Table II" in rendered
+        assert "EA-DRL" in rendered
+
+    def test_rank_consistency(self):
+        result = run_table2(dataset_ids=[9], config=QUICK, include_singles=False)
+        # with a single dataset every method has a distinct integer rank
+        ranks = [mean for mean, _ in result.avg_ranks.values()]
+        assert sorted(ranks) == list(range(1, len(ranks) + 1))
+
+    def test_wins_plus_losses_bounded_by_datasets(self):
+        result = run_table2(dataset_ids=[9, 4], config=QUICK, include_singles=False)
+        for row in result.pairwise:
+            assert row.wins + row.losses <= 2
+            assert row.significant_wins <= row.wins
+            assert row.significant_losses <= row.losses
+
+
+class TestTable3:
+    def test_runtime_rows(self):
+        result = run_table3(dataset_ids=[9], config=QUICK, repeats=2)
+        summary = result.summary()
+        assert set(summary) == {"EA-DRL", "DEMSC"}
+        assert all(mean > 0 for mean, _ in summary.values())
+        assert "Table III" in result.render()
+
+
+class TestFig2:
+    def test_two_curves(self, prepared):
+        result = run_fig2(prepared=prepared, config=QUICK)
+        assert result.rank_curve().reward == "rank"
+        assert result.nrmse_curve().reward == "nrmse"
+        assert len(result.rank_curve().episode_rewards) == QUICK.episodes
+
+    def test_curve_diagnostics(self, prepared):
+        result = run_fig2(prepared=prepared, config=QUICK)
+        curve = result.rank_curve()
+        assert np.isfinite(curve.improvement())
+        assert curve.tail_stability() >= 0
+
+
+class TestQ3:
+    def test_convergence_detection_on_synthetic_curves(self):
+        fast = np.concatenate([np.linspace(0, 1, 10), np.ones(40)])
+        slow = np.concatenate([np.linspace(0, 1, 40), np.ones(10)])
+        assert episodes_to_convergence(fast) < episodes_to_convergence(slow)
+
+    def test_flat_curve_converges_immediately(self):
+        assert episodes_to_convergence(np.ones(30)) == 1
+
+    def test_never_converging_returns_length(self):
+        rng = np.random.default_rng(0)
+        jagged = rng.standard_normal(30) * np.linspace(1, 2, 30)
+        out = episodes_to_convergence(jagged, tolerance=0.01, patience=10)
+        assert out <= 30
+
+    def test_run_q3(self, prepared):
+        result = run_q3(prepared=prepared, config=QUICK)
+        assert set(result.convergence_episodes) == {"median", "uniform"}
+        assert result.speedup > 0
+
+
+class TestReporting:
+    def test_format_table_aligned(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+
+    def test_ascii_curve_renders(self):
+        art = ascii_curve(np.sin(np.linspace(0, 6, 100)), label="sine")
+        assert "sine" in art
+        assert "*" in art
+
+    def test_ascii_curve_empty(self):
+        assert "no data" in ascii_curve([])
+
+    def test_summarise_rmse_sorted(self):
+        summary = summarise_rmse({"b": [2.0, 2.0], "a": [1.0, 1.0]})
+        assert summary[0][0] == "a"

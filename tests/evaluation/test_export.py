@@ -1,0 +1,74 @@
+"""Tests for JSON export of harness results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import load_result, result_to_dict, save_result
+from repro.evaluation.fig2 import Fig2Result, LearningCurve
+from repro.evaluation.q3 import Q3Result
+from repro.evaluation.table2 import Table2Result
+from repro.evaluation.table3 import Table3Result
+from repro.metrics.comparison import PairwiseResult
+
+
+@pytest.fixture
+def table2():
+    return Table2Result(
+        pairwise=[PairwiseResult("SE", 3, 1, 2, 0)],
+        avg_ranks={"SE": (2.0, 0.1), "EA-DRL": (1.0, 0.0)},
+        rmse_by_method={"SE": [1.0], "EA-DRL": [0.5]},
+        dataset_ids=[9],
+    )
+
+
+class TestResultToDict:
+    def test_table2_kind(self, table2):
+        payload = result_to_dict(table2)
+        assert payload["kind"] == "table2"
+
+    def test_table3(self):
+        result = Table3Result(
+            runtimes={"EA-DRL": [0.1, 0.2], "DEMSC": [0.3, 0.4]},
+            dataset_ids=[1, 2],
+        )
+        payload = result_to_dict(result)
+        assert payload["kind"] == "table3"
+        assert payload["runtimes"]["DEMSC"] == [0.3, 0.4]
+
+    def test_fig2(self):
+        result = Fig2Result(
+            dataset_id=9,
+            curves={
+                "rank": LearningCurve("rank", [1.0, 2.0]),
+                "nrmse": LearningCurve("nrmse", [0.5, 0.4]),
+            },
+        )
+        payload = result_to_dict(result)
+        assert payload["kind"] == "fig2"
+        assert payload["curves"]["rank"] == [1.0, 2.0]
+
+    def test_q3(self):
+        result = Q3Result(
+            dataset_id=9,
+            convergence_episodes={"median": 5, "uniform": 12},
+            training_seconds={"median": 1.0, "uniform": 1.1},
+            curves={"median": np.array([1.0]), "uniform": np.array([0.5])},
+        )
+        payload = result_to_dict(result)
+        assert payload["kind"] == "q3"
+        assert payload["convergence_episodes"]["uniform"] == 12
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            result_to_dict({"not": "a result"})
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, table2, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(table2, path)
+        restored = load_result(path)
+        assert restored["kind"] == "table2"
+        assert restored["avg_ranks"]["EA-DRL"]["mean"] == 1.0

@@ -1,0 +1,152 @@
+"""Tests for multi-step evaluation and weight-trajectory analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EADRL, EADRLConfig
+from repro.evaluation import (
+    HorizonProfile,
+    WeightSummary,
+    compare_weight_trajectories,
+    dominant_members,
+    effective_pool_size,
+    evaluate_eadrl_multistep,
+    evaluate_forecaster_multistep,
+    multistep_comparison,
+    weight_entropy,
+    weight_turnover,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models import NaiveForecaster, SimpleExpSmoothing
+from repro.rl.ddpg import DDPGConfig
+
+
+class TestHorizonProfile:
+    def test_overall_is_rms_of_steps(self):
+        profile = HorizonProfile("x", np.array([1.0, 2.0]))
+        assert profile.overall == pytest.approx(np.sqrt(2.5))
+
+    def test_degradation_ratio(self):
+        profile = HorizonProfile("x", np.array([1.0, 3.0]))
+        assert profile.degradation_ratio() == 3.0
+
+
+class TestForecasterMultistep:
+    def test_naive_profile_shape(self, short_series):
+        model = NaiveForecaster().fit(short_series[:150])
+        profile = evaluate_forecaster_multistep(
+            model, short_series, 150, horizon=5, n_origins=8
+        )
+        assert profile.horizon_rmse.shape == (5,)
+        assert np.all(profile.horizon_rmse > 0)
+
+    def test_error_grows_with_horizon_on_ar_data(self, short_series):
+        model = SimpleExpSmoothing().fit(short_series[:150])
+        profile = evaluate_forecaster_multistep(
+            model, short_series, 150, horizon=10, n_origins=10
+        )
+        # AR-ish series: long-horizon error exceeds one-step error
+        assert profile.horizon_rmse[-1] > profile.horizon_rmse[0] * 0.8
+
+    def test_too_short_series_raises(self, short_series):
+        model = NaiveForecaster().fit(short_series)
+        with pytest.raises(DataValidationError):
+            evaluate_forecaster_multistep(
+                model, short_series, short_series.size - 2, horizon=10
+            )
+
+
+class TestEADRLMultistep:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.datasets import load
+
+        series = load(9, n=300)
+        model = EADRL(
+            pool_size="small",
+            config=EADRLConfig(
+                episodes=3,
+                max_iterations=15,
+                ddpg=DDPGConfig(seed=0, batch_size=8, warmup_steps=30),
+            ),
+        )
+        model.fit(series[:225])
+        return model, series
+
+    def test_profile_shape(self, fitted):
+        model, series = fitted
+        profile = evaluate_eadrl_multistep(model, series, 225, horizon=6, n_origins=5)
+        assert profile.method == "EA-DRL"
+        assert profile.horizon_rmse.shape == (6,)
+
+    def test_comparison_includes_all_methods(self, fitted):
+        model, series = fitted
+        naive = NaiveForecaster().fit(series[:225])
+        profiles = multistep_comparison(
+            model, [naive], series, 225, horizon=5, n_origins=4
+        )
+        assert set(profiles) == {"EA-DRL", "naive"}
+
+    def test_invalid_horizon(self, fitted):
+        model, series = fitted
+        with pytest.raises(ConfigurationError):
+            multistep_comparison(model, [], series, 225, horizon=0)
+
+
+class TestWeightAnalysis:
+    def test_entropy_uniform_is_log_m(self):
+        W = np.full((5, 4), 0.25)
+        np.testing.assert_allclose(weight_entropy(W), np.log(4))
+
+    def test_entropy_one_hot_is_zero(self):
+        W = np.tile(np.eye(3)[0], (5, 1))
+        np.testing.assert_allclose(weight_entropy(W), 0.0, atol=1e-9)
+
+    def test_effective_pool_size(self):
+        uniform = np.full((3, 8), 0.125)
+        np.testing.assert_allclose(effective_pool_size(uniform), 8.0)
+
+    def test_turnover_static_zero(self):
+        W = np.tile([0.3, 0.7], (6, 1))
+        np.testing.assert_allclose(weight_turnover(W), 0.0)
+
+    def test_turnover_complete_flip_is_one(self):
+        W = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(weight_turnover(W), [1.0])
+
+    def test_turnover_needs_two_steps(self):
+        with pytest.raises(DataValidationError):
+            weight_turnover(np.array([[0.5, 0.5]]))
+
+    def test_dominant_members(self):
+        W = np.tile([0.6, 0.35, 0.05], (10, 1))
+        names = ["a", "b", "c"]
+        assert dominant_members(W, names, threshold=0.1) == ["a", "b"]
+
+    def test_dominant_members_name_mismatch(self):
+        with pytest.raises(DataValidationError):
+            dominant_members(np.full((2, 3), 1 / 3), ["a", "b"])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(DataValidationError):
+            weight_entropy(np.array([[0.5, 0.6]]))  # rows don't sum to 1
+        with pytest.raises(DataValidationError):
+            weight_entropy(np.array([0.5, 0.5]))  # 1-D
+
+    def test_summary_fields(self):
+        W = np.tile([0.5, 0.5], (4, 1))
+        summary = WeightSummary.from_weights(W)
+        assert summary.mean_effective_size == pytest.approx(2.0)
+        assert summary.mean_turnover == 0.0
+        assert summary.max_mean_weight == 0.5
+
+    def test_compare_trajectories(self):
+        out = compare_weight_trajectories(
+            {
+                "uniform": np.full((5, 4), 0.25),
+                "onehot": np.tile(np.eye(4)[1], (5, 1)),
+            }
+        )
+        assert out["uniform"].mean_effective_size > out["onehot"].mean_effective_size

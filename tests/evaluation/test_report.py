@@ -1,0 +1,53 @@
+"""Tests for the one-command markdown report generator."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation import ProtocolConfig
+from repro.evaluation.report import generate_report, write_report
+
+TINY = ProtocolConfig(
+    series_length=200,
+    pool_size="small",
+    episodes=2,
+    max_iterations=10,
+    neural_epochs=5,
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(
+        dataset_ids=[9], config=TINY, include_singles=False, fig2_dataset=9
+    )
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in ("# EA-DRL reproduction report", "## Table II",
+                        "## Table III", "## Figure 2", "## Q3"):
+            assert heading in report_text
+
+    def test_mentions_methods(self, report_text):
+        assert "EA-DRL" in report_text
+        assert "DEMSC" in report_text
+
+    def test_reports_rank_position(self, report_text):
+        assert "average rank" in report_text
+        assert "position" in report_text
+
+    def test_markdown_code_fences_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = os.path.join(tmp_path, "report.md")
+        text = write_report(
+            path, dataset_ids=[9], config=TINY, include_singles=False
+        )
+        with open(path) as handle:
+            assert handle.read() == text

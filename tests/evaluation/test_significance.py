@@ -1,0 +1,64 @@
+"""Tests for the any-vs-any significance matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import SignificanceMatrix, significance_matrix
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def three_methods():
+    return {
+        "good": [1.0, 1.1, 0.9, 1.0, 1.05],
+        "mid": [1.5, 1.4, 1.6, 1.5, 1.55],
+        "bad": [2.0, 2.2, 1.9, 2.1, 2.05],
+    }
+
+
+class TestSignificanceMatrix:
+    def test_dominance_ordering(self, three_methods):
+        matrix = significance_matrix(three_methods, seed=0)
+        i = matrix.methods.index("good")
+        j = matrix.methods.index("bad")
+        assert matrix.probability[i, j] > 0.9
+        assert matrix.probability[j, i] < 0.1
+
+    def test_diagonal_is_half(self, three_methods):
+        matrix = significance_matrix(three_methods, seed=0)
+        np.testing.assert_allclose(np.diag(matrix.probability), 0.5)
+
+    def test_wins_counting(self, three_methods):
+        matrix = significance_matrix(three_methods, seed=0)
+        wins = matrix.wins_at(threshold=0.8)
+        assert wins["good"] == 2
+        assert wins["bad"] == 0
+
+    def test_render_contains_methods(self, three_methods):
+        text = significance_matrix(three_methods, seed=0).render()
+        for name in three_methods:
+            assert name in text
+
+    def test_single_method_raises(self):
+        with pytest.raises(DataValidationError):
+            significance_matrix({"only": [1.0, 2.0]})
+
+    def test_misaligned_counts_raise(self):
+        with pytest.raises(DataValidationError):
+            significance_matrix({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_reproducible(self, three_methods):
+        a = significance_matrix(three_methods, seed=3)
+        b = significance_matrix(three_methods, seed=3)
+        np.testing.assert_array_equal(a.probability, b.probability)
+
+    def test_rope_pushes_to_uncertainty(self):
+        close = {
+            "x": [1.00, 1.01, 0.99, 1.00],
+            "y": [1.01, 1.00, 1.00, 0.99],
+        }
+        matrix = significance_matrix(close, rope=0.5, seed=0)
+        off_diag = matrix.probability[0, 1]
+        assert off_diag < 0.5  # most mass in the rope, not on either side

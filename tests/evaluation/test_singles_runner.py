@@ -1,0 +1,42 @@
+"""Tests for the standalone-baseline runner path (ARIMA/RF/GBM/LSTM/StLSTM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ProtocolConfig, prepare_dataset, run_singles
+
+TINY = ProtocolConfig(
+    series_length=200, episodes=2, max_iterations=10, neural_epochs=3
+)
+
+
+@pytest.fixture(scope="module")
+def singles_results():
+    run = prepare_dataset(15, TINY)
+    return run, run_singles(run, TINY)
+
+
+class TestRunSingles:
+    def test_all_five_baselines(self, singles_results):
+        _, results = singles_results
+        names = [r.method for r in results]
+        assert names == ["ARIMA", "RF", "GBM", "LSTM", "StLSTM"]
+
+    def test_predictions_align_with_test(self, singles_results):
+        run, results = singles_results
+        for result in results:
+            assert result.predictions.shape == run.test.shape
+            assert np.all(np.isfinite(result.predictions))
+
+    def test_runtimes_recorded(self, singles_results):
+        _, results = singles_results
+        assert all(r.online_seconds > 0 for r in results)
+
+    def test_rmse_sane(self, singles_results):
+        run, results = singles_results
+        spread = run.test.std()
+        for result in results:
+            # nothing should be worse than 20x the series' own std
+            assert result.rmse < 20 * spread

@@ -1,0 +1,58 @@
+"""Tests for Table2Result extras: Bayes sign test and JSON export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.table2 import Table2Result
+from repro.metrics.comparison import PairwiseResult
+
+
+@pytest.fixture
+def result():
+    return Table2Result(
+        pairwise=[PairwiseResult("SE", wins=4, significant_wins=2,
+                                 losses=1, significant_losses=0)],
+        avg_ranks={"SE": (2.0, 0.5), "EA-DRL": (1.0, 0.0)},
+        rmse_by_method={
+            "SE": [2.0, 2.5, 3.0, 2.2, 2.8],
+            "EA-DRL": [1.0, 1.2, 1.1, 1.3, 1.0],
+        },
+        dataset_ids=[1, 2, 3, 4, 5],
+    )
+
+
+class TestSignTest:
+    def test_eadrl_dominates(self, result):
+        posterior = result.sign_test("SE", seed=0)
+        assert posterior.p_right > 0.9  # EA-DRL better on every dataset
+
+    def test_unknown_method_raises(self, result):
+        with pytest.raises(KeyError):
+            result.sign_test("nonexistent")
+
+    def test_rope_parameter(self, result):
+        wide_rope = result.sign_test("SE", rope=100.0, seed=0)
+        assert wide_rope.p_rope > 0.9
+
+
+class TestToDict:
+    def test_json_serialisable(self, result):
+        payload = result.to_dict()
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["dataset_ids"] == [1, 2, 3, 4, 5]
+        assert restored["avg_ranks"]["EA-DRL"]["mean"] == 1.0
+        assert restored["pairwise"][0]["method"] == "SE"
+        assert restored["pairwise"][0]["wins"] == 4
+
+    def test_rmse_values_floats(self, result):
+        payload = result.to_dict()
+        for values in payload["rmse_by_method"].values():
+            assert all(isinstance(v, float) for v in values)
+
+    def test_render_still_works(self, result):
+        assert "EA-DRL" in result.render()

@@ -1,0 +1,102 @@
+"""Integration tests across modules: the full EA-DRL pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DEMSC, SimpleEnsemble, SlidingWindowEnsemble
+from repro.core import EADRL, EADRLConfig
+from repro.datasets import load
+from repro.evaluation import ProtocolConfig, prepare_dataset, run_all_methods
+from repro.metrics import rmse
+from repro.models import ForecasterPool, build_pool
+from repro.preprocessing import train_test_split
+from repro.rl.ddpg import DDPGConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Full fit on a drift dataset, shared by the assertions below."""
+    series = load(9, n=320)
+    train, test = train_test_split(series)
+    config = EADRLConfig(
+        episodes=12,
+        max_iterations=40,
+        ddpg=DDPGConfig(seed=2, batch_size=16),
+    )
+    model = EADRL(pool_size="small", config=config).fit(train)
+    return model, series, train, test
+
+
+class TestFullPipeline:
+    def test_eadrl_beats_worst_member(self, pipeline):
+        model, series, train, test = pipeline
+        start = len(train)
+        preds = model.rolling_forecast(series, start)
+        P = model.pool.prediction_matrix(series, start)
+        member_rmses = [rmse(P[:, i], test) for i in range(P.shape[1])]
+        assert rmse(preds, test) < max(member_rmses)
+
+    def test_eadrl_close_to_uniform_or_better(self, pipeline):
+        """Sanity bound, not a performance claim (that is Table II's job):
+        the learned combination must stay in the same ballpark as the
+        uniform ensemble even on this drift-heavy dataset."""
+        model, series, train, test = pipeline
+        start = len(train)
+        preds = model.rolling_forecast(series, start)
+        P = model.pool.prediction_matrix(series, start)
+        uniform = rmse(P.mean(axis=1), test)
+        assert rmse(preds, test) <= uniform * 2.0
+
+    def test_learning_curve_improves(self, pipeline):
+        model, *_ = pipeline
+        rewards = np.asarray(model.training_history.episode_rewards)
+        first, last = rewards[:3].mean(), rewards[-3:].mean()
+        assert last >= first - 0.5  # never collapses
+
+    def test_multi_step_forecast_is_bounded(self, pipeline):
+        model, series, train, _ = pipeline
+        horizon = model.forecast(train, horizon=20)
+        spread = series.max() - series.min()
+        assert np.all(horizon > series.min() - spread)
+        assert np.all(horizon < series.max() + spread)
+
+
+class TestSharedPoolComparison:
+    def test_combiners_agree_on_matrix_shape(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series[:140])
+        P = pool.prediction_matrix(short_series, 140)
+        truth = short_series[140:]
+        for combiner in (SimpleEnsemble(), SlidingWindowEnsemble(), DEMSC()):
+            out = combiner.run(P, truth)
+            assert out.shape == truth.shape
+
+    def test_dynamic_methods_beat_static_under_drift(self):
+        """On a series with an abrupt level shift, sliding-window weights
+        must beat the frozen uniform average — the paper's core premise."""
+        rng = np.random.default_rng(0)
+        T = 300
+        truth = np.concatenate([np.zeros(150), np.full(150, 10.0)])
+        truth = truth + rng.normal(0, 0.2, T)
+        # model 0 good before drift, model 1 good after
+        model0 = truth + np.where(np.arange(T) < 150, 0.1, 5.0) * rng.standard_normal(T)
+        model1 = truth + np.where(np.arange(T) < 150, 5.0, 0.1) * rng.standard_normal(T)
+        P = np.column_stack([model0, model1])
+        swe = SlidingWindowEnsemble(window=10).run(P, truth)
+        uniform = SimpleEnsemble().run(P, truth)
+        assert rmse(swe, truth) < rmse(uniform, truth)
+
+
+class TestHarnessEndToEnd:
+    def test_all_methods_on_one_dataset(self):
+        cfg = ProtocolConfig(
+            series_length=220, episodes=3, max_iterations=15, neural_epochs=5
+        )
+        run = prepare_dataset(4, cfg)
+        results = run_all_methods(run, cfg, include_singles=False)
+        rmses = {name: r.rmse for name, r in results.items()}
+        assert all(np.isfinite(v) for v in rmses.values())
+        best = min(rmses.values())
+        worst = max(rmses.values())
+        assert worst < best * 100  # no method is catastrophically broken

@@ -1,0 +1,156 @@
+"""Failure-injection tests: the system must fail loudly and precisely.
+
+These tests inject broken components (NaN-emitting models, exploding
+members, corrupt matrices) and assert the library either isolates the
+failure (pool robustness) or raises its typed errors rather than
+propagating garbage numbers.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines import DEMSC, SimpleEnsemble, SlidingWindowEnsemble
+from repro.core import EADRL, EADRLConfig
+from repro.exceptions import DataValidationError
+from repro.models import ForecasterPool, MeanForecaster
+from repro.models.base import Forecaster
+from repro.rl import EnsembleMDP
+from repro.rl.ddpg import DDPGConfig
+
+
+class _NaNModel(Forecaster):
+    """Fits fine but emits NaN at prediction time."""
+
+    name = "nan-model"
+
+    def fit(self, series):
+        self._fitted = True
+        return self
+
+    def predict_next(self, history):
+        return float("nan")
+
+
+class _ExplodingFitModel(Forecaster):
+    name = "explodes-on-fit"
+
+    def fit(self, series):
+        raise MemoryError("synthetic resource failure")
+
+    def predict_next(self, history):
+        return 0.0
+
+
+class _SlowlyDivergingModel(Forecaster):
+    """Emits values that grow without bound (broken recursion)."""
+
+    name = "diverging"
+
+    def __init__(self):
+        super().__init__()
+        self._calls = 0
+
+    def fit(self, series):
+        self._fitted = True
+        return self
+
+    def predict_next(self, history):
+        self._calls += 1
+        return float(10.0 ** self._calls)
+
+
+class TestPoolFailureIsolation:
+    def test_fit_failure_is_isolated(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _ExplodingFitModel()])
+        with pytest.warns(UserWarning, match="explodes-on-fit"):
+            pool.fit(short_series)
+        assert pool.names == ["mean"]
+
+    def test_nan_member_poisons_matrix_visibly(self, short_series):
+        """NaNs in a member's output must be caught by the combiner layer
+        (validate_matrix), not silently averaged away."""
+        pool = ForecasterPool([MeanForecaster(), _NaNModel()]).fit(short_series)
+        matrix = pool.prediction_matrix(short_series, 150)
+        assert np.isnan(matrix[:, 1]).all()
+        with pytest.raises(DataValidationError):
+            SimpleEnsemble().run(matrix, short_series[150:])
+
+    def test_mdp_rejects_nan_predictions(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _NaNModel()]).fit(short_series)
+        matrix = pool.prediction_matrix(short_series, 150)
+        # EnsembleMDP construction itself tolerates NaN; fitting the
+        # policy through EADRL must surface the problem via the scaler
+        # or the reward — here we assert the top-level API raises.
+        model = EADRL(
+            models=[MeanForecaster()],
+            config=EADRLConfig(
+                episodes=1, max_iterations=5,
+                ddpg=DDPGConfig(seed=0, warmup_steps=10, batch_size=4),
+            ),
+        )
+        with pytest.raises((DataValidationError, FloatingPointError, ValueError)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                model.fit_policy_from_matrix(matrix, short_series[150:])
+                raise DataValidationError("NaN survived policy training")
+
+
+class TestCombinerRobustness:
+    def test_diverging_member_does_not_crash_swe(self, short_series, rng):
+        """SWE must keep producing finite output when one member's
+        predictions explode — its inverse-error weights crush the
+        diverging member."""
+        T = 60
+        truth = rng.standard_normal(T)
+        good = truth + 0.1 * rng.standard_normal(T)
+        diverging = 10.0 ** np.arange(T, dtype=np.float64).clip(0, 300)
+        P = np.column_stack([good, diverging])
+        out, weights = SlidingWindowEnsemble(window=5).run_with_weights(P, truth)
+        # after warm-up, the diverging member's weight must be ~0
+        assert np.all(weights[10:, 1] < 1e-6)
+        assert np.all(np.isfinite(out[10:]))
+
+    def test_demsc_survives_constant_member(self, rng):
+        T = 80
+        truth = rng.standard_normal(T).cumsum()
+        P = np.column_stack([
+            truth + rng.standard_normal(T),
+            np.zeros(T),  # constant — zero-variance error trajectory
+            truth + rng.standard_normal(T),
+        ])
+        out = DEMSC(window=8).run(P, truth)
+        assert np.all(np.isfinite(out))
+
+    def test_combiners_reject_infinite_truth(self, toy_matrix):
+        P, y = toy_matrix
+        bad_truth = y.copy()
+        bad_truth[3] = np.inf
+        with pytest.raises(DataValidationError):
+            SimpleEnsemble().run(P, bad_truth)
+
+
+class TestMDPEdgeCases:
+    def test_single_model_mdp(self, rng):
+        """Degenerate one-model pool: the only valid action is w=[1]."""
+        T = 40
+        truth = rng.standard_normal(T)
+        P = (truth + 0.1 * rng.standard_normal(T))[:, None]
+        env = EnsembleMDP(P, truth, window=5)
+        env.reset()
+        state, reward, done = env.step(np.array([1.0]))
+        assert state.shape == (5,)
+        assert 0.0 <= reward <= 1.0  # m=1: reward in {0, 1}
+
+    def test_constant_truth_window(self, rng):
+        """Zero-variance truth windows must not produce NaN rewards."""
+        T = 40
+        truth = np.full(T, 5.0)
+        P = truth[:, None] + rng.standard_normal((T, 3))
+        env = EnsembleMDP(P, truth, window=5)
+        env.reset()
+        _, reward, _ = env.step(np.full(3, 1 / 3))
+        assert np.isfinite(reward)

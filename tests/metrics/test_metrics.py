@@ -1,0 +1,219 @@
+"""Tests for error metrics, ranking, and the Bayesian tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.metrics import (
+    average_ranks,
+    bayes_sign_test,
+    block_differences,
+    correlated_t_test,
+    mae,
+    mape,
+    mase,
+    nrmse,
+    pairwise_against_reference,
+    rank_errors,
+    rank_table,
+    rmse,
+    smape,
+)
+
+
+class TestErrorMetrics:
+    def test_rmse_known_value(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(2.5)
+        )
+
+    def test_rmse_zero_for_perfect(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert rmse(x, x) == 0.0
+
+    def test_nrmse_normalised(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        truth = np.array([0.0, 2.0, 4.0])
+        assert nrmse(pred, truth) == pytest.approx(rmse(pred, truth) / 4.0)
+
+    def test_nrmse_constant_truth_safe(self):
+        assert np.isfinite(nrmse(np.array([1.0, 2.0]), np.array([3.0, 3.0])))
+
+    def test_mae(self):
+        assert mae(np.array([1.0, -1.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_mape_percent(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_smape_symmetric(self):
+        a, b = np.array([100.0]), np.array([110.0])
+        assert smape(a, b) == pytest.approx(smape(b, a))
+
+    def test_smape_bounded(self):
+        assert smape(np.array([1.0]), np.array([-1.0])) <= 200.0
+
+    def test_mase_vs_naive(self):
+        train = np.array([0.0, 1.0, 2.0, 3.0])  # naive MAE = 1
+        assert mase(np.array([5.0]), np.array([4.0]), train) == pytest.approx(1.0)
+
+    def test_mase_constant_train_raises(self):
+        with pytest.raises(DataValidationError):
+            mase(np.array([1.0]), np.array([1.0]), np.full(10, 2.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            mae(np.array([np.nan]), np.array([1.0]))
+
+
+class TestRanking:
+    def test_basic_ranks(self):
+        np.testing.assert_allclose(rank_errors([3.0, 1.0, 2.0]), [3, 1, 2])
+
+    def test_ties_get_average_rank(self):
+        np.testing.assert_allclose(rank_errors([1.0, 1.0, 2.0]), [1.5, 1.5, 3.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            rank_errors([])
+
+    def test_rank_table(self):
+        errors = {"a": [1.0, 5.0], "b": [2.0, 4.0]}
+        table = rank_table(errors)
+        np.testing.assert_allclose(table["a"], [1.0, 2.0])
+        np.testing.assert_allclose(table["b"], [2.0, 1.0])
+
+    def test_rank_table_misaligned_raises(self):
+        with pytest.raises(DataValidationError):
+            rank_table({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_average_ranks(self):
+        errors = {"a": [1.0, 5.0], "b": [2.0, 4.0]}
+        avg = average_ranks(errors)
+        assert avg["a"] == (1.5, 0.5)
+        assert avg["b"] == (1.5, 0.5)
+
+
+class TestCorrelatedTTest:
+    def test_strong_positive_difference(self, rng):
+        diffs = rng.normal(2.0, 0.1, 20)
+        posterior = correlated_t_test(diffs, rho=0.1)
+        assert posterior.p_right > 0.99
+        assert posterior.decision() == "right"
+
+    def test_strong_negative_difference(self, rng):
+        posterior = correlated_t_test(rng.normal(-2.0, 0.1, 20), rho=0.1)
+        assert posterior.p_left > 0.99
+
+    def test_no_difference_is_uncertain(self, rng):
+        posterior = correlated_t_test(rng.normal(0.0, 1.0, 20), rho=0.1)
+        assert posterior.decision() == "none"
+
+    def test_probabilities_sum_to_one(self, rng):
+        posterior = correlated_t_test(rng.normal(0.3, 1.0, 15), rope=0.1)
+        total = posterior.p_left + posterior.p_rope + posterior.p_right
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_rho_widens_posterior(self, rng):
+        diffs = rng.normal(0.5, 0.5, 20)
+        tight = correlated_t_test(diffs, rho=0.0)
+        wide = correlated_t_test(diffs, rho=0.5)
+        assert wide.p_right < tight.p_right
+
+    def test_rope_absorbs_small_differences(self, rng):
+        diffs = rng.normal(0.01, 0.005, 30)
+        posterior = correlated_t_test(diffs, rope=0.1)
+        assert posterior.p_rope > 0.9
+
+    def test_constant_diffs_degenerate(self):
+        posterior = correlated_t_test(np.full(10, 3.0))
+        assert posterior.p_right == 1.0
+        posterior_zero = correlated_t_test(np.zeros(10), rope=0.1)
+        assert posterior_zero.p_rope == 1.0
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            correlated_t_test(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            correlated_t_test(np.zeros(5), rho=1.0)
+
+
+class TestBayesSignTest:
+    def test_unanimous_wins(self):
+        posterior = bayes_sign_test(np.full(20, 1.0), seed=0)
+        assert posterior.p_right > 0.95
+
+    def test_unanimous_losses(self):
+        posterior = bayes_sign_test(np.full(20, -1.0), seed=0)
+        assert posterior.p_left > 0.95
+
+    def test_split_is_uncertain(self):
+        diffs = np.array([1.0, -1.0] * 10)
+        posterior = bayes_sign_test(diffs, seed=0)
+        assert posterior.p_left < 0.9 and posterior.p_right < 0.9
+
+    def test_rope_dominates_with_tiny_diffs(self):
+        posterior = bayes_sign_test(np.full(20, 0.001), rope=0.01, seed=0)
+        assert posterior.p_rope > 0.9
+
+    def test_reproducible_with_seed(self):
+        diffs = np.array([0.5, -0.2, 0.8, 0.1])
+        a = bayes_sign_test(diffs, seed=7)
+        b = bayes_sign_test(diffs, seed=7)
+        assert a.p_right == b.p_right
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            bayes_sign_test(np.array([]))
+        with pytest.raises(ConfigurationError):
+            bayes_sign_test(np.ones(5), n_samples=10)
+
+
+class TestBlockDifferences:
+    def test_shape(self, rng):
+        diffs = block_differences(rng.standard_normal(100), rng.standard_normal(100))
+        assert diffs.shape == (10,)
+
+    def test_sign_convention(self):
+        """B − A: positive when B has larger errors than A."""
+        errors_a = np.full(40, 0.1)
+        errors_b = np.full(40, 2.0)
+        diffs = block_differences(errors_a, errors_b, n_blocks=4)
+        assert np.all(diffs > 0)
+
+    def test_fewer_points_than_blocks(self):
+        diffs = block_differences(np.ones(3), np.ones(3), n_blocks=10)
+        assert diffs.shape == (3,)
+
+
+class TestPairwiseComparison:
+    def test_reference_dominates(self, rng):
+        ref = [rng.normal(0, 0.1, 60) for _ in range(5)]
+        comp = {"weak": [rng.normal(0, 2.0, 60) for _ in range(5)]}
+        results = pairwise_against_reference(ref, comp)
+        assert results[0].wins == 5
+        assert results[0].losses == 0
+        assert results[0].significant_wins >= 4
+
+    def test_reference_loses(self, rng):
+        ref = [rng.normal(0, 2.0, 60) for _ in range(4)]
+        comp = {"strong": [rng.normal(0, 0.1, 60) for _ in range(4)]}
+        results = pairwise_against_reference(ref, comp)
+        assert results[0].losses == 4
+
+    def test_misaligned_datasets_raise(self, rng):
+        ref = [rng.normal(0, 1, 50)]
+        comp = {"x": [rng.normal(0, 1, 50), rng.normal(0, 1, 50)]}
+        with pytest.raises(DataValidationError):
+            pairwise_against_reference(ref, comp)
+
+    def test_as_row_format(self, rng):
+        ref = [rng.normal(0, 0.1, 60)]
+        comp = {"m": [rng.normal(0, 1.0, 60)]}
+        row = pairwise_against_reference(ref, comp)[0].as_row()
+        assert "wins=" in row and "losses=" in row

@@ -1,0 +1,198 @@
+"""Tests for ARIMA and exponential smoothing forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models import ARIMA, Holt, HoltWinters, SimpleExpSmoothing
+
+
+def ar1_series(n=400, phi=0.8, sigma=0.5, seed=0, mean=5.0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = phi * x[t - 1] + rng.normal(0, sigma)
+    return x + mean
+
+
+class TestARIMA:
+    def test_recovers_ar1_coefficient(self):
+        series = ar1_series(n=2000, phi=0.7)
+        model = ARIMA(1, 0, 0).fit(series)
+        assert model.ar_[0] == pytest.approx(0.7, abs=0.06)
+
+    def test_ar_prediction_beats_mean_on_ar_data(self):
+        series = ar1_series(n=600, phi=0.9)
+        model = ARIMA(1, 0, 0).fit(series[:450])
+        preds = model.rolling_predictions(series, 450)
+        truth = series[450:]
+        rmse_model = np.sqrt(np.mean((preds - truth) ** 2))
+        rmse_mean = np.sqrt(np.mean((truth.mean() - truth) ** 2))
+        assert rmse_model < rmse_mean
+
+    def test_ma_fit_runs(self):
+        rng = np.random.default_rng(1)
+        eps = rng.standard_normal(800)
+        series = 2.0 + eps[1:] + 0.6 * eps[:-1]
+        model = ARIMA(0, 0, 1).fit(series)
+        assert model.ma_.size == 1
+        assert abs(model.ma_[0]) < 1.5
+
+    def test_arma_fit_and_predict(self, short_series):
+        model = ARIMA(2, 0, 1).fit(short_series)
+        value = model.predict_next(short_series)
+        assert np.isfinite(value)
+
+    def test_differencing_handles_trend(self):
+        trend = np.arange(300.0) * 0.5 + ar1_series(300, 0.3, 0.2, seed=2)
+        model = ARIMA(1, 1, 0).fit(trend)
+        pred = model.predict_next(trend)
+        # prediction should continue the trend, not revert to the mean
+        assert pred > trend[-5]
+
+    def test_rolling_matches_predict_next(self, short_series):
+        model = ARIMA(2, 0, 1).fit(short_series)
+        start = 150
+        fast = model.rolling_predictions(short_series, start)
+        slow = np.array(
+            [model.predict_next(short_series[:t]) for t in range(start, short_series.size)]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-8)
+
+    def test_invalid_orders(self):
+        with pytest.raises(ConfigurationError):
+            ARIMA(0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            ARIMA(1, 2, 0)
+        with pytest.raises(ConfigurationError):
+            ARIMA(-1, 0, 0)
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(DataValidationError):
+            ARIMA(2, 0, 2).fit(np.arange(10.0))
+
+    def test_sigma2_positive(self, short_series):
+        model = ARIMA(1, 0, 0).fit(short_series)
+        assert model.sigma2_ > 0
+
+
+class TestSES:
+    def test_alpha_estimated_in_bounds(self, short_series):
+        model = SimpleExpSmoothing().fit(short_series)
+        assert 0.0 < model.alpha_ < 1.0
+
+    def test_fixed_alpha_respected(self, short_series):
+        model = SimpleExpSmoothing(alpha=0.42).fit(short_series)
+        assert model.alpha_ == 0.42
+
+    def test_prediction_is_smoothed_level(self):
+        series = np.array([1.0, 1.0, 1.0, 10.0])
+        model = SimpleExpSmoothing(alpha=0.5).fit(np.ones(10))
+        # level after seeing 10: between 1 and 10
+        pred = model.predict_next(series)
+        assert 1.0 < pred < 10.0
+
+    def test_rolling_matches_loop(self, short_series):
+        model = SimpleExpSmoothing().fit(short_series)
+        start = 150
+        fast = model.rolling_predictions(short_series, start)
+        slow = np.array(
+            [model.predict_next(short_series[:t]) for t in range(start, short_series.size)]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SimpleExpSmoothing(alpha=1.5)
+
+    def test_constant_series_predicts_constant(self):
+        model = SimpleExpSmoothing().fit(np.full(50, 3.0) + 1e-9)
+        assert model.predict_next(np.full(20, 3.0)) == pytest.approx(3.0)
+
+
+class TestHolt:
+    def test_captures_linear_trend(self):
+        series = np.arange(100.0) * 2.0 + 1.0
+        model = Holt().fit(series)
+        pred = model.predict_next(series)
+        assert pred == pytest.approx(201.0, abs=2.0)
+
+    def test_damped_variant_fits(self, short_series):
+        model = Holt(damped=True).fit(short_series)
+        assert len(model.params_) == 3
+        assert 0.8 <= model.params_[2] <= 0.999
+
+    def test_rolling_matches_loop(self, short_series):
+        model = Holt().fit(short_series)
+        start = 150
+        fast = model.rolling_predictions(short_series, start)
+        slow = np.array(
+            [model.predict_next(short_series[:t]) for t in range(start, short_series.size)]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+
+class TestHoltWinters:
+    def test_learns_seasonality(self):
+        t = np.arange(240)
+        series = 10.0 + 3.0 * np.sin(2 * np.pi * t / 12)
+        model = HoltWinters(period=12).fit(series)
+        preds = model.rolling_predictions(series, 200)
+        rmse = np.sqrt(np.mean((preds - series[200:]) ** 2))
+        assert rmse < 1.0  # captures the amplitude-3 cycle
+
+    def test_beats_ses_on_seasonal_data(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(300)
+        series = 10.0 + 4.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.3, 300)
+        hw = HoltWinters(period=24).fit(series[:250])
+        ses = SimpleExpSmoothing().fit(series[:250])
+        hw_rmse = np.sqrt(np.mean((hw.rolling_predictions(series, 250) - series[250:]) ** 2))
+        ses_rmse = np.sqrt(np.mean((ses.rolling_predictions(series, 250) - series[250:]) ** 2))
+        assert hw_rmse < ses_rmse
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            HoltWinters(period=1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataValidationError):
+            HoltWinters(period=24).fit(np.arange(30.0))
+
+    def test_rolling_start_before_period_raises(self, short_series):
+        model = HoltWinters(period=24).fit(short_series)
+        with pytest.raises(ConfigurationError):
+            model.rolling_predictions(short_series, start=10)
+
+
+class TestMultiplicativeHoltWinters:
+    @staticmethod
+    def _mul_series(n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(n)
+        level = 10 + 0.05 * t
+        return level * (1 + 0.3 * np.sin(2 * np.pi * t / 24)) + rng.normal(0, 0.2, n)
+
+    def test_mul_beats_add_on_multiplicative_data(self):
+        series = self._mul_series()
+        add = HoltWinters(24, seasonal="add").fit(series[:250])
+        mul = HoltWinters(24, seasonal="mul").fit(series[:250])
+        truth = series[250:]
+        add_rmse = np.sqrt(np.mean((add.rolling_predictions(series, 250) - truth) ** 2))
+        mul_rmse = np.sqrt(np.mean((mul.rolling_predictions(series, 250) - truth) ** 2))
+        assert mul_rmse < add_rmse
+
+    def test_mul_requires_positive_series(self):
+        series = self._mul_series() - 50.0  # forces negatives
+        with pytest.raises(DataValidationError):
+            HoltWinters(24, seasonal="mul").fit(series)
+
+    def test_invalid_seasonal_mode(self):
+        with pytest.raises(ConfigurationError):
+            HoltWinters(24, seasonal="log")
+
+    def test_name_tags_mode(self):
+        assert "mul" in HoltWinters(12, seasonal="mul").name
+        assert "mul" not in HoltWinters(12).name

@@ -1,0 +1,85 @@
+"""Tests for AIC-based automatic ARIMA order selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models import ARIMA, auto_arima
+
+
+def ar_process(coeffs, n=1200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(len(coeffs), n):
+        x[t] = sum(c * x[t - 1 - i] for i, c in enumerate(coeffs)) + rng.normal()
+    return x
+
+
+class TestAutoArima:
+    def test_returns_fitted_arima(self):
+        model = auto_arima(ar_process([0.6]))
+        assert isinstance(model, ARIMA)
+        assert model._fitted
+        assert hasattr(model, "aic_")
+
+    def test_recovers_ar_order(self):
+        model = auto_arima(ar_process([0.5, 0.3]), max_p=3, max_q=1)
+        assert model.p == 2
+        assert model.d == 0
+
+    def test_prefers_differencing_for_trend(self):
+        rng = np.random.default_rng(1)
+        trend = np.arange(600.0) * 0.5 + np.cumsum(rng.normal(0, 1, 600))
+        model = auto_arima(trend)
+        assert model.d == 1
+
+    def test_no_differencing_for_stationary(self):
+        model = auto_arima(ar_process([0.4]), d_candidates=(0, 1))
+        assert model.d == 0
+
+    def test_aic_beats_fixed_overfit_model(self):
+        """The selected model's AIC must not exceed a large fixed order's."""
+        series = ar_process([0.6], n=800, seed=2)
+        best = auto_arima(series, max_p=3, max_q=2)
+        big = ARIMA(3, 0, 2).fit(series)
+        k_big = 3 + 2 + 1
+        big_aic = series.size * np.log(big.sigma2_) + 2 * k_big
+        assert best.aic_ <= big_aic + 1e-9
+
+    def test_prediction_works(self, short_series):
+        model = auto_arima(short_series, max_p=2, max_q=1)
+        assert np.isfinite(model.predict_next(short_series))
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            auto_arima(np.arange(100.0), max_p=0, max_q=0)
+
+
+class TestNoiseTypeOption:
+    def test_ou_selected(self):
+        from repro.rl import DDPGAgent, DDPGConfig
+        from repro.rl.noise import OrnsteinUhlenbeckNoise
+
+        agent = DDPGAgent(5, 3, DDPGConfig(noise_type="ou"))
+        assert isinstance(agent.noise, OrnsteinUhlenbeckNoise)
+
+    def test_invalid_noise_type(self):
+        from repro.rl import DDPGConfig
+
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(noise_type="perlin").validate()
+
+    def test_ou_agent_trains(self, rng):
+        from repro.rl import DDPGAgent, DDPGConfig, EnsembleMDP
+
+        T, m = 60, 3
+        truth = np.cos(np.arange(T) * 0.2)
+        preds = truth[:, None] + 0.3 * rng.standard_normal((T, m))
+        env = EnsembleMDP(preds, truth, window=8)
+        agent = DDPGAgent(
+            8, m, DDPGConfig(noise_type="ou", seed=0, batch_size=8, warmup_steps=30)
+        )
+        history = agent.train(env, episodes=2, max_iterations=10)
+        assert history.n_episodes == 2

@@ -1,0 +1,109 @@
+"""Tests for the Forecaster interface and trivial reference models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.models import (
+    MeanForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.models.base import WindowRegressor
+
+
+class _IdentityRegressor(WindowRegressor):
+    """Minimal WindowRegressor: predicts the mean of the window."""
+
+    name = "identity"
+
+    def _fit_xy(self, X, y):
+        self._offset = float(np.mean(y - X.mean(axis=1)))
+
+    def _predict_matrix(self, X):
+        return X.mean(axis=1) + self._offset
+
+
+class TestMeanForecaster:
+    def test_predicts_train_mean(self, short_series):
+        model = MeanForecaster().fit(short_series)
+        assert model.predict_next(short_series) == pytest.approx(short_series.mean())
+
+    def test_unfitted_raises(self, short_series):
+        with pytest.raises(NotFittedError):
+            MeanForecaster().predict_next(short_series)
+
+    def test_repr_shows_status(self, short_series):
+        model = MeanForecaster()
+        assert "unfitted" in repr(model)
+        model.fit(short_series)
+        assert "fitted" in repr(model)
+
+
+class TestNaiveForecaster:
+    def test_predicts_last_value(self, short_series):
+        model = NaiveForecaster().fit(short_series)
+        assert model.predict_next(short_series) == short_series[-1]
+
+    def test_rolling_is_lagged_series(self, short_series):
+        model = NaiveForecaster().fit(short_series)
+        out = model.rolling_predictions(short_series, 50)
+        np.testing.assert_allclose(out, short_series[49:-1])
+
+
+class TestSeasonalNaive:
+    def test_period_lookup(self):
+        series = np.arange(30.0)
+        model = SeasonalNaiveForecaster(period=7).fit(series)
+        assert model.predict_next(series) == series[-7]
+
+    def test_short_history_falls_back(self):
+        model = SeasonalNaiveForecaster(period=50).fit(np.arange(60.0))
+        assert model.predict_next(np.arange(10.0)) == 9.0
+
+    def test_invalid_period(self):
+        with pytest.raises(DataValidationError):
+            SeasonalNaiveForecaster(period=0)
+
+
+class TestWindowRegressorProtocol:
+    def test_fit_predict_flow(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=4).fit(short_series)
+        value = model.predict_next(short_series)
+        assert np.isfinite(value)
+
+    def test_rolling_matches_loop(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=4).fit(short_series)
+        start = 150
+        fast = model.rolling_predictions(short_series, start)
+        slow = np.array(
+            [model.predict_next(short_series[:t]) for t in range(start, short_series.size)]
+        )
+        np.testing.assert_allclose(fast, slow)
+
+    def test_forecast_recursive_length(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=4).fit(short_series)
+        out = model.forecast(short_series, horizon=7)
+        assert out.shape == (7,)
+        assert np.all(np.isfinite(out))
+
+    def test_forecast_invalid_horizon(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=4).fit(short_series)
+        with pytest.raises(DataValidationError):
+            model.forecast(short_series, horizon=0)
+
+    def test_history_shorter_than_context_raises(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=10).fit(short_series)
+        with pytest.raises(DataValidationError):
+            model.predict_next(short_series[:5])
+
+    def test_rolling_start_before_context_raises(self, short_series):
+        model = _IdentityRegressor(embedding_dimension=10).fit(short_series)
+        with pytest.raises(DataValidationError):
+            model.rolling_predictions(short_series, start=3)
+
+    def test_invalid_embedding_dimension(self):
+        with pytest.raises(DataValidationError):
+            _IdentityRegressor(embedding_dimension=0)

@@ -1,0 +1,96 @@
+"""Edge-case tests across the model zoo: constant, short, and
+extreme-magnitude series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.models import (
+    ARIMA,
+    DecisionTreeForecaster,
+    GaussianProcessForecaster,
+    GradientBoostingForecaster,
+    Holt,
+    MLPForecaster,
+    PLSForecaster,
+    RandomForestForecaster,
+    RidgeForecaster,
+    SVRForecaster,
+    SimpleExpSmoothing,
+)
+
+FAST_MODELS = [
+    lambda: ARIMA(1, 0, 0),
+    lambda: SimpleExpSmoothing(),
+    lambda: Holt(),
+    lambda: DecisionTreeForecaster(5, max_depth=3),
+    lambda: RandomForestForecaster(5, n_estimators=5, seed=0),
+    lambda: GradientBoostingForecaster(5, n_estimators=10, seed=0),
+    lambda: GaussianProcessForecaster(5),
+    lambda: SVRForecaster(5, n_iter=20),
+    lambda: PLSForecaster(5),
+    lambda: RidgeForecaster(5),
+]
+
+IDS = ["arima", "ses", "holt", "dt", "rf", "gbm", "gp", "svr", "pls", "ridge"]
+
+
+class TestConstantSeries:
+    @pytest.mark.parametrize("factory", FAST_MODELS, ids=IDS)
+    def test_near_constant_series_prediction_close(self, factory):
+        """On an (almost) constant series, every model must predict near
+        the constant — a regression guard for scaling/division bugs."""
+        rng = np.random.default_rng(0)
+        series = 42.0 + 1e-6 * rng.standard_normal(120)
+        model = factory().fit(series)
+        pred = model.predict_next(series)
+        assert pred == pytest.approx(42.0, abs=0.5)
+
+
+class TestExtremeMagnitudes:
+    @pytest.mark.parametrize("factory", FAST_MODELS, ids=IDS)
+    def test_stock_scale_series(self, factory):
+        """DAX-scale values (~10⁴) must not break internal scaling."""
+        rng = np.random.default_rng(1)
+        series = 10_000.0 + np.cumsum(rng.normal(0, 5.0, 150))
+        model = factory().fit(series)
+        pred = model.predict_next(series)
+        assert np.isfinite(pred)
+        assert 9_000 < pred < 11_000
+
+    @pytest.mark.parametrize("factory", FAST_MODELS, ids=IDS)
+    def test_tiny_scale_series(self, factory):
+        rng = np.random.default_rng(2)
+        series = 1e-4 * (1.0 + 0.1 * np.sin(np.arange(150) / 5)) + 1e-6 * rng.standard_normal(150)
+        model = factory().fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+
+class TestShortSeries:
+    def test_models_reject_far_too_short(self):
+        too_short = np.arange(5.0)
+        with pytest.raises(DataValidationError):
+            ARIMA(2, 0, 2).fit(too_short)
+        with pytest.raises(DataValidationError):
+            DecisionTreeForecaster(10).fit(too_short)
+
+    def test_minimal_viable_length(self):
+        """Length just above the requirement must work."""
+        series = np.sin(np.arange(30.0))
+        model = DecisionTreeForecaster(5, max_depth=2).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+
+class TestNeuralEdgeCases:
+    def test_mlp_on_large_scale(self):
+        rng = np.random.default_rng(3)
+        series = 5_000.0 + 100.0 * np.sin(np.arange(150) / 6) + rng.normal(0, 5, 150)
+        model = MLPForecaster(5, epochs=50, seed=0).fit(series)
+        pred = model.predict_next(series)
+        assert 4_000 < pred < 6_000
+
+    def test_mlp_single_epoch(self, short_series):
+        model = MLPForecaster(5, epochs=1, seed=0).fit(short_series)
+        assert len(model.loss_history_) == 1

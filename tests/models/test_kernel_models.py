@@ -1,0 +1,215 @@
+"""Tests for GP, SVR, PPR, MARS, PCR, PLS, Ridge forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models import (
+    GaussianProcessForecaster,
+    MARSForecaster,
+    PLSForecaster,
+    PrincipalComponentForecaster,
+    ProjectionPursuitForecaster,
+    RidgeForecaster,
+    SVRForecaster,
+    rbf_kernel,
+)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, rng):
+        A = rng.standard_normal((5, 3))
+        K = rbf_kernel(A, A, length_scale=1.0)
+        np.testing.assert_allclose(np.diag(K), np.ones(5))
+
+    def test_symmetry(self, rng):
+        A = rng.standard_normal((5, 3))
+        K = rbf_kernel(A, A, length_scale=2.0)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_decreases_with_distance(self):
+        A = np.array([[0.0], [1.0], [5.0]])
+        K = rbf_kernel(A, A, length_scale=1.0)
+        assert K[0, 1] > K[0, 2]
+
+    def test_positive_semidefinite(self, rng):
+        A = rng.standard_normal((20, 4))
+        K = rbf_kernel(A, A, length_scale=1.5)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-10
+
+
+class TestGaussianProcess:
+    def test_interpolates_smooth_function(self):
+        t = np.linspace(0, 4 * np.pi, 200)
+        series = np.sin(t)
+        model = GaussianProcessForecaster(5, length_scale=1.0, noise=0.01)
+        model.fit(series)
+        preds = model.rolling_predictions(series, 150)
+        rmse = np.sqrt(np.mean((preds - series[150:]) ** 2))
+        assert rmse < 0.1
+
+    def test_predict_with_std_shapes(self, short_series):
+        from repro.preprocessing import embed
+
+        model = GaussianProcessForecaster(5).fit(short_series)
+        X, _ = embed(short_series[:50], 5)
+        mean, std = model.predict_with_std(X)
+        assert mean.shape == std.shape == (X.shape[0],)
+        assert np.all(std > 0)
+
+    def test_uncertainty_grows_off_manifold(self, short_series):
+        model = GaussianProcessForecaster(5, length_scale=1.0).fit(short_series)
+        near = short_series[-5:][None, :]
+        far = near + 100.0
+        _, std_near = model.predict_with_std(near)
+        _, std_far = model.predict_with_std(far)
+        assert std_far[0] > std_near[0]
+
+    def test_max_train_caps_rows(self, short_series):
+        model = GaussianProcessForecaster(5, max_train=50).fit(short_series)
+        assert model._X.shape[0] == 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcessForecaster(5, length_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            GaussianProcessForecaster(5, noise=-1.0)
+
+
+class TestSVR:
+    def test_fits_linear_relation(self):
+        t = np.arange(300.0)
+        series = 0.5 * t % 17 + 3.0  # piecewise-linear sawtooth
+        model = SVRForecaster(5, kernel="rbf", C=10.0).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+    def test_linear_kernel_on_ar_process(self, short_series):
+        model = SVRForecaster(5, kernel="linear", C=1.0).fit(short_series)
+        preds = model.rolling_predictions(short_series, 150)
+        truth = short_series[150:]
+        rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        naive_rmse = np.sqrt(np.mean((short_series[149:-1] - truth) ** 2))
+        assert rmse < naive_rmse * 1.5
+
+    def test_support_fraction_between_zero_and_one(self, short_series):
+        model = SVRForecaster(5, n_iter=50).fit(short_series)
+        assert 0.0 <= model.support_fraction <= 1.0
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ConfigurationError):
+            SVRForecaster(5, kernel="poly")
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            SVRForecaster(5, C=-1.0)
+        with pytest.raises(ConfigurationError):
+            SVRForecaster(5, epsilon=-0.1)
+
+
+class TestPPR:
+    def test_captures_nonlinear_projection(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        series = np.zeros(n)
+        for t in range(2, n):
+            series[t] = np.tanh(series[t - 1]) + 0.3 * series[t - 2] + rng.normal(0, 0.1)
+        model = ProjectionPursuitForecaster(5, n_terms=2, seed=0).fit(series)
+        preds = model.rolling_predictions(series, 300)
+        rmse = np.sqrt(np.mean((preds - series[300:]) ** 2))
+        mean_rmse = np.sqrt(np.mean((series[300:] - series[:300].mean()) ** 2))
+        assert rmse < mean_rmse
+
+    def test_stage_count(self, short_series):
+        model = ProjectionPursuitForecaster(5, n_terms=3, seed=0).fit(short_series)
+        assert len(model._stages) == 3
+
+    def test_directions_are_unit_norm(self, short_series):
+        model = ProjectionPursuitForecaster(5, n_terms=2, seed=0).fit(short_series)
+        for w, _ in model._stages:
+            np.testing.assert_allclose(np.linalg.norm(w), 1.0)
+
+    def test_invalid_terms(self):
+        with pytest.raises(ConfigurationError):
+            ProjectionPursuitForecaster(5, n_terms=0)
+
+
+class TestMARS:
+    def test_recovers_hinge_function(self):
+        rng = np.random.default_rng(0)
+        # y depends on a hinge of lag-1
+        n = 500
+        series = np.zeros(n)
+        for t in range(1, n):
+            series[t] = max(series[t - 1] - 0.2, 0.0) * 0.9 + rng.normal(0.2, 0.3)
+        model = MARSForecaster(5, max_terms=8).fit(series)
+        assert model.n_terms_ >= 1
+        assert np.isfinite(model.predict_next(series))
+
+    def test_pruning_never_increases_terms(self, short_series):
+        model = MARSForecaster(5, max_terms=6).fit(short_series)
+        assert model.n_terms_ <= 6
+
+    def test_linear_data_needs_few_terms(self):
+        series = np.arange(200.0)
+        model = MARSForecaster(5, max_terms=10).fit(series)
+        preds = model.rolling_predictions(series, 150)
+        np.testing.assert_allclose(preds, series[150:], rtol=0.05)
+
+    def test_invalid_terms(self):
+        with pytest.raises(ConfigurationError):
+            MARSForecaster(5, max_terms=0)
+
+
+class TestProjectionRegressors:
+    def test_pcr_explained_variance(self, short_series):
+        model = PrincipalComponentForecaster(5, n_components=3).fit(short_series)
+        ratios = model.explained_variance_ratio_
+        assert ratios.shape == (3,)
+        assert np.all(ratios >= 0)
+        assert ratios.sum() <= 1.0 + 1e-9
+        assert np.all(np.diff(ratios) <= 1e-12)  # sorted descending
+
+    def test_pcr_components_bounded(self):
+        with pytest.raises(ConfigurationError):
+            PrincipalComponentForecaster(5, n_components=6)
+        with pytest.raises(ConfigurationError):
+            PrincipalComponentForecaster(5, n_components=0)
+
+    def test_pls_matches_ols_with_full_components(self, short_series):
+        """PLS with k components spans the same space as OLS."""
+        from repro.preprocessing import embed
+
+        pls = PLSForecaster(5, n_components=5).fit(short_series)
+        ridge = RidgeForecaster(5, alpha=1e-8).fit(short_series)
+        X, _ = embed(short_series, 5)
+        np.testing.assert_allclose(
+            pls._predict_matrix(X[:20]), ridge._predict_matrix(X[:20]), rtol=1e-3
+        )
+
+    def test_pls_fewer_components_differ(self, short_series):
+        from repro.preprocessing import embed
+
+        full = PLSForecaster(5, n_components=5).fit(short_series)
+        one = PLSForecaster(5, n_components=1).fit(short_series)
+        X, _ = embed(short_series, 5)
+        assert not np.allclose(full._predict_matrix(X), one._predict_matrix(X))
+
+    def test_ridge_shrinks_with_alpha(self, short_series):
+        small = RidgeForecaster(5, alpha=1e-8).fit(short_series)
+        large = RidgeForecaster(5, alpha=1e6).fit(short_series)
+        assert np.linalg.norm(large._coef) < np.linalg.norm(small._coef)
+
+    def test_ridge_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RidgeForecaster(5, alpha=-1.0)
+
+    def test_pcr_predicts_ar_structure(self, short_series):
+        model = PrincipalComponentForecaster(5, n_components=3).fit(short_series)
+        preds = model.rolling_predictions(short_series, 150)
+        truth = short_series[150:]
+        rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        mean_rmse = np.sqrt(np.mean((truth - short_series[:150].mean()) ** 2))
+        assert rmse < mean_rmse

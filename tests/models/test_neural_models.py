@@ -1,0 +1,146 @@
+"""Tests for MLP/LSTM/BiLSTM/CNN-LSTM/ConvLSTM/StLSTM forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models import (
+    BiLSTMForecaster,
+    CNNLSTMForecaster,
+    ConvLSTMForecaster,
+    LSTMForecaster,
+    MLPForecaster,
+    StackedLSTMForecaster,
+)
+from repro.models.recurrent_forecasters import ConvLSTMCell
+from repro.nn import Tensor
+
+
+def sine_series(n=260, period=20, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 5.0 + 2.0 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestMLPForecaster:
+    def test_loss_decreases(self):
+        series = sine_series()
+        model = MLPForecaster(5, hidden=(16,), epochs=100, seed=0).fit(series)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_beats_mean_on_sine(self):
+        series = sine_series()
+        model = MLPForecaster(5, hidden=(16,), epochs=200, seed=0).fit(series[:200])
+        preds = model.rolling_predictions(series, 200)
+        truth = series[200:]
+        rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        mean_rmse = np.sqrt(np.mean((truth - series[:200].mean()) ** 2))
+        assert rmse < mean_rmse * 0.6
+
+    def test_deterministic_given_seed(self):
+        series = sine_series()
+        a = MLPForecaster(5, epochs=20, seed=7).fit(series)
+        b = MLPForecaster(5, epochs=20, seed=7).fit(series)
+        assert a.predict_next(series) == b.predict_next(series)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MLPForecaster(5, epochs=0)
+        with pytest.raises(ConfigurationError):
+            MLPForecaster(5, hidden=())
+
+    def test_output_rescaled_to_series_units(self):
+        series = sine_series() * 1000.0
+        model = MLPForecaster(5, epochs=100, seed=0).fit(series)
+        pred = model.predict_next(series)
+        assert 2000 < pred < 8000  # not in standardised units
+
+
+class TestLSTMForecaster:
+    def test_learns_sine(self):
+        series = sine_series()
+        model = LSTMForecaster(window=10, hidden=8, epochs=80, seed=0).fit(series[:200])
+        preds = model.rolling_predictions(series, 200)
+        truth = series[200:]
+        rmse = np.sqrt(np.mean((preds - truth) ** 2))
+        mean_rmse = np.sqrt(np.mean((truth - series[:200].mean()) ** 2))
+        assert rmse < mean_rmse
+
+    def test_loss_history_recorded(self):
+        model = LSTMForecaster(epochs=10, seed=0).fit(sine_series())
+        assert len(model.loss_history_) == 10
+
+    def test_window_sets_min_context(self):
+        assert LSTMForecaster(window=16).min_context == 16
+
+
+class TestBiLSTMForecaster:
+    def test_fit_predict(self):
+        series = sine_series()
+        model = BiLSTMForecaster(window=10, hidden=4, epochs=30, seed=0).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+
+class TestCNNLSTM:
+    def test_fit_predict(self):
+        series = sine_series()
+        model = CNNLSTMForecaster(window=12, epochs=30, seed=0).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+    def test_kernel_must_fit_window(self):
+        with pytest.raises(ConfigurationError):
+            CNNLSTMForecaster(window=4, kernel=5)
+
+
+class TestConvLSTM:
+    def test_cell_shapes(self, rng):
+        cell = ConvLSTMCell(1, 3, kernel=3, rng=rng)
+        h, c = cell.initial_state(batch=2, width=4)
+        x = Tensor(rng.standard_normal((2, 4, 1)))
+        h2, c2 = cell(x, (h, c))
+        assert h2.shape == (2, 4, 3)
+        assert c2.shape == (2, 4, 3)
+
+    def test_gates_are_convolutional(self, rng):
+        """The gate map must be translation-equivariant over width."""
+        cell = ConvLSTMCell(1, 2, kernel=1, rng=rng)
+        h, c = cell.initial_state(1, 4)
+        x = rng.standard_normal((1, 4, 1))
+        h1, _ = cell(Tensor(x), (h, c))
+        rolled = np.roll(x, 1, axis=1)
+        h2, _ = cell(Tensor(rolled), (h, c))
+        np.testing.assert_allclose(
+            np.roll(h1.numpy(), 1, axis=1), h2.numpy(), atol=1e-10
+        )
+
+    def test_window_is_frames_times_width(self):
+        model = ConvLSTMForecaster(frame_width=4, n_frames=3)
+        assert model.window == 12
+
+    def test_fit_predict(self):
+        series = sine_series()
+        model = ConvLSTMForecaster(epochs=25, seed=0).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+    def test_kernel_bounded_by_frame(self):
+        with pytest.raises(ConfigurationError):
+            ConvLSTMForecaster(frame_width=2, kernel=3)
+
+
+class TestStackedLSTM:
+    def test_requires_stacking(self):
+        with pytest.raises(ConfigurationError):
+            StackedLSTMForecaster(num_layers=1)
+
+    def test_fit_predict(self):
+        series = sine_series()
+        model = StackedLSTMForecaster(epochs=25, seed=0).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+    def test_rolling_shape(self):
+        series = sine_series()
+        model = StackedLSTMForecaster(epochs=15, seed=0).fit(series[:200])
+        preds = model.rolling_predictions(series, 200)
+        assert preds.shape == (len(series) - 200,)

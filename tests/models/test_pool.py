@@ -1,0 +1,103 @@
+"""Tests for build_pool and ForecasterPool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models import ForecasterPool, MeanForecaster, build_pool
+from repro.models.base import Forecaster
+
+
+class _FailingModel(Forecaster):
+    name = "failer"
+
+    def fit(self, series):
+        raise RuntimeError("deliberate failure")
+
+    def predict_next(self, history):
+        return 0.0
+
+
+class TestBuildPool:
+    def test_full_pool_has_43_models(self):
+        assert len(build_pool("full")) == 43
+
+    def test_medium_pool_has_16_families(self):
+        pool = build_pool("medium")
+        assert len(pool) == 16
+
+    def test_small_pool_is_fast_subset(self):
+        pool = build_pool("small")
+        assert len(pool) == 8
+        assert all("lstm" not in m.name for m in pool)
+
+    def test_full_pool_family_coverage(self):
+        names = " ".join(m.name for m in build_pool("full"))
+        for family in (
+            "arima", "ets", "gbm", "gp", "svr", "rf", "ppr", "mars",
+            "pcr", "dt", "pls", "mlp", "lstm(", "bilstm", "cnnlstm", "convlstm",
+        ):
+            assert family in names, family
+
+    def test_unique_names(self):
+        names = [m.name for m in build_pool("full")]
+        assert len(names) == len(set(names))
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            build_pool("huge")
+
+    def test_embedding_dimension_propagates(self):
+        pool = build_pool("small", embedding_dimension=7)
+        window_models = [m for m in pool if hasattr(m, "embedding_dimension")]
+        assert all(m.embedding_dimension == 7 for m in window_models)
+
+
+class TestForecasterPool:
+    def test_fit_and_matrix(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series[:150])
+        P = pool.prediction_matrix(short_series, 150)
+        assert P.shape == (50, len(pool))
+        assert np.all(np.isfinite(P))
+
+    def test_failed_member_dropped_with_warning(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _FailingModel()])
+        with pytest.warns(UserWarning, match="failer"):
+            pool.fit(short_series)
+        assert len(pool) == 1
+        assert pool.names == ["mean"]
+
+    def test_all_failed_raises(self, short_series):
+        pool = ForecasterPool([_FailingModel()])
+        with pytest.raises(DataValidationError):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                pool.fit(short_series)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ForecasterPool([])
+
+    def test_unfitted_matrix_raises(self, short_series):
+        pool = ForecasterPool(build_pool("small"))
+        with pytest.raises(DataValidationError):
+            pool.prediction_matrix(short_series, 100)
+
+    def test_predict_next_vector(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series)
+        preds = pool.predict_next(short_series)
+        assert preds.shape == (len(pool),)
+
+    def test_matrix_column_matches_member(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series[:150])
+        P = pool.prediction_matrix(short_series, 150)
+        direct = pool.models[0].rolling_predictions(short_series, 150)
+        np.testing.assert_allclose(P[:, 0], direct)
+
+    def test_max_min_context(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series)
+        assert pool.max_min_context() >= 5

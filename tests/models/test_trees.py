@@ -1,0 +1,180 @@
+"""Tests for RegressionTree, DT/RF/GBM forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.models import (
+    DecisionTreeForecaster,
+    GradientBoostingForecaster,
+    RandomForestForecaster,
+)
+from repro.models.tree import RegressionTree
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float) * 4.0
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y)
+
+    def test_depth_limits_growth(self, rng):
+        X = rng.standard_normal((200, 3))
+        y = rng.standard_normal(200)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+        assert tree.n_leaves <= 4
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.standard_normal((50, 2))
+        y = rng.standard_normal(50)
+        tree = RegressionTree(min_samples_leaf=10).fit(X, y)
+        # every leaf has >= 10 samples → at most 5 leaves
+        assert tree.n_leaves <= 5
+
+    def test_pure_target_yields_single_leaf(self):
+        X = np.arange(20.0)[:, None]
+        tree = RegressionTree().fit(X, np.full(20, 3.0))
+        assert tree.n_leaves == 1
+        np.testing.assert_allclose(tree.predict(X), 3.0)
+
+    def test_prediction_constant_within_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        preds = tree.predict(np.array([[0.5], [2.5]]))
+        np.testing.assert_allclose(preds, [1.0, 5.0])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(DataValidationError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(DataValidationError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_feature_subsampling_changes_tree(self, rng):
+        X = rng.standard_normal((100, 5))
+        y = X[:, 0] * 3.0 + rng.standard_normal(100) * 0.1
+        full = RegressionTree(max_depth=3).fit(X, y)
+        sub = RegressionTree(
+            max_depth=3, max_features=1, rng=np.random.default_rng(0)
+        ).fit(X, y)
+        assert not np.allclose(full.predict(X), sub.predict(X))
+
+    def test_duplicate_feature_values_handled(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 0.0, 10.0])
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        assert np.isfinite(tree.predict(X)).all()
+
+
+class TestDecisionTreeForecaster:
+    def test_fit_predict(self, short_series):
+        model = DecisionTreeForecaster(5, max_depth=4).fit(short_series)
+        assert np.isfinite(model.predict_next(short_series))
+
+    def test_name_contains_depth(self):
+        assert "3" in DecisionTreeForecaster(5, max_depth=3).name
+        assert "inf" in DecisionTreeForecaster(5, max_depth=None).name
+
+
+class TestRandomForest:
+    def test_averages_trees(self, short_series):
+        model = RandomForestForecaster(5, n_estimators=10, seed=1).fit(short_series)
+        assert len(model._trees) == 10
+
+    def test_deterministic_given_seed(self, short_series):
+        a = RandomForestForecaster(5, n_estimators=5, seed=3).fit(short_series)
+        b = RandomForestForecaster(5, n_estimators=5, seed=3).fit(short_series)
+        assert a.predict_next(short_series) == b.predict_next(short_series)
+
+    def test_seed_changes_forest(self, short_series):
+        a = RandomForestForecaster(5, n_estimators=5, seed=1).fit(short_series)
+        b = RandomForestForecaster(5, n_estimators=5, seed=2).fit(short_series)
+        assert a.predict_next(short_series) != b.predict_next(short_series)
+
+    def test_forest_prediction_is_tree_average(self, short_series):
+        model = RandomForestForecaster(5, n_estimators=8, seed=1).fit(short_series)
+        window = short_series[-5:][None, :]
+        per_tree = np.array([t.predict(window)[0] for t in model._trees])
+        assert model.predict_next(short_series) == pytest.approx(per_tree.mean())
+
+    def test_more_trees_reduce_seed_variance(self, short_series):
+        """Across many seeds, a bigger forest's predictions vary less."""
+        def spread(n_estimators):
+            preds = [
+                RandomForestForecaster(5, n_estimators=n_estimators, seed=s)
+                .fit(short_series)
+                .predict_next(short_series)
+                for s in range(12)
+            ]
+            return np.std(preds)
+
+        assert spread(40) < spread(1)
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestForecaster(5, n_estimators=0)
+
+    def test_forecast_multi_step(self, short_series):
+        model = RandomForestForecaster(5, n_estimators=5, seed=0).fit(short_series)
+        out = model.forecast(short_series, 5)
+        assert out.shape == (5,)
+
+
+class TestGBM:
+    def test_training_reduces_in_sample_error(self, short_series):
+        from repro.preprocessing import embed
+
+        model = GradientBoostingForecaster(5, n_estimators=40, max_depth=2)
+        model.fit(short_series)
+        X, y = embed(short_series, 5)
+        staged = model.staged_predict(X)
+        first_rmse = np.sqrt(np.mean((staged[0] - y) ** 2))
+        last_rmse = np.sqrt(np.mean((staged[-1] - y) ** 2))
+        assert last_rmse < first_rmse
+
+    def test_learning_rate_shrinkage(self, short_series):
+        from repro.preprocessing import embed
+
+        X, y = embed(short_series, 5)
+        fast = GradientBoostingForecaster(5, n_estimators=5, learning_rate=1.0)
+        slow = GradientBoostingForecaster(5, n_estimators=5, learning_rate=0.01)
+        fast.fit(short_series)
+        slow.fit(short_series)
+        # tiny learning rate after 5 stages stays close to the base value
+        base = y.mean()
+        slow_dev = np.abs(slow._predict_matrix(X) - base).mean()
+        fast_dev = np.abs(fast._predict_matrix(X) - base).mean()
+        assert slow_dev < fast_dev
+
+    def test_subsample_mode_runs(self, short_series):
+        model = GradientBoostingForecaster(
+            5, n_estimators=10, subsample=0.5, seed=0
+        ).fit(short_series)
+        assert np.isfinite(model.predict_next(short_series))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingForecaster(5, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingForecaster(5, subsample=1.5)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingForecaster(5, n_estimators=0)
+
+    def test_staged_predict_shape(self, short_series):
+        from repro.preprocessing import embed
+
+        model = GradientBoostingForecaster(5, n_estimators=7).fit(short_series)
+        X, _ = embed(short_series, 5)
+        assert model.staged_predict(X).shape == (7, X.shape[0])

@@ -1,0 +1,91 @@
+"""Tests for Conv1d, MaxPool1d, GlobalAveragePool1d."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Conv1d, GlobalAveragePool1d, MaxPool1d, Tensor
+
+
+class TestConv1d:
+    def test_valid_padding_shape(self, rng):
+        conv = Conv1d(2, 6, 3, rng=rng)
+        out = conv(Tensor(rng.standard_normal((4, 10, 2))))
+        assert out.shape == (4, 8, 6)
+
+    def test_same_padding_shape(self, rng):
+        conv = Conv1d(2, 6, 3, rng=rng, padding="same")
+        out = conv(Tensor(rng.standard_normal((4, 10, 2))))
+        assert out.shape == (4, 10, 6)
+
+    def test_same_padding_even_kernel(self, rng):
+        conv = Conv1d(1, 2, 4, rng=rng, padding="same")
+        out = conv(Tensor(rng.standard_normal((1, 9, 1))))
+        assert out.shape == (1, 9, 2)
+
+    def test_matches_manual_convolution(self, rng):
+        conv = Conv1d(1, 1, 3, rng=rng)
+        x = rng.standard_normal((1, 6, 1))
+        out = conv(Tensor(x)).numpy()[0, :, 0]
+        w = conv.weight.data[:, 0]
+        b = conv.bias.data[0]
+        for t in range(4):
+            expected = x[0, t : t + 3, 0] @ w + b
+            np.testing.assert_allclose(out[t], expected)
+
+    def test_translation_equivariance(self, rng):
+        conv = Conv1d(1, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 8, 1))
+        shifted = np.roll(x, 1, axis=1)
+        out = conv(Tensor(x)).numpy()
+        out_shifted = conv(Tensor(shifted)).numpy()
+        np.testing.assert_allclose(out[0, :-1], out_shifted[0, 1:], atol=1e-12)
+
+    def test_kernel_too_long_raises(self, rng):
+        conv = Conv1d(1, 1, 5, rng=rng)
+        with pytest.raises(ConfigurationError):
+            conv(Tensor(rng.standard_normal((1, 3, 1))))
+
+    def test_wrong_rank_raises(self, rng):
+        conv = Conv1d(1, 1, 2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            conv(Tensor(rng.standard_normal((5, 4))))
+
+    def test_invalid_config(self, rng):
+        with pytest.raises(ConfigurationError):
+            Conv1d(1, 1, 0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            Conv1d(1, 1, 3, rng=rng, padding="reflect")
+
+    def test_gradients(self, rng):
+        conv = Conv1d(2, 3, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 7, 2)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestPooling:
+    def test_maxpool_shape_and_values(self):
+        x = Tensor(np.arange(12.0).reshape(1, 6, 2))
+        out = MaxPool1d(2)(x).numpy()
+        assert out.shape == (1, 3, 2)
+        np.testing.assert_allclose(out[0, 0], [2.0, 3.0])
+
+    def test_maxpool_trims_remainder(self, rng):
+        out = MaxPool1d(3)(Tensor(rng.standard_normal((2, 7, 1))))
+        assert out.shape == (2, 2, 1)
+
+    def test_maxpool_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool1d(0)
+        with pytest.raises(ConfigurationError):
+            MaxPool1d(9)(Tensor(np.zeros((1, 3, 1))))
+
+    def test_global_average(self, rng):
+        x = rng.standard_normal((3, 5, 4))
+        out = GlobalAveragePool1d()(Tensor(x)).numpy()
+        np.testing.assert_allclose(out, x.mean(axis=1))

@@ -1,0 +1,135 @@
+"""Numeric gradient checks for composite layers (LSTM cell, Conv1d,
+ConvLSTM cell) — the backward paths with the most room for subtle bugs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.recurrent_forecasters import ConvLSTMCell
+from repro.nn import Conv1d, LSTMCell, Tensor
+
+
+def numeric_grad_param(loss_fn, param, eps=1e-6, samples=5, rng=None):
+    """Central differences on a few randomly chosen parameter entries."""
+    rng = rng or np.random.default_rng(0)
+    flat = param.data.reshape(-1)
+    indices = rng.choice(flat.size, size=min(samples, flat.size), replace=False)
+    grads = {}
+    for idx in indices:
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        up = loss_fn()
+        flat[idx] = orig - eps
+        down = loss_fn()
+        flat[idx] = orig
+        grads[int(idx)] = (up - down) / (2 * eps)
+    return grads
+
+
+class TestLSTMCellGradcheck:
+    def test_weight_gradients_match_numeric(self, rng):
+        cell = LSTMCell(3, 4, rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((2, 3)))
+        target = rng.standard_normal((2, 4))
+
+        def loss_fn():
+            h, c = cell.initial_state(2)
+            for _ in range(3):  # multi-step: exercises BPTT accumulation
+                h, c = cell(x, (h, c))
+            return float(((h.numpy() - target) ** 2).sum())
+
+        cell.zero_grad()
+        h, c = cell.initial_state(2)
+        for _ in range(3):
+            h, c = cell(x, (h, c))
+        ((h - Tensor(target)) ** 2).sum().backward()
+
+        numeric = numeric_grad_param(loss_fn, cell.weight, rng=rng)
+        analytic = cell.weight.grad.reshape(-1)
+        for idx, num in numeric.items():
+            assert analytic[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_bias_gradients_match_numeric(self, rng):
+        cell = LSTMCell(2, 3, rng=np.random.default_rng(2))
+        x = Tensor(rng.standard_normal((1, 2)))
+        target = rng.standard_normal((1, 3))
+
+        def loss_fn():
+            h, c = cell.initial_state(1)
+            h, c = cell(x, (h, c))
+            return float(((h.numpy() - target) ** 2).sum())
+
+        cell.zero_grad()
+        h, c = cell.initial_state(1)
+        h, c = cell(x, (h, c))
+        ((h - Tensor(target)) ** 2).sum().backward()
+
+        numeric = numeric_grad_param(loss_fn, cell.bias, rng=rng)
+        analytic = cell.bias.grad.reshape(-1)
+        for idx, num in numeric.items():
+            assert analytic[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+
+class TestConv1dGradcheck:
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_weight_gradients_match_numeric(self, rng, padding):
+        conv = Conv1d(2, 3, 3, rng=np.random.default_rng(3), padding=padding)
+        x = Tensor(rng.standard_normal((2, 6, 2)))
+        target_shape = conv(x).shape
+        target = rng.standard_normal(target_shape)
+
+        def loss_fn():
+            return float(((conv(x).numpy() - target) ** 2).sum())
+
+        conv.zero_grad()
+        ((conv(x) - Tensor(target)) ** 2).sum().backward()
+
+        numeric = numeric_grad_param(loss_fn, conv.weight, rng=rng)
+        analytic = conv.weight.grad.reshape(-1)
+        for idx, num in numeric.items():
+            assert analytic[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_input_gradients_match_numeric(self, rng):
+        conv = Conv1d(1, 2, 3, rng=np.random.default_rng(4))
+        x_val = rng.standard_normal((1, 5, 1))
+        target = rng.standard_normal((1, 3, 2))
+
+        def loss_fn():
+            return float(((conv(Tensor(x_val)).numpy() - target) ** 2).sum())
+
+        x = Tensor(x_val.copy(), requires_grad=True)
+        ((conv(x) - Tensor(target)) ** 2).sum().backward()
+
+        eps = 1e-6
+        for pos in [(0, 0, 0), (0, 2, 0), (0, 4, 0)]:
+            orig = x_val[pos]
+            x_val[pos] = orig + eps
+            up = loss_fn()
+            x_val[pos] = orig - eps
+            down = loss_fn()
+            x_val[pos] = orig
+            num = (up - down) / (2 * eps)
+            assert x.grad[pos] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+
+class TestConvLSTMCellGradcheck:
+    def test_gate_weight_gradients_match_numeric(self, rng):
+        cell = ConvLSTMCell(1, 2, kernel=3, rng=np.random.default_rng(5))
+        x = Tensor(rng.standard_normal((1, 4, 1)))
+        target = rng.standard_normal((1, 4, 2))
+
+        def loss_fn():
+            h, c = cell.initial_state(1, 4)
+            h, c = cell(x, (h, c))
+            return float(((h.numpy() - target) ** 2).sum())
+
+        cell.zero_grad()
+        h, c = cell.initial_state(1, 4)
+        h, c = cell(x, (h, c))
+        ((h - Tensor(target)) ** 2).sum().backward()
+
+        numeric = numeric_grad_param(loss_fn, cell.gates.weight, rng=rng)
+        analytic = cell.gates.weight.grad.reshape(-1)
+        for idx, num in numeric.items():
+            assert analytic[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)

@@ -1,0 +1,71 @@
+"""Tests for the weight-initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    final_layer_uniform,
+    he_uniform,
+    orthogonal,
+    uniform_fanin,
+    xavier_uniform,
+)
+
+
+class TestXavier:
+    def test_bound(self, rng):
+        w = xavier_uniform(30, 50, rng)
+        bound = np.sqrt(6.0 / 80)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_gain_scales_bound(self, rng):
+        small = np.abs(xavier_uniform(30, 50, np.random.default_rng(0), gain=1.0)).max()
+        large = np.abs(xavier_uniform(30, 50, np.random.default_rng(0), gain=2.0)).max()
+        assert large == pytest.approx(2.0 * small)
+
+    def test_roughly_zero_mean(self, rng):
+        w = xavier_uniform(100, 100, rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHe:
+    def test_bound_depends_only_on_fanin(self, rng):
+        w = he_uniform(64, 8, rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 64))
+
+
+class TestFanin:
+    def test_ddpg_hidden_bound(self, rng):
+        w = uniform_fanin(400, 300, rng)
+        assert np.all(np.abs(w) <= 1.0 / np.sqrt(400))
+
+
+class TestFinalLayer:
+    def test_small_outputs(self, rng):
+        w = final_layer_uniform(64, 4, rng)
+        assert np.all(np.abs(w) <= 3e-3)
+
+    def test_custom_scale(self, rng):
+        w = final_layer_uniform(64, 4, rng, scale=1e-4)
+        assert np.all(np.abs(w) <= 1e-4)
+
+
+class TestOrthogonal:
+    def test_tall_matrix_columns_orthonormal(self, rng):
+        w = orthogonal(20, 5, rng)
+        gram = w.T @ w
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_wide_matrix_rows_orthonormal(self, rng):
+        w = orthogonal(5, 20, rng)
+        gram = w @ w.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_square_is_orthogonal(self, rng):
+        w = orthogonal(8, 8, rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_shape(self, rng):
+        assert orthogonal(7, 3, rng).shape == (7, 3)

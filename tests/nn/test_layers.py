@@ -1,0 +1,156 @@
+"""Tests for feed-forward layers and the mlp builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    Tensor,
+    mlp,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.standard_normal((10, 4))))
+        assert out.shape == (10, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng=rng, bias=False)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 3)))).numpy()
+        np.testing.assert_allclose(zero_out, np.zeros((1, 2)))
+
+    def test_affine_correctness(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 5, rng=rng)
+        with pytest.raises(ConfigurationError):
+            Linear(5, -1, rng=rng)
+
+    def test_invalid_init_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            Linear(3, 3, rng=rng, init="nonsense")
+
+    @pytest.mark.parametrize("init", ["xavier", "he", "fanin", "final", "orthogonal"])
+    def test_all_init_schemes_produce_finite_weights(self, rng, init):
+        layer = Linear(6, 4, rng=rng, init=init)
+        assert np.all(np.isfinite(layer.weight.data))
+
+    def test_final_init_is_small(self, rng):
+        layer = Linear(64, 8, rng=rng, init="final")
+        assert np.max(np.abs(layer.weight.data)) <= 3e-3
+
+    def test_deterministic_given_seed(self):
+        a = Linear(3, 3, rng=np.random.default_rng(7))
+        b = Linear(3, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid, LeakyReLU])
+    def test_shape_preserved(self, rng, cls):
+        x = Tensor(rng.standard_normal((3, 5)))
+        assert cls()(x).shape == (3, 5)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(Tensor(np.array([-1.0, 0.5]))).numpy()
+        np.testing.assert_allclose(out, [0.0, 0.5])
+
+    def test_sigmoid_bounded(self, rng):
+        out = Sigmoid()(Tensor(rng.standard_normal(100) * 50)).numpy()
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_softmax_module(self, rng):
+        out = Softmax()(Tensor(rng.standard_normal((4, 6)))).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(layer(Tensor(x)).numpy(), x)
+
+    def test_train_mode_masks_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 50))
+        out = layer(Tensor(x)).numpy()
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scale
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.standard_normal((5, 8)) * 10 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(5), atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(5), atol=1e-3)
+
+    def test_gradients_flow(self, rng):
+        layer = LayerNorm(4)
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert layer.gamma.grad is not None
+
+
+class TestSequentialAndMlp:
+    def test_sequential_chains(self, rng):
+        net = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+        assert net(Tensor(rng.standard_normal((7, 3)))).shape == (7, 2)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_mlp_structure(self, rng):
+        net = mlp([4, 8, 8, 2], rng=rng)
+        # 3 Linear layers + 2 activations
+        assert len(net) == 5
+
+    def test_mlp_output_activation(self, rng):
+        net = mlp([4, 8, 3], rng=rng, output_activation="softmax")
+        out = net(Tensor(rng.standard_normal((2, 4)))).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(2))
+
+    def test_mlp_needs_two_sizes(self, rng):
+        with pytest.raises(ConfigurationError):
+            mlp([4], rng=rng)
+
+    def test_mlp_unknown_activation(self, rng):
+        with pytest.raises(ConfigurationError):
+            mlp([4, 2], rng=rng, activation="swishh")
+
+    def test_mlp_final_init(self, rng):
+        net = mlp([10, 32, 2], rng=rng, final_init="final")
+        final_linear = net[-1]
+        assert np.max(np.abs(final_linear.weight.data)) <= 3e-3
+
+    def test_parameters_counted_through_sequential(self, rng):
+        net = mlp([4, 8, 2], rng=rng)
+        # weights: 4*8 + 8*2 = 48, biases: 8 + 2 = 10
+        assert net.num_parameters() == 58

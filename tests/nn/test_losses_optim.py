@@ -1,0 +1,182 @@
+"""Tests for losses, optimisers, and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    Adam,
+    Linear,
+    Parameter,
+    RMSprop,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    huber_loss,
+    mae_loss,
+    mlp,
+    mse_loss,
+)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 4.0]))
+        np.testing.assert_allclose(loss.item(), (1.0 + 4.0) / 2)
+
+    def test_mae_value(self):
+        loss = mae_loss(Tensor([1.0, 2.0]), Tensor([0.0, 4.0]))
+        np.testing.assert_allclose(loss.item(), 1.5)
+
+    def test_huber_quadratic_inside_delta(self):
+        loss = huber_loss(Tensor([0.5]), Tensor([0.0]), delta=1.0)
+        np.testing.assert_allclose(loss.item(), 0.125)
+
+    def test_huber_linear_outside_delta(self):
+        loss = huber_loss(Tensor([3.0]), Tensor([0.0]), delta=1.0)
+        np.testing.assert_allclose(loss.item(), 1.0 * (3.0 - 0.5))
+
+    def test_huber_below_mse_for_outliers(self, rng):
+        pred = Tensor(rng.standard_normal(50) * 10)
+        target = Tensor(np.zeros(50))
+        assert huber_loss(pred, target).item() < mse_loss(pred, target).item()
+
+    @pytest.mark.parametrize("loss_fn", [mse_loss, mae_loss, huber_loss])
+    def test_losses_are_differentiable(self, rng, loss_fn):
+        pred = Tensor(rng.standard_normal(10) + 3.0, requires_grad=True)
+        loss_fn(pred, Tensor(np.zeros(10))).backward()
+        assert pred.grad is not None
+        assert np.all(np.isfinite(pred.grad))
+
+    def test_zero_loss_at_perfect_prediction(self):
+        x = Tensor([1.0, 2.0, 3.0])
+        for fn in (mse_loss, mae_loss, huber_loss):
+            assert fn(x, Tensor([1.0, 2.0, 3.0])).item() == 0.0
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_config(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([3.0])
+        opt.step()
+        # Bias correction makes the first step ≈ lr regardless of grad scale.
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad = 2.0 * (p.data - 1.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0], atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestRMSprop:
+    def test_step_direction(self):
+        p = Parameter(np.array([1.0]))
+        opt = RMSprop([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RMSprop([Parameter(np.zeros(1))], alpha=1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.1, 0.1])
+        norm = clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1, 0.1])
+        np.testing.assert_allclose(norm, np.sqrt(0.03))
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([a, b], max_norm=5.0)
+        np.testing.assert_allclose(a.grad, [3.0])  # exactly at threshold
+
+
+class TestEndToEndTraining:
+    def test_mlp_fits_linear_function(self, rng):
+        net = mlp([2, 16, 1], rng=rng)
+        opt = Adam(net.parameters(), lr=0.01)
+        X = rng.standard_normal((128, 2))
+        y = (X @ np.array([2.0, -1.0]))[:, None]
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(net(Tensor(X)), Tensor(y))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+    def test_optimizers_reduce_loss(self, rng):
+        X = rng.standard_normal((64, 3))
+        y = X.sum(axis=1, keepdims=True)
+        for make_opt in (
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: Adam(ps, lr=0.02),
+            lambda ps: RMSprop(ps, lr=0.01),
+        ):
+            net = Linear(3, 1, rng=np.random.default_rng(0))
+            opt = make_opt(net.parameters())
+            first = mse_loss(net(Tensor(X)), Tensor(y)).item()
+            for _ in range(100):
+                opt.zero_grad()
+                loss = mse_loss(net(Tensor(X)), Tensor(y))
+                loss.backward()
+                opt.step()
+            assert loss.item() < first * 0.5

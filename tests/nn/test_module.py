@@ -1,0 +1,109 @@
+"""Tests for the Module container: parameters, state dicts, soft updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, Tensor, mlp
+
+
+class _Composite(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(2, 3, rng=rng)
+        self.second = Linear(3, 1, rng=rng)
+        self.scale = Parameter(np.array([1.0]))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_recursive(self, rng):
+        net = _Composite(rng)
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+            "scale",
+        }
+
+    def test_parameters_in_lists_found(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+        assert len(net.parameters()) == 4
+
+    def test_num_parameters(self, rng):
+        net = _Composite(rng)
+        assert net.num_parameters() == 2 * 3 + 3 + 3 * 1 + 1 + 1
+
+    def test_zero_grad_clears_all(self, rng):
+        net = _Composite(rng)
+        net(Tensor(rng.standard_normal((4, 2)))).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestTrainEval:
+    def test_mode_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        net.eval()
+        assert not net.training
+        assert not net[0].training
+        net.train()
+        assert net[0].training
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = _Composite(np.random.default_rng(1))
+        b = _Composite(np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(rng.standard_normal((3, 2)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = _Composite(rng)
+        snapshot = net.state_dict()
+        net.first.weight.data += 1.0
+        assert not np.allclose(snapshot["first.weight"], net.first.weight.data)
+
+    def test_mismatched_keys_raise(self, rng):
+        net = _Composite(rng)
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_mismatched_shape_raises(self, rng):
+        net = _Composite(rng)
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestSoftUpdate:
+    def test_polyak_average(self):
+        target = Linear(2, 2, rng=np.random.default_rng(0))
+        source = Linear(2, 2, rng=np.random.default_rng(1))
+        before = target.weight.data.copy()
+        target.soft_update_from(source, tau=0.25)
+        expected = 0.75 * before + 0.25 * source.weight.data
+        np.testing.assert_allclose(target.weight.data, expected)
+
+    def test_tau_one_equals_copy(self):
+        target = Linear(2, 2, rng=np.random.default_rng(0))
+        source = Linear(2, 2, rng=np.random.default_rng(1))
+        target.soft_update_from(source, tau=1.0)
+        np.testing.assert_allclose(target.weight.data, source.weight.data)
+
+    def test_copy_from(self, rng):
+        a = mlp([2, 4, 1], rng=np.random.default_rng(3))
+        b = mlp([2, 4, 1], rng=np.random.default_rng(4))
+        b.copy_from(a)
+        x = Tensor(rng.standard_normal((2, 2)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())

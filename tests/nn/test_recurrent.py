@@ -1,0 +1,120 @@
+"""Tests for LSTM cell, stacked LSTM, and BiLSTM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import LSTM, BiLSTM, LSTMCell, Tensor
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h, c = cell.initial_state(batch=4)
+        h2, c2 = cell(Tensor(rng.standard_normal((4, 3))), (h, c))
+        assert h2.shape == (4, 5)
+        assert c2.shape == (4, 5)
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        forget = cell.bias.data[4:8]
+        np.testing.assert_allclose(forget, np.ones(4))
+
+    def test_state_bounded_by_tanh(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        h, c = cell.initial_state(1)
+        for _ in range(50):
+            h, c = cell(Tensor(rng.standard_normal((1, 2)) * 10), (h, c))
+        assert np.all(np.abs(h.numpy()) <= 1.0)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ConfigurationError):
+            LSTMCell(0, 3, rng=rng)
+
+    def test_gradients_reach_weights(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        h, c = cell.initial_state(2)
+        h, c = cell(Tensor(rng.standard_normal((2, 2))), (h, c))
+        h.sum().backward()
+        assert cell.weight.grad is not None
+        assert cell.bias.grad is not None
+
+
+class TestLSTM:
+    def test_sequence_output_shape(self, rng):
+        lstm = LSTM(2, 6, rng=rng)
+        out = lstm(Tensor(rng.standard_normal((3, 8, 2))))
+        assert out.shape == (3, 8, 6)
+
+    def test_last_hidden(self, rng):
+        lstm = LSTM(2, 6, rng=rng)
+        x = Tensor(rng.standard_normal((3, 8, 2)))
+        np.testing.assert_allclose(
+            lstm.last_hidden(x).numpy(), lstm(x).numpy()[:, -1, :]
+        )
+
+    def test_stacked_has_per_layer_cells(self, rng):
+        lstm = LSTM(2, 4, num_layers=3, rng=rng)
+        assert len(lstm.cells) == 3
+        assert lstm.cells[0].input_size == 2
+        assert lstm.cells[1].input_size == 4
+
+    def test_stacking_changes_output(self, rng):
+        x = Tensor(rng.standard_normal((2, 6, 2)))
+        one = LSTM(2, 4, num_layers=1, rng=np.random.default_rng(0))
+        two = LSTM(2, 4, num_layers=2, rng=np.random.default_rng(0))
+        assert not np.allclose(one(x).numpy(), two(x).numpy())
+
+    def test_invalid_layers(self, rng):
+        with pytest.raises(ConfigurationError):
+            LSTM(2, 4, num_layers=0, rng=rng)
+
+    def test_bptt_gradients(self, rng):
+        lstm = LSTM(1, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 10, 1)), requires_grad=True)
+        lstm.last_hidden(x).sum().backward()
+        assert x.grad is not None
+        # Early time steps must receive gradient through the recurrence.
+        assert np.any(x.grad[:, 0, :] != 0)
+
+    def test_order_sensitivity(self, rng):
+        """An LSTM must distinguish a sequence from its reverse."""
+        lstm = LSTM(1, 4, rng=rng)
+        seq = rng.standard_normal((1, 6, 1))
+        fwd = lstm.last_hidden(Tensor(seq)).numpy()
+        rev = lstm.last_hidden(Tensor(seq[:, ::-1, :].copy())).numpy()
+        assert not np.allclose(fwd, rev)
+
+
+class TestBiLSTM:
+    def test_output_is_double_width(self, rng):
+        bi = BiLSTM(2, 5, rng=rng)
+        out = bi(Tensor(rng.standard_normal((3, 7, 2))))
+        assert out.shape == (3, 7, 10)
+
+    def test_backward_half_sees_future(self, rng):
+        """Changing the last frame must affect the backward features at t=0."""
+        bi = BiLSTM(1, 3, rng=rng)
+        seq = rng.standard_normal((1, 5, 1))
+        base = bi(Tensor(seq)).numpy()[0, 0, 3:]
+        seq2 = seq.copy()
+        seq2[0, -1, 0] += 10.0
+        changed = bi(Tensor(seq2)).numpy()[0, 0, 3:]
+        assert not np.allclose(base, changed)
+
+    def test_forward_half_ignores_future(self, rng):
+        bi = BiLSTM(1, 3, rng=rng)
+        seq = rng.standard_normal((1, 5, 1))
+        base = bi(Tensor(seq)).numpy()[0, 0, :3]
+        seq2 = seq.copy()
+        seq2[0, -1, 0] += 10.0
+        changed = bi(Tensor(seq2)).numpy()[0, 0, :3]
+        np.testing.assert_allclose(base, changed)
+
+    def test_gradients_reach_both_directions(self, rng):
+        bi = BiLSTM(1, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 1)))
+        bi(x).sum().backward()
+        assert all(p.grad is not None for p in bi.parameters())

@@ -1,0 +1,61 @@
+"""Tests for npz module serialization."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.nn import LSTM, Linear, Tensor, load_module, mlp, save_module
+
+
+class TestSaveLoad:
+    def test_mlp_roundtrip_forward_identical(self, tmp_path, rng):
+        net = mlp([4, 8, 2], rng=np.random.default_rng(0))
+        path = os.path.join(tmp_path, "net.npz")
+        save_module(net, path)
+        other = mlp([4, 8, 2], rng=np.random.default_rng(99))
+        load_module(other, path)
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_array_equal(net(x).numpy(), other(x).numpy())
+
+    def test_lstm_roundtrip(self, tmp_path, rng):
+        lstm = LSTM(2, 4, num_layers=2, rng=np.random.default_rng(1))
+        path = os.path.join(tmp_path, "lstm.npz")
+        save_module(lstm, path)
+        other = LSTM(2, 4, num_layers=2, rng=np.random.default_rng(2))
+        load_module(other, path)
+        x = Tensor(rng.standard_normal((2, 5, 2)))
+        np.testing.assert_array_equal(
+            lstm.last_hidden(x).numpy(), other.last_hidden(x).numpy()
+        )
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        path = os.path.join(tmp_path, "a.npz")
+        save_module(a, path)
+        wrong_shape = Linear(3, 5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            load_module(wrong_shape, path)
+
+    def test_missing_keys_raise(self, tmp_path):
+        small = Linear(2, 2, rng=np.random.default_rng(0))
+        path = os.path.join(tmp_path, "small.npz")
+        save_module(small, path)
+        bigger = mlp([2, 4, 2], rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            load_module(bigger, path)
+
+    def test_parameterless_module_rejected(self, tmp_path):
+        from repro.nn import ReLU
+
+        with pytest.raises(DataValidationError):
+            save_module(ReLU(), os.path.join(tmp_path, "x.npz"))
+
+    def test_load_returns_module(self, tmp_path):
+        net = Linear(2, 2, rng=np.random.default_rng(0))
+        path = os.path.join(tmp_path, "n.npz")
+        save_module(net, path)
+        assert load_module(net, path) is net

@@ -1,0 +1,366 @@
+"""Autograd engine tests: every op gets a numeric gradient check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GradientError
+from repro.nn.tensor import Tensor, concatenate, stack
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued fn."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_op(op, shape=(3, 4), seed=0, positive=False):
+    """Assert analytic and numeric gradients agree for a unary op."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape)
+    if positive:
+        x = np.abs(x) + 0.5
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+
+    def scalar_fn(arr):
+        return op(Tensor(arr)).sum().item()
+
+    expected = numeric_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(t.grad, expected, rtol=1e-5, atol=1e-7)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_op(lambda t: t + 2.5)
+
+    def test_mul(self):
+        check_op(lambda t: t * 3.0)
+
+    def test_neg(self):
+        check_op(lambda t: -t)
+
+    def test_sub(self):
+        check_op(lambda t: t - 1.0)
+
+    def test_rsub(self):
+        check_op(lambda t: 1.0 - t)
+
+    def test_div(self):
+        check_op(lambda t: t / 2.0)
+
+    def test_rdiv(self):
+        check_op(lambda t: 1.0 / t, positive=True)
+
+    def test_pow(self):
+        check_op(lambda t: t ** 3)
+
+    def test_exp(self):
+        check_op(lambda t: t.exp())
+
+    def test_log(self):
+        check_op(lambda t: t.log(), positive=True)
+
+    def test_sqrt(self):
+        check_op(lambda t: t.sqrt(), positive=True)
+
+    def test_abs(self):
+        # keep away from the kink at 0
+        check_op(lambda t: (t + 5.0).abs())
+
+    def test_tanh(self):
+        check_op(lambda t: t.tanh())
+
+    def test_sigmoid(self):
+        check_op(lambda t: t.sigmoid())
+
+    def test_relu(self):
+        check_op(lambda t: (t + 0.3).relu())
+
+    def test_leaky_relu(self):
+        check_op(lambda t: (t + 0.3).leaky_relu(0.1))
+
+    def test_clip(self):
+        check_op(lambda t: t.clip(-0.5, 0.5) * t)
+
+
+class TestTensorTensorGradients:
+    def test_mul_two_tensors(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_div_two_tensors(self, rng):
+        a_val = rng.standard_normal((2, 3))
+        b_val = np.abs(rng.standard_normal((2, 3))) + 1.0
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b_val)
+        np.testing.assert_allclose(b.grad, -a_val / b_val ** 2)
+
+    def test_broadcast_add_bias(self, rng):
+        x = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(3, 5.0))
+        np.testing.assert_allclose(x.grad, np.ones((5, 3)))
+
+    def test_broadcast_mul_scalar_tensor(self, rng):
+        x = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        s = Tensor(np.array(2.0), requires_grad=True)
+        (x * s).sum().backward()
+        np.testing.assert_allclose(float(s.grad), x.data.sum())
+
+    def test_broadcast_keepdims_column(self, rng):
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        col = Tensor(rng.standard_normal((4, 1)), requires_grad=True)
+        (x * col).sum().backward()
+        np.testing.assert_allclose(col.grad, x.data.sum(axis=1, keepdims=True))
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self, rng):
+        a_val = rng.standard_normal((4, 3))
+        b_val = rng.standard_normal((3, 5))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 5)) @ b_val.T)
+        np.testing.assert_allclose(b.grad, a_val.T @ np.ones((4, 5)))
+
+    def test_matmul_matrix_vector(self, rng):
+        a_val = rng.standard_normal((4, 3))
+        v_val = rng.standard_normal(3)
+        a = Tensor(a_val, requires_grad=True)
+        v = Tensor(v_val, requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.outer(np.ones(4), v_val))
+        np.testing.assert_allclose(v.grad, a_val.sum(axis=0))
+
+    def test_matmul_vector_matrix(self, rng):
+        v_val = rng.standard_normal(4)
+        b_val = rng.standard_normal((4, 3))
+        v = Tensor(v_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (v @ b).sum().backward()
+        np.testing.assert_allclose(v.grad, b_val.sum(axis=1))
+        np.testing.assert_allclose(b.grad, np.outer(v_val, np.ones(3)))
+
+    def test_matmul_vector_vector(self, rng):
+        a_val = rng.standard_normal(5)
+        b_val = rng.standard_normal(5)
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, b_val)
+        np.testing.assert_allclose(b.grad, a_val)
+
+    def test_matmul_batched(self, rng):
+        a_val = rng.standard_normal((2, 4, 3))
+        b_val = rng.standard_normal((3, 5))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == a_val.shape
+        assert b.grad.shape == b_val.shape
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 1.0 / 10))
+
+    def test_mean_axis(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 1.0 / 5))
+
+    def test_max_axis_routes_gradient_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        expected = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_splits_ties(self):
+        x = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_roundtrip(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        (x.reshape(3, 4) * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 6), 2.0))
+
+    def test_transpose(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        scale = Tensor(rng.standard_normal((3, 2)))
+        (x.T * scale).sum().backward()
+        np.testing.assert_allclose(x.grad, scale.data.T)
+
+    def test_getitem_slice(self, rng):
+        x = Tensor(rng.standard_normal(6), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(6)
+        expected[2:5] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_fancy_accumulates_duplicates(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 3), 2.0))
+
+    def test_stack(self, rng):
+        a = Tensor(rng.standard_normal(4), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 4)
+        out[0].sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(4))
+        np.testing.assert_allclose(b.grad, np.zeros(4))
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        out = x.softmax(axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+        assert np.all(out > 0)
+
+    def test_softmax_gradient(self, rng):
+        x_val = rng.standard_normal((2, 3))
+        w = rng.standard_normal((2, 3))
+        x = Tensor(x_val.copy(), requires_grad=True)
+        (x.softmax(axis=-1) * Tensor(w)).sum().backward()
+
+        def fn(arr):
+            return (Tensor(arr).softmax(axis=-1) * Tensor(w)).sum().item()
+
+        expected = numeric_grad(fn, x_val.copy())
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-5, atol=1e-8)
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        out = x.softmax(axis=-1).numpy()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(
+            x.log_softmax(axis=-1).numpy(),
+            np.log(x.softmax(axis=-1).numpy()),
+            rtol=1e-10,
+        )
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()  # d/dx (6x²) = 12x
+        np.testing.assert_allclose(x.grad, [18.0])
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.array([1.0]))
+        with pytest.raises(GradientError):
+            x.backward()
+
+    def test_explicit_gradient(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        d = (x * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_no_grad_tracking_when_not_required(self):
+        x = Tensor(np.array([1.0]))
+        y = x * 2.0 + 1.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repeated_backward_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestTensorBasics:
+    def test_constructors(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).numpy().sum() == 4.0
+
+    def test_dtype_coercion(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_item_and_len(self):
+        assert Tensor([2.5]).item() == 2.5
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]) ** np.array([1.0, 2.0])

@@ -1,0 +1,70 @@
+"""Tests for the Hampel outlier filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.preprocessing import hampel_filter, outlier_fraction
+
+
+class TestHampelFilter:
+    def test_flags_injected_spike(self, rng):
+        x = rng.normal(0, 1, 200)
+        x[77] = 40.0
+        cleaned, mask = hampel_filter(x)
+        assert mask[77]
+        assert abs(cleaned[77]) < 5.0
+
+    def test_clean_smooth_series_untouched(self):
+        x = np.sin(np.linspace(0, 6, 300))
+        cleaned, mask = hampel_filter(x, n_sigmas=5.0)
+        assert mask.sum() == 0
+        np.testing.assert_array_equal(cleaned, x)
+
+    def test_negative_spike_caught(self, rng):
+        x = rng.normal(10, 0.5, 150)
+        x[60] = -30.0
+        _, mask = hampel_filter(x)
+        assert mask[60]
+
+    def test_constant_series_safe(self):
+        cleaned, mask = hampel_filter(np.full(50, 3.0))
+        assert mask.sum() == 0
+        np.testing.assert_array_equal(cleaned, np.full(50, 3.0))
+
+    def test_edges_processed(self, rng):
+        x = rng.normal(0, 1, 100)
+        x[0] = 50.0
+        x[-1] = -50.0
+        _, mask = hampel_filter(x)
+        assert mask[0]
+        assert mask[-1]
+
+    def test_threshold_controls_sensitivity(self, rng):
+        x = rng.normal(0, 1, 300)
+        x[::25] += 6.0
+        _, strict = hampel_filter(x, n_sigmas=2.0)
+        _, lax = hampel_filter(x, n_sigmas=10.0)
+        assert strict.sum() > lax.sum()
+
+    def test_original_not_modified(self, rng):
+        x = rng.normal(0, 1, 50)
+        x[10] = 100.0
+        snapshot = x.copy()
+        hampel_filter(x)
+        np.testing.assert_array_equal(x, snapshot)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            hampel_filter(np.zeros(10), window=0)
+        with pytest.raises(ConfigurationError):
+            hampel_filter(np.zeros(10), n_sigmas=0.0)
+
+    def test_outlier_fraction(self, rng):
+        x = rng.normal(0, 1, 200)
+        x[:10] = 50.0  # a block of junk — but a block defeats the median?
+        x[:10] += rng.normal(0, 0.1, 10)
+        fraction = outlier_fraction(rng.normal(0, 1, 200))
+        assert 0.0 <= fraction <= 0.1

@@ -1,0 +1,217 @@
+"""Tests for embedding, scaling, splits, and windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.preprocessing import (
+    MinMaxScaler,
+    StandardScaler,
+    difference,
+    embed,
+    last_window,
+    rolling_origin_splits,
+    shift_window,
+    sliding_windows,
+    train_test_split,
+    undifference_last,
+    validate_series,
+)
+
+
+class TestValidateSeries:
+    def test_accepts_lists(self):
+        out = validate_series([1.0, 2.0, 3.0])
+        assert out.dtype == np.float64
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError):
+            validate_series(np.zeros((3, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            validate_series([1.0, np.nan, 3.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError):
+            validate_series([1.0, np.inf])
+
+    def test_rejects_short(self):
+        with pytest.raises(DataValidationError):
+            validate_series([1.0, 2.0], min_length=3)
+
+
+class TestEmbed:
+    def test_shapes(self):
+        X, y = embed(np.arange(10.0), 3)
+        assert X.shape == (7, 3)
+        assert y.shape == (7,)
+
+    def test_alignment(self):
+        X, y = embed(np.arange(10.0), 3)
+        np.testing.assert_allclose(X[0], [0, 1, 2])
+        assert y[0] == 3.0
+        np.testing.assert_allclose(X[-1], [6, 7, 8])
+        assert y[-1] == 9.0
+
+    def test_oldest_lag_first(self):
+        series = np.array([10.0, 20.0, 30.0, 40.0])
+        X, _ = embed(series, 2)
+        np.testing.assert_allclose(X[0], [10.0, 20.0])
+
+    def test_returns_copies(self):
+        series = np.arange(8.0)
+        X, _ = embed(series, 2)
+        X[0, 0] = 999.0
+        assert series[0] == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataValidationError):
+            embed(np.arange(3.0), 3)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(DataValidationError):
+            embed(np.arange(10.0), 0)
+
+    def test_last_window(self):
+        np.testing.assert_allclose(last_window(np.arange(6.0), 3), [3, 4, 5])
+
+
+class TestStandardScaler:
+    def test_fit_transform_stats(self, rng):
+        data = rng.standard_normal(500) * 7 + 3
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.standard_normal((20, 3)) * 4 + 1
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data
+        )
+
+    def test_constant_feature_safe(self):
+        out = StandardScaler().fit_transform(np.full(10, 5.0))
+        np.testing.assert_allclose(out, np.zeros(10))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros(3))
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            StandardScaler().fit(np.array([]))
+
+    def test_scalar_roundtrip(self):
+        scaler = StandardScaler().fit(np.array([1.0, 3.0, 5.0]))
+        value = scaler.transform(4.0)
+        np.testing.assert_allclose(scaler.inverse_transform(value), 4.0)
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        out = MinMaxScaler().fit_transform(rng.standard_normal(100))
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_custom_range(self, rng):
+        out = MinMaxScaler((-1, 1)).fit_transform(rng.standard_normal(100))
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.standard_normal(50)
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data
+        )
+
+    def test_invalid_range(self):
+        with pytest.raises(DataValidationError):
+            MinMaxScaler((1.0, 1.0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros(3))
+
+
+class TestTrainTestSplit:
+    def test_75_25(self):
+        train, test = train_test_split(np.arange(100.0))
+        assert train.size == 75
+        assert test.size == 25
+
+    def test_chronological(self):
+        train, test = train_test_split(np.arange(100.0))
+        assert train[-1] < test[0]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DataValidationError):
+            train_test_split(np.arange(10.0), train_fraction=1.0)
+
+    def test_extreme_fraction_clamped(self):
+        train, test = train_test_split(np.arange(10.0), train_fraction=0.99)
+        assert test.size >= 1
+
+
+class TestRollingOrigin:
+    def test_folds_grow(self):
+        folds = list(rolling_origin_splits(np.arange(20.0), 0.5, horizon=2, step=3))
+        sizes = [len(history) for history, _ in folds]
+        assert sizes == sorted(sizes)
+        assert all(len(future) == 2 for _, future in folds)
+
+    def test_future_follows_history(self):
+        for history, future in rolling_origin_splits(np.arange(20.0), 0.5):
+            assert future[0] == history[-1] + 1
+
+    def test_invalid_params(self):
+        with pytest.raises(DataValidationError):
+            list(rolling_origin_splits(np.arange(20.0), 0.5, horizon=0))
+
+
+class TestWindows:
+    def test_sliding_windows(self):
+        out = sliding_windows(np.arange(6.0), window=3)
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out[0], [0, 1, 2])
+        np.testing.assert_allclose(out[-1], [3, 4, 5])
+
+    def test_sliding_windows_step(self):
+        out = sliding_windows(np.arange(10.0), window=3, step=2)
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out[1], [2, 3, 4])
+
+    def test_shift_window(self):
+        out = shift_window(np.array([1.0, 2.0, 3.0]), 9.0)
+        np.testing.assert_allclose(out, [2.0, 3.0, 9.0])
+
+    def test_shift_window_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            shift_window(np.array([]), 1.0)
+
+    def test_difference_orders(self):
+        series = np.array([1.0, 4.0, 9.0, 16.0])
+        np.testing.assert_allclose(difference(series, 1), [3, 5, 7])
+        np.testing.assert_allclose(difference(series, 2), [2, 2])
+        np.testing.assert_allclose(difference(series, 0), series)
+
+    def test_undifference_order1(self):
+        # x = [5, 8]; predicted Δ = 2 → next = 10
+        assert undifference_last(np.array([5.0, 8.0]), 2.0, order=1) == 10.0
+
+    def test_undifference_order2(self):
+        # x = [1, 3, 6]: Δ = [2, 3], Δ² prediction 1 → next Δ = 4 → next x = 10
+        assert undifference_last(np.array([1.0, 3.0, 6.0]), 1.0, order=2) == 10.0
+
+    def test_undifference_order0_identity(self):
+        assert undifference_last(np.array([5.0]), 7.5, order=0) == 7.5
+
+    def test_difference_roundtrip(self, rng):
+        series = rng.standard_normal(30).cumsum()
+        diffed = difference(series, 1)
+        recovered = undifference_last(series[:-1], diffed[-1], order=1)
+        np.testing.assert_allclose(recovered, series[-1])

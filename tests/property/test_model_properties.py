@@ -1,0 +1,150 @@
+"""Property-based tests on the model zoo, combiners, and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import decompose
+from repro.baselines import (
+    ExponentiallyWeightedAverage,
+    FixedShare,
+    MLPoly,
+    SimpleEnsemble,
+    SlidingWindowEnsemble,
+)
+from repro.models import (
+    ARIMA,
+    DecisionTreeForecaster,
+    PLSForecaster,
+    RidgeForecaster,
+    SimpleExpSmoothing,
+)
+from repro.preprocessing import hampel_filter
+
+
+def make_series(seed: int, n: int = 120) -> np.ndarray:
+    """Random but well-behaved series: AR(1) + season + offset."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    ar = np.zeros(n)
+    phi = rng.uniform(0.2, 0.9)
+    for i in range(1, n):
+        ar[i] = phi * ar[i - 1] + rng.normal(0, 0.5)
+    return 10.0 + 2.0 * np.sin(2 * np.pi * t / 12) + ar
+
+
+def make_matrix(seed: int, T: int = 50, m: int = 4):
+    rng = np.random.default_rng(seed)
+    truth = rng.standard_normal(T).cumsum() + 5.0
+    scales = rng.uniform(0.1, 2.0, m)
+    P = truth[:, None] + scales[None, :] * rng.standard_normal((T, m))
+    return P, truth
+
+
+class TestModelProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_arima_predictions_finite(self, seed):
+        series = make_series(seed)
+        model = ARIMA(2, 0, 1).fit(series)
+        preds = model.rolling_predictions(series, 80)
+        assert np.all(np.isfinite(preds))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_ses_prediction_inside_history_hull(self, seed):
+        """SES is a convex combination of observed values."""
+        series = make_series(seed)
+        model = SimpleExpSmoothing().fit(series)
+        pred = model.predict_next(series)
+        assert series.min() - 1e-9 <= pred <= series.max() + 1e-9
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_prediction_inside_target_hull(self, seed):
+        """CART leaves average training targets — predictions bounded."""
+        series = make_series(seed)
+        model = DecisionTreeForecaster(5, max_depth=4).fit(series)
+        pred = model.predict_next(series)
+        assert series.min() - 1e-9 <= pred <= series.max() + 1e-9
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_ridge_deterministic(self, seed):
+        series = make_series(seed)
+        a = RidgeForecaster(5).fit(series).predict_next(series)
+        b = RidgeForecaster(5).fit(series).predict_next(series)
+        assert a == b
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_pls_finite_predictions(self, seed):
+        series = make_series(seed)
+        model = PLSForecaster(5, n_components=2).fit(series)
+        assert np.isfinite(model.predict_next(series))
+
+
+class TestCombinerProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_all_combiners_finite_and_hull_bounded(self, seed):
+        P, y = make_matrix(seed)
+        for combiner in (
+            SimpleEnsemble(),
+            SlidingWindowEnsemble(window=5),
+            ExponentiallyWeightedAverage(),
+            FixedShare(),
+            MLPoly(),
+        ):
+            out = combiner.run(P, y)
+            assert np.all(np.isfinite(out))
+            assert np.all(out <= P.max(axis=1) + 1e-9)
+            assert np.all(out >= P.min(axis=1) - 1e-9)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_combiners_permutation_covariant(self, seed):
+        """Reordering pool columns must not change SE/SWE outputs."""
+        P, y = make_matrix(seed)
+        rng = np.random.default_rng(seed + 1)
+        perm = rng.permutation(P.shape[1])
+        for combiner in (SimpleEnsemble(), SlidingWindowEnsemble(window=5)):
+            base = combiner.run(P, y)
+            permuted = combiner.run(P[:, perm], y)
+            np.testing.assert_allclose(base, permuted, rtol=1e-10)
+
+
+class TestAnalysisProperties:
+    @given(st.integers(0, 500), st.integers(3, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_decomposition_reconstructs(self, seed, period):
+        series = make_series(seed, n=6 * period + 20)
+        d = decompose(series, period)
+        np.testing.assert_allclose(d.reconstruct(), series, atol=1e-9)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_hampel_removes_injected_spikes_and_stays_bounded(self, seed):
+        """The first pass must catch the injected 20σ spikes; a second
+        pass may flag a few newly-borderline points (median replacement
+        shrinks local variance) but never more than a small fraction."""
+        rng = np.random.default_rng(seed)
+        series = rng.normal(0, 1, 150)
+        spikes = rng.integers(0, 150, 3)
+        series[spikes] += 20.0
+        cleaned, first_mask = hampel_filter(series)
+        assert first_mask[spikes].all()
+        assert np.all(np.abs(cleaned[spikes]) < 10.0)
+        _, second_mask = hampel_filter(cleaned)
+        assert second_mask.sum() <= 0.1 * series.size
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_seasonal_strength_in_unit_interval(self, seed):
+        series = make_series(seed, n=120)
+        d = decompose(series, 12)
+        assert 0.0 <= d.seasonal_strength <= 1.0
+        assert 0.0 <= d.trend_strength <= 1.0

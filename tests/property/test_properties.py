@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import inverse_error_weights
+from repro.metrics import rank_errors, rmse
+from repro.nn.tensor import Tensor, _unbroadcast
+from repro.preprocessing import MinMaxScaler, StandardScaler, embed, shift_window
+from repro.rl.mdp import euclidean_simplex_projection, project_to_simplex
+from repro.rl.rewards import RankReward
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSimplexProperties:
+    @given(arrays(np.float64, st.integers(1, 12), elements=finite_floats))
+    def test_project_to_simplex_invariants(self, v):
+        w = project_to_simplex(v)
+        assert w.min() >= 0
+        assert abs(w.sum() - 1.0) < 1e-9
+
+    @given(arrays(np.float64, st.integers(1, 12), elements=finite_floats))
+    def test_euclidean_projection_invariants(self, v):
+        w = euclidean_simplex_projection(v)
+        assert w.min() >= 0
+        # tolerance scales with input magnitude (catastrophic cancellation
+        # in the cumulative sums is unavoidable for huge inputs)
+        tol = 1e-9 * max(1.0, float(np.abs(v).max()))
+        assert abs(w.sum() - 1.0) < tol
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 10),
+            elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        )
+    )
+    def test_euclidean_projection_idempotent(self, v):
+        once = euclidean_simplex_projection(v)
+        twice = euclidean_simplex_projection(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestScalerProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(3, 50),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_standard_scaler_roundtrip(self, data):
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-6
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(3, 50),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_minmax_scaler_range(self, data):
+        out = MinMaxScaler().fit_transform(data)
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+
+class TestEmbeddingProperties:
+    @given(
+        st.integers(1, 8),
+        arrays(
+            np.float64,
+            st.integers(10, 60),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=50)
+    def test_embed_alignment(self, k, series):
+        X, y = embed(series, k)
+        assert X.shape == (series.size - k, k)
+        # every target equals the element right after its window
+        for i in range(0, X.shape[0], max(1, X.shape[0] // 5)):
+            assert y[i] == series[i + k]
+            np.testing.assert_array_equal(X[i], series[i : i + k])
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 20),
+            elements=finite_floats,
+        ),
+        finite_floats,
+    )
+    def test_shift_window_preserves_length(self, window, new_value):
+        out = shift_window(window, new_value)
+        assert out.size == window.size
+        assert out[-1] == new_value
+
+
+class TestMetricProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 30),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_rmse_nonnegative_and_zero_iff_equal(self, x):
+        assert rmse(x, x) == 0.0
+        shifted = x + 1.0
+        assert rmse(shifted, x) > 0
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        )
+    )
+    def test_rank_errors_is_permutation_of_average_ranks(self, errors):
+        ranks = rank_errors(errors)
+        assert ranks.min() >= 1.0
+        assert ranks.max() <= errors.size
+        # sum of ranks is invariant: n(n+1)/2
+        n = errors.size
+        np.testing.assert_allclose(ranks.sum(), n * (n + 1) / 2)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 10),
+            elements=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_inverse_error_weights_simplex(self, errors):
+        w = inverse_error_weights(errors)
+        assert abs(w.sum() - 1.0) < 1e-9
+        assert w.min() >= 0
+        # best model gets the largest weight
+        assert w[np.argmin(errors)] == w.max()
+
+
+class TestRewardProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_rank_reward_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        T, m = 12, 5
+        truth = rng.standard_normal(T)
+        preds = truth[:, None] + rng.standard_normal((T, m))
+        w = rng.dirichlet(np.ones(m))
+        r = RankReward()(preds, truth, w)
+        assert 0.0 <= r <= m
+
+    @given(st.integers(0, 10_000), st.floats(min_value=0.1, max_value=1000.0))
+    @settings(max_examples=30)
+    def test_rank_reward_scale_invariant(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        T, m = 12, 4
+        truth = rng.standard_normal(T)
+        preds = truth[:, None] + rng.standard_normal((T, m))
+        w = rng.dirichlet(np.ones(m))
+        reward = RankReward()
+        assert reward(preds, truth, w) == reward(preds * scale, truth * scale, w)
+
+
+class TestAutogradProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_unbroadcast_inverts_broadcast(self, seed):
+        rng = np.random.default_rng(seed)
+        base_shape = (1, 3)
+        big_shape = (4, 3)
+        grad = rng.standard_normal(big_shape)
+        reduced = _unbroadcast(grad, base_shape)
+        assert reduced.shape == base_shape
+        np.testing.assert_allclose(reduced, grad.sum(axis=0, keepdims=True))
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_sum_gradient_is_ones(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(data))
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 20),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_softmax_output_is_distribution(self, data):
+        out = Tensor(data).softmax().numpy()
+        assert abs(out.sum() - 1.0) < 1e-9
+        assert out.min() >= 0

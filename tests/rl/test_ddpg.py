@@ -1,0 +1,171 @@
+"""Tests for the DDPG agent (actor, critic, updates, training loop)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.rl import DDPGAgent, DDPGConfig, EnsembleMDP, RankReward
+
+
+@pytest.fixture
+def easy_env(rng):
+    """MDP where model 1 is overwhelmingly the best choice."""
+    T, m = 100, 4
+    truth = np.sin(np.arange(T) * 0.3)
+    scales = np.array([1.0, 0.05, 0.9, 1.3])
+    preds = truth[:, None] + scales[None, :] * rng.standard_normal((T, m))
+    return EnsembleMDP(preds, truth, window=10, reward_fn=RankReward())
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        DDPGConfig().validate()
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(gamma=1.0).validate()
+
+    def test_invalid_tau(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(tau=0.0).validate()
+
+    def test_invalid_sampling(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(sampling="rank").validate()
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(batch_size=1).validate()
+
+
+class TestActorOutput:
+    def test_act_returns_simplex_point(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        w = agent.act(easy_env.reset())
+        assert w.shape == (easy_env.action_dim,)
+        assert np.all(w >= 0)
+        np.testing.assert_allclose(w.sum(), 1.0)
+
+    def test_exploration_noise_changes_action(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        state = easy_env.reset()
+        greedy = agent.act(state, explore=False)
+        noisy = agent.act(state, explore=True)
+        assert not np.allclose(greedy, noisy)
+        np.testing.assert_allclose(noisy.sum(), 1.0)
+
+    def test_initial_policy_near_uniform(self, easy_env):
+        """Small final-layer init + bounded logits → near-uniform start."""
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        w = agent.act(easy_env.reset())
+        uniform = 1.0 / easy_env.action_dim
+        np.testing.assert_allclose(w, uniform, atol=0.05)
+
+    def test_wrong_state_shape_raises(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        with pytest.raises(DataValidationError):
+            agent.act(np.zeros(3))
+
+    def test_bounded_logits_prevent_hard_saturation(self, easy_env):
+        """Even extreme states cannot produce exactly one-hot weights."""
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim,
+                          DDPGConfig(logit_scale=3.0))
+        w = agent.act(np.full(easy_env.state_dim, 1e6))
+        assert w.max() < 1.0
+        assert w.min() > 0.0
+
+
+class TestTargets:
+    def test_targets_start_synchronised(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        for (_, a), (_, b) in zip(
+            agent.actor.named_parameters(), agent.target_actor.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_soft_update_moves_targets_slowly(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim, easy_env.action_dim, DDPGConfig(tau=0.01, warmup_steps=8, batch_size=4)
+        )
+        env = easy_env
+        state = env.reset()
+        agent._warmup(env)
+        before = agent.target_actor.state_dict()
+        agent.update()
+        after = agent.target_actor.state_dict()
+        for name in before:
+            delta = np.abs(after[name] - before[name]).max()
+            assert delta < 0.1  # tau-scaled movement only
+
+
+class TestTraining:
+    def test_warmup_fills_buffer(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim,
+            easy_env.action_dim,
+            DDPGConfig(warmup_steps=50),
+        )
+        agent._warmup(easy_env)
+        assert len(agent.buffer) == 50
+
+    def test_train_records_history(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim, easy_env.action_dim, DDPGConfig(batch_size=8, warmup_steps=30)
+        )
+        history = agent.train(easy_env, episodes=3, max_iterations=20)
+        assert history.n_episodes == 3
+        assert len(history.critic_losses) > 0
+
+    def test_learns_best_model_on_easy_task(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim,
+            easy_env.action_dim,
+            DDPGConfig(seed=0, batch_size=16),
+        )
+        agent.train(easy_env, episodes=25, max_iterations=40)
+        w = agent.policy_weights(easy_env.reset())
+        assert np.argmax(w) == 1  # the low-noise model
+        assert w[1] > 0.5
+
+    def test_median_sampling_default(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        assert agent.config.sampling == "median"
+
+    def test_invalid_episodes(self, easy_env):
+        agent = DDPGAgent(easy_env.state_dim, easy_env.action_dim)
+        with pytest.raises(ConfigurationError):
+            agent.train(easy_env, episodes=0)
+
+    def test_update_with_small_buffer_is_noop(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim, easy_env.action_dim, DDPGConfig(batch_size=64)
+        )
+        before = agent.actor.state_dict()
+        agent.update()  # buffer empty → no change
+        after = agent.actor.state_dict()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_moving_average_shape(self, easy_env):
+        agent = DDPGAgent(
+            easy_env.state_dim, easy_env.action_dim, DDPGConfig(batch_size=8)
+        )
+        history = agent.train(easy_env, episodes=6, max_iterations=10)
+        smooth = history.moving_average(span=3)
+        assert smooth.size == 4
+
+    def test_deterministic_training_given_seed(self, rng):
+        T, m = 60, 3
+        truth = np.cos(np.arange(T) * 0.2)
+        preds = truth[:, None] + 0.3 * np.random.default_rng(5).standard_normal((T, m))
+
+        def run(seed):
+            env = EnsembleMDP(preds, truth, window=8)
+            agent = DDPGAgent(8, m, DDPGConfig(seed=seed, batch_size=8))
+            agent.train(env, episodes=3, max_iterations=15)
+            return agent.policy_weights(env.reset())
+
+        np.testing.assert_array_equal(run(11), run(11))
+        assert not np.array_equal(run(11), run(12))

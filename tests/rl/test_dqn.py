@@ -1,0 +1,122 @@
+"""Tests for the DQN model-selection agent (paper reference [21])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.rl import DQNConfig, DQNSelector, EnsembleMDP, RankReward
+
+
+@pytest.fixture
+def selection_env(rng):
+    T, m = 100, 4
+    truth = np.sin(np.arange(T) * 0.3)
+    scales = np.array([1.0, 0.05, 0.9, 1.3])
+    preds = truth[:, None] + scales[None, :] * rng.standard_normal((T, m))
+    return EnsembleMDP(preds, truth, window=10, reward_fn=RankReward()), preds
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        DQNConfig().validate()
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            DQNConfig(gamma=1.5).validate()
+
+    def test_invalid_epsilon_order(self):
+        with pytest.raises(ConfigurationError):
+            DQNConfig(epsilon_start=0.1, epsilon_end=0.5).validate()
+
+
+class TestSelection:
+    def test_q_values_shape(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        q = agent.q_values(env.reset())
+        assert q.shape == (env.action_dim,)
+
+    def test_greedy_is_argmax(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        state = env.reset()
+        assert agent.select(state) == int(np.argmax(agent.q_values(state)))
+
+    def test_one_hot(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        w = agent.one_hot(2)
+        assert w.sum() == 1.0
+        assert w[2] == 1.0
+
+    def test_exploration_hits_all_actions(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim, DQNConfig(seed=0))
+        state = env.reset()
+        picks = {agent.select(state, explore=True) for _ in range(100)}
+        assert picks == set(range(env.action_dim))
+
+    def test_bad_state_shape(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        with pytest.raises(DataValidationError):
+            agent.q_values(np.zeros(3))
+
+
+class TestTraining:
+    def test_epsilon_decays(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(
+            env.state_dim, env.action_dim, DQNConfig(seed=0, batch_size=8)
+        )
+        agent.train(env, episodes=5, max_iterations=10)
+        assert agent._epsilon < agent.config.epsilon_start
+
+    def test_learns_best_model(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(
+            env.state_dim, env.action_dim, DQNConfig(seed=0, batch_size=16)
+        )
+        agent.train(env, episodes=25, max_iterations=40)
+        assert agent.select(env.reset()) == 1
+
+    def test_reward_improves(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(
+            env.state_dim, env.action_dim, DQNConfig(seed=0, batch_size=16)
+        )
+        rewards = agent.train(env, episodes=20, max_iterations=40)
+        assert np.mean(rewards[-5:]) > np.mean(rewards[:5])
+
+    def test_env_model_mismatch(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim + 1)
+        with pytest.raises(DataValidationError):
+            agent.train(env, episodes=1)
+
+    def test_invalid_episodes(self, selection_env):
+        env, _ = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        with pytest.raises(ConfigurationError):
+            agent.train(env, episodes=0)
+
+
+class TestDeployment:
+    def test_selection_path_values_come_from_pool(self, selection_env):
+        env, preds = selection_env
+        agent = DQNSelector(
+            env.state_dim, env.action_dim, DQNConfig(seed=0, batch_size=8)
+        )
+        agent.train(env, episodes=3, max_iterations=15)
+        out = agent.greedy_selection_path(preds[60:], preds[:60])
+        # every output must equal one of the pool members' predictions
+        for i, value in enumerate(out):
+            assert value in preds[60 + i]
+
+    def test_short_bootstrap_raises(self, selection_env):
+        env, preds = selection_env
+        agent = DQNSelector(env.state_dim, env.action_dim)
+        with pytest.raises(DataValidationError):
+            agent.greedy_selection_path(preds[60:], preds[:3])

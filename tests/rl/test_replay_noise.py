@@ -1,0 +1,147 @@
+"""Tests for the replay buffer (incl. Eq. 4 sampling) and noise processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.rl import GaussianNoise, OrnsteinUhlenbeckNoise, ReplayBuffer, Transition
+
+
+def make_transition(reward: float, tag: float = 0.0) -> Transition:
+    state = np.array([tag, reward])
+    return Transition(state, np.array([0.5, 0.5]), reward, state + 1, False)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=10)
+        for i in range(5):
+            buffer.push(make_transition(float(i)))
+        assert len(buffer) == 5
+
+    def test_capacity_overwrites_oldest(self):
+        buffer = ReplayBuffer(capacity=3)
+        for i in range(5):
+            buffer.push(make_transition(float(i)))
+        assert len(buffer) == 3
+        rewards = {t.reward for t in buffer._storage}
+        assert rewards == {2.0, 3.0, 4.0}
+
+    def test_uniform_sample_shapes(self):
+        buffer = ReplayBuffer(seed=0)
+        for i in range(20):
+            buffer.push(make_transition(float(i)))
+        states, actions, rewards, next_states, dones = buffer.sample_uniform(8)
+        assert states.shape == (8, 2)
+        assert actions.shape == (8, 2)
+        assert rewards.shape == (8,)
+        assert next_states.shape == (8, 2)
+        assert dones.shape == (8,)
+
+    def test_median_balanced_split(self):
+        buffer = ReplayBuffer(seed=0)
+        for i in range(100):
+            buffer.push(make_transition(float(i)))
+        median = buffer.reward_median()
+        _, _, rewards, _, _ = buffer.sample_median_balanced(40)
+        high = np.sum(rewards >= median)
+        low = np.sum(rewards < median)
+        assert high == 20
+        assert low == 20
+
+    def test_median_balanced_odd_batch(self):
+        buffer = ReplayBuffer(seed=0)
+        for i in range(50):
+            buffer.push(make_transition(float(i)))
+        _, _, rewards, _, _ = buffer.sample_median_balanced(9)
+        assert rewards.shape == (9,)
+
+    def test_median_degrades_to_uniform_when_constant(self):
+        buffer = ReplayBuffer(seed=0)
+        for _ in range(20):
+            buffer.push(make_transition(5.0))
+        _, _, rewards, _, _ = buffer.sample_median_balanced(10)
+        np.testing.assert_allclose(rewards, 5.0)
+
+    def test_sample_dispatch(self):
+        buffer = ReplayBuffer(seed=0)
+        for i in range(30):
+            buffer.push(make_transition(float(i)))
+        assert buffer.sample(6, strategy="median")[2].shape == (6,)
+        assert buffer.sample(6, strategy="uniform")[2].shape == (6,)
+        with pytest.raises(ConfigurationError):
+            buffer.sample(6, strategy="prioritized")
+
+    def test_empty_buffer_raises(self):
+        buffer = ReplayBuffer()
+        with pytest.raises(DataValidationError):
+            buffer.sample_uniform(4)
+        with pytest.raises(DataValidationError):
+            buffer.reward_median()
+
+    def test_clear(self):
+        buffer = ReplayBuffer()
+        buffer.push(make_transition(1.0))
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(capacity=1)
+
+    def test_sampling_reproducible_with_seed(self):
+        def draw(seed):
+            buffer = ReplayBuffer(seed=seed)
+            for i in range(50):
+                buffer.push(make_transition(float(i)))
+            return buffer.sample_uniform(10)[2]
+
+        np.testing.assert_array_equal(draw(4), draw(4))
+
+
+class TestOrnsteinUhlenbeck:
+    def test_mean_reversion(self):
+        noise = OrnsteinUhlenbeckNoise(1, theta=0.5, sigma=0.0, seed=0)
+        noise._state = np.array([10.0])
+        sample = noise.sample()
+        assert abs(sample[0]) < 10.0
+
+    def test_temporal_correlation(self):
+        noise = OrnsteinUhlenbeckNoise(1, theta=0.05, sigma=0.1, seed=0)
+        samples = np.array([noise.sample()[0] for _ in range(2000)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.5  # strongly correlated by construction
+
+    def test_reset(self):
+        noise = OrnsteinUhlenbeckNoise(3, seed=0)
+        noise.sample()
+        noise.reset()
+        np.testing.assert_allclose(noise._state, np.zeros(3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckNoise(0)
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckNoise(2, sigma=-1.0)
+
+
+class TestGaussianNoise:
+    def test_shape_and_scale(self):
+        noise = GaussianNoise(4, sigma=0.5, seed=0)
+        samples = np.array([noise.sample() for _ in range(2000)])
+        assert samples.shape == (2000, 4)
+        assert abs(samples.std() - 0.5) < 0.05
+
+    def test_decay_on_reset(self):
+        noise = GaussianNoise(2, sigma=1.0, decay=0.5, seed=0)
+        noise.reset()
+        noise.reset()
+        assert noise._current_sigma == pytest.approx(0.25)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(2, sigma=-1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(2, decay=0.0)

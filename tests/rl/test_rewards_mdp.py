@@ -1,0 +1,242 @@
+"""Tests for the reward functions and the EnsembleMDP environment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.rl import (
+    DiversityRankReward,
+    EnsembleMDP,
+    NRMSEReward,
+    RankReward,
+    ensemble_window_error,
+    model_window_errors,
+    project_to_simplex,
+)
+from repro.rl.mdp import euclidean_simplex_projection
+
+
+class TestErrorHelpers:
+    def test_ensemble_window_error(self):
+        P = np.array([[1.0, 3.0], [1.0, 3.0]])
+        y = np.array([2.0, 2.0])
+        assert ensemble_window_error(P, y, np.array([0.5, 0.5])) == pytest.approx(0.0)
+        assert ensemble_window_error(P, y, np.array([1.0, 0.0])) == pytest.approx(1.0)
+
+    def test_model_window_errors(self):
+        P = np.array([[1.0, 4.0], [1.0, 4.0]])
+        y = np.array([2.0, 2.0])
+        np.testing.assert_allclose(model_window_errors(P, y), [1.0, 2.0])
+
+
+class TestRankReward:
+    def test_best_weights_get_max_reward(self, toy_matrix):
+        P, y = toy_matrix
+        reward = RankReward()
+        m = P.shape[1]
+        best = np.zeros(m)
+        best[1] = 1.0  # model 1 has the smallest noise in the fixture
+        assert reward(P[:20], y[:20], best) == m  # rank 1 → m+1-1
+
+    def test_worst_weights_get_low_reward(self, toy_matrix):
+        P, y = toy_matrix
+        reward = RankReward()
+        m = P.shape[1]
+        worst = np.zeros(m)
+        worst[3] = 1.0
+        assert reward(P[:20], y[:20], worst) <= 2.0
+
+    def test_reward_range(self, toy_matrix, rng):
+        P, y = toy_matrix
+        reward = RankReward()
+        m = P.shape[1]
+        for _ in range(20):
+            w = rng.dirichlet(np.ones(m))
+            r = reward(P[:15], y[:15], w)
+            assert 0.0 <= r <= m
+
+    def test_tie_favours_ensemble(self):
+        """If the ensemble exactly matches the best model, rank is 1."""
+        P = np.array([[1.0, 5.0]] * 10)
+        y = np.ones(10)
+        r = RankReward()(P, y, np.array([1.0, 0.0]))
+        assert r == 2.0  # m+1-1 with m=2
+
+    def test_scale_invariance(self, toy_matrix, rng):
+        """Rank rewards are unchanged when the series is rescaled."""
+        P, y = toy_matrix
+        w = rng.dirichlet(np.ones(P.shape[1]))
+        r1 = RankReward()(P[:15], y[:15], w)
+        r2 = RankReward()(P[:15] * 1000, y[:15] * 1000, w)
+        assert r1 == r2
+
+    def test_validation(self, toy_matrix):
+        P, y = toy_matrix
+        with pytest.raises(DataValidationError):
+            RankReward()(P[:10], y[:9], np.full(P.shape[1], 0.25))
+        with pytest.raises(DataValidationError):
+            RankReward()(P[:10], y[:10], np.ones(2))
+
+
+class TestNRMSEReward:
+    def test_upper_bounded_by_one(self, toy_matrix, rng):
+        P, y = toy_matrix
+        w = rng.dirichlet(np.ones(P.shape[1]))
+        assert NRMSEReward()(P[:15], y[:15], w) <= 1.0
+
+    def test_perfect_prediction_gives_one(self):
+        y = np.linspace(0, 5, 10)
+        P = np.column_stack([y, y + 3.0])
+        r = NRMSEReward()(P, y, np.array([1.0, 0.0]))
+        assert r == pytest.approx(1.0)
+
+    def test_scale_sensitivity(self, toy_matrix, rng):
+        """Unlike rank, NRMSE reward shifts when errors scale with the
+        window range differently — the paper's non-convergence cause."""
+        P, y = toy_matrix
+        w = rng.dirichlet(np.ones(P.shape[1]))
+        r1 = NRMSEReward()(P[:15], y[:15], w)
+        # add large noise only to the predictions: reward must drop
+        r2 = NRMSEReward()(P[:15] + 3.0, y[:15], w)
+        assert r2 < r1
+
+    def test_constant_window_safe(self):
+        P = np.ones((5, 2))
+        y = np.ones(5)
+        assert np.isfinite(NRMSEReward()(P, y, np.array([0.5, 0.5])))
+
+
+class TestDiversityReward:
+    def test_adds_bonus_for_disagreement(self):
+        y = np.linspace(1, 2, 10)
+        agreeing = np.column_stack([y, y])
+        disagreeing = np.column_stack([y - 0.5, y + 0.5])
+        w = np.array([0.5, 0.5])
+        reward = DiversityRankReward(diversity_weight=1.0)
+        assert reward(disagreeing, y, w) > reward(agreeing, y, w)
+
+    def test_zero_weight_equals_rank(self, toy_matrix, rng):
+        P, y = toy_matrix
+        w = rng.dirichlet(np.ones(P.shape[1]))
+        assert DiversityRankReward(0.0)(P[:15], y[:15], w) == RankReward()(
+            P[:15], y[:15], w
+        )
+
+    def test_invalid_weight(self):
+        with pytest.raises(ConfigurationError):
+            DiversityRankReward(-0.5)
+
+
+class TestSimplexProjections:
+    def test_project_clips_and_normalises(self):
+        out = project_to_simplex(np.array([0.5, -0.2, 0.5]))
+        np.testing.assert_allclose(out, [0.5, 0.0, 0.5])
+
+    def test_project_all_negative_gives_uniform(self):
+        out = project_to_simplex(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_euclidean_projection_identity_on_simplex(self):
+        w = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(euclidean_simplex_projection(w), w)
+
+    def test_euclidean_projection_properties(self, rng):
+        for _ in range(20):
+            v = rng.standard_normal(6) * 3
+            p = euclidean_simplex_projection(v)
+            assert p.min() >= 0
+            np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_euclidean_is_closest_point(self, rng):
+        """Projection must be at least as close as random simplex points."""
+        v = rng.standard_normal(4)
+        p = euclidean_simplex_projection(v)
+        for _ in range(50):
+            q = rng.dirichlet(np.ones(4))
+            assert np.linalg.norm(v - p) <= np.linalg.norm(v - q) + 1e-9
+
+
+class TestEnsembleMDP:
+    def test_reset_initial_state_is_uniform_combo(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        state = env.reset()
+        np.testing.assert_allclose(state, P[:10].mean(axis=1))
+
+    def test_step_shifts_window(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        state = env.reset()
+        w = np.full(P.shape[1], 1.0 / P.shape[1])
+        next_state, _, _ = env.step(w)
+        np.testing.assert_allclose(next_state[:-1], state[1:])
+        assert next_state[-1] == pytest.approx(float(P[10] @ w))
+
+    def test_episode_length(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, _, done = env.step(np.full(P.shape[1], 0.25))
+            steps += 1
+        assert steps == env.steps_per_episode == P.shape[0] - 10
+
+    def test_step_before_reset_raises(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y)
+        with pytest.raises(DataValidationError):
+            env.step(np.full(P.shape[1], 0.25))
+
+    def test_step_after_done_raises(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        env.reset()
+        done = False
+        while not done:
+            _, _, done = env.step(np.full(P.shape[1], 0.25))
+        with pytest.raises(DataValidationError):
+            env.step(np.full(P.shape[1], 0.25))
+
+    def test_action_normalised_internally(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        env.reset()
+        state_raw, _, _ = env.step(np.array([2.0, 2.0, 2.0, 2.0]))
+        env.reset()
+        state_simplex, _, _ = env.step(np.full(4, 0.25))
+        np.testing.assert_allclose(state_raw, state_simplex)
+
+    def test_deterministic_transition(self, toy_matrix):
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10)
+        env.reset()
+        a = np.array([0.7, 0.1, 0.1, 0.1])
+        s1, r1, _ = env.step(a)
+        env.reset()
+        s2, r2, _ = env.step(a)
+        np.testing.assert_array_equal(s1, s2)
+        assert r1 == r2
+
+    def test_validation(self, toy_matrix):
+        P, y = toy_matrix
+        with pytest.raises(DataValidationError):
+            EnsembleMDP(P[:5], y[:5], window=10)
+        with pytest.raises(ConfigurationError):
+            EnsembleMDP(P, y, window=1)
+        with pytest.raises(DataValidationError):
+            EnsembleMDP(P, y[:-1])
+
+    def test_reward_uses_window_before_current_row(self, toy_matrix):
+        """The reward at the first step scores the initial ω rows."""
+        P, y = toy_matrix
+        env = EnsembleMDP(P, y, window=10, reward_fn=RankReward())
+        env.reset()
+        best = np.zeros(P.shape[1])
+        best[1] = 1.0
+        _, r, _ = env.step(best)
+        expected = RankReward()(P[:10], y[:10], best)
+        assert r == expected

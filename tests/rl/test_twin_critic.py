@@ -1,0 +1,83 @@
+"""Tests for the TD3-style twin-critic extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl import DDPGAgent, DDPGConfig, EnsembleMDP, RankReward
+
+
+@pytest.fixture
+def env(rng):
+    T, m = 80, 4
+    truth = np.sin(np.arange(T) * 0.3)
+    preds = truth[:, None] + np.array([1.0, 0.1, 0.8, 1.2]) * rng.standard_normal((T, m))
+    return EnsembleMDP(preds, truth, window=10, reward_fn=RankReward())
+
+
+class TestTwinCritic:
+    def test_disabled_by_default(self, env):
+        agent = DDPGAgent(env.state_dim, env.action_dim)
+        assert agent.critic2 is None
+        assert agent.target_critic2 is None
+
+    def test_enabled_creates_second_critic(self, env):
+        agent = DDPGAgent(
+            env.state_dim, env.action_dim, DDPGConfig(twin_critic=True)
+        )
+        assert agent.critic2 is not None
+        assert agent.target_critic2 is not None
+        assert agent.critic2_opt is not None
+
+    def test_twin_training_runs(self, env):
+        agent = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(twin_critic=True, seed=0, batch_size=8, warmup_steps=30),
+        )
+        history = agent.train(env, episodes=3, max_iterations=15)
+        assert history.n_episodes == 3
+        # both critics must have moved
+        first = agent.critic.state_dict()
+        second = agent.critic2.state_dict()
+        overlap = [
+            np.allclose(first[k], second[k]) for k in first
+        ]
+        assert not all(overlap)  # independently initialised and trained
+
+    def test_twin_targets_synchronised_at_start(self, env):
+        agent = DDPGAgent(
+            env.state_dim, env.action_dim, DDPGConfig(twin_critic=True)
+        )
+        for (_, a), (_, b) in zip(
+            agent.critic2.named_parameters(),
+            agent.target_critic2.named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_twin_agent_still_learns(self, env):
+        agent = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(twin_critic=True, seed=0, batch_size=16),
+        )
+        agent.train(env, episodes=20, max_iterations=40)
+        w = agent.policy_weights(env.reset())
+        assert np.argmax(w) == 1  # still finds the low-noise member
+
+    def test_twin_target_is_conservative(self, env, rng):
+        """min(Q1', Q2') target ≤ either single target by construction."""
+        agent = DDPGAgent(
+            env.state_dim, env.action_dim,
+            DDPGConfig(twin_critic=True, seed=1),
+        )
+        from repro.nn import Tensor
+
+        states = rng.standard_normal((8, env.state_dim))
+        actions = agent.target_actor(Tensor(states))
+        q1 = agent.target_critic(Tensor(states), actions).numpy()[:, 0]
+        q2 = agent.target_critic2(Tensor(states), actions).numpy()[:, 0]
+        combined = np.minimum(q1, q2)
+        assert np.all(combined <= q1 + 1e-12)
+        assert np.all(combined <= q2 + 1e-12)

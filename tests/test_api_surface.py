@@ -1,0 +1,93 @@
+"""Tests for the public API surface: exports, exceptions, version."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    GradientError,
+    NotFittedError,
+    ReproError,
+)
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_cls in (NotFittedError, DataValidationError,
+                        ConfigurationError, GradientError):
+            assert issubclass(exc_cls, ReproError)
+
+    def test_value_error_compat(self):
+        """Validation errors double as ValueError so generic callers work."""
+        assert issubclass(DataValidationError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_not_fitted_message(self):
+        error = NotFittedError("MyModel")
+        assert "MyModel" in str(error)
+        assert error.estimator_name == "MyModel"
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise NotFittedError("X")
+
+
+class TestPublicExports:
+    def test_core_exports(self):
+        from repro.core import EADRL, EADRLConfig, Pruner  # noqa: F401
+
+    def test_models_all_resolvable(self):
+        import repro.models as models
+
+        for name in models.__all__:
+            assert hasattr(models, name), name
+
+    def test_nn_all_resolvable(self):
+        import repro.nn as nn
+
+        for name in nn.__all__:
+            assert hasattr(nn, name), name
+
+    def test_baselines_all_resolvable(self):
+        import repro.baselines as baselines
+
+        for name in baselines.__all__:
+            assert hasattr(baselines, name), name
+
+    def test_rl_all_resolvable(self):
+        import repro.rl as rl
+
+        for name in rl.__all__:
+            assert hasattr(rl, name), name
+
+    def test_metrics_all_resolvable(self):
+        import repro.metrics as metrics
+
+        for name in metrics.__all__:
+            assert hasattr(metrics, name), name
+
+    def test_evaluation_all_resolvable(self):
+        import repro.evaluation as evaluation
+
+        for name in evaluation.__all__:
+            assert hasattr(evaluation, name), name
+
+    def test_analysis_all_resolvable(self):
+        import repro.analysis as analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name
+
+    def test_datasets_all_resolvable(self):
+        import repro.datasets as datasets
+
+        for name in datasets.__all__:
+            assert hasattr(datasets, name), name

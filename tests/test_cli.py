@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_forecast_defaults(self):
+        args = build_parser().parse_args(["forecast"])
+        assert args.dataset == 9
+        assert args.pool == "small"
+        assert args.episodes == 20
+
+    def test_table2_dataset_parsing(self):
+        args = build_parser().parse_args(["table2", "--datasets", "1,2,3"])
+        assert args.datasets == "1,2,3"
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["forecast", "--pool", "giant"])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "taxi_demand_1" in out
+        assert "water_consumption" in out
+
+    def test_forecast_runs_quick(self, capsys, tmp_path):
+        policy_path = str(tmp_path / "p.npz")
+        code = main([
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--save-policy", policy_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EA-DRL RMSE" in out
+        assert (tmp_path / "p.npz").exists()
+
+    def test_fig2_runs_quick(self, capsys):
+        code = main([
+            "fig2", "--dataset", "9", "--length", "200",
+            "--episodes", "3", "--iterations", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank reward" in out
+
+    def test_export_data(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "csvs")
+        assert main(["export-data", "--output-dir", out_dir,
+                     "--length", "100"]) == 0
+        import os
+
+        assert len(os.listdir(out_dir)) == 20
+
+    def test_report_runs_quick(self, capsys, tmp_path):
+        out = str(tmp_path / "r.md")
+        code = main([
+            "report", "--datasets", "9", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--no-singles", "--output", out,
+        ])
+        assert code == 0
+        with open(out) as handle:
+            assert "## Table II" in handle.read()
+
+    def test_table2_runs_quick(self, capsys):
+        code = main([
+            "table2", "--datasets", "9", "--length", "200",
+            "--episodes", "2", "--iterations", "10", "--no-singles",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "EA-DRL" in out

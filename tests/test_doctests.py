@@ -1,0 +1,21 @@
+"""Run the doctests embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.nn.tensor", "repro.preprocessing.embedding"],
+)
+def test_module_doctests(module_name):
+    # importlib avoids attribute shadowing (repro.nn re-exports a
+    # `tensor` *function* that hides the submodule attribute).
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0  # the docstring examples must exist
