@@ -1,0 +1,67 @@
+"""Bench RG — runtime-guard overhead on the healthy path.
+
+The fault-tolerant runtime (``RuntimeGuardConfig`` + ``GuardedForecaster``)
+must be close to free when nothing fails: while a member's breaker stays
+CLOSED, ``guarded_rolling`` issues the same single vectorised
+``rolling_predictions`` call as the unguarded pool and only adds an
+``np.isfinite`` sweep over the column. Acceptance criterion: guarded
+prediction-matrix construction is within 10% of the unguarded baseline,
+and the outputs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.models import ForecasterPool, build_pool
+from repro.runtime import RuntimeGuardConfig
+
+N = 600
+START = 400
+ROUNDS = 5
+
+
+def _series() -> np.ndarray:
+    rng = np.random.default_rng(2024)
+    t = np.arange(N)
+    season = 3.0 * np.sin(2 * np.pi * t / 24)
+    noise = np.zeros(N)
+    for i in range(1, N):
+        noise[i] = 0.6 * noise[i - 1] + rng.normal(0, 0.5)
+    return 10.0 + season + noise
+
+
+def _time_matrix(pool: ForecasterPool, series: np.ndarray) -> float:
+    """Best-of-ROUNDS wall time for one prediction-matrix pass."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        pool.prediction_matrix(series, START)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_guard_overhead_under_ten_percent(benchmark):
+    series = _series()
+    plain = ForecasterPool(build_pool("small")).fit(series[:START])
+    guarded = ForecasterPool(
+        build_pool("small"), guard_config=RuntimeGuardConfig()
+    ).fit(series[:START])
+
+    np.testing.assert_array_equal(
+        plain.prediction_matrix(series, START),
+        guarded.prediction_matrix(series, START),
+    )
+
+    plain_time = _time_matrix(plain, series)
+    guarded_time = benchmark.pedantic(
+        lambda: _time_matrix(guarded, series), rounds=1, iterations=1
+    )
+
+    overhead = guarded_time / plain_time - 1.0
+    print(f"\nunguarded {plain_time * 1e3:8.2f} ms  "
+          f"guarded {guarded_time * 1e3:8.2f} ms  "
+          f"overhead {overhead * 100:+.1f}% (budget +10%)")
+    assert guarded_time <= plain_time * 1.10

@@ -11,8 +11,11 @@ re-exports the main entry points:
 """
 
 from repro.exceptions import (
+    CircuitOpenError,
     ConfigurationError,
     DataValidationError,
+    EnsembleUnavailableError,
+    MemberFailureError,
     NotFittedError,
     ReproError,
 )
@@ -20,8 +23,11 @@ from repro.exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitOpenError",
     "ConfigurationError",
     "DataValidationError",
+    "EnsembleUnavailableError",
+    "MemberFailureError",
     "NotFittedError",
     "ReproError",
     "__version__",

@@ -58,7 +58,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_forecast(args) -> int:
-    from repro.core import EADRL, EADRLConfig
+    from repro.core import EADRL, EADRLConfig, RuntimeGuardConfig
     from repro.datasets import get_info, load
     from repro.metrics import rmse
     from repro.preprocessing import train_test_split
@@ -69,12 +69,19 @@ def cmd_forecast(args) -> int:
     train, test = train_test_split(series)
     print(f"dataset {args.dataset} ({info.name}): "
           f"{train.size} train / {test.size} test")
+    guards = None
+    if args.guard:
+        guards = RuntimeGuardConfig(
+            timeout=args.guard_timeout,
+            failure_threshold=args.guard_threshold,
+        )
     model = EADRL(
         pool_size=args.pool,
         config=EADRLConfig(
             episodes=args.episodes,
             max_iterations=args.iterations,
             ddpg=DDPGConfig(seed=args.seed),
+            runtime_guards=guards,
         ),
     )
     model.fit(train)
@@ -82,6 +89,8 @@ def cmd_forecast(args) -> int:
     matrix = model.pool.prediction_matrix(series, train.size)
     print(f"EA-DRL RMSE : {rmse(preds, test):.4f}")
     print(f"uniform RMSE: {rmse(matrix.mean(axis=1), test):.4f}")
+    if args.guard:
+        print(model.health().report())
     if args.save_policy:
         model.save_policy(args.save_policy)
         print(f"policy saved to {args.save_policy}")
@@ -155,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_forecast.add_argument("--dataset", type=int, default=9)
     p_forecast.add_argument("--save-policy", default=None,
                             help="path to save the trained policy (.npz)")
+    p_forecast.add_argument("--guard", action="store_true",
+                            help="run the pool under the fault-tolerant "
+                                 "runtime and print the health report")
+    p_forecast.add_argument("--guard-timeout", type=float, default=None,
+                            help="per-member prediction budget in seconds "
+                                 "(default: no timeout)")
+    p_forecast.add_argument("--guard-threshold", type=int, default=3,
+                            help="consecutive failures before a member's "
+                                 "circuit breaker opens (default 3)")
     _add_scale_arguments(p_forecast)
     p_forecast.set_defaults(func=cmd_forecast)
 

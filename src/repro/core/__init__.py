@@ -1,6 +1,6 @@
 """EA-DRL core: the paper's primary contribution + future-work extensions."""
 
-from repro.core.config import EADRLConfig
+from repro.core.config import EADRLConfig, RuntimeGuardConfig
 from repro.core.eadrl import EADRL
 from repro.core.intervals import (
     IntervalEstimator,
@@ -23,6 +23,7 @@ __all__ = [
     "IntervalEstimator",
     "IntervalForecast",
     "Pruner",
+    "RuntimeGuardConfig",
     "TopFractionPruner",
     "apply_pruning",
     "weighted_disagreement",

@@ -7,6 +7,9 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.rl.ddpg import DDPGConfig
+from repro.runtime import RuntimeGuardConfig
+
+__all__ = ["EADRLConfig", "RuntimeGuardConfig"]
 
 
 @dataclass
@@ -32,6 +35,12 @@ class EADRLConfig:
     ddpg:
         Nested agent hyper-parameters; ``ddpg.sampling`` selects the
         paper's median-balanced replay (Eq. 4) vs. uniform.
+    runtime_guards:
+        When set, the base-model pool runs under the fault-tolerant
+        runtime (:mod:`repro.runtime`): per-member timeout/retry guards,
+        circuit breakers, and graceful degradation with healthy-member
+        weight renormalisation. ``None`` (default) keeps the paper's
+        fail-fast behaviour.
     """
 
     window: int = 10
@@ -42,6 +51,7 @@ class EADRLConfig:
     reward: str = "rank"
     diversity_weight: float = 0.5
     ddpg: DDPGConfig = field(default_factory=DDPGConfig)
+    runtime_guards: Optional[RuntimeGuardConfig] = None
 
     def validate(self) -> None:
         if self.window < 2:
@@ -63,4 +73,6 @@ class EADRLConfig:
             )
         if self.episodes < 1:
             raise ConfigurationError(f"episodes must be >= 1, got {self.episodes}")
+        if self.runtime_guards is not None:
+            self.runtime_guards.validate()
         self.ddpg.validate()

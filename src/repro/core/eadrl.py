@@ -32,7 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 import numpy as np
 
 from repro.core.config import EADRLConfig
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    EnsembleUnavailableError,
+    NotFittedError,
+)
 from repro.models.base import Forecaster
 from repro.models.pool import ForecasterPool, build_pool
 from repro.preprocessing.embedding import validate_series
@@ -40,6 +45,7 @@ from repro.preprocessing.scaling import StandardScaler
 from repro.rl.ddpg import DDPGAgent, TrainingHistory
 from repro.rl.mdp import EnsembleMDP, project_to_simplex
 from repro.rl.rewards import DiversityRankReward, NRMSEReward, RankReward, RewardFunction
+from repro.runtime import PoolHealth, renormalise_healthy
 
 
 def _make_reward(config: EADRLConfig) -> RewardFunction:
@@ -94,7 +100,9 @@ class EADRL:
             )
         self.pruner = pruner
         self.pruned_indices_: Optional[np.ndarray] = None
-        self.pool = ForecasterPool(models)
+        self.pool = ForecasterPool(
+            models, guard_config=self.config.runtime_guards
+        )
         self.agent: Optional[DDPGAgent] = None
         self._scaler = StandardScaler()
         self._fitted = False
@@ -116,6 +124,26 @@ class EADRL:
     def _check_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(type(self).__name__)
+
+    def health(self) -> PoolHealth:
+        """The pool's runtime-health registry (empty when unguarded)."""
+        return self.pool.health()
+
+    def _combine_masked(self, scaled_row, weights, mask, step):
+        """Combine one prediction row, degrading over unhealthy members.
+
+        Returns ``(scaled_output, effective_weights)``. With a fully
+        healthy row this is exactly ``scaled_row @ weights`` (bit-for-bit
+        the unguarded behaviour); otherwise quarantined members are
+        zero-weighted and the rest renormalised on the simplex. Raises
+        :class:`EnsembleUnavailableError` when no member is healthy.
+        """
+        if mask.all():
+            return float(scaled_row @ weights), weights
+        if not mask.any():
+            raise EnsembleUnavailableError(step)
+        w = renormalise_healthy(weights, mask)
+        return float(np.where(mask, scaled_row, 0.0) @ w), w
 
     # ------------------------------------------------------------------
     def fit(self, train_series: np.ndarray) -> "EADRL":
@@ -183,6 +211,16 @@ class EADRL:
                 f"matrix {meta_predictions.shape} does not align with truth "
                 f"{meta_truth.shape}"
             )
+        finite = np.isfinite(meta_predictions)
+        if not finite.all():
+            bad_columns = np.flatnonzero(~finite.all(axis=0))
+            raise DataValidationError(
+                "meta_predictions contains NaN/Inf entries in member "
+                f"column(s) {bad_columns.tolist()} — these would poison the "
+                "MDP and replay buffer; drop or guard the offending members"
+            )
+        if not np.all(np.isfinite(meta_truth)):
+            raise DataValidationError("meta_truth contains NaN/Inf entries")
         self._scaler.fit(meta_truth)
         env = EnsembleMDP(
             self._scaler.transform(meta_predictions),
@@ -212,9 +250,20 @@ class EADRL:
 
         ``bootstrap_predictions`` supplies the ω rows preceding the test
         segment for the initial state (defaults to the tail of the
-        meta-training matrix seen by :meth:`fit_policy_from_matrix`).
+        meta-training matrix seen by :meth:`fit_policy_from_matrix`; an
+        explicit bootstrap also unlocks this API for a policy restored
+        with :meth:`load_policy` from a series-level :meth:`fit`, whose
+        archive carries no bootstrap matrix).
+
+        Non-finite cells in ``predictions`` mark the member as unhealthy
+        at that step: its weight is zeroed and the remaining weights are
+        renormalised on the simplex. A row with no healthy member raises
+        :class:`EnsembleUnavailableError`.
         """
-        if self.agent is None or not getattr(self, "_fitted_from_matrix", False):
+        if self.agent is None or (
+            not getattr(self, "_fitted_from_matrix", False)
+            and bootstrap_predictions is None
+        ):
             raise NotFittedError(type(self).__name__)
         predictions = np.asarray(predictions, dtype=np.float64)
         boot = (
@@ -226,6 +275,7 @@ class EADRL:
             raise DataValidationError(
                 f"bootstrap matrix needs >= ω={self.config.window} rows"
             )
+        healthy = np.isfinite(predictions)
         uniform = np.full(predictions.shape[1], 1.0 / predictions.shape[1])
         state = self._scaler.transform(boot[-self.config.window :] @ uniform)
         scaled_predictions = self._scaler.transform(predictions)
@@ -233,8 +283,9 @@ class EADRL:
         weight_log = np.empty_like(predictions)
         for i in range(predictions.shape[0]):
             weights = self.agent.policy_weights(state)
-            weight_log[i] = weights
-            scaled_out = float(scaled_predictions[i] @ weights)
+            scaled_out, weight_log[i] = self._combine_masked(
+                scaled_predictions[i], weights, healthy[i], i
+            )
             outputs[i] = self._scaler.inverse_transform(scaled_out)
             state = np.append(state[1:], scaled_out)
         if return_weights:
@@ -269,10 +320,16 @@ class EADRL:
         condition on the true history. Returns the prediction array, or
         ``(predictions, weights)`` with per-step weight vectors when
         ``return_weights`` is set.
+
+        Under a guarded pool (``config.runtime_guards``) failing members
+        are fallback-filled and quarantined by their circuit breakers;
+        at each step the policy's weights are renormalised over the
+        healthy members, and only an all-quarantined step raises
+        :class:`EnsembleUnavailableError`.
         """
         self._check_fitted()
         array = validate_series(series, min_length=start + 1)
-        predictions = self.pool.prediction_matrix(array, start)
+        predictions, healthy = self.pool.prediction_matrix_with_mask(array, start)
         scaled_predictions = self._scaler.transform(predictions)
 
         state = self._bootstrap_state(array, start)
@@ -280,8 +337,9 @@ class EADRL:
         weight_log = np.empty_like(predictions)
         for i in range(predictions.shape[0]):
             weights = self.agent.policy_weights(state)
-            weight_log[i] = weights
-            scaled_out = float(scaled_predictions[i] @ weights)
+            scaled_out, weight_log[i] = self._combine_masked(
+                scaled_predictions[i], weights, healthy[i], i
+            )
             outputs[i] = self._scaler.inverse_transform(scaled_out)
             state = np.append(state[1:], scaled_out)
         if return_weights:
@@ -305,9 +363,11 @@ class EADRL:
         out = np.empty(horizon)
         for j in range(horizon):
             weights = self.agent.policy_weights(state)
-            member_preds = self.pool.predict_next(working)
+            member_preds, healthy = self.pool.predict_next_with_mask(working)
             scaled = self._scaler.transform(member_preds)
-            scaled_out = float(scaled @ project_to_simplex(weights))
+            scaled_out, _ = self._combine_masked(
+                scaled, project_to_simplex(weights), healthy, j
+            )
             value = float(self._scaler.inverse_transform(scaled_out))
             out[j] = value
             working = np.append(working, value)
@@ -337,7 +397,11 @@ class EADRL:
           fashion following a drift-detection mechanism");
         - ``mode="none"`` — behave exactly like the static policy.
 
-        Requires a policy trained via :meth:`fit_policy_from_matrix`.
+        Requires a policy trained via :meth:`fit_policy_from_matrix`, or
+        any loaded policy plus an explicit ``bootstrap_predictions``.
+        Non-finite cells in ``predictions`` are treated as unhealthy
+        members for that step (weights renormalised over the rest, the
+        transition stored with the realised weights).
         """
         from repro.baselines.drift import PageHinkley
 
@@ -349,7 +413,9 @@ class EADRL:
             raise ConfigurationError(
                 "interval and updates_per_trigger must be >= 1"
             )
-        if self.agent is None or not self._fitted_from_matrix:
+        if self.agent is None or (
+            not self._fitted_from_matrix and bootstrap_predictions is None
+        ):
             raise NotFittedError(type(self).__name__)
         predictions = np.asarray(predictions, dtype=np.float64)
         truth = np.asarray(truth, dtype=np.float64)
@@ -370,6 +436,7 @@ class EADRL:
         from repro.rl.mdp import Transition
 
         reward_fn = _make_reward(self.config)
+        healthy = np.isfinite(predictions)
         scaled_predictions = self._scaler.transform(predictions)
         scaled_truth = self._scaler.transform(truth)
         scaled_boot = self._scaler.transform(boot[-omega:])
@@ -381,13 +448,17 @@ class EADRL:
         steps_since_update = 0
         for i in range(predictions.shape[0]):
             weights = self.agent.policy_weights(state)
+            scaled_out, weights = self._combine_masked(
+                scaled_predictions[i], weights, healthy[i], i
+            )
             weight_log[i] = weights
-            scaled_out = float(scaled_predictions[i] @ weights)
             outputs[i] = self._scaler.inverse_transform(scaled_out)
 
             # Once ω true values have been observed, score the action the
             # same way the offline MDP does and store the transition.
-            if i >= omega:
+            # Degraded windows (any non-finite prediction) are skipped —
+            # fallback rows would poison the replay buffer.
+            if i >= omega and healthy[i - omega : i].all():
                 recent_preds = scaled_predictions[i - omega : i]
                 recent_truth = scaled_truth[i - omega : i]
                 reward = reward_fn(recent_preds, recent_truth, weights)

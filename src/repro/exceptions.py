@@ -31,6 +31,39 @@ class ConfigurationError(ReproError, ValueError):
     """An estimator or experiment was configured with invalid parameters."""
 
 
+class MemberFailureError(ReproError):
+    """A guarded pool member failed at prediction time.
+
+    Raised by :class:`repro.runtime.GuardedForecaster` in strict mode when
+    a member call raises, times out, or returns non-finite output after
+    the configured retries are exhausted.
+    """
+
+    def __init__(self, member: str, kind: str, detail: str):
+        super().__init__(f"pool member {member!r} failed ({kind}): {detail}")
+        self.member = member
+        self.kind = kind
+        self.detail = detail
+
+
+class CircuitOpenError(MemberFailureError):
+    """A call was denied because the member's circuit breaker is OPEN."""
+
+    def __init__(self, member: str):
+        super().__init__(member, "circuit_open", "breaker is quarantining this member")
+
+
+class EnsembleUnavailableError(ReproError):
+    """Every pool member is quarantined; no healthy forecast can be formed."""
+
+    def __init__(self, step: int):
+        super().__init__(
+            f"ensemble unavailable at step {step}: every pool member is "
+            "quarantined (circuit open) — no healthy prediction to combine"
+        )
+        self.step = step
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped before reaching its tolerance."""
 

@@ -18,7 +18,7 @@ matrix every combiner in this library consumes.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,11 @@ from repro.models.recurrent_forecasters import (
 from repro.models.svr import SVRForecaster
 from repro.models.tree import DecisionTreeForecaster
 from repro.preprocessing.embedding import validate_series
+
+if TYPE_CHECKING:  # pragma: no cover - typing only. The runtime import
+    # is deferred at runtime: repro.runtime.guards subclasses Forecaster,
+    # so a module-scope import here would make models <-> runtime circular.
+    from repro.runtime import PoolHealth, RuntimeGuardConfig
 
 
 def build_pool(
@@ -215,14 +220,51 @@ class ForecasterPool:
     models:
         Base forecasters (unfitted). Members whose ``fit`` raises are
         dropped with a warning, keeping the pool robust to pathological
-        series (e.g. Holt-Winters on a series shorter than two periods).
+        series (e.g. Holt-Winters on a series shorter than two periods);
+        the drops are recorded in :attr:`dropped_`.
+    guard_config:
+        When given, every member is wrapped in a
+        :class:`~repro.runtime.GuardedForecaster` (timeout / retry /
+        circuit breaker) reporting into a shared
+        :class:`~repro.runtime.PoolHealth` registry, and the prediction
+        APIs degrade gracefully (fallback-filled columns plus a healthy
+        mask) instead of letting one member's predict-time failure kill
+        the whole forecast. ``None`` (default) keeps the original
+        fail-fast behaviour with zero overhead.
+    health:
+        Existing registry to report into (used by :meth:`subset` so a
+        pruned pool shares its parent's health history).
+
+    Attributes
+    ----------
+    dropped_:
+        ``(name, exception_type, message)`` tuples for every member whose
+        ``fit`` failed (set by :meth:`fit`).
     """
 
-    def __init__(self, models: Sequence[Forecaster]):
+    def __init__(
+        self,
+        models: Sequence[Forecaster],
+        guard_config: Optional["RuntimeGuardConfig"] = None,
+        health: Optional["PoolHealth"] = None,
+    ):
+        from repro.runtime import GuardedForecaster, PoolHealth
+
         if not models:
             raise ConfigurationError("pool must contain at least one model")
-        self._models: List[Forecaster] = list(models)
+        self._guard_config = guard_config
+        self._health = health if health is not None else PoolHealth()
+        members = list(models)
+        if guard_config is not None:
+            guard_config.validate()
+            members = [
+                m if isinstance(m, GuardedForecaster)
+                else GuardedForecaster(m, guard_config, self._health)
+                for m in members
+            ]
+        self._models: List[Forecaster] = members
         self._fitted = False
+        self.dropped_: List[Tuple[str, str, str]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -236,18 +278,34 @@ class ForecasterPool:
     def __len__(self) -> int:
         return len(self._models)
 
+    @property
+    def guarded(self) -> bool:
+        """Whether members are wrapped in runtime guards."""
+        return self._guard_config is not None
+
+    def health(self) -> "PoolHealth":
+        """The pool's health registry (empty when unguarded)."""
+        return self._health
+
     # ------------------------------------------------------------------
     def fit(self, train_series: np.ndarray) -> "ForecasterPool":
-        """Fit all members on the training series; drop failing members."""
+        """Fit all members on the training series; drop failing members.
+
+        Dropped members are recorded in :attr:`dropped_` as
+        ``(name, exception_type, message)`` tuples.
+        """
         array = validate_series(train_series, min_length=10)
         survivors: List[Forecaster] = []
+        self.dropped_ = []
         for model in self._models:
             try:
                 model.fit(array)
                 survivors.append(model)
             except Exception as exc:  # noqa: BLE001 - pool must stay robust
+                self.dropped_.append((model.name, type(exc).__name__, str(exc)))
                 warnings.warn(
-                    f"dropping pool member {model.name!r}: {exc}",
+                    f"dropping pool member {model.name!r} "
+                    f"({type(exc).__name__}): {exc}",
                     stacklevel=2,
                 )
         if not survivors:
@@ -263,16 +321,62 @@ class ForecasterPool:
         ``self.models[i]``. ``series`` must contain the training prefix so
         each model sees the true history (prequential protocol).
         """
+        matrix, _ = self.prediction_matrix_with_mask(series, start)
+        return matrix
+
+    def prediction_matrix_with_mask(
+        self, series: np.ndarray, start: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Prediction matrix plus its per-cell health mask.
+
+        Returns ``(matrix, mask)`` of equal shape ``(n - start, m)``.
+        ``mask[t, i]`` is ``True`` where the value is a genuine member
+        prediction and ``False`` where the runtime substituted a fallback
+        (member failed or quarantined at that step). Unguarded pools
+        compute the matrix exactly as before and return an all-``True``
+        mask; a member failure there propagates (fail-fast).
+        """
         if not self._fitted:
             raise DataValidationError("pool must be fitted before predicting")
-        columns = [m.rolling_predictions(series, start) for m in self._models]
-        return np.column_stack(columns)
+        if self._guard_config is None:
+            columns = [m.rolling_predictions(series, start) for m in self._models]
+            matrix = np.column_stack(columns)
+            return matrix, np.ones(matrix.shape, dtype=bool)
+        columns, masks = [], []
+        for member in self._models:
+            column, mask = member.guarded_rolling(
+                np.asarray(series, dtype=np.float64), start
+            )
+            columns.append(column)
+            masks.append(mask)
+        return np.column_stack(columns), np.column_stack(masks)
 
     def predict_next(self, history: np.ndarray) -> np.ndarray:
         """Vector of one-step forecasts (one per member)."""
+        values, _ = self.predict_next_with_mask(history)
+        return values
+
+    def predict_next_with_mask(
+        self, history: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One-step forecasts plus the per-member health mask.
+
+        Guarded pools substitute the configured fallback for failing or
+        quarantined members and flag them ``False`` in the mask;
+        unguarded pools behave exactly as before (all-``True`` mask,
+        failures propagate).
+        """
         if not self._fitted:
             raise DataValidationError("pool must be fitted before predicting")
-        return np.array([m.predict_next(history) for m in self._models])
+        if self._guard_config is None:
+            values = np.array([m.predict_next(history) for m in self._models])
+            return values, np.ones(values.shape, dtype=bool)
+        history = np.asarray(history, dtype=np.float64)
+        values = np.empty(len(self._models))
+        mask = np.zeros(len(self._models), dtype=bool)
+        for i, member in enumerate(self._models):
+            values[i], mask[i] = member.guarded_predict(history)
+        return values, mask
 
     def max_min_context(self) -> int:
         """Largest context any member requires (lower bound for ``start``)."""
@@ -291,6 +395,10 @@ class ForecasterPool:
             raise ConfigurationError(
                 f"subset indices out of range for pool of {len(self._models)}"
             )
-        pruned = ForecasterPool([self._models[i] for i in indices])
+        pruned = ForecasterPool(
+            [self._models[i] for i in indices],
+            guard_config=self._guard_config,
+            health=self._health,
+        )
         pruned._fitted = self._fitted
         return pruned

@@ -1,0 +1,40 @@
+"""Fault-tolerant pool runtime (beyond the paper).
+
+The paper's online phase assumes every base forecaster answers every
+step; this subsystem makes the ensemble survive individual member
+degradation instead:
+
+- :class:`GuardedForecaster` — per-call timeout, bounded retry with
+  backoff, and NaN/Inf output rejection around any pool member;
+- :class:`CircuitBreaker` — per-member CLOSED → OPEN → HALF_OPEN
+  quarantine on consecutive failures, with step-based cooldown;
+- :class:`PoolHealth` — the shared registry of failure events, breaker
+  transitions, and per-member counters, exposed via
+  :meth:`repro.models.ForecasterPool.health`;
+- :func:`renormalise_healthy` — simplex renormalisation of a policy's
+  weight vector over the currently healthy members.
+
+See ``docs/robustness.md`` for the fault model and guarantees.
+"""
+
+from repro.runtime.breaker import BreakerState, CircuitBreaker
+from repro.runtime.config import RuntimeGuardConfig
+from repro.runtime.guards import GuardedForecaster, renormalise_healthy
+from repro.runtime.health import (
+    FailureEvent,
+    MemberHealth,
+    PoolHealth,
+    TransitionEvent,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FailureEvent",
+    "GuardedForecaster",
+    "MemberHealth",
+    "PoolHealth",
+    "RuntimeGuardConfig",
+    "TransitionEvent",
+    "renormalise_healthy",
+]

@@ -1,0 +1,101 @@
+"""Per-member circuit breaker (CLOSED → OPEN → HALF_OPEN → CLOSED).
+
+The breaker protects the ensemble from a member that has started failing
+systematically: after ``failure_threshold`` *consecutive* failures the
+member is quarantined (OPEN) and its calls are denied without being
+attempted. After ``cooldown_steps`` denied calls the breaker moves to
+HALF_OPEN and lets exactly one probe call through; a successful probe
+closes the breaker (full recovery), a failed probe re-opens it for
+another cooldown.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class BreakerState(enum.Enum):
+    """Lifecycle states of a :class:`CircuitBreaker`."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with step-based cooldown.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip CLOSED → OPEN.
+    cooldown_steps:
+        Denied calls absorbed while OPEN before a HALF_OPEN probe.
+    on_transition:
+        Optional callback ``(old_state, new_state)`` invoked on every
+        state change (used by the health registry).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_steps: int = 10,
+        on_transition: Optional[Callable[[BreakerState, BreakerState], None]] = None,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_steps = cooldown_steps
+        self.on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_counter = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _transition(self, new_state: BreakerState) -> None:
+        old = self._state
+        if old is new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(old, new_state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the next call may be attempted.
+
+        While OPEN, each denied call advances the cooldown; once
+        ``cooldown_steps`` calls have been absorbed the breaker moves to
+        HALF_OPEN and the *next* call is allowed as a probe.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            return True
+        self._cooldown_counter += 1
+        if self._cooldown_counter >= self.cooldown_steps:
+            self._cooldown_counter = 0
+            self._transition(BreakerState.HALF_OPEN)
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            # Failed probe: straight back to quarantine.
+            self._cooldown_counter = 0
+            self._transition(BreakerState.OPEN)
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._cooldown_counter = 0
+            self._transition(BreakerState.OPEN)

@@ -1,0 +1,84 @@
+"""Configuration for the fault-tolerant pool runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class RuntimeGuardConfig:
+    """Per-member guard and circuit-breaker settings.
+
+    Attributes
+    ----------
+    timeout:
+        Per-prediction wall-clock budget in seconds; ``None`` disables
+        timeout detection entirely.
+    timeout_mode:
+        ``"soft"`` (default) measures elapsed time after the call returns
+        and records a timeout failure when the budget was exceeded — the
+        call itself is never interrupted, so a slow member costs at most
+        ``failure_threshold`` slow calls before its breaker opens.
+        ``"thread"`` runs the call in a worker thread and abandons it when
+        the budget expires (the thread keeps running to completion in the
+        background; use only for members that can genuinely hang).
+    max_retries:
+        Additional attempts after the first failed call (exceptions and
+        non-finite output are retried; a soft timeout is not, since the
+        value already arrived).
+    backoff:
+        Base sleep in seconds before retry ``i`` (doubles each attempt:
+        ``backoff * 2**i``). Defaults to 0 so tests stay instant.
+    failure_threshold:
+        Consecutive failed calls before the member's breaker opens
+        (CLOSED → OPEN).
+    cooldown_steps:
+        Denied calls an OPEN breaker absorbs before allowing one
+        HALF_OPEN probe. A successful probe closes the breaker; a failed
+        probe re-opens it for another cooldown.
+    fallback:
+        Value used for a quarantined/failed member's slot:
+        ``"persistence"`` repeats the last observed true value,
+        ``"last_healthy"`` repeats the member's own last healthy
+        prediction (falling back to persistence before any success).
+    """
+
+    timeout: Optional[float] = None
+    timeout_mode: str = "soft"
+    max_retries: int = 1
+    backoff: float = 0.0
+    failure_threshold: int = 3
+    cooldown_steps: int = 10
+    fallback: str = "persistence"
+
+    def validate(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None, got {self.timeout}"
+            )
+        if self.timeout_mode not in ("soft", "thread"):
+            raise ConfigurationError(
+                f"timeout_mode must be 'soft' or 'thread', got {self.timeout_mode!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {self.backoff}")
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_steps < 1:
+            raise ConfigurationError(
+                f"cooldown_steps must be >= 1, got {self.cooldown_steps}"
+            )
+        if self.fallback not in ("persistence", "last_healthy"):
+            raise ConfigurationError(
+                f"fallback must be 'persistence' or 'last_healthy', "
+                f"got {self.fallback!r}"
+            )

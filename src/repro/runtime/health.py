@@ -1,0 +1,148 @@
+"""Structured health accounting for a guarded pool.
+
+:class:`PoolHealth` is the shared registry every
+:class:`~repro.runtime.guards.GuardedForecaster` in a pool reports into.
+It records per-member counters, a log of failure events, and every
+circuit-breaker state transition, and renders the operator-facing report
+surfaced by ``repro.cli forecast --guard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.runtime.breaker import BreakerState
+
+
+@dataclass
+class FailureEvent:
+    """One recorded member failure.
+
+    ``kind`` is one of ``"exception"``, ``"non_finite"``, ``"timeout"``,
+    ``"circuit_open"`` (a denied call, not attempted) or ``"fit_error"``.
+    ``step`` is the member's own monotonically increasing call counter
+    (-1 for fit-time events).
+    """
+
+    member: str
+    step: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class TransitionEvent:
+    """One circuit-breaker state change for a member."""
+
+    member: str
+    step: int
+    old_state: BreakerState
+    new_state: BreakerState
+
+
+@dataclass
+class MemberHealth:
+    """Running counters for one pool member."""
+
+    name: str
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    fallbacks: int = 0
+    skips: int = 0
+    state: BreakerState = BreakerState.CLOSED
+    last_error: str = ""
+
+
+class PoolHealth:
+    """Registry of member health records plus the event logs."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, MemberHealth] = {}
+        self.failures: List[FailureEvent] = []
+        self.transitions: List[TransitionEvent] = []
+
+    # ------------------------------------------------------------------
+    def member(self, name: str) -> MemberHealth:
+        """The (lazily created) health record for ``name``."""
+        if name not in self._members:
+            self._members[name] = MemberHealth(name=name)
+        return self._members[name]
+
+    @property
+    def members(self) -> List[MemberHealth]:
+        return list(self._members.values())
+
+    def quarantined(self) -> List[str]:
+        """Names of members whose breaker is currently not CLOSED."""
+        return [
+            m.name for m in self._members.values()
+            if m.state is not BreakerState.CLOSED
+        ]
+
+    # ------------------------------------------------------------------
+    def record_success(self, name: str, count: int = 1) -> None:
+        record = self.member(name)
+        record.calls += count
+        record.successes += count
+
+    def record_failure(self, name: str, step: int, kind: str, detail: str) -> None:
+        record = self.member(name)
+        if kind != "circuit_open":
+            record.calls += 1
+        record.failures += 1
+        record.last_error = f"{kind}: {detail}"
+        self.failures.append(FailureEvent(name, step, kind, detail))
+
+    def record_fallback(self, name: str) -> None:
+        self.member(name).fallbacks += 1
+
+    def record_skip(self, name: str) -> None:
+        """A call denied without being attempted (breaker OPEN)."""
+        self.member(name).skips += 1
+
+    def record_transition(
+        self, name: str, step: int, old: BreakerState, new: BreakerState
+    ) -> None:
+        self.member(name).state = new
+        self.transitions.append(TransitionEvent(name, step, old, new))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> List[dict]:
+        """One plain dict per member (stable order of registration)."""
+        return [
+            {
+                "member": m.name,
+                "state": m.state.value,
+                "calls": m.calls,
+                "successes": m.successes,
+                "failures": m.failures,
+                "fallbacks": m.fallbacks,
+                "skips": m.skips,
+                "last_error": m.last_error,
+            }
+            for m in self._members.values()
+        ]
+
+    def report(self) -> str:
+        """Multi-line human-readable health report (CLI output)."""
+        if not self._members:
+            return "pool health: no guarded calls recorded"
+        lines = ["pool health:"]
+        for m in self._members.values():
+            line = (
+                f"  {m.name:<24} {m.state.value:<9} "
+                f"calls={m.calls} failures={m.failures} "
+                f"fallbacks={m.fallbacks} skips={m.skips}"
+            )
+            if m.last_error:
+                line += f"  last_error={m.last_error}"
+            lines.append(line)
+        n_quarantined = len(self.quarantined())
+        lines.append(
+            f"  ({len(self._members)} members, {n_quarantined} quarantined, "
+            f"{len(self.failures)} failure events, "
+            f"{len(self.transitions)} breaker transitions)"
+        )
+        return "\n".join(lines)

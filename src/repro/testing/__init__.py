@@ -1,0 +1,15 @@
+"""Deterministic fault-injection harness for chaos testing the runtime."""
+
+from repro.testing.faults import (
+    FailureSchedule,
+    FlakyForecaster,
+    NaNForecaster,
+    SlowForecaster,
+)
+
+__all__ = [
+    "FailureSchedule",
+    "FlakyForecaster",
+    "NaNForecaster",
+    "SlowForecaster",
+]

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for pool members.
+
+Wrappers that make a healthy forecaster misbehave on a *seedable,
+reproducible schedule*, used by the chaos test suite and
+``benchmarks/bench_runtime_guards.py`` to exercise the fault-tolerant
+runtime (:mod:`repro.runtime`) without any nondeterminism.
+
+Schedules are keyed on the **history length** of the prediction call
+(``t = len(history)``), which equals the prequential time index in
+rolling protocols. Keying on ``t`` rather than on a call counter makes a
+fault idempotent under the guard's retries: a member scheduled to fail
+at step ``t`` fails *every* attempt at ``t`` and recovers at ``t + 1``,
+so tests can reason about exact quarantine windows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Forecaster
+
+
+class FailureSchedule:
+    """A deterministic predicate over prequential step indices.
+
+    Build one with a constructor classmethod:
+
+    - :meth:`at` — fail exactly at the given steps;
+    - :meth:`window` — fail for every ``start <= t < stop`` (mid-stream
+      outage with recovery);
+    - :meth:`after` — fail from ``start`` onwards (permanent death);
+    - :meth:`random` — fail each step independently with probability
+      ``rate``, reproducibly from ``seed``.
+    """
+
+    def __init__(self, steps: Iterable[int] = (),
+                 start: Optional[int] = None, stop: Optional[int] = None):
+        self._steps = frozenset(int(s) for s in steps)
+        self._start = start
+        self._stop = stop
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def at(cls, *steps: int) -> "FailureSchedule":
+        return cls(steps=steps)
+
+    @classmethod
+    def window(cls, start: int, stop: int) -> "FailureSchedule":
+        if stop <= start:
+            raise ConfigurationError(
+                f"failure window needs stop > start, got [{start}, {stop})"
+            )
+        return cls(start=start, stop=stop)
+
+    @classmethod
+    def after(cls, start: int) -> "FailureSchedule":
+        return cls(start=start)
+
+    @classmethod
+    def random(cls, rate: float, seed: int = 0,
+               horizon: int = 10_000) -> "FailureSchedule":
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        rng = np.random.default_rng(seed)
+        hits = np.flatnonzero(rng.random(horizon) < rate)
+        return cls(steps=hits.tolist())
+
+    # --------------------------------------------------------------------
+    def should_fail(self, t: int) -> bool:
+        if t in self._steps:
+            return True
+        if self._start is not None and t >= self._start:
+            return self._stop is None or t < self._stop
+        return False
+
+    def __repr__(self) -> str:
+        if self._start is not None:
+            stop = "∞" if self._stop is None else self._stop
+            return f"FailureSchedule(window=[{self._start}, {stop}))"
+        return f"FailureSchedule(steps={sorted(self._steps)})"
+
+
+class _FaultInjector(Forecaster):
+    """Shared plumbing: delegate to ``inner``, misbehave on schedule.
+
+    ``rolling_predictions`` is deliberately *not* overridden with the
+    inner model's vectorised path: the inherited per-step loop is what
+    lets a scheduled fault surface mid-column, exactly as a live failure
+    would in the online phase.
+    """
+
+    def __init__(self, inner: Forecaster, schedule: FailureSchedule,
+                 label: str):
+        super().__init__()
+        self.inner = inner
+        self.schedule = schedule
+        self.name = f"{label}:{inner.name}"
+        self.min_context = inner.min_context
+
+    def fit(self, series: np.ndarray) -> "_FaultInjector":
+        self.inner.fit(series)
+        self._fitted = True
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        t = int(np.asarray(history).size)
+        if self.schedule.should_fail(t):
+            return self._inject(history, t)
+        return float(self.inner.predict_next(history))
+
+    def _inject(self, history: np.ndarray, t: int) -> float:
+        raise NotImplementedError
+
+
+class FlakyForecaster(_FaultInjector):
+    """Raises a runtime exception on every scheduled step."""
+
+    def __init__(self, inner: Forecaster, schedule: FailureSchedule,
+                 exception: type = RuntimeError):
+        super().__init__(inner, schedule, "flaky")
+        self.exception = exception
+
+    def _inject(self, history: np.ndarray, t: int) -> float:
+        raise self.exception(f"injected fault in {self.name} at step {t}")
+
+
+class NaNForecaster(_FaultInjector):
+    """Returns NaN (a silent poisoning fault) on every scheduled step."""
+
+    def __init__(self, inner: Forecaster, schedule: FailureSchedule):
+        super().__init__(inner, schedule, "nan")
+
+    def _inject(self, history: np.ndarray, t: int) -> float:
+        return float("nan")
+
+
+class SlowForecaster(_FaultInjector):
+    """Sleeps ``delay`` seconds before answering on every scheduled step.
+
+    With a guard whose ``timeout < delay`` this simulates a hung/slow
+    member; the prediction itself is still the inner model's (the fault
+    is latency, not value corruption).
+    """
+
+    def __init__(self, inner: Forecaster, schedule: FailureSchedule,
+                 delay: float = 0.05):
+        super().__init__(inner, schedule, "slow")
+        if delay <= 0:
+            raise ConfigurationError(f"delay must be positive, got {delay}")
+        self.delay = delay
+
+    def _inject(self, history: np.ndarray, t: int) -> float:
+        time.sleep(self.delay)
+        return float(self.inner.predict_next(history))

@@ -222,6 +222,37 @@ class TestPolicyPersistence:
         out2 = restored.rolling_forecast_from_matrix(P[60:])
         np.testing.assert_allclose(out1, out2)
 
+    def test_series_fit_roundtrip_with_explicit_bootstrap(
+        self, short_series, tmp_path
+    ):
+        """A policy saved after series-level fit() carries no bootstrap
+        matrix; after load_policy the matrix-level API must still work
+        when the caller supplies bootstrap_predictions explicitly."""
+        from repro.models import MeanForecaster, NaiveForecaster, SimpleExpSmoothing
+
+        members = [MeanForecaster(), NaiveForecaster(), SimpleExpSmoothing()]
+        model = EADRL(models=members, config=quick_config())
+        model.fit(short_series[:150])
+        path = os.path.join(tmp_path, "series_policy.npz")
+        model.save_policy(path)
+
+        restored = EADRL(pool_size="small", config=quick_config())
+        restored.load_policy(path)
+        P = model.pool.prediction_matrix(short_series, 150)
+        boot = model.pool.prediction_matrix(short_series[:150], 130)
+
+        # without a bootstrap the matrix API is still unusable ...
+        with pytest.raises(NotFittedError):
+            restored.rolling_forecast_from_matrix(P)
+        # ... but an explicit bootstrap unlocks it (the bugfix).
+        out = restored.rolling_forecast_from_matrix(P, bootstrap_predictions=boot)
+        assert out.shape == (P.shape[0],)
+        assert np.all(np.isfinite(out))
+        online = restored.rolling_forecast_online(
+            P, short_series[150:], mode="none", bootstrap_predictions=boot
+        )
+        assert np.all(np.isfinite(online))
+
     def test_save_unfitted_raises(self, tmp_path):
         model = EADRL(pool_size="small", config=quick_config())
         with pytest.raises(NotFittedError):

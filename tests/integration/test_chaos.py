@@ -1,0 +1,211 @@
+"""Chaos suite: the fault-tolerant runtime under injected mid-stream faults.
+
+Acceptance scenario: with 2 of the 8 small-pool members failing
+mid-stream (exceptions, NaNs, and timeouts), ``rolling_forecast`` and
+``forecast`` must complete without raising, outputs must stay finite,
+the policy's weights must renormalise over the healthy members, and the
+``PoolHealth`` registry must record the quarantine/recovery transitions.
+With no faults injected, guarded output must be identical to the
+unguarded baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EADRL, EADRLConfig, RuntimeGuardConfig
+from repro.exceptions import EnsembleUnavailableError
+from repro.models import ForecasterPool, MeanForecaster, NaiveForecaster, build_pool
+from repro.rl.ddpg import DDPGConfig
+from repro.runtime import BreakerState
+from repro.testing import (
+    FailureSchedule,
+    FlakyForecaster,
+    NaNForecaster,
+    SlowForecaster,
+)
+
+START = 150  # forecast origin inside the 200-point short_series fixture
+
+
+def _make_short_series() -> np.ndarray:
+    """Class-scoped copy of the ``short_series`` fixture recipe."""
+    rng = np.random.default_rng(12345)
+    n = 200
+    t = np.arange(n)
+    season = 3.0 * np.sin(2 * np.pi * t / 24)
+    noise = np.zeros(n)
+    for i in range(1, n):
+        noise[i] = 0.6 * noise[i - 1] + rng.normal(0, 0.5)
+    return 10.0 + season + noise
+
+
+def quick_config(**overrides) -> EADRLConfig:
+    defaults = dict(
+        episodes=2,
+        max_iterations=20,
+        ddpg=DDPGConfig(seed=0, batch_size=8, warmup_steps=30),
+    )
+    defaults.update(overrides)
+    return EADRLConfig(**defaults)
+
+
+def faulty_small_pool(timeout_fault: bool = False):
+    """The 8-member small pool with members 1 and 2 sabotaged mid-stream.
+
+    Faults fire only for ``t >= START`` so the offline phase trains on
+    clean prequential predictions; the outage window [160, 172) sits in
+    the middle of the test segment with healthy steps on both sides.
+    """
+    members = build_pool("small")
+    members[1] = FlakyForecaster(members[1], FailureSchedule.window(160, 172))
+    if timeout_fault:
+        members[2] = SlowForecaster(
+            members[2], FailureSchedule.window(165, 178), delay=0.05
+        )
+    else:
+        members[2] = NaNForecaster(members[2], FailureSchedule.window(165, 178))
+    return members
+
+
+def chaos_guards(**overrides) -> RuntimeGuardConfig:
+    defaults = dict(max_retries=0, failure_threshold=2, cooldown_steps=3)
+    defaults.update(overrides)
+    return RuntimeGuardConfig(**defaults)
+
+
+class TestChaosRollingForecast:
+    @pytest.fixture(scope="class")
+    def chaos_run(self):
+        """One fitted chaos model shared across assertions (fit is slow)."""
+        short_series = _make_short_series()
+        model = EADRL(
+            models=faulty_small_pool(),
+            config=quick_config(runtime_guards=chaos_guards()),
+        )
+        model.fit(short_series[:START])
+        preds, weights = model.rolling_forecast(
+            short_series, START, return_weights=True
+        )
+        return model, preds, weights
+
+    def test_completes_with_finite_output(self, chaos_run):
+        _, preds, _ = chaos_run
+        assert preds.shape == (50,)
+        assert np.all(np.isfinite(preds))
+
+    def test_weights_renormalise_over_healthy_members(self, chaos_run):
+        model, _, weights = chaos_run
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-9)
+        # while both saboteurs are down (t in [165, 172)), their weights
+        # must be exactly zero and the healthy members carry the mass
+        outage = weights[15:22]  # rows for t = 165..171
+        assert np.all(outage[:, 1] == 0.0)
+        assert np.all(outage[:, 2] == 0.0)
+        np.testing.assert_allclose(outage.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_health_records_quarantine_and_recovery(self, chaos_run):
+        model, _, _ = chaos_run
+        health = model.health()
+        for i in (1, 2):
+            name = model.pool.names[i]
+            states = [
+                t.new_state for t in health.transitions if t.member == name
+            ]
+            assert BreakerState.OPEN in states, name       # quarantined
+            assert states[-1] is BreakerState.CLOSED, name  # recovered
+        assert health.quarantined() == []  # everyone healthy at the end
+        kinds = {event.kind for event in health.failures}
+        assert "exception" in kinds and "non_finite" in kinds
+
+
+class TestChaosTimeouts:
+    def test_slow_member_is_quarantined(self, short_series):
+        pool = ForecasterPool(
+            faulty_small_pool(timeout_fault=True),
+            guard_config=chaos_guards(timeout=0.005),
+        ).fit(short_series[:START])
+        P, mask = pool.prediction_matrix_with_mask(short_series, START)
+        assert np.all(np.isfinite(P))
+        slow_name = pool.names[2]
+        kinds = {
+            e.kind for e in pool.health().failures if e.member == slow_name
+        }
+        assert "timeout" in kinds
+        states = [
+            t.new_state for t in pool.health().transitions
+            if t.member == slow_name
+        ]
+        assert BreakerState.OPEN in states
+        assert not mask[15:17, 2].any()  # t = 165, 166 degraded
+
+
+class TestChaosMultistepForecast:
+    def test_forecast_survives_permanently_dead_member(self, short_series):
+        members = [
+            MeanForecaster(),
+            NaiveForecaster(),
+            FlakyForecaster(MeanForecaster(), FailureSchedule.after(START)),
+        ]
+        model = EADRL(
+            models=members,
+            config=quick_config(runtime_guards=chaos_guards()),
+        )
+        model.fit(short_series[:START])
+        out = model.forecast(short_series[:START], horizon=8)
+        assert out.shape == (8,)
+        assert np.all(np.isfinite(out))
+        dead = model.pool.names[2]
+        assert model.health().member(dead).failures > 0
+
+    def test_all_members_dead_raises_typed_error(self, short_series):
+        members = [
+            FlakyForecaster(MeanForecaster(), FailureSchedule.after(START)),
+            NaNForecaster(NaiveForecaster(), FailureSchedule.after(START)),
+        ]
+        model = EADRL(
+            models=members,
+            config=quick_config(runtime_guards=chaos_guards()),
+        )
+        model.fit(short_series[:START])
+        with pytest.raises(EnsembleUnavailableError, match="quarantined"):
+            model.rolling_forecast(short_series, START)
+
+
+class TestNoFaultEquivalence:
+    def test_guarded_rolling_forecast_identical(self, short_series):
+        plain = EADRL(models=build_pool("small"), config=quick_config())
+        guarded = EADRL(
+            models=build_pool("small"),
+            config=quick_config(runtime_guards=RuntimeGuardConfig()),
+        )
+        plain.fit(short_series[:START])
+        guarded.fit(short_series[:START])
+        np.testing.assert_array_equal(
+            plain.rolling_forecast(short_series, START),
+            guarded.rolling_forecast(short_series, START),
+        )
+
+    def test_matrix_api_tolerates_nan_cells(self, toy_matrix):
+        """The matrix-level online API renormalises over finite cells."""
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        holed = P[60:].copy()
+        holed[5:10, 0] = np.nan
+        out, weights = model.rolling_forecast_from_matrix(
+            holed, return_weights=True
+        )
+        assert np.all(np.isfinite(out))
+        assert np.all(weights[5:10, 0] == 0.0)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_matrix_api_all_nan_row_raises(self, toy_matrix):
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config())
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        holed = P[60:].copy()
+        holed[3, :] = np.nan
+        with pytest.raises(EnsembleUnavailableError):
+            model.rolling_forecast_from_matrix(holed)

@@ -8,8 +8,6 @@ propagating garbage numbers.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 import pytest
 
@@ -80,11 +78,11 @@ class TestPoolFailureIsolation:
             SimpleEnsemble().run(matrix, short_series[150:])
 
     def test_mdp_rejects_nan_predictions(self, short_series):
+        """fit_policy_from_matrix must reject a NaN column up front,
+        naming the offending member column, before any training runs."""
         pool = ForecasterPool([MeanForecaster(), _NaNModel()]).fit(short_series)
         matrix = pool.prediction_matrix(short_series, 150)
-        # EnsembleMDP construction itself tolerates NaN; fitting the
-        # policy through EADRL must surface the problem via the scaler
-        # or the reward — here we assert the top-level API raises.
+        assert np.isnan(matrix[:, 1]).all()
         model = EADRL(
             models=[MeanForecaster()],
             config=EADRLConfig(
@@ -92,11 +90,23 @@ class TestPoolFailureIsolation:
                 ddpg=DDPGConfig(seed=0, warmup_steps=10, batch_size=4),
             ),
         )
-        with pytest.raises((DataValidationError, FloatingPointError, ValueError)):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                model.fit_policy_from_matrix(matrix, short_series[150:])
-                raise DataValidationError("NaN survived policy training")
+        with pytest.raises(DataValidationError, match=r"column\(s\) \[1\]"):
+            model.fit_policy_from_matrix(matrix, short_series[150:])
+        assert not getattr(model, "_fitted_from_matrix", False)
+
+    def test_policy_fit_rejects_nan_truth(self, toy_matrix):
+        P, y = toy_matrix
+        bad_truth = y.copy()
+        bad_truth[7] = np.nan
+        model = EADRL(
+            models=[MeanForecaster()],
+            config=EADRLConfig(
+                episodes=1, max_iterations=5,
+                ddpg=DDPGConfig(seed=0, warmup_steps=10, batch_size=4),
+            ),
+        )
+        with pytest.raises(DataValidationError, match="meta_truth"):
+            model.fit_policy_from_matrix(P, bad_truth)
 
 
 class TestCombinerRobustness:

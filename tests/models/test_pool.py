@@ -101,3 +101,132 @@ class TestForecasterPool:
     def test_max_min_context(self, short_series):
         pool = ForecasterPool(build_pool("small")).fit(short_series)
         assert pool.max_min_context() >= 5
+
+
+class TestFitDropBookkeeping:
+    def test_dropped_records_name_type_message(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _FailingModel()])
+        with pytest.warns(UserWarning):
+            pool.fit(short_series)
+        assert pool.dropped_ == [("failer", "RuntimeError", "deliberate failure")]
+
+    def test_warning_includes_exception_class(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _FailingModel()])
+        with pytest.warns(UserWarning, match="RuntimeError"):
+            pool.fit(short_series)
+
+    def test_no_drops_leaves_empty_list(self, short_series):
+        pool = ForecasterPool([MeanForecaster()]).fit(short_series)
+        assert pool.dropped_ == []
+
+    def test_refit_resets_dropped(self, short_series):
+        pool = ForecasterPool([MeanForecaster(), _FailingModel()])
+        with pytest.warns(UserWarning):
+            pool.fit(short_series)
+        assert len(pool.dropped_) == 1
+        pool.fit(short_series)  # survivors only now; nothing drops
+        assert pool.dropped_ == []
+
+    def test_all_failed_raises_data_validation(self, short_series):
+        import warnings
+
+        pool = ForecasterPool([_FailingModel(), _FailingModel()])
+        with pytest.raises(DataValidationError, match="every pool member"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                pool.fit(short_series)
+        assert len(pool.dropped_) == 2
+
+
+class TestSubsetValidation:
+    def _fitted(self, short_series):
+        return ForecasterPool(build_pool("small")).fit(short_series)
+
+    def test_empty_indices_rejected(self, short_series):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            self._fitted(short_series).subset([])
+
+    def test_negative_index_rejected(self, short_series):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            self._fitted(short_series).subset([-1])
+
+    def test_out_of_range_index_rejected(self, short_series):
+        pool = self._fitted(short_series)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            pool.subset([len(pool)])
+
+    def test_subset_shares_members_and_fitted_state(self, short_series):
+        pool = self._fitted(short_series)
+        pruned = pool.subset([0, 2])
+        assert pruned.names == [pool.names[0], pool.names[2]]
+        assert pruned.models[0] is pool.models[0]
+        # fitted state carries over: predictions work immediately
+        P = pruned.prediction_matrix(short_series, 150)
+        assert P.shape == (50, 2)
+
+
+class TestGuardedPool:
+    def _guard_config(self, **overrides):
+        from repro.runtime import RuntimeGuardConfig
+
+        return RuntimeGuardConfig(**overrides)
+
+    def test_guarded_matrix_identical_when_healthy(self, short_series):
+        plain = ForecasterPool(build_pool("small")).fit(short_series[:150])
+        guarded = ForecasterPool(
+            build_pool("small"), guard_config=self._guard_config()
+        ).fit(short_series[:150])
+        np.testing.assert_array_equal(
+            plain.prediction_matrix(short_series, 150),
+            guarded.prediction_matrix(short_series, 150),
+        )
+        _, mask = guarded.prediction_matrix_with_mask(short_series, 150)
+        assert mask.all()
+
+    def test_unguarded_mask_is_all_true(self, short_series):
+        pool = ForecasterPool(build_pool("small")).fit(short_series[:150])
+        P, mask = pool.prediction_matrix_with_mask(short_series, 150)
+        assert P.shape == mask.shape
+        assert mask.all()
+        assert not pool.guarded
+
+    def test_guarded_pool_survives_predict_time_exception(self, short_series):
+        from repro.testing import FailureSchedule, FlakyForecaster
+
+        pool = ForecasterPool(
+            [MeanForecaster(),
+             FlakyForecaster(MeanForecaster(), FailureSchedule.window(160, 170))],
+            guard_config=self._guard_config(max_retries=0),
+        ).fit(short_series[:150])
+        P, mask = pool.prediction_matrix_with_mask(short_series, 150)
+        assert np.all(np.isfinite(P))
+        assert mask[:, 0].all()
+        assert not mask[10:20, 1].any()  # t = 160..169 degraded
+
+    def test_guarded_predict_next_mask(self, short_series):
+        from repro.testing import FailureSchedule, FlakyForecaster
+
+        pool = ForecasterPool(
+            [MeanForecaster(),
+             FlakyForecaster(MeanForecaster(), FailureSchedule.after(0))],
+            guard_config=self._guard_config(max_retries=0),
+        ).fit(short_series)
+        values, mask = pool.predict_next_with_mask(short_series)
+        assert np.all(np.isfinite(values))
+        assert mask.tolist() == [True, False]
+
+    def test_health_registry_exposed(self, short_series):
+        pool = ForecasterPool(
+            [MeanForecaster()], guard_config=self._guard_config()
+        ).fit(short_series)
+        pool.predict_next(short_series)
+        assert pool.health().member("mean").successes == 1
+
+    def test_subset_preserves_guards_and_health(self, short_series):
+        pool = ForecasterPool(
+            build_pool("small"), guard_config=self._guard_config()
+        ).fit(short_series[:150])
+        pool.prediction_matrix(short_series, 150)
+        pruned = pool.subset([0, 1])
+        assert pruned.guarded
+        assert pruned.health() is pool.health()

@@ -1,0 +1,114 @@
+"""Unit tests for the per-member circuit breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import BreakerState, CircuitBreaker
+
+
+def make(threshold=3, cooldown=4, log=None):
+    on_transition = None
+    if log is not None:
+        on_transition = lambda old, new: log.append((old, new))  # noqa: E731
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_steps=cooldown,
+        on_transition=on_transition,
+    )
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker = make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_subthreshold_failures_stay_closed(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpenState:
+    def test_threshold_opens(self):
+        breaker = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_open_denies_calls(self):
+        breaker = make(threshold=1, cooldown=10)
+        breaker.record_failure()
+        assert not breaker.allow()
+
+    def test_cooldown_leads_to_half_open_probe(self):
+        breaker = make(threshold=1, cooldown=3)
+        breaker.record_failure()
+        denied = [breaker.allow() for _ in range(3)]
+        assert denied == [False, False, False]
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe
+
+
+class TestHalfOpenState:
+    def _half_open(self, log=None):
+        breaker = make(threshold=1, cooldown=2, log=log)
+        breaker.record_failure()
+        breaker.allow()
+        breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_successful_probe_closes(self):
+        breaker = self._half_open()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = self._half_open()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_reopened_breaker_cools_down_again(self):
+        breaker = self._half_open()
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestTransitionCallback:
+    def test_full_lifecycle_is_reported(self):
+        log = []
+        breaker = make(threshold=2, cooldown=1, log=log)
+        breaker.record_failure()
+        breaker.record_failure()          # -> OPEN
+        breaker.allow()                   # -> HALF_OPEN
+        breaker.allow()                   # probe allowed
+        breaker.record_success()          # -> CLOSED
+        assert log == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+    def test_no_duplicate_transitions(self):
+        log = []
+        breaker = make(threshold=1, cooldown=5, log=log)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert log == [(BreakerState.CLOSED, BreakerState.OPEN)]

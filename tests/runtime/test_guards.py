@@ -1,0 +1,273 @@
+"""Unit tests for GuardedForecaster and healthy-weight renormalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    MemberFailureError,
+)
+from repro.models import MeanForecaster, NaiveForecaster
+from repro.models.base import Forecaster
+from repro.runtime import (
+    BreakerState,
+    GuardedForecaster,
+    PoolHealth,
+    RuntimeGuardConfig,
+    renormalise_healthy,
+)
+from repro.testing import FailureSchedule, FlakyForecaster, NaNForecaster
+
+
+@pytest.fixture
+def series(rng):
+    return 5.0 + np.cumsum(rng.normal(0, 0.1, 80))
+
+
+class _CountingFlaky(Forecaster):
+    """Fails the first ``n_failures`` calls, then answers 1.0."""
+
+    name = "counting"
+
+    def __init__(self, n_failures):
+        super().__init__()
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def fit(self, series):
+        self._fitted = True
+        return self
+
+    def predict_next(self, history):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise RuntimeError("transient")
+        return 1.0
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        RuntimeGuardConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout": 0.0},
+        {"timeout": -1.0},
+        {"timeout_mode": "signal"},
+        {"max_retries": -1},
+        {"backoff": -0.5},
+        {"failure_threshold": 0},
+        {"cooldown_steps": 0},
+        {"fallback": "zero"},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RuntimeGuardConfig(**kwargs).validate()
+
+
+class TestGuardBasics:
+    def test_transparent_for_healthy_member(self, series):
+        inner = NaiveForecaster()
+        guard = GuardedForecaster(NaiveForecaster(), RuntimeGuardConfig()).fit(series)
+        inner.fit(series)
+        assert guard.predict_next(series) == inner.predict_next(series)
+        np.testing.assert_array_equal(
+            guard.rolling_predictions(series, 60),
+            inner.rolling_predictions(series, 60),
+        )
+
+    def test_name_and_context_delegate(self):
+        guard = GuardedForecaster(MeanForecaster())
+        assert guard.name == "mean"
+        assert guard.min_context == MeanForecaster.min_context
+
+    def test_retry_recovers_transient_failure(self, series):
+        member = _CountingFlaky(n_failures=1)
+        guard = GuardedForecaster(
+            member, RuntimeGuardConfig(max_retries=1)
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert healthy and value == 1.0
+        assert member.calls == 2  # first call failed, retry succeeded
+
+    def test_retries_exhausted_is_failure(self, series):
+        member = _CountingFlaky(n_failures=5)
+        health = PoolHealth()
+        guard = GuardedForecaster(
+            member, RuntimeGuardConfig(max_retries=2), health
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert member.calls == 3  # 1 + 2 retries
+        assert health.member("counting").failures == 1
+        assert health.failures[0].kind == "exception"
+
+    def test_nan_output_rejected(self, series):
+        guard = GuardedForecaster(
+            NaNForecaster(NaiveForecaster(), FailureSchedule.after(0)),
+            RuntimeGuardConfig(max_retries=0),
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert np.isfinite(value)
+        assert guard.health.failures[0].kind == "non_finite"
+
+    def test_strict_predict_raises_member_failure(self, series):
+        guard = GuardedForecaster(
+            FlakyForecaster(NaiveForecaster(), FailureSchedule.after(0)),
+            RuntimeGuardConfig(max_retries=0),
+        ).fit(series)
+        with pytest.raises(MemberFailureError, match="injected fault"):
+            guard.predict_next(series)
+
+    def test_strict_predict_raises_circuit_open(self, series):
+        guard = GuardedForecaster(
+            FlakyForecaster(NaiveForecaster(), FailureSchedule.after(0)),
+            RuntimeGuardConfig(max_retries=0, failure_threshold=1),
+        ).fit(series)
+        with pytest.raises(MemberFailureError):
+            guard.predict_next(series)
+        with pytest.raises(CircuitOpenError):
+            guard.predict_next(series)
+
+    def test_fit_failure_recorded_and_reraised(self, series):
+        class _Bad(Forecaster):
+            name = "bad-fit"
+
+            def fit(self, series):
+                raise ValueError("cannot fit")
+
+            def predict_next(self, history):
+                return 0.0
+
+        health = PoolHealth()
+        guard = GuardedForecaster(_Bad(), health=health)
+        with pytest.raises(ValueError):
+            guard.fit(series)
+        assert health.failures[0].kind == "fit_error"
+
+
+class TestFallbackPolicies:
+    def _broken_guard(self, config):
+        return GuardedForecaster(
+            FlakyForecaster(NaiveForecaster(), FailureSchedule.after(0)),
+            config,
+        )
+
+    def test_persistence_fallback(self, series):
+        guard = self._broken_guard(
+            RuntimeGuardConfig(max_retries=0, fallback="persistence")
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert value == series[-1]
+
+    def test_last_healthy_fallback(self, series):
+        schedule = FailureSchedule.after(len(series))
+        guard = GuardedForecaster(
+            FlakyForecaster(MeanForecaster(), schedule),
+            RuntimeGuardConfig(max_retries=0, fallback="last_healthy"),
+        ).fit(series)
+        healthy_value, ok = guard.guarded_predict(series[:-1])  # < threshold
+        assert ok
+        value, healthy = guard.guarded_predict(series)  # scheduled failure
+        assert not healthy
+        assert value == healthy_value
+
+    def test_last_healthy_before_any_success_uses_persistence(self, series):
+        guard = self._broken_guard(
+            RuntimeGuardConfig(max_retries=0, fallback="last_healthy")
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert value == series[-1]
+
+
+class TestTimeouts:
+    def test_soft_timeout_records_failure(self, series):
+        from repro.testing import SlowForecaster
+
+        guard = GuardedForecaster(
+            SlowForecaster(NaiveForecaster(), FailureSchedule.after(0), delay=0.02),
+            RuntimeGuardConfig(timeout=0.001, timeout_mode="soft", max_retries=0),
+        ).fit(series)
+        _, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert guard.health.failures[0].kind == "timeout"
+
+    def test_thread_timeout_abandons_call(self, series):
+        from repro.testing import SlowForecaster
+
+        guard = GuardedForecaster(
+            SlowForecaster(NaiveForecaster(), FailureSchedule.after(0), delay=0.2),
+            RuntimeGuardConfig(timeout=0.01, timeout_mode="thread", max_retries=0),
+        ).fit(series)
+        _, healthy = guard.guarded_predict(series)
+        assert not healthy
+        assert guard.health.failures[0].kind == "timeout"
+
+    def test_thread_mode_healthy_member_passes_through(self, series):
+        guard = GuardedForecaster(
+            NaiveForecaster(),
+            RuntimeGuardConfig(timeout=5.0, timeout_mode="thread"),
+        ).fit(series)
+        value, healthy = guard.guarded_predict(series)
+        assert healthy and value == series[-1]
+
+
+class TestGuardedRolling:
+    def test_fast_path_identical_to_inner(self, series):
+        inner = NaiveForecaster().fit(series)
+        guard = GuardedForecaster(NaiveForecaster()).fit(series)
+        column, mask = guard.guarded_rolling(series, 60)
+        np.testing.assert_array_equal(column, inner.rolling_predictions(series, 60))
+        assert mask.all()
+
+    def test_midstream_fault_degrades_per_step(self, series):
+        schedule = FailureSchedule.window(65, 70)
+        guard = GuardedForecaster(
+            FlakyForecaster(NaiveForecaster(), schedule),
+            RuntimeGuardConfig(max_retries=0, failure_threshold=100),
+        ).fit(series)
+        column, mask = guard.guarded_rolling(series, 60)
+        assert np.all(np.isfinite(column))
+        # steps with history length 65..69 are exactly the unhealthy ones
+        expected = np.array([not (65 <= t < 70) for t in range(60, series.size)])
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_breaker_quarantines_and_recovers(self, series):
+        schedule = FailureSchedule.window(62, 66)
+        guard = GuardedForecaster(
+            FlakyForecaster(NaiveForecaster(), schedule),
+            RuntimeGuardConfig(
+                max_retries=0, failure_threshold=2, cooldown_steps=2
+            ),
+        ).fit(series)
+        _, mask = guard.guarded_rolling(series, 60)
+        states = [t.new_state for t in guard.health.transitions]
+        assert BreakerState.OPEN in states
+        assert states[-1] is BreakerState.CLOSED  # recovered after the window
+        assert mask[-1]  # healthy again by the end
+
+
+class TestRenormaliseHealthy:
+    def test_full_mask_returns_same_object(self):
+        w = np.array([0.2, 0.3, 0.5])
+        assert renormalise_healthy(w, np.ones(3, dtype=bool)) is w
+
+    def test_partial_mask_renormalises_on_simplex(self):
+        w = np.array([0.2, 0.3, 0.5])
+        out = renormalise_healthy(w, np.array([True, False, True]))
+        np.testing.assert_allclose(out, [0.2 / 0.7, 0.0, 0.5 / 0.7])
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_zero_weight_healthy_members_get_uniform(self):
+        w = np.array([0.0, 1.0, 0.0])
+        out = renormalise_healthy(w, np.array([True, False, True]))
+        np.testing.assert_allclose(out, [0.5, 0.0, 0.5])
+
+    def test_empty_mask_is_programming_error(self):
+        with pytest.raises(ValueError):
+            renormalise_healthy(np.ones(3) / 3, np.zeros(3, dtype=bool))

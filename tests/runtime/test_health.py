@@ -1,0 +1,70 @@
+"""Unit tests for the PoolHealth registry."""
+
+from __future__ import annotations
+
+from repro.runtime import BreakerState, PoolHealth
+
+
+class TestCounters:
+    def test_lazy_member_registration(self):
+        health = PoolHealth()
+        record = health.member("arima")
+        assert record.name == "arima"
+        assert health.member("arima") is record
+        assert [m.name for m in health.members] == ["arima"]
+
+    def test_success_and_failure_accounting(self):
+        health = PoolHealth()
+        health.record_success("m", count=5)
+        health.record_failure("m", step=6, kind="exception", detail="boom")
+        health.record_fallback("m")
+        health.record_skip("m")
+        record = health.member("m")
+        assert record.calls == 6  # 5 successes + 1 attempted failure
+        assert record.successes == 5
+        assert record.failures == 1
+        assert record.fallbacks == 1
+        assert record.skips == 1
+        assert record.last_error == "exception: boom"
+
+    def test_failure_event_log(self):
+        health = PoolHealth()
+        health.record_failure("m", step=3, kind="timeout", detail="slow")
+        event = health.failures[0]
+        assert (event.member, event.step, event.kind) == ("m", 3, "timeout")
+
+
+class TestTransitions:
+    def test_transition_updates_state_and_log(self):
+        health = PoolHealth()
+        health.record_transition("m", 4, BreakerState.CLOSED, BreakerState.OPEN)
+        assert health.member("m").state is BreakerState.OPEN
+        assert health.quarantined() == ["m"]
+        health.record_transition("m", 9, BreakerState.OPEN, BreakerState.HALF_OPEN)
+        health.record_transition("m", 10, BreakerState.HALF_OPEN, BreakerState.CLOSED)
+        assert health.quarantined() == []
+        assert len(health.transitions) == 3
+
+
+class TestReporting:
+    def test_summary_shape(self):
+        health = PoolHealth()
+        health.record_success("a")
+        health.record_failure("b", 1, "non_finite", "nan")
+        summary = health.summary()
+        assert [row["member"] for row in summary] == ["a", "b"]
+        assert summary[0]["state"] == "closed"
+        assert summary[1]["failures"] == 1
+
+    def test_report_mentions_members_and_totals(self):
+        health = PoolHealth()
+        health.record_success("good", count=10)
+        health.record_failure("bad", 2, "exception", "boom")
+        health.record_transition("bad", 2, BreakerState.CLOSED, BreakerState.OPEN)
+        text = health.report()
+        assert "good" in text and "bad" in text
+        assert "1 quarantined" in text
+        assert "1 failure events" in text
+
+    def test_empty_report(self):
+        assert "no guarded calls" in PoolHealth().report()

@@ -6,9 +6,12 @@ import pytest
 
 import repro
 from repro.exceptions import (
+    CircuitOpenError,
     ConfigurationError,
     DataValidationError,
+    EnsembleUnavailableError,
     GradientError,
+    MemberFailureError,
     NotFittedError,
     ReproError,
 )
@@ -22,8 +25,20 @@ class TestVersion:
 class TestExceptionHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc_cls in (NotFittedError, DataValidationError,
-                        ConfigurationError, GradientError):
+                        ConfigurationError, GradientError,
+                        MemberFailureError, EnsembleUnavailableError):
             assert issubclass(exc_cls, ReproError)
+
+    def test_circuit_open_is_member_failure(self):
+        error = CircuitOpenError("arima")
+        assert isinstance(error, MemberFailureError)
+        assert error.member == "arima"
+        assert error.kind == "circuit_open"
+
+    def test_ensemble_unavailable_carries_step(self):
+        error = EnsembleUnavailableError(17)
+        assert error.step == 17
+        assert "17" in str(error)
 
     def test_value_error_compat(self):
         """Validation errors double as ValueError so generic callers work."""
@@ -91,3 +106,15 @@ class TestPublicExports:
 
         for name in datasets.__all__:
             assert hasattr(datasets, name), name
+
+    def test_runtime_all_resolvable(self):
+        import repro.runtime as runtime
+
+        for name in runtime.__all__:
+            assert hasattr(runtime, name), name
+
+    def test_testing_all_resolvable(self):
+        import repro.testing as testing
+
+        for name in testing.__all__:
+            assert hasattr(testing, name), name

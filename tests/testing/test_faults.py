@@ -1,0 +1,123 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models import MeanForecaster, NaiveForecaster
+from repro.testing import (
+    FailureSchedule,
+    FlakyForecaster,
+    NaNForecaster,
+    SlowForecaster,
+)
+
+
+@pytest.fixture
+def series(rng):
+    return 3.0 + rng.normal(0, 0.2, 50)
+
+
+class TestFailureSchedule:
+    def test_at(self):
+        schedule = FailureSchedule.at(3, 7)
+        assert [schedule.should_fail(t) for t in range(9)] == [
+            False, False, False, True, False, False, False, True, False,
+        ]
+
+    def test_window(self):
+        schedule = FailureSchedule.window(5, 8)
+        hits = [t for t in range(12) if schedule.should_fail(t)]
+        assert hits == [5, 6, 7]
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.window(5, 5)
+
+    def test_after(self):
+        schedule = FailureSchedule.after(10)
+        assert not schedule.should_fail(9)
+        assert schedule.should_fail(10)
+        assert schedule.should_fail(10_000)
+
+    def test_random_is_seeded(self):
+        a = FailureSchedule.random(0.3, seed=7, horizon=100)
+        b = FailureSchedule.random(0.3, seed=7, horizon=100)
+        c = FailureSchedule.random(0.3, seed=8, horizon=100)
+        hits = lambda s: [t for t in range(100) if s.should_fail(t)]  # noqa: E731
+        assert hits(a) == hits(b)
+        assert hits(a) != hits(c)
+        assert 10 <= len(hits(a)) <= 50  # ~30 expected
+
+    def test_random_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.random(1.5)
+
+
+class TestInjectors:
+    def test_flaky_raises_only_on_schedule(self, series):
+        member = FlakyForecaster(
+            NaiveForecaster(), FailureSchedule.at(series.size)
+        ).fit(series)
+        assert member.predict_next(series[:-1]) == series[-2]
+        with pytest.raises(RuntimeError, match="injected fault"):
+            member.predict_next(series)
+
+    def test_flaky_custom_exception(self, series):
+        member = FlakyForecaster(
+            NaiveForecaster(), FailureSchedule.after(0), exception=MemoryError
+        ).fit(series)
+        with pytest.raises(MemoryError):
+            member.predict_next(series)
+
+    def test_nan_injection(self, series):
+        member = NaNForecaster(
+            MeanForecaster(), FailureSchedule.at(series.size)
+        ).fit(series)
+        assert np.isfinite(member.predict_next(series[:-1]))
+        assert np.isnan(member.predict_next(series))
+
+    def test_slow_injection_delays_but_answers(self, series):
+        member = SlowForecaster(
+            NaiveForecaster(), FailureSchedule.after(0), delay=0.02
+        ).fit(series)
+        t0 = time.monotonic()
+        value = member.predict_next(series)
+        assert time.monotonic() - t0 >= 0.02
+        assert value == series[-1]
+
+    def test_slow_delay_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlowForecaster(NaiveForecaster(), FailureSchedule.after(0), delay=0.0)
+
+    def test_names_are_labelled(self):
+        assert FlakyForecaster(
+            NaiveForecaster(), FailureSchedule.at(1)
+        ).name == "flaky:naive"
+        assert NaNForecaster(
+            MeanForecaster(), FailureSchedule.at(1)
+        ).name == "nan:mean"
+
+    def test_rolling_predictions_surface_midstream_fault(self, series):
+        """The injector keeps the per-step rolling path so a scheduled
+        fault fires mid-column exactly like a live online failure."""
+        member = FlakyForecaster(
+            NaiveForecaster(), FailureSchedule.at(40)
+        ).fit(series)
+        with pytest.raises(RuntimeError):
+            member.rolling_predictions(series, 30)
+
+    def test_idempotent_under_repeated_calls(self, series):
+        """Schedules key on history length, so retries at the same step
+        see the same outcome."""
+        member = FlakyForecaster(
+            NaiveForecaster(), FailureSchedule.at(series.size)
+        ).fit(series)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                member.predict_next(series)
+        assert member.predict_next(series[:-1]) == series[-2]
