@@ -7,6 +7,8 @@ performance regressions in the from-scratch model implementations
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -27,6 +29,11 @@ from repro.models import (
 SERIES = load(9, n=400)
 TRAIN = SERIES[:300]
 
+#: Rounds per benchmark; CI smoke mode sets REPRO_BENCH_ROUNDS=1 so the
+#: job only checks the benches still *run*, not their statistics.
+ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
+WARMUP = 1 if ROUNDS > 1 else 0
+
 FAMILIES = [
     ("arima", lambda: ARIMA(2, 0, 1)),
     ("ets_holt", lambda: Holt()),
@@ -44,7 +51,10 @@ FAMILIES = [
 @pytest.mark.parametrize("name,factory", FAMILIES, ids=[f[0] for f in FAMILIES])
 def test_fit_speed(benchmark, name, factory):
     benchmark.pedantic(
-        lambda: factory().fit(TRAIN), rounds=3, iterations=1, warmup_rounds=1
+        lambda: factory().fit(TRAIN),
+        rounds=ROUNDS,
+        iterations=1,
+        warmup_rounds=WARMUP,
     )
 
 
@@ -53,8 +63,8 @@ def test_rolling_predict_speed(benchmark, name, factory):
     model = factory().fit(TRAIN)
     result = benchmark.pedantic(
         lambda: model.rolling_predictions(SERIES, 300),
-        rounds=3,
+        rounds=ROUNDS,
         iterations=1,
-        warmup_rounds=1,
+        warmup_rounds=WARMUP,
     )
     assert np.all(np.isfinite(result))

@@ -30,6 +30,14 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pool", choices=("small", "medium", "full"),
                         default="small", help="base-model pool preset")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--executor", choices=("serial", "thread", "process"),
+                        default="serial",
+                        help="pool execution backend (default serial; "
+                             "thread/process fan the members out over "
+                             "--jobs workers with bit-identical output)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for --executor thread/process "
+                             "(default: all available cores)")
 
 
 def _protocol(args) -> "ProtocolConfig":
@@ -41,6 +49,8 @@ def _protocol(args) -> "ProtocolConfig":
         episodes=args.episodes,
         max_iterations=args.iterations,
         seed=args.seed,
+        executor=args.executor,
+        n_jobs=args.jobs,
     )
 
 
@@ -82,6 +92,8 @@ def cmd_forecast(args) -> int:
             max_iterations=args.iterations,
             ddpg=DDPGConfig(seed=args.seed),
             runtime_guards=guards,
+            executor=args.executor,
+            n_jobs=args.jobs,
         ),
     )
     model.fit(train)
@@ -91,6 +103,13 @@ def cmd_forecast(args) -> int:
     print(f"uniform RMSE: {rmse(matrix.mean(axis=1), test):.4f}")
     if args.guard:
         print(model.health().report())
+    if args.executor != "serial":
+        rows = model.health().timings()
+        print(f"per-member timings ({args.executor} executor, "
+              f"jobs={args.jobs if args.jobs else 'auto'}):")
+        for row in rows:
+            print(f"  {row['member']:<24} fit={row['fit_seconds']:.3f}s "
+                  f"predict={row['predict_seconds']:.3f}s")
     if args.save_policy:
         model.save_policy(args.save_policy)
         print(f"policy saved to {args.save_policy}")

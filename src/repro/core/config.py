@@ -7,9 +7,9 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.rl.ddpg import DDPGConfig
-from repro.runtime import RuntimeGuardConfig
+from repro.runtime import ExecutorConfig, RuntimeGuardConfig
 
-__all__ = ["EADRLConfig", "RuntimeGuardConfig"]
+__all__ = ["EADRLConfig", "ExecutorConfig", "RuntimeGuardConfig"]
 
 
 @dataclass
@@ -41,6 +41,14 @@ class EADRLConfig:
         circuit breakers, and graceful degradation with healthy-member
         weight renormalisation. ``None`` (default) keeps the paper's
         fail-fast behaviour.
+    executor:
+        Backend for the pool's per-member fan-outs — ``"serial"``
+        (default), ``"thread"``, or ``"process"`` — realising the paper's
+        "trained in parallel and separately" with bit-identical output
+        under every backend (see :mod:`repro.runtime.executor` and
+        ``docs/performance.md``).
+    n_jobs:
+        Worker count for the parallel backends (``None`` = all cores).
     """
 
     window: int = 10
@@ -52,6 +60,8 @@ class EADRLConfig:
     diversity_weight: float = 0.5
     ddpg: DDPGConfig = field(default_factory=DDPGConfig)
     runtime_guards: Optional[RuntimeGuardConfig] = None
+    executor: str = "serial"
+    n_jobs: Optional[int] = None
 
     def validate(self) -> None:
         if self.window < 2:
@@ -75,4 +85,5 @@ class EADRLConfig:
             raise ConfigurationError(f"episodes must be >= 1, got {self.episodes}")
         if self.runtime_guards is not None:
             self.runtime_guards.validate()
+        ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
         self.ddpg.validate()

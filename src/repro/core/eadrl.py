@@ -101,7 +101,10 @@ class EADRL:
         self.pruner = pruner
         self.pruned_indices_: Optional[np.ndarray] = None
         self.pool = ForecasterPool(
-            models, guard_config=self.config.runtime_guards
+            models,
+            guard_config=self.config.runtime_guards,
+            executor=self.config.executor,
+            n_jobs=self.config.n_jobs,
         )
         self.agent: Optional[DDPGAgent] = None
         self._scaler = StandardScaler()

@@ -39,8 +39,12 @@ class ProtocolConfig:
     max_iterations: int = 60
     neural_epochs: int = 40
     seed: int = 0
+    executor: str = "serial"
+    n_jobs: Optional[int] = None
 
     def validate(self) -> None:
+        from repro.runtime.executor import ExecutorConfig
+
         if self.series_length < 100:
             raise ConfigurationError(
                 f"series_length must be >= 100 for the protocol, "
@@ -50,6 +54,7 @@ class ProtocolConfig:
             raise ConfigurationError(
                 f"train_fraction must be in [0.5, 1), got {self.train_fraction}"
             )
+        ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
 
 
 @dataclass
@@ -87,7 +92,9 @@ def prepare_dataset(
             embedding_dimension=config.embedding_dimension,
             seed=config.seed,
             neural_epochs=config.neural_epochs,
-        )
+        ),
+        executor=config.executor,
+        n_jobs=config.n_jobs,
     )
     pool_cut = max(
         int(round(train.size * config.pool_train_fraction)),

@@ -62,31 +62,46 @@ class Forecaster(abc.ABC):
         array = validate_series(history, min_length=self.min_context)
         return array
 
+    def _predict_next_trusted(self, history: np.ndarray) -> float:
+        """One-step forecast over *pre-validated* history.
+
+        Hot-loop hook: :meth:`rolling_predictions` and :meth:`forecast`
+        validate their input once up front and then call this per step,
+        so per-call validation cost is paid once instead of O(n) times.
+        ``history`` is guaranteed to be a finite 1-D float64 array of at
+        least ``min_context`` values. The default delegates to
+        :meth:`predict_next`; subclasses with expensive validation
+        override it.
+        """
+        return self.predict_next(history)
+
     def forecast(self, history: np.ndarray, horizon: int) -> np.ndarray:
         """Recursive multi-step forecast (feeds predictions back as input)."""
         if horizon < 1:
             raise DataValidationError(f"horizon must be >= 1, got {horizon}")
-        working = np.asarray(history, dtype=np.float64).copy()
-        out = np.empty(horizon)
+        context = np.asarray(history, dtype=np.float64)
+        working = np.empty(context.size + horizon)
+        working[: context.size] = context
+        out = working[context.size :]
         for j in range(horizon):
-            value = self.predict_next(working)
-            out[j] = value
-            working = np.append(working, value)
-        return out
+            out[j] = self.predict_next(working[: context.size + j])
+        return out.copy()
 
     def rolling_predictions(self, series: np.ndarray, start: int) -> np.ndarray:
         """Prequential one-step predictions for ``t in [start, n)``.
 
-        Subclasses override this when a vectorised path exists; the default
-        loops :meth:`predict_next`.
+        Subclasses override this when a vectorised path exists; the
+        default validates the series once and then loops
+        :meth:`_predict_next_trusted` over growing history views.
         """
         array = validate_series(series, min_length=start + 1)
         if start < self.min_context:
             raise DataValidationError(
                 f"start={start} smaller than required context {self.min_context}"
             )
+        self._check_fitted()
         return np.array(
-            [self.predict_next(array[:t]) for t in range(start, array.size)]
+            [self._predict_next_trusted(array[:t]) for t in range(start, array.size)]
         )
 
     def __repr__(self) -> str:
@@ -138,6 +153,10 @@ class WindowRegressor(Forecaster):
         window = array[-self.embedding_dimension :][None, :]
         return float(self._predict_matrix(window)[0])
 
+    def _predict_next_trusted(self, history: np.ndarray) -> float:
+        window = history[-self.embedding_dimension :][None, :]
+        return float(self._predict_matrix(window)[0])
+
     def rolling_predictions(self, series: np.ndarray, start: int) -> np.ndarray:
         self._check_fitted()
         array = validate_series(series, min_length=start + 1)
@@ -167,6 +186,11 @@ class MeanForecaster(Forecaster):
     def predict_next(self, history: np.ndarray) -> float:
         self._check_fitted()
         return float(self._mean)
+
+    def rolling_predictions(self, series: np.ndarray, start: int) -> np.ndarray:
+        self._check_fitted()
+        array = validate_series(series, min_length=start + 1)
+        return np.full(array.size - start, self._mean)
 
 
 class NaiveForecaster(Forecaster):
@@ -210,3 +234,12 @@ class SeasonalNaiveForecaster(Forecaster):
         if array.size >= self.period:
             return float(array[-self.period])
         return float(array[-1])
+
+    def rolling_predictions(self, series: np.ndarray, start: int) -> np.ndarray:
+        self._check_fitted()
+        array = validate_series(series, min_length=start + 1)
+        steps = np.arange(start, array.size)
+        # predicting at time t sees history array[:t]: the seasonal lag is
+        # t - period when available, else the naive fallback t - 1
+        sources = np.where(steps >= self.period, steps - self.period, steps - 1)
+        return array[sources].copy()

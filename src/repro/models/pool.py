@@ -17,8 +17,10 @@ matrix every combiner in this library consumes.
 
 from __future__ import annotations
 
+import concurrent.futures
+import time
 import warnings
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +49,58 @@ if TYPE_CHECKING:  # pragma: no cover - typing only. The runtime import
     # is deferred at runtime: repro.runtime.guards subclasses Forecaster,
     # so a module-scope import here would make models <-> runtime circular.
     from repro.runtime import PoolHealth, RuntimeGuardConfig
+    from repro.runtime.executor import ExecutorConfig
+
+
+# ----------------------------------------------------------------------
+# Worker tasks for the parallel executor. Module-level (not closures) so
+# the process backend can pickle them; each returns its own wall-clock
+# compute time so the pool can populate PoolHealth.timings() without
+# counting scheduling/pickling overhead.
+# ----------------------------------------------------------------------
+def _fit_member_task(member: Forecaster, array: np.ndarray):
+    """Fit one member; returns ``(member, error_or_None, elapsed)``.
+
+    Failures are *returned*, not raised, mirroring the drop-on-failure
+    semantics of the serial fit loop (the caller records ``dropped_`` in
+    member order).
+    """
+    t0 = time.perf_counter()
+    try:
+        member.fit(array)
+        return member, None, time.perf_counter() - t0
+    except Exception as exc:  # noqa: BLE001 - pool must stay robust
+        return member, (type(exc).__name__, str(exc)), time.perf_counter() - t0
+
+
+def _rolling_member_task(
+    member: Forecaster, array: np.ndarray, start: int, guarded: bool
+):
+    """One prequential column; returns ``(member, column, mask, elapsed)``.
+
+    Guarded members degrade internally and never raise; unguarded members
+    propagate their exception (fail-fast, matching the serial path — the
+    ordered result gather re-raises the first failure in member order).
+    """
+    t0 = time.perf_counter()
+    if guarded:
+        column, mask = member.guarded_rolling(array, start)
+    else:
+        column = np.asarray(
+            member.rolling_predictions(array, start), dtype=np.float64
+        )
+        mask = None
+    return member, column, mask, time.perf_counter() - t0
+
+
+def _one_step_task(member: Forecaster, history: np.ndarray, guarded: bool):
+    """One online one-step query; returns ``(value, healthy, elapsed)``."""
+    t0 = time.perf_counter()
+    if guarded:
+        value, healthy = member.guarded_predict(history)
+    else:
+        value, healthy = float(member.predict_next(history)), True
+    return value, healthy, time.perf_counter() - t0
 
 
 def build_pool(
@@ -234,6 +288,18 @@ class ForecasterPool:
     health:
         Existing registry to report into (used by :meth:`subset` so a
         pruned pool shares its parent's health history).
+    executor:
+        Backend for the pool's per-member fan-outs: ``"serial"``
+        (default; bit-identical to the pre-executor behaviour),
+        ``"thread"``, ``"process"``, or a
+        :class:`~repro.runtime.executor.ExecutorConfig`. Worker results
+        are merged deterministically in member order, so predictions,
+        masks, and health events are identical under every backend and
+        worker count. The online one-step path
+        (:meth:`predict_next_with_mask`) always uses threads — never
+        processes — to keep per-step latency free of pickling costs.
+    n_jobs:
+        Worker count for the parallel backends (``None`` = all cores).
 
     Attributes
     ----------
@@ -247,12 +313,17 @@ class ForecasterPool:
         models: Sequence[Forecaster],
         guard_config: Optional["RuntimeGuardConfig"] = None,
         health: Optional["PoolHealth"] = None,
+        executor: Union["ExecutorConfig", str, None] = None,
+        n_jobs: Optional[int] = None,
     ):
         from repro.runtime import GuardedForecaster, PoolHealth
+        from repro.runtime.executor import coerce_executor
 
         if not models:
             raise ConfigurationError("pool must contain at least one model")
         self._guard_config = guard_config
+        self._executor = coerce_executor(executor, n_jobs)
+        self._online_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._health = health if health is not None else PoolHealth()
         members = list(models)
         if guard_config is not None:
@@ -283,29 +354,107 @@ class ForecasterPool:
         """Whether members are wrapped in runtime guards."""
         return self._guard_config is not None
 
+    @property
+    def executor_config(self) -> "ExecutorConfig":
+        """The pool's execution-engine configuration."""
+        return self._executor
+
     def health(self) -> "PoolHealth":
-        """The pool's health registry (empty when unguarded)."""
+        """The pool's health registry.
+
+        Guard events require ``guard_config``; per-member timing
+        telemetry (:meth:`~repro.runtime.PoolHealth.timings`) is recorded
+        for every pool.
+        """
         return self._health
+
+    # ------------------------------------------------------------------
+    # Executor plumbing
+    # ------------------------------------------------------------------
+    def _use_parallel(self) -> bool:
+        return self._executor.parallel and len(self._models) > 1
+
+    def _scatter_scratch_health(self) -> None:
+        """Give every guarded member a private scratch registry.
+
+        Workers record into their scratch; :meth:`_gather_member` merges
+        the scratches back into the shared registry in member order, so
+        the shared event logs are identical to a serial run.
+        """
+        from repro.runtime import PoolHealth
+
+        for member in self._models:
+            member.swap_health(PoolHealth())
+
+    def _restore_shared_health(self) -> None:
+        for member in self._models:
+            member.swap_health(self._health)
+
+    def _gather_member(self, index: int, member: Forecaster) -> None:
+        """Adopt one worker result (in member order).
+
+        Under the process backend ``member`` is a fitted/updated *copy*
+        (carrying its breaker state and scratch registry); under the
+        thread backend it is the original object. Either way the scratch
+        registry is replayed into the shared one and the member is
+        re-pointed at it. The identity check keeps a member that already
+        reports into the shared registry from being merged twice.
+        """
+        if self._guard_config is not None and member.health is not self._health:
+            self._health.merge_from(member.health)
+            member.swap_health(self._health)
+        self._models[index] = member
+
+    def _online_executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        """Cached thread pool for the latency-sensitive online path."""
+        if self._online_pool is None:
+            self._online_pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(self._executor.resolved_jobs(), len(self._models)),
+                thread_name_prefix="repro-pool",
+            )
+        return self._online_pool
+
+    def close(self) -> None:
+        """Release the cached online thread pool (idempotent)."""
+        if self._online_pool is not None:
+            self._online_pool.shutdown(wait=False)
+            self._online_pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finaliser
+            pass
 
     # ------------------------------------------------------------------
     def fit(self, train_series: np.ndarray) -> "ForecasterPool":
         """Fit all members on the training series; drop failing members.
 
         Dropped members are recorded in :attr:`dropped_` as
-        ``(name, exception_type, message)`` tuples.
+        ``(name, exception_type, message)`` tuples. Under a parallel
+        executor the members train concurrently; results (survivors,
+        drops, health events, warnings) are merged in member order so the
+        outcome is identical to a serial fit.
         """
         array = validate_series(train_series, min_length=10)
         survivors: List[Forecaster] = []
         self.dropped_ = []
-        for model in self._models:
-            try:
-                model.fit(array)
-                survivors.append(model)
-            except Exception as exc:  # noqa: BLE001 - pool must stay robust
-                self.dropped_.append((model.name, type(exc).__name__, str(exc)))
+        parallel = self._use_parallel()
+        if parallel:
+            outcomes = self._parallel_fit(array)
+        else:
+            outcomes = [_fit_member_task(model, array) for model in self._models]
+        for i, (member, error, elapsed) in enumerate(outcomes):
+            if parallel:
+                self._gather_member(i, member)
+            self._health.record_timing(member.name, "fit", elapsed)
+            if error is None:
+                survivors.append(member)
+            else:
+                self.dropped_.append((member.name, error[0], error[1]))
                 warnings.warn(
-                    f"dropping pool member {model.name!r} "
-                    f"({type(exc).__name__}): {exc}",
+                    f"dropping pool member {member.name!r} "
+                    f"({error[0]}): {error[1]}",
                     stacklevel=2,
                 )
         if not survivors:
@@ -313,6 +462,24 @@ class ForecasterPool:
         self._models = survivors
         self._fitted = True
         return self
+
+    def _parallel_fit(self, array: np.ndarray) -> list:
+        from repro.runtime.executor import run_ordered
+
+        if self._guard_config is not None:
+            self._scatter_scratch_health()
+        try:
+            return run_ordered(
+                _fit_member_task,
+                [(member, array) for member in self._models],
+                self._executor,
+            )
+        except BaseException:
+            # Engine-level failure: no outcomes will be gathered, so make
+            # sure no member is left reporting into a scratch registry.
+            if self._guard_config is not None:
+                self._restore_shared_health()
+            raise
 
     def prediction_matrix(self, series: np.ndarray, start: int) -> np.ndarray:
         """One-step predictions of every member for ``t in [start, n)``.
@@ -338,18 +505,48 @@ class ForecasterPool:
         """
         if not self._fitted:
             raise DataValidationError("pool must be fitted before predicting")
-        if self._guard_config is None:
-            columns = [m.rolling_predictions(series, start) for m in self._models]
-            matrix = np.column_stack(columns)
-            return matrix, np.ones(matrix.shape, dtype=bool)
-        columns, masks = [], []
-        for member in self._models:
-            column, mask = member.guarded_rolling(
-                np.asarray(series, dtype=np.float64), start
+        guarded = self._guard_config is not None
+        if self._use_parallel():
+            outcomes = self._parallel_rolling(series, start, guarded)
+        else:
+            array = (
+                np.asarray(series, dtype=np.float64) if guarded else series
             )
+            outcomes = [
+                _rolling_member_task(member, array, start, guarded)
+                for member in self._models
+            ]
+        columns, masks = [], []
+        parallel = self._use_parallel()
+        for i, (member, column, mask, elapsed) in enumerate(outcomes):
+            if parallel:
+                self._gather_member(i, member)
+            self._health.record_timing(member.name, "predict", elapsed)
             columns.append(column)
-            masks.append(mask)
+            masks.append(
+                mask if mask is not None else np.ones(column.shape, dtype=bool)
+            )
         return np.column_stack(columns), np.column_stack(masks)
+
+    def _parallel_rolling(self, series: np.ndarray, start: int, guarded: bool):
+        from repro.runtime.executor import run_ordered
+
+        array = np.asarray(series, dtype=np.float64)
+        if guarded:
+            self._scatter_scratch_health()
+        try:
+            return run_ordered(
+                _rolling_member_task,
+                [(member, array, start, guarded) for member in self._models],
+                self._executor,
+            )
+        except BaseException:
+            # Either an unguarded member failed fast (matching serial
+            # semantics: the first failure in member order is re-raised)
+            # or the engine itself broke; leave no scratch registries.
+            if guarded:
+                self._restore_shared_health()
+            raise
 
     def predict_next(self, history: np.ndarray) -> np.ndarray:
         """Vector of one-step forecasts (one per member)."""
@@ -368,6 +565,8 @@ class ForecasterPool:
         """
         if not self._fitted:
             raise DataValidationError("pool must be fitted before predicting")
+        if self._use_parallel():
+            return self._parallel_predict_next(history)
         if self._guard_config is None:
             values = np.array([m.predict_next(history) for m in self._models])
             return values, np.ones(values.shape, dtype=bool)
@@ -376,6 +575,41 @@ class ForecasterPool:
         mask = np.zeros(len(self._models), dtype=bool)
         for i, member in enumerate(self._models):
             values[i], mask[i] = member.guarded_predict(history)
+        return values, mask
+
+    def _parallel_predict_next(
+        self, history: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Online fan-out over the cached *thread* pool.
+
+        Regardless of the configured backend, the one-step path never
+        crosses a process boundary: per-step pickling of models would
+        dominate the latency budget the online phase exists to protect.
+        Guarded members record into scratch registries that are merged in
+        member order after every step, keeping the shared event log
+        identical to a serial run.
+        """
+        guarded = self._guard_config is not None
+        history = np.asarray(history, dtype=np.float64)
+        pool = self._online_executor()
+        if guarded:
+            self._scatter_scratch_health()
+        futures = [
+            pool.submit(_one_step_task, member, history, guarded)
+            for member in self._models
+        ]
+        try:
+            results = [future.result() for future in futures]
+        except BaseException:
+            if guarded:
+                self._restore_shared_health()
+            raise
+        values = np.empty(len(self._models))
+        mask = np.zeros(len(self._models), dtype=bool)
+        for i, member in enumerate(list(self._models)):
+            self._gather_member(i, member)
+            values[i], mask[i], elapsed = results[i]
+            self._health.record_timing(member.name, "predict", elapsed)
         return values, mask
 
     def max_min_context(self) -> int:
@@ -399,6 +633,7 @@ class ForecasterPool:
             [self._models[i] for i in indices],
             guard_config=self._guard_config,
             health=self._health,
+            executor=self._executor,
         )
         pruned._fitted = self._fitted
         return pruned

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -68,10 +69,31 @@ class Linear(Module):
         return f"Linear({self.in_features}, {self.out_features})"
 
 
-class _Activation(Module):
-    """Stateless activation wrapper so activations compose in Sequential."""
+def _apply_relu(x: Tensor) -> Tensor:
+    return x.relu()
 
-    def __init__(self, fn: Callable[[Tensor], Tensor], name: str):
+
+def _apply_tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def _apply_sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def _apply_leaky_relu(x: Tensor, slope: float) -> Tensor:
+    return x.leaky_relu(slope)
+
+
+class _Activation(Module):
+    """Stateless activation wrapper so activations compose in Sequential.
+
+    ``fn`` must be a module-level callable (not a lambda/closure) so that
+    trained networks stay picklable and can cross process boundaries in
+    the parallel pool executor.
+    """
+
+    def __init__(self, fn: Callable[..., Tensor], name: str):
         super().__init__()
         self._fn = fn
         self._name = name
@@ -85,22 +107,22 @@ class _Activation(Module):
 
 class ReLU(_Activation):
     def __init__(self) -> None:
-        super().__init__(lambda x: x.relu(), "ReLU")
+        super().__init__(_apply_relu, "ReLU")
 
 
 class Tanh(_Activation):
     def __init__(self) -> None:
-        super().__init__(lambda x: x.tanh(), "Tanh")
+        super().__init__(_apply_tanh, "Tanh")
 
 
 class Sigmoid(_Activation):
     def __init__(self) -> None:
-        super().__init__(lambda x: x.sigmoid(), "Sigmoid")
+        super().__init__(_apply_sigmoid, "Sigmoid")
 
 
 class LeakyReLU(_Activation):
     def __init__(self, slope: float = 0.01) -> None:
-        super().__init__(lambda x: x.leaky_relu(slope), "LeakyReLU")
+        super().__init__(partial(_apply_leaky_relu, slope=slope), "LeakyReLU")
 
 
 class Softmax(Module):

@@ -5,6 +5,18 @@ replay sampling with a *median-balanced* scheme: each minibatch contains
 N/2 transitions whose reward is at or above the buffer median and N/2
 below it, so both strong and weak weight choices keep reaching the actor
 and critic. The Q3 benchmark reproduces the resulting speed-up.
+
+Storage layout
+--------------
+Transitions live in preallocated ring arrays (one per field:
+states/actions/rewards/next_states/dones) rather than a Python list of
+:class:`Transition` objects. ``push`` is an O(1) set of array writes,
+``_collate`` is pure fancy indexing over the rings (no per-sample object
+traffic), and the median split reads the maintained rewards array
+directly instead of rebuilding it every call. Slot order matches the
+historical list implementation exactly (fill 0..capacity-1, then
+overwrite from slot 0), so the same RNG seed draws the same indices and
+yields bit-identical batches.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ Batch = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
 class ReplayBuffer:
-    """Fixed-capacity circular transition store.
+    """Fixed-capacity circular transition store backed by ring arrays.
 
     Parameters
     ----------
@@ -35,40 +47,84 @@ class ReplayBuffer:
         if capacity < 2:
             raise ConfigurationError(f"capacity must be >= 2, got {capacity}")
         self.capacity = capacity
-        self._storage: List[Transition] = []
-        self._write = 0
         self._rng = np.random.default_rng(seed)
+        self._states: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._rewards: Optional[np.ndarray] = None
+        self._next_states: Optional[np.ndarray] = None
+        self._dones: Optional[np.ndarray] = None
+        self._size = 0
+        self._write = 0
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
+
+    def _allocate(self, transition: Transition) -> None:
+        state = np.asarray(transition.state)
+        action = np.asarray(transition.action)
+        next_state = np.asarray(transition.next_state)
+        self._states = np.empty((self.capacity, *state.shape), dtype=state.dtype)
+        self._actions = np.empty(
+            (self.capacity, *action.shape), dtype=action.dtype
+        )
+        self._rewards = np.empty(self.capacity, dtype=np.float64)
+        self._next_states = np.empty(
+            (self.capacity, *next_state.shape), dtype=next_state.dtype
+        )
+        self._dones = np.empty(self.capacity, dtype=np.float64)
 
     def push(self, transition: Transition) -> None:
         """Store a transition, overwriting the oldest when full."""
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._write] = transition
-            self._write = (self._write + 1) % self.capacity
+        if self._states is None:
+            self._allocate(transition)
+        slot = self._write
+        self._states[slot] = transition.state
+        self._actions[slot] = transition.action
+        self._rewards[slot] = transition.reward
+        self._next_states[slot] = transition.next_state
+        self._dones[slot] = float(transition.done)
+        self._write = (slot + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
 
     def clear(self) -> None:
-        self._storage.clear()
+        """Empty the buffer and release the rings (shapes may change)."""
+        self._states = None
+        self._actions = None
+        self._rewards = None
+        self._next_states = None
+        self._dones = None
+        self._size = 0
         self._write = 0
+
+    def transitions(self) -> List[Transition]:
+        """Materialise the stored transitions in slot order (debug/tests)."""
+        return [
+            Transition(
+                state=self._states[i].copy(),
+                action=self._actions[i].copy(),
+                reward=float(self._rewards[i]),
+                next_state=self._next_states[i].copy(),
+                done=bool(self._dones[i]),
+            )
+            for i in range(self._size)
+        ]
 
     # ------------------------------------------------------------------
     def _collate(self, indices: np.ndarray) -> Batch:
-        items = [self._storage[i] for i in indices]
-        states = np.stack([t.state for t in items])
-        actions = np.stack([t.action for t in items])
-        rewards = np.array([t.reward for t in items])
-        next_states = np.stack([t.next_state for t in items])
-        dones = np.array([t.done for t in items], dtype=np.float64)
-        return states, actions, rewards, next_states, dones
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
 
     def sample_uniform(self, batch_size: int) -> Batch:
         """Vanilla DDPG sampling: uniform with replacement."""
-        if not self._storage:
+        if self._size == 0:
             raise DataValidationError("cannot sample from an empty buffer")
-        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        indices = self._rng.integers(0, self._size, size=batch_size)
         return self._collate(indices)
 
     def sample_median_balanced(self, batch_size: int) -> Batch:
@@ -77,9 +133,9 @@ class ReplayBuffer:
         When one side of the median is empty (e.g. constant rewards so
         far), the scheme degrades gracefully to uniform sampling.
         """
-        if not self._storage:
+        if self._size == 0:
             raise DataValidationError("cannot sample from an empty buffer")
-        rewards = np.array([t.reward for t in self._storage])
+        rewards = self._rewards[: self._size]
         median = float(np.median(rewards))
         high = np.flatnonzero(rewards >= median)
         low = np.flatnonzero(rewards < median)
@@ -105,6 +161,6 @@ class ReplayBuffer:
 
     def reward_median(self) -> float:
         """Median of stored rewards (the Eq. 4 split point)."""
-        if not self._storage:
+        if self._size == 0:
             raise DataValidationError("buffer is empty")
-        return float(np.median([t.reward for t in self._storage]))
+        return float(np.median(self._rewards[: self._size]))

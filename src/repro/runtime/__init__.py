@@ -12,13 +12,23 @@ degradation instead:
   transitions, and per-member counters, exposed via
   :meth:`repro.models.ForecasterPool.health`;
 - :func:`renormalise_healthy` — simplex renormalisation of a policy's
-  weight vector over the currently healthy members.
+  weight vector over the currently healthy members;
+- :class:`ExecutorConfig` / :func:`run_ordered`
+  (:mod:`repro.runtime.executor`) — the pluggable serial/thread/process
+  execution engine behind the pool's per-member fan-outs.
 
-See ``docs/robustness.md`` for the fault model and guarantees.
+See ``docs/robustness.md`` for the fault model and guarantees, and
+``docs/performance.md`` for executor backend selection.
 """
 
 from repro.runtime.breaker import BreakerState, CircuitBreaker
 from repro.runtime.config import RuntimeGuardConfig
+from repro.runtime.executor import (
+    ExecutorConfig,
+    available_workers,
+    coerce_executor,
+    run_ordered,
+)
 from repro.runtime.guards import GuardedForecaster, renormalise_healthy
 from repro.runtime.health import (
     FailureEvent,
@@ -30,11 +40,15 @@ from repro.runtime.health import (
 __all__ = [
     "BreakerState",
     "CircuitBreaker",
+    "ExecutorConfig",
     "FailureEvent",
     "GuardedForecaster",
     "MemberHealth",
     "PoolHealth",
     "RuntimeGuardConfig",
     "TransitionEvent",
+    "available_workers",
+    "coerce_executor",
     "renormalise_healthy",
+    "run_ordered",
 ]

@@ -104,6 +104,32 @@ class GuardedForecaster(Forecaster):
     def _on_transition(self, old: BreakerState, new: BreakerState) -> None:
         self.health.record_transition(self.name, self._steps, old, new)
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the process executor backend.
+
+        The per-call timeout thread pool is a live OS resource and is
+        dropped; the worker-side copy lazily recreates one on demand.
+        Everything else (inner model, breaker state, step counter, health
+        registry reference) crosses the boundary intact.
+        """
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def swap_health(self, health: PoolHealth) -> PoolHealth:
+        """Re-point this guard's registry; returns the previous one.
+
+        Used by the parallel pool paths to give each worker task a
+        private scratch registry whose events are merged back into the
+        shared one in member order (deterministic event logs under any
+        backend). The breaker's transition callback reads
+        ``self.health`` at call time, so swapping the attribute is
+        sufficient.
+        """
+        previous = self.health
+        self.health = health
+        return previous
+
     # ------------------------------------------------------------------
     # Forecaster interface
     # ------------------------------------------------------------------

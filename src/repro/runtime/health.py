@@ -2,14 +2,24 @@
 
 :class:`PoolHealth` is the shared registry every
 :class:`~repro.runtime.guards.GuardedForecaster` in a pool reports into.
-It records per-member counters, a log of failure events, and every
-circuit-breaker state transition, and renders the operator-facing report
-surfaced by ``repro.cli forecast --guard``.
+It records per-member counters, a log of failure events, every
+circuit-breaker state transition, and per-member wall-clock timings, and
+renders the operator-facing report surfaced by ``repro.cli forecast
+--guard``.
+
+The registry is thread-safe: every mutator and reader takes an internal
+re-entrant lock, so guarded members running under the thread backend of
+:mod:`repro.runtime.executor` can report concurrently. The parallel pool
+paths additionally keep event *ordering* deterministic by giving each
+worker a private scratch registry and replaying it into the shared one in
+member order via :meth:`PoolHealth.merge_from` — see
+``ForecasterPool.fit``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.runtime.breaker import BreakerState
@@ -53,6 +63,8 @@ class MemberHealth:
     skips: int = 0
     state: BreakerState = BreakerState.CLOSED
     last_error: str = ""
+    fit_seconds: float = 0.0
+    predict_seconds: float = 0.0
 
 
 class PoolHealth:
@@ -62,87 +74,163 @@ class PoolHealth:
         self._members: Dict[str, MemberHealth] = {}
         self.failures: List[FailureEvent] = []
         self.transitions: List[TransitionEvent] = []
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot cross process boundaries
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def member(self, name: str) -> MemberHealth:
         """The (lazily created) health record for ``name``."""
-        if name not in self._members:
-            self._members[name] = MemberHealth(name=name)
-        return self._members[name]
+        with self._lock:
+            if name not in self._members:
+                self._members[name] = MemberHealth(name=name)
+            return self._members[name]
 
     @property
     def members(self) -> List[MemberHealth]:
-        return list(self._members.values())
+        with self._lock:
+            return list(self._members.values())
 
     def quarantined(self) -> List[str]:
         """Names of members whose breaker is currently not CLOSED."""
-        return [
-            m.name for m in self._members.values()
-            if m.state is not BreakerState.CLOSED
-        ]
+        with self._lock:
+            return [
+                m.name for m in self._members.values()
+                if m.state is not BreakerState.CLOSED
+            ]
 
     # ------------------------------------------------------------------
     def record_success(self, name: str, count: int = 1) -> None:
-        record = self.member(name)
-        record.calls += count
-        record.successes += count
+        with self._lock:
+            record = self.member(name)
+            record.calls += count
+            record.successes += count
 
     def record_failure(self, name: str, step: int, kind: str, detail: str) -> None:
-        record = self.member(name)
-        if kind != "circuit_open":
-            record.calls += 1
-        record.failures += 1
-        record.last_error = f"{kind}: {detail}"
-        self.failures.append(FailureEvent(name, step, kind, detail))
+        with self._lock:
+            record = self.member(name)
+            if kind != "circuit_open":
+                record.calls += 1
+            record.failures += 1
+            record.last_error = f"{kind}: {detail}"
+            self.failures.append(FailureEvent(name, step, kind, detail))
 
     def record_fallback(self, name: str) -> None:
-        self.member(name).fallbacks += 1
+        with self._lock:
+            self.member(name).fallbacks += 1
 
     def record_skip(self, name: str) -> None:
         """A call denied without being attempted (breaker OPEN)."""
-        self.member(name).skips += 1
+        with self._lock:
+            self.member(name).skips += 1
 
     def record_transition(
         self, name: str, step: int, old: BreakerState, new: BreakerState
     ) -> None:
-        self.member(name).state = new
-        self.transitions.append(TransitionEvent(name, step, old, new))
+        with self._lock:
+            self.member(name).state = new
+            self.transitions.append(TransitionEvent(name, step, old, new))
+
+    def record_timing(self, name: str, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds for a member's ``fit``/``predict``."""
+        with self._lock:
+            record = self.member(name)
+            if phase == "fit":
+                record.fit_seconds += seconds
+            else:
+                record.predict_seconds += seconds
 
     # ------------------------------------------------------------------
+    def merge_from(self, other: "PoolHealth") -> None:
+        """Replay another registry's records into this one.
+
+        The parallel pool paths hand each worker a private scratch
+        registry and merge the scratch registries back **in member
+        order**, which makes the shared registry's event logs identical
+        to a serial run regardless of backend or worker count. Counters
+        and timings are added; breaker state follows the replayed
+        transitions; ``last_error`` is taken from ``other`` when set.
+        """
+        with self._lock:
+            for record in other.members:
+                mine = self.member(record.name)
+                mine.calls += record.calls
+                mine.successes += record.successes
+                mine.failures += record.failures
+                mine.fallbacks += record.fallbacks
+                mine.skips += record.skips
+                mine.fit_seconds += record.fit_seconds
+                mine.predict_seconds += record.predict_seconds
+                if record.last_error:
+                    mine.last_error = record.last_error
+            self.failures.extend(other.failures)
+            for event in other.transitions:
+                self.transitions.append(event)
+                self.member(event.member).state = event.new_state
+
+    # ------------------------------------------------------------------
+    def timings(self) -> List[dict]:
+        """Per-member wall-clock telemetry (stable registration order).
+
+        ``fit_seconds`` and ``predict_seconds`` accumulate the time spent
+        inside the member's training and prediction fan-out tasks (worker
+        compute only — executor scheduling and pickling overhead are
+        excluded). Populated for guarded *and* unguarded pools.
+        """
+        with self._lock:
+            return [
+                {
+                    "member": m.name,
+                    "fit_seconds": m.fit_seconds,
+                    "predict_seconds": m.predict_seconds,
+                    "calls": m.calls,
+                }
+                for m in self._members.values()
+            ]
+
     def summary(self) -> List[dict]:
         """One plain dict per member (stable order of registration)."""
-        return [
-            {
-                "member": m.name,
-                "state": m.state.value,
-                "calls": m.calls,
-                "successes": m.successes,
-                "failures": m.failures,
-                "fallbacks": m.fallbacks,
-                "skips": m.skips,
-                "last_error": m.last_error,
-            }
-            for m in self._members.values()
-        ]
+        with self._lock:
+            return [
+                {
+                    "member": m.name,
+                    "state": m.state.value,
+                    "calls": m.calls,
+                    "successes": m.successes,
+                    "failures": m.failures,
+                    "fallbacks": m.fallbacks,
+                    "skips": m.skips,
+                    "last_error": m.last_error,
+                }
+                for m in self._members.values()
+            ]
 
     def report(self) -> str:
         """Multi-line human-readable health report (CLI output)."""
-        if not self._members:
-            return "pool health: no guarded calls recorded"
-        lines = ["pool health:"]
-        for m in self._members.values():
-            line = (
-                f"  {m.name:<24} {m.state.value:<9} "
-                f"calls={m.calls} failures={m.failures} "
-                f"fallbacks={m.fallbacks} skips={m.skips}"
+        with self._lock:
+            if not self._members:
+                return "pool health: no guarded calls recorded"
+            lines = ["pool health:"]
+            for m in self._members.values():
+                line = (
+                    f"  {m.name:<24} {m.state.value:<9} "
+                    f"calls={m.calls} failures={m.failures} "
+                    f"fallbacks={m.fallbacks} skips={m.skips}"
+                )
+                if m.last_error:
+                    line += f"  last_error={m.last_error}"
+                lines.append(line)
+            n_quarantined = len(self.quarantined())
+            lines.append(
+                f"  ({len(self._members)} members, {n_quarantined} quarantined, "
+                f"{len(self.failures)} failure events, "
+                f"{len(self.transitions)} breaker transitions)"
             )
-            if m.last_error:
-                line += f"  last_error={m.last_error}"
-            lines.append(line)
-        n_quarantined = len(self.quarantined())
-        lines.append(
-            f"  ({len(self._members)} members, {n_quarantined} quarantined, "
-            f"{len(self.failures)} failure events, "
-            f"{len(self.transitions)} breaker transitions)"
-        )
-        return "\n".join(lines)
+            return "\n".join(lines)

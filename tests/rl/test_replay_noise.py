@@ -26,7 +26,7 @@ class TestReplayBuffer:
         for i in range(5):
             buffer.push(make_transition(float(i)))
         assert len(buffer) == 3
-        rewards = {t.reward for t in buffer._storage}
+        rewards = {t.reward for t in buffer.transitions()}
         assert rewards == {2.0, 3.0, 4.0}
 
     def test_uniform_sample_shapes(self):

@@ -1,0 +1,163 @@
+"""Ring-array replay buffer: wraparound and bit-identity regression tests.
+
+``ReplayBuffer`` replaced its list-of-Transition storage with
+preallocated ring arrays. These tests pin the contract that made the
+swap safe: slot order, sampled batches, and the Eq. 4 median split are
+bit-identical to the historical list implementation (reproduced here as
+``ListReplayReference``) for the same seed — including across capacity
+wraparound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.rl import ReplayBuffer, Transition
+
+
+def make_transition(reward: float, tag: float = 0.0) -> Transition:
+    state = np.array([tag, reward])
+    return Transition(state, np.array([0.7, 0.3]), reward, state + 1, False)
+
+
+class ListReplayReference:
+    """The pre-ring list-based buffer, kept verbatim as a test oracle."""
+
+    def __init__(self, capacity: int, seed: int):
+        self.capacity = capacity
+        self._storage: List[Transition] = []
+        self._write = 0
+        self._rng = np.random.default_rng(seed)
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._write] = transition
+            self._write = (self._write + 1) % self.capacity
+
+    def _collate(self, indices: np.ndarray) -> Tuple[np.ndarray, ...]:
+        items = [self._storage[i] for i in indices]
+        states = np.stack([t.state for t in items])
+        actions = np.stack([t.action for t in items])
+        rewards = np.array([t.reward for t in items])
+        next_states = np.stack([t.next_state for t in items])
+        dones = np.array([t.done for t in items], dtype=np.float64)
+        return states, actions, rewards, next_states, dones
+
+    def sample_uniform(self, batch_size: int) -> Tuple[np.ndarray, ...]:
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        return self._collate(indices)
+
+    def sample_median_balanced(self, batch_size: int) -> Tuple[np.ndarray, ...]:
+        rewards = np.array([t.reward for t in self._storage])
+        median = float(np.median(rewards))
+        high = np.flatnonzero(rewards >= median)
+        low = np.flatnonzero(rewards < median)
+        if high.size == 0 or low.size == 0:
+            return self.sample_uniform(batch_size)
+        n_high = batch_size // 2
+        n_low = batch_size - n_high
+        chosen_high = self._rng.choice(high, size=n_high, replace=True)
+        chosen_low = self._rng.choice(low, size=n_low, replace=True)
+        indices = np.concatenate([chosen_high, chosen_low])
+        self._rng.shuffle(indices)
+        return self._collate(indices)
+
+    def reward_median(self) -> float:
+        return float(np.median([t.reward for t in self._storage]))
+
+
+def fill(buffer, n_pushes: int, rng: np.random.Generator) -> None:
+    for i in range(n_pushes):
+        buffer.push(make_transition(float(rng.integers(0, 12)), tag=float(i)))
+
+
+@pytest.mark.parametrize("n_pushes", [7, 16, 17, 40])
+def test_matches_list_reference_across_wraparound(n_pushes):
+    """Same seed, same pushes → bit-identical batches vs the old buffer."""
+    ring = ReplayBuffer(capacity=16, seed=3)
+    reference = ListReplayReference(capacity=16, seed=3)
+    fill(ring, n_pushes, np.random.default_rng(11))
+    fill(reference, n_pushes, np.random.default_rng(11))
+
+    assert len(ring) == len(reference._storage)
+    assert ring.reward_median() == reference.reward_median()
+    for _ in range(5):
+        got = ring.sample_median_balanced(8)
+        expected = reference.sample_median_balanced(8)
+        for g, e in zip(got, expected):
+            np.testing.assert_array_equal(g, e)
+    for _ in range(5):
+        got = ring.sample_uniform(6)
+        expected = reference.sample_uniform(6)
+        for g, e in zip(got, expected):
+            np.testing.assert_array_equal(g, e)
+
+
+def test_wraparound_slot_contents():
+    """After 2.5 laps the rings hold exactly the newest `capacity` items."""
+    buffer = ReplayBuffer(capacity=4, seed=0)
+    for i in range(10):
+        buffer.push(make_transition(float(i)))
+    assert len(buffer) == 4
+    stored = buffer.transitions()
+    assert {t.reward for t in stored} == {6.0, 7.0, 8.0, 9.0}
+    # slot order matches the old overwrite-from-zero order: 8 9 6 7
+    assert [t.reward for t in stored] == [8.0, 9.0, 6.0, 7.0]
+    # state/next_state travel with the reward they were pushed with
+    for t in stored:
+        assert t.state[1] == t.reward
+        np.testing.assert_array_equal(t.next_state, t.state + 1)
+
+
+def test_median_tracks_overwrites():
+    """reward_median follows the live window, not all-time pushes."""
+    buffer = ReplayBuffer(capacity=3, seed=0)
+    for reward in [0.0, 0.0, 0.0, 10.0, 10.0, 10.0]:
+        buffer.push(make_transition(reward))
+    assert buffer.reward_median() == 10.0
+
+
+def test_median_balanced_split_after_wraparound():
+    buffer = ReplayBuffer(capacity=20, seed=5)
+    for i in range(50):
+        buffer.push(make_transition(float(i)))
+    median = buffer.reward_median()
+    _, _, rewards, _, _ = buffer.sample_median_balanced(12)
+    assert np.sum(rewards >= median) == 6
+    assert np.sum(rewards < median) == 6
+
+
+def test_clear_resets_ring_indices_and_shapes():
+    buffer = ReplayBuffer(capacity=5, seed=0)
+    for i in range(8):
+        buffer.push(make_transition(float(i)))
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.transitions() == []
+    with pytest.raises(DataValidationError):
+        buffer.sample_uniform(2)
+    # after clear the buffer accepts transitions of a different shape
+    wide = Transition(
+        np.arange(5.0), np.array([0.25] * 4), 1.0, np.arange(5.0) + 1, True
+    )
+    buffer.push(wide)
+    states, actions, _, _, dones = buffer.sample_uniform(3)
+    assert states.shape == (3, 5)
+    assert actions.shape == (3, 4)
+    np.testing.assert_array_equal(dones, np.ones(3))
+
+
+def test_push_preserves_values_not_references():
+    """The ring stores copies: mutating the pushed array is invisible."""
+    buffer = ReplayBuffer(capacity=4, seed=0)
+    state = np.array([1.0, 2.0])
+    buffer.push(Transition(state, np.array([1.0]), 0.5, state + 1, False))
+    state[:] = -99.0
+    stored = buffer.transitions()[0]
+    np.testing.assert_array_equal(stored.state, [1.0, 2.0])
