@@ -40,6 +40,22 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: all available cores)")
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write final metrics in Prometheus text "
+                             "exposition format to PATH")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream structured run events and span trees "
+                             "as JSON lines to PATH")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="explicit log level (overrides -v/-q)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise log verbosity (-v=debug for the CLI)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
+
+
 def _protocol(args) -> "ProtocolConfig":
     from repro.evaluation import ProtocolConfig
 
@@ -71,14 +87,16 @@ def cmd_forecast(args) -> int:
     from repro.core import EADRL, EADRLConfig, RuntimeGuardConfig
     from repro.datasets import get_info, load
     from repro.metrics import rmse
+    from repro.obs import get_logger
     from repro.preprocessing import train_test_split
     from repro.rl.ddpg import DDPGConfig
 
+    logger = get_logger("cli")
     info = get_info(args.dataset)
     series = load(args.dataset, n=args.length)
     train, test = train_test_split(series)
-    print(f"dataset {args.dataset} ({info.name}): "
-          f"{train.size} train / {test.size} test")
+    logger.info("dataset %s (%s): %d train / %d test",
+                args.dataset, info.name, train.size, test.size)
     guards = None
     if args.guard:
         guards = RuntimeGuardConfig(
@@ -101,18 +119,13 @@ def cmd_forecast(args) -> int:
     matrix = model.pool.prediction_matrix(series, train.size)
     print(f"EA-DRL RMSE : {rmse(preds, test):.4f}")
     print(f"uniform RMSE: {rmse(matrix.mean(axis=1), test):.4f}")
-    if args.guard:
+    if args.guard or args.executor != "serial":
+        # One coherent report: guard counters and per-member fit/predict
+        # timings share the same lines (PoolHealth.report).
         print(model.health().report())
-    if args.executor != "serial":
-        rows = model.health().timings()
-        print(f"per-member timings ({args.executor} executor, "
-              f"jobs={args.jobs if args.jobs else 'auto'}):")
-        for row in rows:
-            print(f"  {row['member']:<24} fit={row['fit_seconds']:.3f}s "
-                  f"predict={row['predict_seconds']:.3f}s")
     if args.save_policy:
         model.save_policy(args.save_policy)
-        print(f"policy saved to {args.save_policy}")
+        logger.info("policy saved to %s", args.save_policy)
     return 0
 
 
@@ -193,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="consecutive failures before a member's "
                                  "circuit breaker opens (default 3)")
     _add_scale_arguments(p_forecast)
+    _add_telemetry_arguments(p_forecast)
     p_forecast.set_defaults(func=cmd_forecast)
 
     p_table2 = subparsers.add_parser(
@@ -203,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table2.add_argument("--no-singles", action="store_true",
                           help="skip the slow standalone baselines")
     _add_scale_arguments(p_table2)
+    _add_telemetry_arguments(p_table2)
     p_table2.set_defaults(func=cmd_table2)
 
     p_fig2 = subparsers.add_parser(
@@ -210,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig2.add_argument("--dataset", type=int, default=9)
     _add_scale_arguments(p_fig2)
+    _add_telemetry_arguments(p_fig2)
     p_fig2.set_defaults(func=cmd_fig2)
 
     p_report = subparsers.add_parser(
@@ -219,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default="report.md")
     p_report.add_argument("--no-singles", action="store_true")
     _add_scale_arguments(p_report)
+    _add_telemetry_arguments(p_report)
     p_report.set_defaults(func=cmd_report)
 
     p_export = subparsers.add_parser(
@@ -233,7 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from repro import obs
+
+    # The CLI defaults to INFO so progress lines stay visible on stderr;
+    # -v raises to DEBUG, -q drops to ERROR, --log-level wins outright.
+    obs.configure_logging(
+        level=getattr(args, "log_level", None),
+        verbosity=getattr(args, "verbose", 0) + 1,
+        quiet=getattr(args, "quiet", False),
+    )
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = getattr(args, "trace", None)
+    if metrics_out or trace:
+        obs.configure(obs.TelemetryConfig(
+            metrics_path=metrics_out, trace_path=trace,
+        ))
+    try:
+        return args.func(args)
+    finally:
+        obs.shutdown()
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """EA-DRL core: the paper's primary contribution + future-work extensions."""
 
-from repro.core.config import EADRLConfig, RuntimeGuardConfig
+from repro.core.config import EADRLConfig, RuntimeGuardConfig, TelemetryConfig
 from repro.core.eadrl import EADRL
 from repro.core.intervals import (
     IntervalEstimator,
@@ -24,6 +24,7 @@ __all__ = [
     "IntervalForecast",
     "Pruner",
     "RuntimeGuardConfig",
+    "TelemetryConfig",
     "TopFractionPruner",
     "apply_pruning",
     "weighted_disagreement",

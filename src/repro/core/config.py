@@ -6,10 +6,16 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
+from repro.obs import TelemetryConfig
 from repro.rl.ddpg import DDPGConfig
 from repro.runtime import ExecutorConfig, RuntimeGuardConfig
 
-__all__ = ["EADRLConfig", "ExecutorConfig", "RuntimeGuardConfig"]
+__all__ = [
+    "EADRLConfig",
+    "ExecutorConfig",
+    "RuntimeGuardConfig",
+    "TelemetryConfig",
+]
 
 
 @dataclass
@@ -49,6 +55,16 @@ class EADRLConfig:
         ``docs/performance.md``).
     n_jobs:
         Worker count for the parallel backends (``None`` = all cores).
+    telemetry:
+        When set, constructing an :class:`~repro.core.EADRL` activates
+        the process-global observability session (:mod:`repro.obs`) with
+        these switches: training episodes, online forecasting steps,
+        pool fan-outs, and executor queue/work times are recorded into
+        the metrics registry and streamed to the configured sinks.
+        ``None`` (default) leaves telemetry untouched — every
+        instrumented call site stays on its no-op fast path. The session
+        is process-global: flush output files with
+        :func:`repro.obs.shutdown` (the CLI does this automatically).
     """
 
     window: int = 10
@@ -62,6 +78,7 @@ class EADRLConfig:
     runtime_guards: Optional[RuntimeGuardConfig] = None
     executor: str = "serial"
     n_jobs: Optional[int] = None
+    telemetry: Optional[TelemetryConfig] = None
 
     def validate(self) -> None:
         if self.window < 2:
@@ -85,5 +102,7 @@ class EADRLConfig:
             raise ConfigurationError(f"episodes must be >= 1, got {self.episodes}")
         if self.runtime_guards is not None:
             self.runtime_guards.validate()
+        if self.telemetry is not None:
+            self.telemetry.validate()
         ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
         self.ddpg.validate()

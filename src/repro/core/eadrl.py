@@ -40,12 +40,17 @@ from repro.exceptions import (
 )
 from repro.models.base import Forecaster
 from repro.models.pool import ForecasterPool, build_pool
+from repro.obs import OBS
+from repro.obs import configure as _configure_telemetry
+from repro.obs import get_logger
 from repro.preprocessing.embedding import validate_series
 from repro.preprocessing.scaling import StandardScaler
-from repro.rl.ddpg import DDPGAgent, TrainingHistory
+from repro.rl.ddpg import DDPGAgent, TrainingHistory, _action_entropy
 from repro.rl.mdp import EnsembleMDP, project_to_simplex
 from repro.rl.rewards import DiversityRankReward, NRMSEReward, RankReward, RewardFunction
 from repro.runtime import PoolHealth, renormalise_healthy
+
+_LOG = get_logger("eadrl")
 
 
 def _make_reward(config: EADRLConfig) -> RewardFunction:
@@ -94,6 +99,10 @@ class EADRL:
     ):
         self.config = config if config is not None else EADRLConfig()
         self.config.validate()
+        if self.config.telemetry is not None:
+            # Activates the process-global session (see repro.obs); the
+            # no-op fast path everywhere else is untouched when None.
+            _configure_telemetry(self.config.telemetry)
         if models is None:
             models = build_pool(
                 pool_size, embedding_dimension=self.config.embedding_dimension
@@ -132,6 +141,44 @@ class EADRL:
         """The pool's runtime-health registry (empty when unguarded)."""
         return self.pool.health()
 
+    def _record_step(
+        self,
+        phase: str,
+        step: int,
+        prediction: float,
+        weights: np.ndarray,
+        seconds: float,
+        reward: Optional[float] = None,
+        ensemble_rank: Optional[int] = None,
+    ) -> None:
+        """One per-step telemetry record (callers gate on ``OBS.enabled``).
+
+        The emitted ``online_step`` event carries the chosen weight
+        vector (the paper's Fig. 3 trajectory, one row per step) plus
+        the step latency; when the Eq. 3 reward was computed the event
+        also carries it and the implied ensemble rank ``m + 1 − r``.
+        """
+        registry = OBS.registry
+        labels = {"phase": phase}
+        registry.counter("repro_online_steps_total", labels).inc()
+        registry.histogram("repro_online_step_seconds", labels).observe(seconds)
+        entropy = _action_entropy(weights)
+        registry.histogram("repro_online_weight_entropy", labels).observe(entropy)
+        fields = {
+            "phase": phase,
+            "step": step,
+            "prediction": prediction,
+            "weights": [float(w) for w in weights],
+            "weight_entropy": entropy,
+            "seconds": seconds,
+        }
+        if reward is not None:
+            fields["reward"] = reward
+        if ensemble_rank is not None:
+            fields["ensemble_rank"] = ensemble_rank
+            registry.gauge("repro_online_ensemble_rank").set(ensemble_rank)
+        OBS.emit("online_step", **fields)
+
     def _combine_masked(self, scaled_row, weights, mask, step):
         """Combine one prediction row, degrading over unhealthy members.
 
@@ -161,33 +208,45 @@ class EADRL:
                 f"the configured window/pool"
             )
 
-        self.pool.fit(series[:cut])
-        meta_start = max(cut, self.pool.max_min_context())
-        predictions = self.pool.prediction_matrix(series, meta_start)
-        truth = series[meta_start:]
+        with OBS.span("eadrl.fit"):
+            OBS.emit("fit_start", n_observations=int(series.size),
+                     pool_cut=cut, n_members=len(self.pool))
+            self.pool.fit(series[:cut])
+            meta_start = max(cut, self.pool.max_min_context())
+            predictions = self.pool.prediction_matrix(series, meta_start)
+            truth = series[meta_start:]
 
-        if self.pruner is not None:
-            # Paper §III-B: "incorporate a pruning step ... so that only
-            # relevant models take part in the weighting stage".
-            self.pruned_indices_ = self.pruner.select(predictions, truth)
-            self.pool = self.pool.subset(self.pruned_indices_)
-            predictions = predictions[:, self.pruned_indices_]
+            if self.pruner is not None:
+                # Paper §III-B: "incorporate a pruning step ... so that
+                # only relevant models take part in the weighting stage".
+                self.pruned_indices_ = self.pruner.select(predictions, truth)
+                self.pool = self.pool.subset(self.pruned_indices_)
+                predictions = predictions[:, self.pruned_indices_]
 
-        self._scaler.fit(series[:cut])
-        env = EnsembleMDP(
-            self._scaler.transform(predictions),
-            self._scaler.transform(truth),
-            window=self.config.window,
-            reward_fn=_make_reward(self.config),
-        )
-        self.agent = DDPGAgent(env.state_dim, env.action_dim, self.config.ddpg)
-        self.agent.train(
-            env,
-            episodes=self.config.episodes,
-            max_iterations=self.config.max_iterations,
-        )
-        self._train_tail = series[-max(self.config.window * 4, 64) :].copy()
-        self._fitted = True
+            self._scaler.fit(series[:cut])
+            env = EnsembleMDP(
+                self._scaler.transform(predictions),
+                self._scaler.transform(truth),
+                window=self.config.window,
+                reward_fn=_make_reward(self.config),
+            )
+            self.agent = DDPGAgent(env.state_dim, env.action_dim, self.config.ddpg)
+            self.agent.train(
+                env,
+                episodes=self.config.episodes,
+                max_iterations=self.config.max_iterations,
+            )
+            self._train_tail = series[-max(self.config.window * 4, 64) :].copy()
+            self._fitted = True
+            _LOG.info(
+                "fit complete: %d members (%d dropped), %d meta rows, "
+                "%d episodes", len(self.pool), len(self.pool.dropped_),
+                truth.size, self.agent.history.n_episodes,
+            )
+            OBS.emit("fit_done", members=self.pool.names,
+                     dropped=[name for name, _, _ in self.pool.dropped_],
+                     meta_rows=int(truth.size),
+                     episodes=self.agent.history.n_episodes)
         return self
 
     def _min_pool_context(self) -> int:
@@ -284,13 +343,21 @@ class EADRL:
         scaled_predictions = self._scaler.transform(predictions)
         outputs = np.empty(predictions.shape[0])
         weight_log = np.empty_like(predictions)
-        for i in range(predictions.shape[0]):
-            weights = self.agent.policy_weights(state)
-            scaled_out, weight_log[i] = self._combine_masked(
-                scaled_predictions[i], weights, healthy[i], i
-            )
-            outputs[i] = self._scaler.inverse_transform(scaled_out)
-            state = np.append(state[1:], scaled_out)
+        with OBS.span("eadrl.rolling_forecast_from_matrix"):
+            for i in range(predictions.shape[0]):
+                with OBS.span("online.step") as step_span:
+                    weights = self.agent.policy_weights(state)
+                    scaled_out, weight_log[i] = self._combine_masked(
+                        scaled_predictions[i], weights, healthy[i], i
+                    )
+                    outputs[i] = self._scaler.inverse_transform(scaled_out)
+                    state = np.append(state[1:], scaled_out)
+                node = step_span.node
+                if node is not None:
+                    self._record_step(
+                        "matrix", i, float(outputs[i]), weight_log[i],
+                        node.duration,
+                    )
         if return_weights:
             return outputs, weight_log
         return outputs
@@ -332,19 +399,29 @@ class EADRL:
         """
         self._check_fitted()
         array = validate_series(series, min_length=start + 1)
-        predictions, healthy = self.pool.prediction_matrix_with_mask(array, start)
-        scaled_predictions = self._scaler.transform(predictions)
-
-        state = self._bootstrap_state(array, start)
-        outputs = np.empty(predictions.shape[0])
-        weight_log = np.empty_like(predictions)
-        for i in range(predictions.shape[0]):
-            weights = self.agent.policy_weights(state)
-            scaled_out, weight_log[i] = self._combine_masked(
-                scaled_predictions[i], weights, healthy[i], i
+        with OBS.span("eadrl.rolling_forecast"):
+            predictions, healthy = self.pool.prediction_matrix_with_mask(
+                array, start
             )
-            outputs[i] = self._scaler.inverse_transform(scaled_out)
-            state = np.append(state[1:], scaled_out)
+            scaled_predictions = self._scaler.transform(predictions)
+
+            state = self._bootstrap_state(array, start)
+            outputs = np.empty(predictions.shape[0])
+            weight_log = np.empty_like(predictions)
+            for i in range(predictions.shape[0]):
+                with OBS.span("online.step") as step_span:
+                    weights = self.agent.policy_weights(state)
+                    scaled_out, weight_log[i] = self._combine_masked(
+                        scaled_predictions[i], weights, healthy[i], i
+                    )
+                    outputs[i] = self._scaler.inverse_transform(scaled_out)
+                    state = np.append(state[1:], scaled_out)
+                node = step_span.node
+                if node is not None:
+                    self._record_step(
+                        "rolling", i, float(outputs[i]), weight_log[i],
+                        node.duration,
+                    )
         if return_weights:
             return outputs, weight_log
         return outputs
@@ -364,17 +441,27 @@ class EADRL:
         state = self._bootstrap_state(array, array.size)
         working = array.copy()
         out = np.empty(horizon)
-        for j in range(horizon):
-            weights = self.agent.policy_weights(state)
-            member_preds, healthy = self.pool.predict_next_with_mask(working)
-            scaled = self._scaler.transform(member_preds)
-            scaled_out, _ = self._combine_masked(
-                scaled, project_to_simplex(weights), healthy, j
-            )
-            value = float(self._scaler.inverse_transform(scaled_out))
-            out[j] = value
-            working = np.append(working, value)
-            state = np.append(state[1:], scaled_out)
+        with OBS.span("eadrl.forecast"):
+            for j in range(horizon):
+                with OBS.span("online.step") as step_span:
+                    weights = self.agent.policy_weights(state)
+                    member_preds, healthy = self.pool.predict_next_with_mask(
+                        working
+                    )
+                    effective = project_to_simplex(weights)
+                    scaled = self._scaler.transform(member_preds)
+                    scaled_out, _ = self._combine_masked(
+                        scaled, effective, healthy, j
+                    )
+                    value = float(self._scaler.inverse_transform(scaled_out))
+                    out[j] = value
+                    working = np.append(working, value)
+                    state = np.append(state[1:], scaled_out)
+                node = step_span.node
+                if node is not None:
+                    self._record_step(
+                        "multistep", j, value, effective, node.duration
+                    )
         return out
 
     # ------------------------------------------------------------------
@@ -437,50 +524,87 @@ class EADRL:
             raise DataValidationError(f"bootstrap matrix needs >= ω={omega} rows")
 
         from repro.rl.mdp import Transition
+        from repro.rl.rewards import RankReward
 
         reward_fn = _make_reward(self.config)
+        n_members = predictions.shape[1]
         healthy = np.isfinite(predictions)
         scaled_predictions = self._scaler.transform(predictions)
         scaled_truth = self._scaler.transform(truth)
         scaled_boot = self._scaler.transform(boot[-omega:])
-        uniform = np.full(predictions.shape[1], 1.0 / predictions.shape[1])
+        uniform = np.full(n_members, 1.0 / n_members)
         state = scaled_boot @ uniform
         detector = PageHinkley(delta=0.05, threshold=3.0)
         outputs = np.empty(predictions.shape[0])
         weight_log = np.empty_like(predictions)
         steps_since_update = 0
-        for i in range(predictions.shape[0]):
-            weights = self.agent.policy_weights(state)
-            scaled_out, weights = self._combine_masked(
-                scaled_predictions[i], weights, healthy[i], i
-            )
-            weight_log[i] = weights
-            outputs[i] = self._scaler.inverse_transform(scaled_out)
+        with OBS.span("eadrl.rolling_forecast_online"):
+            for i in range(predictions.shape[0]):
+                step_reward = step_rank = None
+                with OBS.span("online.step") as step_span:
+                    weights = self.agent.policy_weights(state)
+                    scaled_out, weights = self._combine_masked(
+                        scaled_predictions[i], weights, healthy[i], i
+                    )
+                    weight_log[i] = weights
+                    outputs[i] = self._scaler.inverse_transform(scaled_out)
 
-            # Once ω true values have been observed, score the action the
-            # same way the offline MDP does and store the transition.
-            # Degraded windows (any non-finite prediction) are skipped —
-            # fallback rows would poison the replay buffer.
-            if i >= omega and healthy[i - omega : i].all():
-                recent_preds = scaled_predictions[i - omega : i]
-                recent_truth = scaled_truth[i - omega : i]
-                reward = reward_fn(recent_preds, recent_truth, weights)
-                next_state = np.append(state[1:], scaled_out)
-                self.agent.buffer.push(
-                    Transition(state, weights, reward, next_state, False)
-                )
+                    # Once ω true values have been observed, score the
+                    # action the same way the offline MDP does and store
+                    # the transition. Degraded windows (any non-finite
+                    # prediction) are skipped — fallback rows would
+                    # poison the replay buffer.
+                    if i >= omega and healthy[i - omega : i].all():
+                        recent_preds = scaled_predictions[i - omega : i]
+                        recent_truth = scaled_truth[i - omega : i]
+                        reward = reward_fn(recent_preds, recent_truth, weights)
+                        next_state = np.append(state[1:], scaled_out)
+                        self.agent.buffer.push(
+                            Transition(state, weights, reward, next_state, False)
+                        )
+                        step_reward = float(reward)
+                        if isinstance(reward_fn, RankReward):
+                            # Invert Eq. 3: r = m + 1 − ρ(f̄).
+                            step_rank = int(round(n_members + 1 - reward))
 
-            state = np.append(state[1:], scaled_out)
-            steps_since_update += 1
+                    state = np.append(state[1:], scaled_out)
+                    steps_since_update += 1
 
-            error = abs(float(outputs[i]) - float(truth[i]))
-            drifted = detector.update(error)
-            periodic_due = mode == "periodic" and steps_since_update >= interval
-            drift_due = mode == "drift" and drifted
-            if periodic_due or drift_due:
-                for _ in range(updates_per_trigger):
-                    self.agent.update()
-                steps_since_update = 0
+                    error = abs(float(outputs[i]) - float(truth[i]))
+                    drifted = detector.update(error)
+                    periodic_due = (
+                        mode == "periodic" and steps_since_update >= interval
+                    )
+                    drift_due = mode == "drift" and drifted
+                    if periodic_due or drift_due:
+                        _LOG.debug(
+                            "online policy update at step %d (%s trigger)",
+                            i, "drift" if drift_due else "periodic",
+                        )
+                        for _ in range(updates_per_trigger):
+                            self.agent.update()
+                        steps_since_update = 0
+                node = step_span.node
+                if node is not None:
+                    self._record_step(
+                        "online", i, float(outputs[i]), weight_log[i],
+                        node.duration, reward=step_reward,
+                        ensemble_rank=step_rank,
+                    )
+                    registry = OBS.registry
+                    if drifted:
+                        registry.counter(
+                            "repro_online_drift_events_total"
+                        ).inc()
+                    if periodic_due or drift_due:
+                        registry.counter(
+                            "repro_online_policy_updates_total"
+                        ).inc(updates_per_trigger)
+                        OBS.emit(
+                            "policy_update", step=i,
+                            trigger="drift" if drift_due else "periodic",
+                            updates=updates_per_trigger,
+                        )
         if return_weights:
             return outputs, weight_log
         return outputs

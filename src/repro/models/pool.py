@@ -43,7 +43,10 @@ from repro.models.recurrent_forecasters import (
 )
 from repro.models.svr import SVRForecaster
 from repro.models.tree import DecisionTreeForecaster
+from repro.obs import OBS, get_logger
 from repro.preprocessing.embedding import validate_series
+
+_LOG = get_logger("pool")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only. The runtime import
     # is deferred at runtime: repro.runtime.guards subclasses Forecaster,
@@ -440,27 +443,34 @@ class ForecasterPool:
         survivors: List[Forecaster] = []
         self.dropped_ = []
         parallel = self._use_parallel()
-        if parallel:
-            outcomes = self._parallel_fit(array)
-        else:
-            outcomes = [_fit_member_task(model, array) for model in self._models]
-        for i, (member, error, elapsed) in enumerate(outcomes):
+        with OBS.span("pool.fit"):
             if parallel:
-                self._gather_member(i, member)
-            self._health.record_timing(member.name, "fit", elapsed)
-            if error is None:
-                survivors.append(member)
+                outcomes = self._parallel_fit(array)
             else:
-                self.dropped_.append((member.name, error[0], error[1]))
-                warnings.warn(
-                    f"dropping pool member {member.name!r} "
-                    f"({error[0]}): {error[1]}",
-                    stacklevel=2,
-                )
+                outcomes = [
+                    _fit_member_task(model, array) for model in self._models
+                ]
+            for i, (member, error, elapsed) in enumerate(outcomes):
+                if parallel:
+                    self._gather_member(i, member)
+                self._health.record_timing(member.name, "fit", elapsed)
+                if error is None:
+                    survivors.append(member)
+                else:
+                    self.dropped_.append((member.name, error[0], error[1]))
+                    warnings.warn(
+                        f"dropping pool member {member.name!r} "
+                        f"({error[0]}): {error[1]}",
+                        stacklevel=2,
+                    )
         if not survivors:
             raise DataValidationError("every pool member failed to fit")
         self._models = survivors
         self._fitted = True
+        _LOG.debug("pool fit: %d survivors, %d dropped (%s backend)",
+                   len(survivors), len(self.dropped_), self._executor.backend)
+        if OBS.enabled:
+            self._health.publish_metrics(OBS.registry)
         return self
 
     def _parallel_fit(self, array: np.ndarray) -> list:
@@ -473,6 +483,7 @@ class ForecasterPool:
                 _fit_member_task,
                 [(member, array) for member in self._models],
                 self._executor,
+                task_names=[member.name for member in self._models],
             )
         except BaseException:
             # Engine-level failure: no outcomes will be gathered, so make
@@ -506,26 +517,30 @@ class ForecasterPool:
         if not self._fitted:
             raise DataValidationError("pool must be fitted before predicting")
         guarded = self._guard_config is not None
-        if self._use_parallel():
-            outcomes = self._parallel_rolling(series, start, guarded)
-        else:
-            array = (
-                np.asarray(series, dtype=np.float64) if guarded else series
-            )
-            outcomes = [
-                _rolling_member_task(member, array, start, guarded)
-                for member in self._models
-            ]
-        columns, masks = [], []
-        parallel = self._use_parallel()
-        for i, (member, column, mask, elapsed) in enumerate(outcomes):
-            if parallel:
-                self._gather_member(i, member)
-            self._health.record_timing(member.name, "predict", elapsed)
-            columns.append(column)
-            masks.append(
-                mask if mask is not None else np.ones(column.shape, dtype=bool)
-            )
+        with OBS.span("pool.prediction_matrix"):
+            if self._use_parallel():
+                outcomes = self._parallel_rolling(series, start, guarded)
+            else:
+                array = (
+                    np.asarray(series, dtype=np.float64) if guarded else series
+                )
+                outcomes = [
+                    _rolling_member_task(member, array, start, guarded)
+                    for member in self._models
+                ]
+            columns, masks = [], []
+            parallel = self._use_parallel()
+            for i, (member, column, mask, elapsed) in enumerate(outcomes):
+                if parallel:
+                    self._gather_member(i, member)
+                self._health.record_timing(member.name, "predict", elapsed)
+                columns.append(column)
+                masks.append(
+                    mask if mask is not None
+                    else np.ones(column.shape, dtype=bool)
+                )
+        if OBS.enabled:
+            self._health.publish_metrics(OBS.registry)
         return np.column_stack(columns), np.column_stack(masks)
 
     def _parallel_rolling(self, series: np.ndarray, start: int, guarded: bool):
@@ -539,6 +554,7 @@ class ForecasterPool:
                 _rolling_member_task,
                 [(member, array, start, guarded) for member in self._models],
                 self._executor,
+                task_names=[member.name for member in self._models],
             )
         except BaseException:
             # Either an unguarded member failed fast (matching serial
@@ -594,10 +610,22 @@ class ForecasterPool:
         pool = self._online_executor()
         if guarded:
             self._scatter_scratch_health()
-        futures = [
-            pool.submit(_one_step_task, member, history, guarded)
-            for member in self._models
-        ]
+        instrumented = OBS.enabled
+        if instrumented:
+            from repro.runtime.executor import record_task_timing, timed_call
+
+            futures = [
+                pool.submit(
+                    timed_call, _one_step_task,
+                    (member, history, guarded), time.perf_counter(),
+                )
+                for member in self._models
+            ]
+        else:
+            futures = [
+                pool.submit(_one_step_task, member, history, guarded)
+                for member in self._models
+            ]
         try:
             results = [future.result() for future in futures]
         except BaseException:
@@ -608,7 +636,11 @@ class ForecasterPool:
         mask = np.zeros(len(self._models), dtype=bool)
         for i, member in enumerate(list(self._models)):
             self._gather_member(i, member)
-            values[i], mask[i], elapsed = results[i]
+            if instrumented:
+                (values[i], mask[i], elapsed), wait, work = results[i]
+                record_task_timing("thread", member.name, wait, work)
+            else:
+                values[i], mask[i], elapsed = results[i]
             self._health.record_timing(member.name, "predict", elapsed)
         return values, mask
 

@@ -1,0 +1,67 @@
+"""Observability core: metrics, span tracing, run events, logging.
+
+Dependency-free (stdlib + numpy) telemetry for the EA-DRL runtime:
+
+- :class:`MetricsRegistry` — thread-safe counters, gauges, and
+  fixed-bucket histograms with p50/p95/p99 summaries
+  (:mod:`repro.obs.registry`);
+- :data:`OBS` / :func:`configure` / :func:`session` — the process-global
+  telemetry session with a one-attribute-check no-op fast path
+  (:mod:`repro.obs.telemetry`);
+- ``OBS.span(name)`` — nested wall-clock timing trees
+  (:mod:`repro.obs.spans`);
+- :class:`JsonlSink` / :class:`PromTextSink` / :class:`MemorySink` —
+  pluggable outputs (:mod:`repro.obs.sinks`);
+- :func:`get_logger` / :func:`configure_logging` — the stdlib-logging
+  wrapper used by library code instead of ``print``
+  (:mod:`repro.obs.log`).
+
+See ``docs/observability.md`` for the metric catalogue, sink formats,
+and measured overhead.
+"""
+
+from repro.obs.log import configure_logging, get_logger, resolve_level
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prom_text,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, PromTextSink, Sink
+from repro.obs.spans import SpanNode, SpanTracker
+from repro.obs.telemetry import (
+    OBS,
+    Telemetry,
+    TelemetryConfig,
+    configure,
+    enabled,
+    session,
+    shutdown,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "OBS",
+    "PromTextSink",
+    "Sink",
+    "SpanNode",
+    "SpanTracker",
+    "Telemetry",
+    "TelemetryConfig",
+    "configure",
+    "configure_logging",
+    "enabled",
+    "get_logger",
+    "render_prom_text",
+    "resolve_level",
+    "session",
+    "shutdown",
+]

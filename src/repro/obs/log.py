@@ -1,0 +1,88 @@
+"""Stdlib-logging wrapper for library code paths.
+
+Library modules obtain namespaced loggers via :func:`get_logger` instead
+of printing; nothing is emitted below WARNING until an application opts
+in with :func:`configure_logging` (the CLI does, mapping ``-v``/``-q``
+and ``--log-level``). Operational output goes to *stderr* so final
+result tables on stdout stay machine-readable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+ROOT_LOGGER = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Namespaced logger under the shared ``repro`` root."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def resolve_level(
+    level: Optional[str] = None, verbosity: int = 0, quiet: bool = False
+) -> int:
+    """Map CLI-style flags to a stdlib level.
+
+    An explicit ``level`` name wins; otherwise ``quiet`` selects ERROR
+    and ``verbosity`` counts (``-v`` = INFO, ``-vv`` = DEBUG) raise the
+    default of WARNING.
+    """
+    if level is not None:
+        try:
+            return LEVELS[str(level).lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"log level must be one of {sorted(LEVELS)}, got {level!r}"
+            ) from None
+    if quiet:
+        return logging.ERROR
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    verbosity: int = 0,
+    quiet: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install (or replace) the library's single stderr handler.
+
+    Idempotent: repeated calls swap the previous handler rather than
+    stacking duplicates. Returns the configured root library logger.
+    """
+    global _handler
+    resolved = resolve_level(level, verbosity, quiet)
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    _handler = handler
+    return logger

@@ -1,0 +1,136 @@
+"""Nested wall-clock span trees.
+
+``Telemetry.span(name)`` (see :mod:`repro.obs.telemetry`) opens a span;
+spans opened while another is active on the same thread become its
+children, so a ``repro forecast`` run produces a tree like::
+
+    eadrl.fit
+    ├── pool.fit
+    ├── pool.prediction_matrix
+    └── ddpg.train
+
+Every span's duration is also observed into the registry histogram
+``repro_span_seconds{span=<name>}``; when a *root* span closes, its full
+tree is emitted as one structured ``span`` event to the active sinks.
+Hot loops (e.g. ``online.step``) can open thousands of sibling spans;
+each node therefore caps recorded children (the rest are counted in
+``dropped_children``) while the histogram still sees every observation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+#: Children kept per node before aggregation into ``dropped_children``.
+MAX_CHILDREN = 64
+
+
+class SpanNode:
+    """One timed region; ``duration`` is set when the span closes."""
+
+    __slots__ = ("name", "start", "duration", "children", "dropped_children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List["SpanNode"] = []
+        self.dropped_children = 0
+
+    def add_child(self, child: "SpanNode") -> None:
+        if len(self.children) < MAX_CHILDREN:
+            self.children.append(child)
+        else:
+            self.dropped_children += 1
+
+    def to_dict(self) -> dict:
+        node = {"name": self.name, "seconds": self.duration}
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        if self.dropped_children:
+            node["dropped_children"] = self.dropped_children
+        return node
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path.
+
+    ``node`` is a class attribute so hot loops can read ``span.node``
+    unconditionally — a plain attribute hit for both live and no-op
+    spans, instead of a ``getattr`` default that raises internally on
+    every disabled iteration.
+    """
+
+    __slots__ = ()
+
+    node: Optional[SpanNode] = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """Live span context manager bound to a :class:`SpanTracker`."""
+
+    __slots__ = ("_tracker", "node")
+
+    def __init__(self, tracker: "SpanTracker", name: str):
+        self._tracker = tracker
+        self.node = SpanNode(name)
+
+    def __enter__(self) -> "Span":
+        self._tracker._push(self.node)
+        self.node.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.node.duration = time.perf_counter() - self.node.start
+        self._tracker._pop(self.node)
+        return None
+
+
+class SpanTracker:
+    """Per-thread span stacks feeding a root-completion callback."""
+
+    def __init__(self, on_root, on_close=None):
+        self._local = threading.local()
+        self._on_root = on_root
+        self._on_close = on_close
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def current(self) -> Optional[SpanNode]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, node: SpanNode) -> None:
+        self._stack().append(node)
+
+    def _pop(self, node: SpanNode) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        elif node in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(node)
+        if self._on_close is not None:
+            self._on_close(node)
+        if stack:
+            stack[-1].add_child(node)
+        else:
+            self._on_root(node)

@@ -1,0 +1,197 @@
+"""The process-global telemetry session and its no-op fast path.
+
+A single :class:`Telemetry` instance (:data:`OBS`) lives for the whole
+process; instrumented call sites hold a module-level reference and guard
+every recording with one attribute check::
+
+    from repro.obs import OBS
+    ...
+    if OBS.enabled:
+        OBS.registry.counter("repro_online_steps_total").inc()
+
+so a telemetry-off run pays one boolean attribute read per call site and
+allocates nothing. Spans follow the same pattern internally —
+``OBS.span(name)`` returns a shared no-op context manager while
+disabled.
+
+Sessions are started with :func:`configure` (or the
+:func:`session` context manager) and ended with :func:`shutdown`, which
+flushes every sink — the :class:`~repro.obs.sinks.PromTextSink` writes
+its exposition file there. :class:`TelemetryConfig` is the user-facing
+knob, surfaced as ``EADRLConfig.telemetry`` and the CLI's
+``--metrics-out/--trace/--log-level`` flags.
+
+Determinism contract: telemetry only *reads* model state — it never
+touches an RNG and never feeds a value back into a computation, so
+telemetry-on runs are bit-identical to telemetry-off runs (enforced by
+``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.obs.log import LEVELS, configure_logging
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import JsonlSink, PromTextSink, Sink
+from repro.obs.spans import NOOP_SPAN, SpanNode, SpanTracker
+
+
+@dataclass
+class TelemetryConfig:
+    """User-facing telemetry switches.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; ``False`` keeps every call site on the no-op fast
+        path even when sinks are configured.
+    metrics_path:
+        When set, a :class:`~repro.obs.sinks.PromTextSink` writes the
+        Prometheus text exposition here at shutdown/flush.
+    trace_path:
+        When set, a :class:`~repro.obs.sinks.JsonlSink` streams
+        structured run events (one JSON object per line) here.
+    log_level:
+        When set (``"debug"``/``"info"``/``"warning"``/``"error"``),
+        :func:`repro.obs.configure_logging` is invoked at activation.
+    """
+
+    enabled: bool = True
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    log_level: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.log_level is not None and self.log_level.lower() not in LEVELS:
+            raise ConfigurationError(
+                f"log_level must be one of {sorted(LEVELS)}, "
+                f"got {self.log_level!r}"
+            )
+
+
+class Telemetry:
+    """One telemetry session: registry + sinks + span tracker + events."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.sinks: list = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._spans = SpanTracker(self._finish_root_span, self._close_span)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        sinks: Iterable[Sink] = (),
+    ) -> "Telemetry":
+        """Start a fresh session (flushing any previous one first)."""
+        self.shutdown()
+        new_sinks = list(sinks)
+        enabled = bool(new_sinks)
+        if config is not None:
+            config.validate()
+            if config.trace_path:
+                new_sinks.append(JsonlSink(config.trace_path))
+            if config.metrics_path:
+                new_sinks.append(PromTextSink(config.metrics_path))
+            if config.log_level:
+                configure_logging(level=config.log_level)
+            enabled = config.enabled
+        self.registry = MetricsRegistry()
+        self.sinks = new_sinks
+        self._seq = 0
+        self.enabled = enabled
+        return self
+
+    def shutdown(self) -> None:
+        """Flush metrics into every sink, close them, and disable.
+
+        The registry is left readable so callers can inspect final
+        values after shutdown. Safe to call when never configured.
+        """
+        self.enabled = False
+        sinks, self.sinks = self.sinks, []
+        for sink in sinks:
+            sink.write_metrics(self.registry)
+            sink.flush()
+            sink.close()
+
+    def flush(self) -> None:
+        """Push buffered sink output (metrics exposition included)."""
+        for sink in self.sinks:
+            sink.write_metrics(self.registry)
+            sink.flush()
+
+    # ------------------------------------------------------------------
+    # Recording primitives
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> None:
+        """Send one structured run event to every sink (enabled only)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            event = {"seq": self._seq, "ts": round(time.time(), 6),
+                     "event": kind}
+            event.update(fields)
+            for sink in self.sinks:
+                sink.emit(event)
+
+    def span(self, name: str):
+        """Context manager timing a (possibly nested) region."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self._spans.span(name)
+
+    def _close_span(self, node: SpanNode) -> None:
+        self.registry.histogram(
+            "repro_span_seconds", {"span": node.name}
+        ).observe(node.duration)
+
+    def _finish_root_span(self, node: SpanNode) -> None:
+        self.emit("span", span=node.name, seconds=node.duration,
+                  tree=node.to_dict())
+
+
+#: The process-global telemetry session. Never replaced — call sites may
+#: cache a module-level reference; :func:`configure` mutates it in place.
+OBS = Telemetry()
+
+
+def configure(
+    config: Optional[TelemetryConfig] = None, sinks: Iterable[Sink] = ()
+) -> Telemetry:
+    """Start a global telemetry session (see :class:`Telemetry`)."""
+    return OBS.configure(config, sinks=sinks)
+
+
+def shutdown() -> None:
+    """End the global session, flushing and closing every sink."""
+    OBS.shutdown()
+
+
+def enabled() -> bool:
+    """Whether the global session is currently recording."""
+    return OBS.enabled
+
+
+@contextmanager
+def session(
+    config: Optional[TelemetryConfig] = None, sinks: Iterable[Sink] = ()
+):
+    """Scoped global session: configures on entry, shuts down on exit."""
+    telemetry = configure(config, sinks=sinks)
+    try:
+        yield telemetry
+    finally:
+        shutdown()

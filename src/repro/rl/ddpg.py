@@ -18,9 +18,21 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.nn import Adam, Linear, Module, Tensor, clip_grad_norm, mse_loss
+from repro.obs import OBS
 from repro.rl.mdp import EnsembleMDP, Transition, project_to_simplex
 from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
 from repro.rl.replay import ReplayBuffer
+
+
+def _action_entropy(weights: np.ndarray) -> float:
+    """Shannon entropy of a simplex weight vector (nats).
+
+    0 at a one-hot vertex, ``log(m)`` at the uniform point — the
+    telemetry proxy for how concentrated the policy currently is
+    (paper Fig. 3 tracks the same collapse of the weight vector).
+    """
+    w = np.clip(weights, 1e-12, None)
+    return float(-np.sum(w * np.log(w)))
 
 
 class Actor(Module):
@@ -138,11 +150,19 @@ class TrainingHistory:
         return len(self.episode_rewards)
 
     def moving_average(self, span: int = 5) -> np.ndarray:
-        """Smoothed episode rewards (for learning-curve plots)."""
-        rewards = np.asarray(self.episode_rewards)
+        """Smoothed episode rewards (for learning-curve plots).
+
+        ``span`` is clamped to the number of recorded episodes, so a
+        span larger than the history degrades to the overall mean; an
+        empty history returns an empty array.
+        """
+        if span < 1:
+            raise ConfigurationError(f"span must be >= 1, got {span}")
+        rewards = np.asarray(self.episode_rewards, dtype=np.float64)
         if rewards.size == 0:
             return rewards
-        kernel = np.ones(min(span, rewards.size)) / min(span, rewards.size)
+        width = min(span, rewards.size)
+        kernel = np.ones(width) / width
         return np.convolve(rewards, kernel, mode="valid")
 
 
@@ -199,6 +219,7 @@ class DDPGAgent:
                 seed=self.config.seed + 1,
             )
         self.history = TrainingHistory()
+        self._last_actor_grad_norm: Optional[float] = None
 
     # ------------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = False) -> np.ndarray:
@@ -254,7 +275,9 @@ class DDPGAgent:
         actor_objective = self.critic(Tensor(states), policy_actions).mean()
         loss = -actor_objective
         loss.backward()
-        clip_grad_norm(self.actor.parameters(), self.config.grad_clip)
+        actor_grad_norm = clip_grad_norm(
+            self.actor.parameters(), self.config.grad_clip
+        )
         self.actor_opt.step()
         self.critic.zero_grad()  # discard critic grads from the actor pass
 
@@ -264,8 +287,20 @@ class DDPGAgent:
         if self.critic2 is not None:
             self.target_critic2.soft_update_from(self.critic2, self.config.tau)
 
-        self.history.critic_losses.append(critic_loss.item())
-        self.history.actor_objectives.append(actor_objective.item())
+        critic_loss_value = critic_loss.item()
+        actor_objective_value = actor_objective.item()
+        self.history.critic_losses.append(critic_loss_value)
+        self.history.actor_objectives.append(actor_objective_value)
+        self._last_actor_grad_norm = actor_grad_norm
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.counter("repro_ddpg_updates_total").inc()
+            registry.histogram("repro_ddpg_critic_loss").observe(
+                critic_loss_value
+            )
+            registry.histogram("repro_ddpg_actor_grad_norm").observe(
+                actor_grad_norm
+            )
 
     # ------------------------------------------------------------------
     def train(
@@ -284,28 +319,79 @@ class DDPGAgent:
         """
         if episodes < 1:
             raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
-        self._warmup(env)
-        for _ in range(episodes):
-            state = env.reset()
-            self.noise.reset()
-            total_reward = 0.0
-            steps = env.steps_per_episode
-            if max_iterations is not None:
-                steps = min(steps, max_iterations)
-            for _ in range(steps):
-                action = self.act(state, explore=True)
-                next_state, reward, done = env.step(action)
-                self.buffer.push(
-                    Transition(state, action, reward, next_state, done)
-                )
-                total_reward += reward
-                state = next_state
-                for _ in range(updates_per_step):
-                    self.update()
-                if done:
-                    break
-            self.history.episode_rewards.append(total_reward / max(steps, 1))
+        with OBS.span("ddpg.train"):
+            self._warmup(env)
+            for episode_index in range(episodes):
+                state = env.reset()
+                self.noise.reset()
+                total_reward = 0.0
+                steps = env.steps_per_episode
+                if max_iterations is not None:
+                    steps = min(steps, max_iterations)
+                telemetry_on = OBS.enabled
+                entropy_sum, entropy_steps = 0.0, 0
+                loss_start = len(self.history.critic_losses)
+                for _ in range(steps):
+                    action = self.act(state, explore=True)
+                    if telemetry_on:
+                        entropy_sum += _action_entropy(action)
+                        entropy_steps += 1
+                    next_state, reward, done = env.step(action)
+                    self.buffer.push(
+                        Transition(state, action, reward, next_state, done)
+                    )
+                    total_reward += reward
+                    state = next_state
+                    for _ in range(updates_per_step):
+                        self.update()
+                    if done:
+                        break
+                self.history.episode_rewards.append(total_reward / max(steps, 1))
+                if telemetry_on:
+                    self._record_episode_telemetry(
+                        episode_index, entropy_sum, entropy_steps, loss_start
+                    )
         return self.history
+
+    def _record_episode_telemetry(
+        self,
+        episode: int,
+        entropy_sum: float,
+        entropy_steps: int,
+        loss_start: int,
+    ) -> None:
+        """One ``train_episode`` event + registry updates (enabled only).
+
+        Surfaces the paper's Fig. 2 learning-curve signal (per-episode
+        mean reward under Eq. 4 median-balanced sampling) plus the
+        stability diagnostics around it: mean critic loss over the
+        episode's updates, the last actor pre-clip gradient norm, mean
+        exploration-action entropy, replay fill, and the Eq. 4 split
+        median of the buffered rewards.
+        """
+        registry = OBS.registry
+        mean_reward = self.history.episode_rewards[-1]
+        losses = self.history.critic_losses[loss_start:]
+        critic_loss = float(np.mean(losses)) if losses else None
+        entropy = entropy_sum / entropy_steps if entropy_steps else None
+        fill = len(self.buffer)
+        reward_median = self.buffer.reward_median() if fill else None
+        registry.counter("repro_ddpg_episodes_total").inc()
+        registry.gauge("repro_ddpg_replay_fill").set(fill)
+        if reward_median is not None:
+            registry.gauge("repro_ddpg_replay_reward_median").set(reward_median)
+        if entropy is not None:
+            registry.histogram("repro_ddpg_action_entropy").observe(entropy)
+        OBS.emit(
+            "train_episode",
+            episode=episode,
+            mean_reward=mean_reward,
+            critic_loss=critic_loss,
+            actor_grad_norm=self._last_actor_grad_norm,
+            action_entropy=entropy,
+            replay_fill=fill,
+            reward_median=reward_median,
+        )
 
     # ------------------------------------------------------------------
     def _warmup(self, env: EnsembleMDP) -> None:

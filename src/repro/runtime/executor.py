@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.obs import OBS
 
 #: Recognised backend names, in documentation order.
 BACKENDS = ("serial", "thread", "process")
@@ -116,16 +118,52 @@ def _call(task: Tuple[Callable[..., Any], tuple]) -> Any:
     return fn(*args)
 
 
+def timed_call(fn: Callable[..., Any], args: tuple, submitted_at: float):
+    """Run ``fn(*args)`` recording queue wait and work wall-clock.
+
+    Returns ``(result, wait_seconds, work_seconds)``. Module-level so
+    the process backend can pickle it; ``time.perf_counter`` is
+    CLOCK_MONOTONIC-based on Linux and therefore comparable across the
+    fork boundary (the wait is clamped at 0 as a portability guard).
+    """
+    started = time.perf_counter()
+    result = fn(*args)
+    finished = time.perf_counter()
+    return result, max(0.0, started - submitted_at), finished - started
+
+
+def record_task_timing(
+    backend: str, name: Optional[str], wait: float, work: float
+) -> None:
+    """Publish one fan-out task's queue-wait/work split (enabled only)."""
+    registry = OBS.registry
+    labels = {"backend": backend}
+    registry.histogram("repro_executor_queue_wait_seconds", labels).observe(wait)
+    registry.histogram("repro_executor_work_seconds", labels).observe(work)
+    if name is not None:
+        member = {"member": name}
+        registry.counter(
+            "repro_executor_member_queue_wait_seconds_total", member
+        ).inc(wait)
+        registry.counter(
+            "repro_executor_member_work_seconds_total", member
+        ).inc(work)
+
+
 def run_ordered(
     fn: Callable[..., Any],
     argtuples: Sequence[tuple],
     config: ExecutorConfig,
+    task_names: Optional[Sequence[str]] = None,
 ) -> List[Any]:
     """Run ``fn(*args)`` for every tuple in ``argtuples``; results in order.
 
     The serial backend (or a single worker) degenerates to a plain loop.
     For the process backend ``fn`` must be a module-level function and
-    every argument picklable.
+    every argument picklable. When telemetry is enabled
+    (:mod:`repro.obs`) every parallel task's queue wait (submit → start)
+    and work time are recorded, labelled per member when ``task_names``
+    is given; the serial loop and the disabled path are untouched.
     """
     jobs = config.resolved_jobs()
     if config.backend == "serial" or jobs == 1 or len(argtuples) <= 1:
@@ -136,5 +174,20 @@ def run_ordered(
     else:
         pool_cls = concurrent.futures.ProcessPoolExecutor
     with pool_cls(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *args) for args in argtuples]
-        return [future.result() for future in futures]
+        if not OBS.enabled:
+            futures = [pool.submit(fn, *args) for args in argtuples]
+            return [future.result() for future in futures]
+        futures = [
+            pool.submit(timed_call, fn, args, time.perf_counter())
+            for args in argtuples
+        ]
+        results: List[Any] = []
+        for i, future in enumerate(futures):
+            result, wait, work = future.result()
+            record_task_timing(
+                config.backend,
+                task_names[i] if task_names is not None else None,
+                wait, work,
+            )
+            results.append(result)
+        return results

@@ -213,7 +213,12 @@ class PoolHealth:
             ]
 
     def report(self) -> str:
-        """Multi-line human-readable health report (CLI output)."""
+        """Multi-line human-readable health report (CLI output).
+
+        Per-member wall-clock timings (when recorded) are folded into the
+        same lines as the guard counters, so operators read one coherent
+        report instead of cross-referencing a separate timings table.
+        """
         with self._lock:
             if not self._members:
                 return "pool health: no guarded calls recorded"
@@ -224,6 +229,11 @@ class PoolHealth:
                     f"calls={m.calls} failures={m.failures} "
                     f"fallbacks={m.fallbacks} skips={m.skips}"
                 )
+                if m.fit_seconds or m.predict_seconds:
+                    line += (
+                        f" fit={m.fit_seconds:.3f}s "
+                        f"predict={m.predict_seconds:.3f}s"
+                    )
                 if m.last_error:
                     line += f"  last_error={m.last_error}"
                 lines.append(line)
@@ -234,3 +244,37 @@ class PoolHealth:
                 f"{len(self.transitions)} breaker transitions)"
             )
             return "\n".join(lines)
+
+    def publish_metrics(self, registry) -> None:
+        """Mirror this registry's state into a metrics registry.
+
+        ``registry`` is duck-typed (any object with ``gauge(name,
+        labels)`` returning something with ``set``) so this module never
+        imports :mod:`repro.obs`; the pool calls it after each fan-out
+        when telemetry is enabled, bridging the accumulated
+        :meth:`timings` and guard counters into ``repro_pool_*`` gauges
+        instead of duplicating the bookkeeping.
+        """
+        with self._lock:
+            for m in self._members.values():
+                labels = {"member": m.name}
+                registry.gauge(
+                    "repro_pool_member_fit_seconds", labels
+                ).set(m.fit_seconds)
+                registry.gauge(
+                    "repro_pool_member_predict_seconds", labels
+                ).set(m.predict_seconds)
+                registry.gauge("repro_pool_member_calls", labels).set(m.calls)
+                registry.gauge(
+                    "repro_pool_member_failures", labels
+                ).set(m.failures)
+                registry.gauge(
+                    "repro_pool_member_fallbacks", labels
+                ).set(m.fallbacks)
+            registry.gauge("repro_pool_quarantined_members").set(
+                len(self.quarantined())
+            )
+            registry.gauge("repro_pool_failure_events").set(len(self.failures))
+            registry.gauge("repro_pool_breaker_transitions").set(
+                len(self.transitions)
+            )

@@ -1,0 +1,14 @@
+"""Obs test fixtures: always leave the global session disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import shutdown
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_session():
+    shutdown()
+    yield
+    shutdown()

@@ -1,0 +1,67 @@
+"""Telemetry must never perturb results: on == off, bit for bit.
+
+The observability layer only *reads* model state — it never touches an
+RNG and never feeds a value back into a computation. This guard runs the
+full policy-training + online-forecasting path twice, with telemetry off
+and with telemetry on (memory + JSONL sinks), and requires identical
+forecasts, weight trajectories, and network parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EADRL, EADRLConfig
+from repro.obs import JsonlSink, MemorySink, configure, shutdown
+
+
+def _split(toy_matrix):
+    predictions, truth = toy_matrix
+    return (predictions[:60], truth[:60]), (predictions[60:], truth[60:])
+
+
+def _run(toy_matrix):
+    (meta_pred, meta_truth), (test_pred, test_truth) = _split(toy_matrix)
+    config = EADRLConfig(window=5, episodes=2, max_iterations=15)
+    config.ddpg.batch_size = 16
+    model = EADRL(config=config, pool_size="small")
+    model.fit_policy_from_matrix(meta_pred, meta_truth)
+    rolled, rolled_weights = model.rolling_forecast_from_matrix(
+        test_pred, return_weights=True
+    )
+    online = model.rolling_forecast_online(
+        test_pred, test_truth, mode="periodic", interval=5,
+        updates_per_trigger=2,
+    )
+    params = {
+        name: value.copy()
+        for name, value in model.agent.actor.state_dict().items()
+    }
+    params.update({
+        f"critic.{name}": value.copy()
+        for name, value in model.agent.critic.state_dict().items()
+    })
+    return rolled, rolled_weights, online, params
+
+
+def test_telemetry_on_is_bit_identical_to_off(toy_matrix, tmp_path):
+    shutdown()
+    baseline = _run(toy_matrix)
+
+    sink = MemorySink()
+    trace_path = tmp_path / "trace.jsonl"
+    configure(sinks=[sink, JsonlSink(str(trace_path))])
+    try:
+        instrumented = _run(toy_matrix)
+    finally:
+        shutdown()
+
+    for off, on in zip(baseline[:3], instrumented[:3]):
+        assert np.array_equal(np.asarray(off), np.asarray(on))
+    for name, off_value in baseline[3].items():
+        assert np.array_equal(off_value, instrumented[3][name]), name
+
+    # The instrumented run actually recorded the hot paths.
+    assert sink.events_of("train_episode")
+    assert sink.events_of("online_step")
+    assert trace_path.exists() and trace_path.read_text().strip()

@@ -1,0 +1,64 @@
+"""The stdlib-logging wrapper: level resolution and handler hygiene."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import configure_logging, get_logger, resolve_level
+from repro.obs.log import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _restore_handler():
+    yield
+    configure_logging()  # back to WARNING on stderr for the rest of the suite
+
+
+class TestResolveLevel:
+    def test_default_is_warning(self):
+        assert resolve_level() == logging.WARNING
+
+    def test_verbosity_counts(self):
+        assert resolve_level(verbosity=1) == logging.INFO
+        assert resolve_level(verbosity=2) == logging.DEBUG
+        assert resolve_level(verbosity=5) == logging.DEBUG
+
+    def test_quiet_selects_error(self):
+        assert resolve_level(quiet=True) == logging.ERROR
+
+    def test_explicit_level_wins(self):
+        assert resolve_level("debug", verbosity=0, quiet=True) == logging.DEBUG
+        assert resolve_level("ERROR", verbosity=2) == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_level("loud")
+
+
+class TestConfigureLogging:
+    def test_namespaced_loggers(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger("pool").name == f"{ROOT_LOGGER}.pool"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+    def test_repeated_configure_does_not_stack_handlers(self):
+        logger = configure_logging()
+        configure_logging()
+        configure_logging()
+        assert len(logger.handlers) == 1
+
+    def test_messages_reach_the_stream(self):
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        get_logger("test").info("hello %d", 42)
+        assert "INFO repro.test: hello 42" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(quiet=True, stream=stream)
+        get_logger("test").warning("should be dropped")
+        assert stream.getvalue() == ""

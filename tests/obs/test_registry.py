@@ -1,0 +1,142 @@
+"""MetricsRegistry: instruments, quantiles, and Prometheus rendering."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, render_prom_text
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_things_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_fill")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", {"phase": "online"})
+        b = registry.counter("repro_x_total", {"phase": "online"})
+        c = registry.counter("repro_x_total", {"phase": "rolling"})
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("repro_g", {"a": 1, "b": 2})
+        b = registry.gauge("repro_g", {"b": 2, "a": 1})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_concurrent_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_summary_tracks_exact_count_sum_min_max(self):
+        hist = MetricsRegistry().histogram("repro_lat_seconds")
+        for v in (0.001, 0.02, 0.3):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.321)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.3)
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+    def test_empty_summary_and_quantile(self):
+        hist = MetricsRegistry().histogram("repro_lat_seconds")
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_interpolates_within_bounds(self):
+        hist = MetricsRegistry().histogram("repro_lat_seconds")
+        for v in (0.02, 0.04, 0.06, 0.08, 0.6):
+            hist.observe(v)
+        p50 = hist.quantile(0.5)
+        assert 0.02 <= p50 <= 0.1
+        # The top observation lands above the p95 interpolation floor.
+        assert hist.quantile(1.0) == pytest.approx(0.6)
+
+    def test_quantile_bounds_validated(self):
+        hist = MetricsRegistry().histogram("repro_lat_seconds")
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_overflow_bucket_counts(self):
+        hist = MetricsRegistry().histogram("repro_lat_seconds")
+        hist.observe(5000.0)
+        assert hist.bucket_counts[-1] == 1
+        assert hist.quantile(0.99) == pytest.approx(5000.0)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestPromText:
+    def test_render_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_steps_total", {"phase": "online"}).inc(3)
+        registry.gauge("repro_fill").set(0.5)
+        registry.histogram("repro_lat_seconds").observe(0.02)
+        text = render_prom_text(registry)
+        assert "# TYPE repro_steps_total counter" in text
+        assert 'repro_steps_total{phase="online"} 3.0' in text
+        assert "# TYPE repro_fill gauge" in text
+        assert "repro_fill 0.5" in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_sum 0.02" in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = render_prom_text(registry)
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1.0"} 2' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", {"member": 'a"b\\c'}).inc()
+        text = render_prom_text(registry)
+        assert r'member="a\"b\\c"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prom_text(MetricsRegistry()) == ""

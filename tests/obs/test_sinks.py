@@ -1,0 +1,82 @@
+"""Sinks: JSONL round-trip, Prometheus file output, memory capture."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import JsonlSink, MemorySink, MetricsRegistry, PromTextSink
+
+
+class TestJsonlSink:
+    def test_events_round_trip_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"seq": 1, "event": "a", "value": 1.5})
+        sink.emit({"seq": 2, "event": "b", "nested": {"x": [1, 2]}})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"seq": 1, "event": "a", "value": 1.5}
+        assert json.loads(lines[1])["nested"] == {"x": [1, 2]}
+
+    def test_numpy_payloads_serialised(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({
+            "event": "weights",
+            "vector": np.array([0.25, 0.75]),
+            "scalar": np.float64(1.5),
+        })
+        sink.close()
+        event = json.loads(path.read_text())
+        assert event["vector"] == [0.25, 0.75]
+        assert event["scalar"] == 1.5
+
+    def test_no_file_until_first_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        assert not path.exists()
+        sink.close()
+
+
+class TestPromTextSink:
+    def test_writes_exposition_on_write_metrics(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = MetricsRegistry()
+        registry.counter("repro_steps_total").inc(4)
+        sink = PromTextSink(str(path))
+        sink.write_metrics(registry)
+        sink.close()
+        text = path.read_text()
+        assert "# TYPE repro_steps_total counter" in text
+        assert "repro_steps_total 4.0" in text
+
+    def test_rewrites_whole_file_each_flush(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_steps_total")
+        sink = PromTextSink(str(path))
+        counter.inc()
+        sink.write_metrics(registry)
+        counter.inc()
+        sink.write_metrics(registry)
+        sink.close()
+        text = path.read_text()
+        assert "repro_steps_total 2.0" in text
+        assert text.count("# TYPE repro_steps_total") == 1
+
+
+class TestMemorySink:
+    def test_captures_events_and_snapshots(self):
+        sink = MemorySink()
+        sink.emit({"event": "a"})
+        sink.emit({"event": "b"})
+        registry = MetricsRegistry()
+        registry.gauge("repro_fill").set(1.0)
+        sink.write_metrics(registry)
+        assert sink.events_of("a") == [{"event": "a"}]
+        assert sink.metric_snapshots[0]["gauges"][0]["value"] == 1.0
+        sink.close()
+        assert sink.closed

@@ -1,0 +1,78 @@
+"""Span trees: nesting, the no-op fast path, and the child cap."""
+
+from __future__ import annotations
+
+from repro.obs import OBS, MemorySink, configure, shutdown
+from repro.obs.spans import MAX_CHILDREN, NOOP_SPAN, SpanNode, SpanTracker
+
+
+class TestSpanTracker:
+    def test_nesting_builds_tree(self):
+        roots = []
+        tracker = SpanTracker(roots.append)
+        with tracker.span("outer"):
+            with tracker.span("inner"):
+                pass
+            with tracker.span("inner2"):
+                pass
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert root.duration >= max(c.duration for c in root.children)
+
+    def test_on_close_sees_every_span(self):
+        closed = []
+        tracker = SpanTracker(lambda node: None, closed.append)
+        with tracker.span("outer"):
+            with tracker.span("inner"):
+                pass
+        assert [n.name for n in closed] == ["inner", "outer"]
+
+    def test_child_cap_counts_dropped(self):
+        roots = []
+        tracker = SpanTracker(roots.append)
+        with tracker.span("root"):
+            for _ in range(MAX_CHILDREN + 10):
+                with tracker.span("step"):
+                    pass
+        root = roots[0]
+        assert len(root.children) == MAX_CHILDREN
+        assert root.dropped_children == 10
+        assert root.to_dict()["dropped_children"] == 10
+
+    def test_to_dict_shape(self):
+        node = SpanNode("x")
+        node.duration = 1.25
+        assert node.to_dict() == {"name": "x", "seconds": 1.25}
+
+
+class TestGlobalSpanPath:
+    def test_disabled_returns_shared_noop(self):
+        shutdown()
+        span = OBS.span("anything")
+        assert span is NOOP_SPAN
+        with span:
+            pass  # no state, no tree, no histogram
+
+    def test_enabled_emits_tree_and_histogram(self):
+        sink = MemorySink()
+        configure(sinks=[sink])
+        try:
+            with OBS.span("outer"):
+                with OBS.span("inner"):
+                    pass
+        finally:
+            shutdown()
+        events = sink.events_of("span")
+        assert len(events) == 1
+        tree = events[0]["tree"]
+        assert tree["name"] == "outer"
+        assert tree["children"][0]["name"] == "inner"
+        snapshot = sink.metric_snapshots[-1]
+        spans = {
+            row["labels"]["span"]: row["count"]
+            for row in snapshot["histograms"]
+            if row["name"] == "repro_span_seconds"
+        }
+        assert spans == {"outer": 1, "inner": 1}

@@ -1,0 +1,106 @@
+"""Global telemetry session lifecycle and the no-op fast path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    OBS,
+    MemorySink,
+    TelemetryConfig,
+    configure,
+    enabled,
+    session,
+    shutdown,
+)
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        OBS.emit("ignored", x=1)  # no sinks, no error
+
+    def test_configure_with_sinks_enables(self):
+        sink = MemorySink()
+        configure(sinks=[sink])
+        assert enabled()
+        OBS.emit("hello", x=1)
+        shutdown()
+        assert not enabled()
+        assert sink.events_of("hello")[0]["x"] == 1
+        assert sink.closed
+
+    def test_global_instance_is_never_replaced(self):
+        before = OBS
+        configure(sinks=[MemorySink()])
+        assert OBS is before
+        shutdown()
+        assert OBS is before
+
+    def test_events_are_sequenced_and_timestamped(self):
+        sink = MemorySink()
+        configure(sinks=[sink])
+        OBS.emit("a")
+        OBS.emit("b")
+        shutdown()
+        seqs = [e["seq"] for e in sink.events]
+        assert seqs == [1, 2]
+        assert all("ts" in e for e in sink.events)
+
+    def test_reconfigure_resets_registry_and_seq(self):
+        configure(sinks=[MemorySink()])
+        OBS.registry.counter("repro_x_total").inc()
+        OBS.emit("a")
+        sink = MemorySink()
+        configure(sinks=[sink])
+        assert OBS.registry.snapshot()["counters"] == []
+        OBS.emit("b")
+        shutdown()
+        assert sink.events[0]["seq"] == 1
+
+    def test_shutdown_flushes_metrics_to_sinks(self):
+        sink = MemorySink()
+        configure(sinks=[sink])
+        OBS.registry.gauge("repro_fill").set(3.0)
+        shutdown()
+        assert sink.metric_snapshots[-1]["gauges"][0]["value"] == 3.0
+
+    def test_session_context_manager(self):
+        sink = MemorySink()
+        with session(sinks=[sink]):
+            assert enabled()
+            OBS.emit("inside")
+        assert not enabled()
+        assert sink.events_of("inside")
+
+    def test_shutdown_without_configure_is_safe(self):
+        shutdown()
+        shutdown()
+
+
+class TestTelemetryConfig:
+    def test_paths_build_file_sinks(self, tmp_path):
+        metrics = tmp_path / "m.prom"
+        trace = tmp_path / "t.jsonl"
+        configure(TelemetryConfig(
+            metrics_path=str(metrics), trace_path=str(trace),
+        ))
+        OBS.registry.counter("repro_steps_total").inc()
+        OBS.emit("step", i=0)
+        shutdown()
+        assert "repro_steps_total 1.0" in metrics.read_text()
+        assert json.loads(trace.read_text())["event"] == "step"
+
+    def test_enabled_false_keeps_noop_path(self, tmp_path):
+        configure(TelemetryConfig(
+            enabled=False, trace_path=str(tmp_path / "t.jsonl"),
+        ))
+        assert not enabled()
+        shutdown()
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(log_level="verbose").validate()

@@ -1,0 +1,47 @@
+"""TrainingHistory.moving_average edge cases (Fig. 2 smoothing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rl.ddpg import TrainingHistory
+
+
+class TestMovingAverage:
+    def test_empty_history_returns_empty(self):
+        history = TrainingHistory()
+        out = history.moving_average(span=5)
+        assert out.size == 0
+        assert out.dtype == np.float64
+
+    def test_span_larger_than_history_degrades_to_mean(self):
+        history = TrainingHistory(episode_rewards=[1.0, 2.0, 3.0])
+        out = history.moving_average(span=10)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_span_one_is_identity(self):
+        rewards = [0.5, -1.0, 2.5, 4.0]
+        history = TrainingHistory(episode_rewards=rewards)
+        np.testing.assert_allclose(history.moving_average(span=1), rewards)
+
+    def test_span_below_one_raises(self):
+        history = TrainingHistory(episode_rewards=[1.0])
+        with pytest.raises(ConfigurationError):
+            history.moving_average(span=0)
+        with pytest.raises(ConfigurationError):
+            history.moving_average(span=-3)
+
+    def test_window_mean_values(self):
+        history = TrainingHistory(episode_rewards=[1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(
+            history.moving_average(span=2), [1.5, 2.5, 3.5]
+        )
+
+    def test_n_episodes_tracks_rewards(self):
+        history = TrainingHistory()
+        assert history.n_episodes == 0
+        history.episode_rewards.extend([0.1, 0.2])
+        assert history.n_episodes == 2

@@ -68,3 +68,70 @@ class TestReporting:
 
     def test_empty_report(self):
         assert "no guarded calls" in PoolHealth().report()
+
+    def test_report_merges_timings_into_member_lines(self):
+        """Snapshot of the merged report: counters + timings, one line."""
+        health = PoolHealth()
+        health.record_success("arima", count=2)
+        health.record_timing("arima", "fit", 0.5)
+        health.record_timing("arima", "predict", 0.25)
+        health.record_timing("arima", "predict", 0.0625)
+        text = health.report()
+        lines = text.splitlines()
+        assert lines[0] == "pool health:"
+        assert lines[1] == (
+            "  arima                    closed    "
+            "calls=2 failures=0 fallbacks=0 skips=0 "
+            "fit=0.500s predict=0.312s"
+        )
+        assert lines[2] == (
+            "  (1 members, 0 quarantined, 0 failure events, "
+            "0 breaker transitions)"
+        )
+
+    def test_report_omits_timings_when_none_recorded(self):
+        health = PoolHealth()
+        health.record_success("arima")
+        assert "fit=" not in health.report()
+
+
+class TestPublishMetrics:
+    def test_bridges_timings_and_counters_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        health = PoolHealth()
+        health.record_success("arima", count=3)
+        health.record_failure("arima", 1, "timeout", "slow")
+        health.record_fallback("arima")
+        health.record_timing("arima", "fit", 1.5)
+        health.record_timing("arima", "predict", 0.5)
+        health.record_transition(
+            "arima", 2, BreakerState.CLOSED, BreakerState.OPEN
+        )
+        registry = MetricsRegistry()
+        health.publish_metrics(registry)
+        labels = {"member": "arima"}
+        assert registry.gauge(
+            "repro_pool_member_fit_seconds", labels
+        ).value == 1.5
+        assert registry.gauge(
+            "repro_pool_member_predict_seconds", labels
+        ).value == 0.5
+        assert registry.gauge("repro_pool_member_calls", labels).value == 4
+        assert registry.gauge("repro_pool_member_failures", labels).value == 1
+        assert registry.gauge("repro_pool_member_fallbacks", labels).value == 1
+        assert registry.gauge("repro_pool_quarantined_members").value == 1
+        assert registry.gauge("repro_pool_failure_events").value == 1
+        assert registry.gauge("repro_pool_breaker_transitions").value == 1
+
+    def test_publish_is_idempotent_gauges_not_accumulating(self):
+        from repro.obs import MetricsRegistry
+
+        health = PoolHealth()
+        health.record_timing("arima", "fit", 1.0)
+        registry = MetricsRegistry()
+        health.publish_metrics(registry)
+        health.publish_metrics(registry)
+        assert registry.gauge(
+            "repro_pool_member_fit_seconds", {"member": "arima"}
+        ).value == 1.0

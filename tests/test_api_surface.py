@@ -57,7 +57,12 @@ class TestExceptionHierarchy:
 
 class TestPublicExports:
     def test_core_exports(self):
-        from repro.core import EADRL, EADRLConfig, Pruner  # noqa: F401
+        from repro.core import (  # noqa: F401
+            EADRL,
+            EADRLConfig,
+            Pruner,
+            TelemetryConfig,
+        )
 
     def test_models_all_resolvable(self):
         import repro.models as models
@@ -112,6 +117,12 @@ class TestPublicExports:
 
         for name in runtime.__all__:
             assert hasattr(runtime, name), name
+
+    def test_obs_all_resolvable(self):
+        import repro.obs as obs
+
+        for name in obs.__all__:
+            assert hasattr(obs, name), name
 
     def test_testing_all_resolvable(self):
         import repro.testing as testing

@@ -30,6 +30,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["forecast", "--pool", "giant"])
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args([
+            "forecast", "--metrics-out", "m.prom", "--trace", "t.jsonl",
+            "--log-level", "debug", "-vv", "-q",
+        ])
+        assert args.metrics_out == "m.prom"
+        assert args.trace == "t.jsonl"
+        assert args.log_level == "debug"
+        assert args.verbose == 2
+        assert args.quiet is True
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["forecast", "--log-level", "loud"])
+
 
 class TestExecution:
     def test_list_runs(self, capsys):
@@ -87,3 +102,41 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "EA-DRL" in out
+
+    def test_forecast_writes_metrics_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import enabled
+
+        metrics_path = tmp_path / "m.prom"
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--metrics-out", str(metrics_path), "--trace", str(trace_path),
+        ])
+        assert code == 0
+        assert not enabled()  # main() shuts the session down
+
+        text = metrics_path.read_text()
+        assert "# TYPE repro_online_steps_total counter" in text
+        assert "# TYPE repro_ddpg_episodes_total counter" in text
+        assert "repro_span_seconds_bucket" in text
+
+        events = [json.loads(line) for line in trace_path.open()]
+        kinds = {e["event"] for e in events}
+        # The trace covers pool fit, training episodes, and online steps.
+        assert {"fit_start", "fit_done", "train_episode",
+                "online_step", "span"} <= kinds
+        steps = [e for e in events if e["event"] == "online_step"]
+        assert all("weights" in e and "seconds" in e for e in steps)
+
+    def test_forecast_quiet_silences_info_logs(self, capsys, tmp_path):
+        code = main([
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10", "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "EA-DRL RMSE" in captured.out
+        assert "dataset 15" not in captured.err
