@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError
@@ -59,3 +61,22 @@ class PageHinkley:
     @property
     def observations(self) -> int:
         return self._count
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (repro.runtime.checkpoint): the running
+    # statistics are plain Python floats/ints, so they round-trip
+    # bit-exactly through a JSON manifest.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+        }
+
+    def restore_checkpoint_state(self, state: Dict[str, Any]) -> None:
+        self._count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])

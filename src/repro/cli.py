@@ -40,6 +40,35 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: all available cores)")
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="enable crash-safe auto-checkpointing into DIR "
+                             "(atomic, checksummed snapshots of training and "
+                             "the online forecast loops)")
+    parser.add_argument("--checkpoint-every", type=int, default=50,
+                        metavar="N",
+                        help="online-loop snapshot period in steps "
+                             "(default 50; training snapshots every episode)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the newest valid snapshot in "
+                             "--checkpoint-dir; the resumed run is "
+                             "bit-identical to an uninterrupted one")
+
+
+def _checkpoint(args) -> "Optional[CheckpointConfig]":
+    from repro.core import CheckpointConfig
+
+    if args.checkpoint_dir is None:
+        if args.resume:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        return None
+    return CheckpointConfig(
+        directory=args.checkpoint_dir,
+        every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write final metrics in Prometheus text "
@@ -67,6 +96,9 @@ def _protocol(args) -> "ProtocolConfig":
         seed=args.seed,
         executor=args.executor,
         n_jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
 
 
@@ -112,6 +144,7 @@ def cmd_forecast(args) -> int:
             runtime_guards=guards,
             executor=args.executor,
             n_jobs=args.jobs,
+            checkpoint=_checkpoint(args),
         ),
     )
     model.fit(train)
@@ -206,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="consecutive failures before a member's "
                                  "circuit breaker opens (default 3)")
     _add_scale_arguments(p_forecast)
+    _add_checkpoint_arguments(p_forecast)
     _add_telemetry_arguments(p_forecast)
     p_forecast.set_defaults(func=cmd_forecast)
 
@@ -217,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table2.add_argument("--no-singles", action="store_true",
                           help="skip the slow standalone baselines")
     _add_scale_arguments(p_table2)
+    _add_checkpoint_arguments(p_table2)
     _add_telemetry_arguments(p_table2)
     p_table2.set_defaults(func=cmd_table2)
 
@@ -225,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig2.add_argument("--dataset", type=int, default=9)
     _add_scale_arguments(p_fig2)
+    _add_checkpoint_arguments(p_fig2)
     _add_telemetry_arguments(p_fig2)
     p_fig2.set_defaults(func=cmd_fig2)
 
@@ -235,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default="report.md")
     p_report.add_argument("--no-singles", action="store_true")
     _add_scale_arguments(p_report)
+    _add_checkpoint_arguments(p_report)
     _add_telemetry_arguments(p_report)
     p_report.set_defaults(func=cmd_report)
 

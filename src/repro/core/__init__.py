@@ -1,6 +1,11 @@
 """EA-DRL core: the paper's primary contribution + future-work extensions."""
 
-from repro.core.config import EADRLConfig, RuntimeGuardConfig, TelemetryConfig
+from repro.core.config import (
+    CheckpointConfig,
+    EADRLConfig,
+    RuntimeGuardConfig,
+    TelemetryConfig,
+)
 from repro.core.eadrl import EADRL
 from repro.core.intervals import (
     IntervalEstimator,
@@ -16,6 +21,7 @@ from repro.core.pruning import (
 )
 
 __all__ = [
+    "CheckpointConfig",
     "CorrelationPruner",
     "EADRL",
     "EADRLConfig",

@@ -8,9 +8,10 @@ from typing import Optional
 from repro.exceptions import ConfigurationError
 from repro.obs import TelemetryConfig
 from repro.rl.ddpg import DDPGConfig
-from repro.runtime import ExecutorConfig, RuntimeGuardConfig
+from repro.runtime import CheckpointConfig, ExecutorConfig, RuntimeGuardConfig
 
 __all__ = [
+    "CheckpointConfig",
     "EADRLConfig",
     "ExecutorConfig",
     "RuntimeGuardConfig",
@@ -65,6 +66,16 @@ class EADRLConfig:
         instrumented call site stays on its no-op fast path. The session
         is process-global: flush output files with
         :func:`repro.obs.shutdown` (the CLI does this automatically).
+    checkpoint:
+        When set, DDPG training and all four online forecast loops
+        auto-checkpoint their full resumable state (networks, Adam
+        moments, replay ring, RNG/noise state, history, loop windows)
+        into ``checkpoint.directory`` through the atomic, checksummed
+        snapshot store (:mod:`repro.runtime.checkpoint`); with
+        ``checkpoint.resume`` a killed run continues from its newest
+        valid snapshot bit-identically to an uninterrupted run. ``None``
+        (default) disables checkpointing entirely. CLI:
+        ``--checkpoint-dir/--checkpoint-every/--resume``.
     """
 
     window: int = 10
@@ -79,6 +90,7 @@ class EADRLConfig:
     executor: str = "serial"
     n_jobs: Optional[int] = None
     telemetry: Optional[TelemetryConfig] = None
+    checkpoint: Optional[CheckpointConfig] = None
 
     def validate(self) -> None:
         if self.window < 2:
@@ -104,5 +116,7 @@ class EADRLConfig:
             self.runtime_guards.validate()
         if self.telemetry is not None:
             self.telemetry.validate()
+        if self.checkpoint is not None:
+            self.checkpoint.validate()
         ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
         self.ddpg.validate()

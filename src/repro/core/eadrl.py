@@ -24,7 +24,9 @@ Online phase:
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional, Sequence
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pruning import Pruner
@@ -37,20 +39,41 @@ from repro.exceptions import (
     DataValidationError,
     EnsembleUnavailableError,
     NotFittedError,
+    SerializationError,
 )
 from repro.models.base import Forecaster
 from repro.models.pool import ForecasterPool, build_pool
 from repro.obs import OBS
 from repro.obs import configure as _configure_telemetry
 from repro.obs import get_logger
+from repro.persistence import resolve_npz_path, save_npz_atomic
 from repro.preprocessing.embedding import validate_series
 from repro.preprocessing.scaling import StandardScaler
 from repro.rl.ddpg import DDPGAgent, TrainingHistory, _action_entropy
 from repro.rl.mdp import EnsembleMDP, project_to_simplex
 from repro.rl.rewards import DiversityRankReward, NRMSEReward, RankReward, RewardFunction
-from repro.runtime import PoolHealth, renormalise_healthy
+from repro.runtime import (
+    CheckpointManager,
+    LoopCheckpointer,
+    PoolHealth,
+    TrainingCheckpointer,
+    renormalise_healthy,
+)
 
 _LOG = get_logger("eadrl")
+
+
+def _prefixed(prefix: str, arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {f"{prefix}.{name}": value for name, value in arrays.items()}
+
+
+def _strip_prefix(prefix: str, arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    head = prefix + "."
+    return {
+        name[len(head):]: value
+        for name, value in arrays.items()
+        if name.startswith(head)
+    }
 
 
 def _make_reward(config: EADRLConfig) -> RewardFunction:
@@ -116,6 +139,7 @@ class EADRL:
             n_jobs=self.config.n_jobs,
         )
         self.agent: Optional[DDPGAgent] = None
+        self._checkpoint_manager: Optional[CheckpointManager] = None
         self._scaler = StandardScaler()
         self._fitted = False
         self._fitted_from_matrix = False
@@ -140,6 +164,58 @@ class EADRL:
     def health(self) -> PoolHealth:
         """The pool's runtime-health registry (empty when unguarded)."""
         return self.pool.health()
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (config.checkpoint)
+    # ------------------------------------------------------------------
+    def checkpoint_manager(self) -> Optional[CheckpointManager]:
+        """The snapshot store for ``config.checkpoint`` (None when off)."""
+        if self.config.checkpoint is None:
+            return None
+        if self._checkpoint_manager is None:
+            self._checkpoint_manager = CheckpointManager(
+                self.config.checkpoint.directory,
+                keep=self.config.checkpoint.keep,
+            )
+        return self._checkpoint_manager
+
+    def _training_checkpointer(
+        self, state_dim: int, action_dim: int
+    ) -> Optional[TrainingCheckpointer]:
+        """Episode-boundary hook passed to :meth:`DDPGAgent.train`."""
+        manager = self.checkpoint_manager()
+        if manager is None:
+            return None
+        cfg = self.config.checkpoint
+        return TrainingCheckpointer(
+            manager,
+            every=cfg.train_every,
+            resume=cfg.resume,
+            context={
+                "state_dim": int(state_dim),
+                "action_dim": int(action_dim),
+                "episodes": int(self.config.episodes),
+                "reward": self.config.reward,
+            },
+        )
+
+    def _loop_checkpointer(
+        self, kind: str, n_members: int, n_steps: int, **extra: Any
+    ) -> Optional[LoopCheckpointer]:
+        """Step-periodic hook for one of the online forecast loops."""
+        manager = self.checkpoint_manager()
+        if manager is None:
+            return None
+        cfg = self.config.checkpoint
+        context: Dict[str, Any] = {
+            "n_members": int(n_members),
+            "n_steps": int(n_steps),
+            "window": int(self.config.window),
+        }
+        context.update(extra)
+        return LoopCheckpointer(
+            manager, kind, every=cfg.every, resume=cfg.resume, context=context
+        )
 
     def _record_step(
         self,
@@ -235,6 +311,9 @@ class EADRL:
                 env,
                 episodes=self.config.episodes,
                 max_iterations=self.config.max_iterations,
+                checkpoint=self._training_checkpointer(
+                    env.state_dim, env.action_dim
+                ),
             )
             self._train_tail = series[-max(self.config.window * 4, 64) :].copy()
             self._fitted = True
@@ -297,6 +376,9 @@ class EADRL:
             env,
             episodes=self.config.episodes,
             max_iterations=self.config.max_iterations,
+            checkpoint=self._training_checkpointer(
+                env.state_dim, meta_predictions.shape[1]
+            ),
         )
         self._matrix_bootstrap = meta_predictions[-self.config.window :]
         self._fitted_from_matrix = True
@@ -343,8 +425,18 @@ class EADRL:
         scaled_predictions = self._scaler.transform(predictions)
         outputs = np.empty(predictions.shape[0])
         weight_log = np.empty_like(predictions)
+        checkpointer = self._loop_checkpointer(
+            "matrix", predictions.shape[1], predictions.shape[0]
+        )
+        start = 0
+        snapshot = checkpointer.restore() if checkpointer is not None else None
+        if snapshot is not None:
+            start = int(snapshot.meta["next_step"])
+            state = snapshot.arrays["loop.state"].copy()
+            outputs[:start] = snapshot.arrays["loop.outputs"]
+            weight_log[:start] = snapshot.arrays["loop.weights"]
         with OBS.span("eadrl.rolling_forecast_from_matrix"):
-            for i in range(predictions.shape[0]):
+            for i in range(start, predictions.shape[0]):
                 with OBS.span("online.step") as step_span:
                     weights = self.agent.policy_weights(state)
                     scaled_out, weight_log[i] = self._combine_masked(
@@ -357,6 +449,16 @@ class EADRL:
                     self._record_step(
                         "matrix", i, float(outputs[i]), weight_log[i],
                         node.duration,
+                    )
+                if checkpointer is not None:
+                    checkpointer.after_step(
+                        i,
+                        {
+                            "loop.state": state,
+                            "loop.outputs": outputs[: i + 1],
+                            "loop.weights": weight_log[: i + 1],
+                        },
+                        {},
                     )
         if return_weights:
             return outputs, weight_log
@@ -408,7 +510,20 @@ class EADRL:
             state = self._bootstrap_state(array, start)
             outputs = np.empty(predictions.shape[0])
             weight_log = np.empty_like(predictions)
-            for i in range(predictions.shape[0]):
+            checkpointer = self._loop_checkpointer(
+                "rolling", predictions.shape[1], predictions.shape[0],
+                origin=int(start),
+            )
+            first = 0
+            snapshot = (
+                checkpointer.restore() if checkpointer is not None else None
+            )
+            if snapshot is not None:
+                first = int(snapshot.meta["next_step"])
+                state = snapshot.arrays["loop.state"].copy()
+                outputs[:first] = snapshot.arrays["loop.outputs"]
+                weight_log[:first] = snapshot.arrays["loop.weights"]
+            for i in range(first, predictions.shape[0]):
                 with OBS.span("online.step") as step_span:
                     weights = self.agent.policy_weights(state)
                     scaled_out, weight_log[i] = self._combine_masked(
@@ -421,6 +536,16 @@ class EADRL:
                     self._record_step(
                         "rolling", i, float(outputs[i]), weight_log[i],
                         node.duration,
+                    )
+                if checkpointer is not None:
+                    checkpointer.after_step(
+                        i,
+                        {
+                            "loop.state": state,
+                            "loop.outputs": outputs[: i + 1],
+                            "loop.weights": weight_log[: i + 1],
+                        },
+                        {},
                     )
         if return_weights:
             return outputs, weight_log
@@ -441,8 +566,18 @@ class EADRL:
         state = self._bootstrap_state(array, array.size)
         working = array.copy()
         out = np.empty(horizon)
+        checkpointer = self._loop_checkpointer(
+            "multistep", self.n_models, horizon, history_length=int(array.size)
+        )
+        first = 0
+        snapshot = checkpointer.restore() if checkpointer is not None else None
+        if snapshot is not None:
+            first = int(snapshot.meta["next_step"])
+            state = snapshot.arrays["loop.state"].copy()
+            working = snapshot.arrays["loop.working"].copy()
+            out[:first] = snapshot.arrays["loop.outputs"]
         with OBS.span("eadrl.forecast"):
-            for j in range(horizon):
+            for j in range(first, horizon):
                 with OBS.span("online.step") as step_span:
                     weights = self.agent.policy_weights(state)
                     member_preds, healthy = self.pool.predict_next_with_mask(
@@ -461,6 +596,16 @@ class EADRL:
                 if node is not None:
                     self._record_step(
                         "multistep", j, value, effective, node.duration
+                    )
+                if checkpointer is not None:
+                    checkpointer.after_step(
+                        j,
+                        {
+                            "loop.state": state,
+                            "loop.working": working,
+                            "loop.outputs": out[: j + 1],
+                        },
+                        {},
                     )
         return out
 
@@ -538,8 +683,29 @@ class EADRL:
         outputs = np.empty(predictions.shape[0])
         weight_log = np.empty_like(predictions)
         steps_since_update = 0
+        checkpointer = self._loop_checkpointer(
+            "online", n_members, predictions.shape[0],
+            mode=mode, interval=int(interval),
+            updates_per_trigger=int(updates_per_trigger),
+        )
+        first = 0
+        snapshot = checkpointer.restore() if checkpointer is not None else None
+        if snapshot is not None:
+            # The agent keeps learning in this loop, so its full state
+            # (networks, Adam moments, replay ring, RNG/noise) is part
+            # of the snapshot alongside the loop window.
+            first = int(snapshot.meta["next_step"])
+            state = snapshot.arrays["loop.state"].copy()
+            outputs[:first] = snapshot.arrays["loop.outputs"]
+            weight_log[:first] = snapshot.arrays["loop.weights"]
+            steps_since_update = int(snapshot.meta["steps_since_update"])
+            detector.restore_checkpoint_state(snapshot.meta["detector"])
+            self.agent.restore_checkpoint_state(
+                _strip_prefix("agent", snapshot.arrays),
+                snapshot.meta["agent"],
+            )
         with OBS.span("eadrl.rolling_forecast_online"):
-            for i in range(predictions.shape[0]):
+            for i in range(first, predictions.shape[0]):
                 step_reward = step_rank = None
                 with OBS.span("online.step") as step_span:
                     weights = self.agent.policy_weights(state)
@@ -605,6 +771,21 @@ class EADRL:
                             trigger="drift" if drift_due else "periodic",
                             updates=updates_per_trigger,
                         )
+                if checkpointer is not None and checkpointer.due(i):
+                    agent_arrays, agent_meta = self.agent.checkpoint_state()
+                    arrays = _prefixed("agent", agent_arrays)
+                    arrays["loop.state"] = state
+                    arrays["loop.outputs"] = outputs[: i + 1]
+                    arrays["loop.weights"] = weight_log[: i + 1]
+                    checkpointer.after_step(
+                        i,
+                        arrays,
+                        {
+                            "agent": agent_meta,
+                            "steps_since_update": steps_since_update,
+                            "detector": detector.checkpoint_state(),
+                        },
+                    )
         if return_weights:
             return outputs, weight_log
         return outputs
@@ -629,12 +810,18 @@ class EADRL:
     # ------------------------------------------------------------------
     # Policy persistence
     # ------------------------------------------------------------------
-    def save_policy(self, path) -> None:
+    def save_policy(self, path) -> Path:
         """Save the trained policy (actor/critic/targets + scaler) to npz.
 
         Base models are not serialised — they retrain quickly and their
         fitted state is dataset-specific; the policy network is the
         expensive artefact (paper: ~300 min offline).
+
+        The archive is written atomically (temp file + fsync + rename),
+        so a crash mid-save never clobbers a previous good archive.
+        Returns the path actually written — with the ``.npz`` suffix
+        numpy appends — so ``load_policy`` accepts the same ``path``
+        whether or not the caller spelled the suffix out.
         """
         if self.agent is None:
             raise NotFittedError(type(self).__name__)
@@ -652,17 +839,35 @@ class EADRL:
                 payload[f"{prefix}.{name}"] = value
         if self._matrix_bootstrap is not None:
             payload["bootstrap"] = self._matrix_bootstrap
-        np.savez(path, **payload)
+        return save_npz_atomic(path, payload)
 
     def load_policy(self, path) -> "EADRL":
         """Restore a policy saved with :meth:`save_policy`.
 
         Rebuilds the DDPG agent (architecture from the file's metadata
         plus this estimator's ``config.ddpg``) and marks the matrix-level
-        prediction API as ready.
+        prediction API as ready. A missing or truncated archive raises
+        :class:`~repro.exceptions.SerializationError` naming the first
+        offending key; a wrong-architecture archive raises it from
+        :meth:`Module.load_state_dict`.
         """
-        with np.load(path) as archive:
-            data = {name: archive[name] for name in archive.files}
+        resolved = resolve_npz_path(path)
+        if not resolved.exists():
+            raise SerializationError(f"policy archive not found: {resolved}")
+        try:
+            with np.load(resolved) as archive:
+                data = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile) as err:
+            raise SerializationError(
+                f"policy archive {resolved} is unreadable: {err}"
+            ) from err
+        required = ("meta.state_dim", "meta.action_dim",
+                    "scaler.mean", "scaler.scale")
+        for key in required:
+            if key not in data:
+                raise SerializationError(
+                    f"policy archive {resolved} is missing key {key!r}"
+                )
         state_dim = int(data.pop("meta.state_dim")[0])
         action_dim = int(data.pop("meta.action_dim")[0])
         self._scaler.mean_ = data.pop("scaler.mean")

@@ -83,6 +83,9 @@ def run_fig2(
                 max_iterations=config.max_iterations,
                 reward=reward,
                 ddpg=DDPGConfig(seed=seed),
+                checkpoint=config.checkpoint_config(
+                    subdir=f"ds{dataset_id}-fig2-{reward}"
+                ),
             ),
         )
         model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)

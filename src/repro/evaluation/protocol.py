@@ -9,6 +9,7 @@ meta-fit and EA-DRL's MDP) and the test segment (used by all combiners).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -27,6 +28,12 @@ class ProtocolConfig:
     (series length, pool size, RL budget) are documented in DESIGN.md and
     can be restored by raising ``series_length``/``pool_size``/
     ``episodes``.
+
+    ``checkpoint_dir`` switches on the crash-safe checkpoint runtime for
+    every estimator the bench constructs; each (dataset, variant) pair
+    snapshots into its own subdirectory (see :meth:`checkpoint_config`)
+    so a multi-dataset Table II run killed anywhere resumes without
+    cross-talk. ``checkpoint_every``/``resume`` mirror the CLI flags.
     """
 
     series_length: int = 400
@@ -41,6 +48,9 @@ class ProtocolConfig:
     seed: int = 0
     executor: str = "serial"
     n_jobs: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 50
+    resume: bool = False
 
     def validate(self) -> None:
         from repro.runtime.executor import ExecutorConfig
@@ -55,6 +65,28 @@ class ProtocolConfig:
                 f"train_fraction must be in [0.5, 1), got {self.train_fraction}"
             )
         ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
+        config = self.checkpoint_config()
+        if config is not None:
+            config.validate()
+
+    def checkpoint_config(self, subdir: Optional[str] = None):
+        """The :class:`~repro.runtime.CheckpointConfig` for one estimator.
+
+        Returns ``None`` when checkpointing is off. ``subdir`` isolates
+        one (dataset, variant) leg of a bench under the shared root.
+        """
+        from repro.runtime import CheckpointConfig
+
+        if self.checkpoint_dir is None:
+            return None
+        directory = Path(self.checkpoint_dir)
+        if subdir is not None:
+            directory = directory / subdir
+        return CheckpointConfig(
+            directory=str(directory),
+            every=self.checkpoint_every,
+            resume=self.resume,
+        )
 
 
 @dataclass

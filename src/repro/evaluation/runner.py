@@ -105,6 +105,9 @@ def run_eadrl(
         max_iterations=protocol.max_iterations,
         reward=reward,
         ddpg=ddpg,
+        checkpoint=protocol.checkpoint_config(
+            subdir=f"ds{run.dataset_id}-{reward}-{sampling}"
+        ),
     )
     model = EADRL(models=run.pool.models, config=config)
     model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)

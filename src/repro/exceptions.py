@@ -64,6 +64,33 @@ class EnsembleUnavailableError(ReproError):
         self.step = step
 
 
+class SerializationError(ReproError, KeyError):
+    """A saved module/policy archive failed validation on load.
+
+    Raised when an ``.npz`` archive is malformed or its key set / array
+    shapes do not match the target module. Subclasses :class:`KeyError`
+    so callers that historically caught the raw key mismatch keep
+    working.
+    """
+
+    # KeyError.__str__ repr()s its single argument, which mangles
+    # multi-word messages; restore normal exception formatting.
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint operation failed (I/O, schema, or context mismatch)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A snapshot failed integrity verification (torn write, bit rot).
+
+    Snapshots that raise this during restore are quarantined and the
+    manager falls back to the next most recent valid snapshot.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped before reaching its tolerance."""
 

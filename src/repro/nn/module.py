@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.exceptions import DataValidationError, SerializationError
 from repro.nn.tensor import Tensor
 
 
@@ -89,18 +90,26 @@ class Module:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values in-place from :meth:`state_dict` output."""
+        """Load parameter values in-place from :meth:`state_dict` output.
+
+        Raises :class:`~repro.exceptions.SerializationError` (a
+        ``KeyError``) naming the first missing/unexpected parameter, or
+        :class:`~repro.exceptions.DataValidationError` (a ``ValueError``)
+        naming the first shape mismatch — so a truncated or
+        wrong-architecture archive fails loudly instead of half-loading.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
         if missing or unexpected:
-            raise KeyError(
-                f"state dict mismatch; missing={sorted(missing)} "
-                f"unexpected={sorted(unexpected)}"
+            first = missing[0] if missing else unexpected[0]
+            raise SerializationError(
+                f"state dict mismatch at {first!r}; "
+                f"missing={missing} unexpected={unexpected}"
             )
         for name, param in own.items():
             if param.data.shape != state[name].shape:
-                raise ValueError(
+                raise DataValidationError(
                     f"shape mismatch for {name}: "
                     f"{param.data.shape} vs {state[name].shape}"
                 )

@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.nn.module import Parameter
+
+
+def _slot_arrays(name: str, slots: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+    return {f"{name}.{i}": slot.copy() for i, slot in enumerate(slots)}
+
+
+def _restore_slots(
+    slots: Sequence[np.ndarray], name: str, arrays: Dict[str, np.ndarray]
+) -> None:
+    for i, slot in enumerate(slots):
+        key = f"{name}.{i}"
+        if key not in arrays:
+            raise CheckpointError(f"optimizer snapshot is missing slot {key!r}")
+        value = np.asarray(arrays[key])
+        if value.shape != slot.shape:
+            raise CheckpointError(
+                f"optimizer slot {key!r} has shape {value.shape}, "
+                f"expected {slot.shape}"
+            )
+        slot[...] = value
 
 
 class Optimizer:
@@ -27,6 +47,23 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (repro.runtime.checkpoint): subclasses
+    # capture their moment/velocity slots so a restored optimizer takes
+    # bit-identical future steps.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        return {}, {}
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        if arrays or meta:
+            raise CheckpointError(
+                f"{type(self).__name__} holds no state but the snapshot "
+                "carries some"
+            )
 
 
 class SGD(Optimizer):
@@ -58,6 +95,14 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        return _slot_arrays("velocity", self._velocity), {}
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        _restore_slots(self._velocity, "velocity", arrays)
 
 
 class Adam(Optimizer):
@@ -100,6 +145,18 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        arrays = _slot_arrays("m", self._m)
+        arrays.update(_slot_arrays("v", self._v))
+        return arrays, {"t": self._t}
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        _restore_slots(self._m, "m", arrays)
+        _restore_slots(self._v, "v", arrays)
+        self._t = int(meta["t"])
+
 
 class RMSprop(Optimizer):
     """RMSprop with exponential moving average of squared gradients."""
@@ -125,6 +182,14 @@ class RMSprop(Optimizer):
             sq *= self.alpha
             sq += (1.0 - self.alpha) * param.grad * param.grad
             param.data -= self.lr * param.grad / (np.sqrt(sq) + self.eps)
+
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        return _slot_arrays("sq", self._sq), {}
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        _restore_slots(self._sq, "sq", arrays)
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:

@@ -1,38 +1,57 @@
-"""Parameter persistence for Modules (npz-based, dependency-free)."""
+"""Parameter persistence for Modules (npz-based, dependency-free).
+
+Writes go through the crash-safe primitives in :mod:`repro.persistence`:
+the archive is staged in a temp file, fsynced, and renamed into place,
+so a crash mid-save can never leave a torn ``.npz`` where a previous
+good archive used to be. NumPy's silent ``.npz`` suffix-appending is
+normalised on both sides (``save_module(m, "weights")`` and
+``load_module(m, "weights")`` address the same file).
+"""
 
 from __future__ import annotations
 
-import os
-from typing import Union
+import zipfile
+from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, SerializationError
 from repro.nn.module import Module
+from repro.persistence import PathLike, resolve_npz_path, save_npz_atomic
 
-PathLike = Union[str, os.PathLike]
 
-
-def save_module(module: Module, path: PathLike) -> None:
-    """Save a module's parameters to ``path`` (numpy ``.npz``).
+def save_module(module: Module, path: PathLike) -> Path:
+    """Save a module's parameters to ``path`` (numpy ``.npz``), atomically.
 
     Only parameter values are stored — the architecture must be rebuilt
     by the caller before :func:`load_module` (the usual state-dict
-    convention).
+    convention). Returns the path actually written (with the ``.npz``
+    suffix numpy would have appended).
     """
     state = module.state_dict()
     if not state:
         raise DataValidationError("module has no parameters to save")
-    np.savez(path, **state)
+    return save_npz_atomic(path, state)
 
 
 def load_module(module: Module, path: PathLike) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``.
 
-    The module must have the same architecture (names and shapes).
-    Returns the module for chaining.
+    The module must have the same architecture; a missing/unexpected
+    parameter raises :class:`~repro.exceptions.SerializationError`
+    naming the first offending key, a shape mismatch raises
+    :class:`~repro.exceptions.DataValidationError`. Returns the module
+    for chaining.
     """
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    resolved = resolve_npz_path(path)
+    if not resolved.exists():
+        raise SerializationError(f"module archive not found: {resolved}")
+    try:
+        with np.load(resolved) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as err:
+        raise SerializationError(
+            f"module archive {resolved} is unreadable: {err}"
+        ) from err
     module.load_state_dict(state)
     return module

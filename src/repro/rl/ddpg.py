@@ -12,11 +12,11 @@ median-balanced scheme (Eq. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError
+from repro.exceptions import CheckpointError, ConfigurationError, DataValidationError
 from repro.nn import Adam, Linear, Module, Tensor, clip_grad_norm, mse_loss
 from repro.obs import OBS
 from repro.rl.mdp import EnsembleMDP, Transition, project_to_simplex
@@ -309,6 +309,7 @@ class DDPGAgent:
         episodes: int = 100,
         max_iterations: Optional[int] = 100,
         updates_per_step: int = 1,
+        checkpoint=None,
     ) -> TrainingHistory:
         """Run the training loop (paper: max.ep = max.iter = 100).
 
@@ -316,12 +317,24 @@ class DDPGAgent:
         exploration noise, stores transitions, and performs
         ``updates_per_step`` gradient updates per environment step.
         Returns the accumulated :class:`TrainingHistory`.
+
+        ``checkpoint`` accepts a
+        :class:`repro.runtime.TrainingCheckpointer`: training then
+        snapshots the agent's full resumable state at the configured
+        episode period, and — when the checkpointer is in resume mode —
+        restores the newest valid snapshot before the first episode and
+        continues from the episode after it, bit-identically to an
+        uninterrupted run. The hook is duck-typed (``restore_into`` /
+        ``after_episode``) so this module needs no runtime import.
         """
         if episodes < 1:
             raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
         with OBS.span("ddpg.train"):
+            start_episode = 0
+            if checkpoint is not None:
+                start_episode = checkpoint.restore_into(self)
             self._warmup(env)
-            for episode_index in range(episodes):
+            for episode_index in range(start_episode, episodes):
                 state = env.reset()
                 self.noise.reset()
                 total_reward = 0.0
@@ -350,6 +363,11 @@ class DDPGAgent:
                 if telemetry_on:
                     self._record_episode_telemetry(
                         episode_index, entropy_sum, entropy_steps, loss_start
+                    )
+                if checkpoint is not None:
+                    checkpoint.after_episode(
+                        self, episode_index,
+                        final=episode_index == episodes - 1,
                     )
         return self.history
 
@@ -418,3 +436,131 @@ class DDPGAgent:
     def policy_weights(self, state: np.ndarray) -> np.ndarray:
         """Greedy simplex weights for deployment (paper Alg. 1 line 2/6)."""
         return project_to_simplex(self.act(state, explore=False))
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def _checkpoint_modules(self):
+        modules = [
+            ("actor", self.actor),
+            ("critic", self.critic),
+            ("target_actor", self.target_actor),
+            ("target_critic", self.target_critic),
+        ]
+        if self.critic2 is not None:
+            modules.append(("critic2", self.critic2))
+            modules.append(("target_critic2", self.target_critic2))
+        return modules
+
+    def _checkpoint_optimizers(self):
+        optimizers = [
+            ("actor_opt", self.actor_opt),
+            ("critic_opt", self.critic_opt),
+        ]
+        if self.critic2_opt is not None:
+            optimizers.append(("critic2_opt", self.critic2_opt))
+        return optimizers
+
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Capture *every* source of future behaviour, bit-exactly.
+
+        Arrays: the four (or six, with a twin critic) network state
+        dicts, the Adam moment slots, the replay ring, the OU process
+        value (when used), and the :class:`TrainingHistory` series.
+        Meta: Adam step counters, replay cursors, RNG bit-generator
+        states (warmup/Dirichlet, replay sampler, noise), the decayed
+        noise sigma, and the last actor gradient norm. A restored agent
+        continues training bit-identically to one that was never
+        interrupted (``tests/integration/test_resume_determinism.py``).
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for prefix, module in self._checkpoint_modules():
+            for name, value in module.state_dict().items():
+                arrays[f"{prefix}.{name}"] = value
+        opt_meta: Dict[str, Any] = {}
+        for prefix, optimizer in self._checkpoint_optimizers():
+            slot_arrays, slot_meta = optimizer.checkpoint_state()
+            for name, value in slot_arrays.items():
+                arrays[f"{prefix}.{name}"] = value
+            opt_meta[prefix] = slot_meta
+        buffer_arrays, buffer_meta = self.buffer.checkpoint_state()
+        for name, value in buffer_arrays.items():
+            arrays[f"buffer.{name}"] = value
+        noise_arrays, noise_meta = self.noise.checkpoint_state()
+        for name, value in noise_arrays.items():
+            arrays[f"noise.{name}"] = value
+        arrays["history.episode_rewards"] = np.asarray(
+            self.history.episode_rewards, dtype=np.float64
+        )
+        arrays["history.critic_losses"] = np.asarray(
+            self.history.critic_losses, dtype=np.float64
+        )
+        arrays["history.actor_objectives"] = np.asarray(
+            self.history.actor_objectives, dtype=np.float64
+        )
+        meta: Dict[str, Any] = {
+            "state_dim": self.state_dim,
+            "action_dim": self.action_dim,
+            "twin_critic": self.config.twin_critic,
+            "rng": self._rng.bit_generator.state,
+            "optimizers": opt_meta,
+            "buffer": buffer_meta,
+            "noise": noise_meta,
+            "last_actor_grad_norm": self._last_actor_grad_norm,
+        }
+        return arrays, meta
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        """Restore a snapshot from :meth:`checkpoint_state` in place."""
+        if (
+            int(meta["state_dim"]) != self.state_dim
+            or int(meta["action_dim"]) != self.action_dim
+        ):
+            raise CheckpointError(
+                f"agent snapshot is for dims "
+                f"({meta['state_dim']}, {meta['action_dim']}); this agent "
+                f"has ({self.state_dim}, {self.action_dim})"
+            )
+        if bool(meta["twin_critic"]) != self.config.twin_critic:
+            raise CheckpointError(
+                "agent snapshot twin_critic setting does not match "
+                "this agent's config"
+            )
+
+        def split(prefix: str) -> Dict[str, np.ndarray]:
+            cut = len(prefix) + 1
+            return {
+                name[cut:]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix + ".")
+            }
+
+        for prefix, module in self._checkpoint_modules():
+            try:
+                module.load_state_dict(split(prefix))
+            except (KeyError, ValueError) as err:
+                raise CheckpointError(
+                    f"agent snapshot does not fit module {prefix!r}: {err}"
+                ) from err
+        for prefix, optimizer in self._checkpoint_optimizers():
+            optimizer.restore_checkpoint_state(
+                split(prefix), meta["optimizers"][prefix]
+            )
+        self.buffer.restore_checkpoint_state(split("buffer"), meta["buffer"])
+        self.noise.restore_checkpoint_state(split("noise"), meta["noise"])
+        self.history.episode_rewards = [
+            float(x) for x in arrays["history.episode_rewards"]
+        ]
+        self.history.critic_losses = [
+            float(x) for x in arrays["history.critic_losses"]
+        ]
+        self.history.actor_objectives = [
+            float(x) for x in arrays["history.actor_objectives"]
+        ]
+        self._rng.bit_generator.state = meta["rng"]
+        grad_norm = meta.get("last_actor_grad_norm")
+        self._last_actor_grad_norm = (
+            None if grad_norm is None else float(grad_norm)
+        )

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
+
+
+def _check_noise_kind(meta: Dict[str, Any], expected: str) -> None:
+    if meta.get("kind") != expected:
+        raise CheckpointError(
+            f"noise snapshot is of kind {meta.get('kind')!r}; this process "
+            f"restores {expected!r}"
+        )
 
 
 class OrnsteinUhlenbeckNoise:
@@ -41,6 +51,20 @@ class OrnsteinUhlenbeckNoise:
         self._state = self._state + drift + diffusion
         return self._state.copy()
 
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Resumable state: the OU process value and its RNG bit state."""
+        return (
+            {"state": self._state.copy()},
+            {"kind": "ou", "rng": self._rng.bit_generator.state},
+        )
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        _check_noise_kind(meta, "ou")
+        self._state = np.asarray(arrays["state"], dtype=np.float64).copy()
+        self._rng.bit_generator.state = meta["rng"]
+
 
 class GaussianNoise:
     """I.i.d. Gaussian exploration noise with optional decay per episode."""
@@ -62,3 +86,21 @@ class GaussianNoise:
 
     def sample(self) -> np.ndarray:
         return self._rng.normal(0.0, self._current_sigma, size=self.size)
+
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Resumable state: the decayed sigma and the RNG bit state."""
+        return (
+            {},
+            {
+                "kind": "gaussian",
+                "current_sigma": float(self._current_sigma),
+                "rng": self._rng.bit_generator.state,
+            },
+        )
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        _check_noise_kind(meta, "gaussian")
+        self._current_sigma = float(meta["current_sigma"])
+        self._rng.bit_generator.state = meta["rng"]

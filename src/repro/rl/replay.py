@@ -21,11 +21,11 @@ yields bit-identical batches.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError
+from repro.exceptions import CheckpointError, ConfigurationError, DataValidationError
 from repro.rl.mdp import Transition
 
 Batch = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
@@ -164,3 +164,72 @@ class ReplayBuffer:
         if self._size == 0:
             raise DataValidationError("buffer is empty")
         return float(np.median(self._rewards[: self._size]))
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Full resumable state: filled ring slots, cursors, sampler RNG.
+
+        Only the ``_size`` filled slots are serialised (the tail of a
+        partially filled ring is uninitialised memory and never read);
+        the wraparound cursor and the sampling generator's bit state are
+        carried in the JSON-able meta so a restored buffer draws exactly
+        the same future batches.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        if self._states is not None:
+            arrays["states"] = self._states[: self._size].copy()
+            arrays["actions"] = self._actions[: self._size].copy()
+            arrays["rewards"] = self._rewards[: self._size].copy()
+            arrays["next_states"] = self._next_states[: self._size].copy()
+            arrays["dones"] = self._dones[: self._size].copy()
+        meta = {
+            "capacity": self.capacity,
+            "size": self._size,
+            "write": self._write,
+            "allocated": self._states is not None,
+            "rng": self._rng.bit_generator.state,
+        }
+        return arrays, meta
+
+    def restore_checkpoint_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint_state`."""
+        if int(meta["capacity"]) != self.capacity:
+            raise CheckpointError(
+                f"replay snapshot capacity {meta['capacity']} does not match "
+                f"this buffer's capacity {self.capacity}"
+            )
+        self.clear()
+        self._rng.bit_generator.state = meta["rng"]
+        if not meta["allocated"]:
+            return
+        size = int(meta["size"])
+        states = np.asarray(arrays["states"])
+        actions = np.asarray(arrays["actions"])
+        next_states = np.asarray(arrays["next_states"])
+        if states.shape[0] != size:
+            raise CheckpointError(
+                f"replay snapshot carries {states.shape[0]} rows but "
+                f"declares size {size}"
+            )
+        self._states = np.empty(
+            (self.capacity, *states.shape[1:]), dtype=states.dtype
+        )
+        self._actions = np.empty(
+            (self.capacity, *actions.shape[1:]), dtype=actions.dtype
+        )
+        self._rewards = np.empty(self.capacity, dtype=np.float64)
+        self._next_states = np.empty(
+            (self.capacity, *next_states.shape[1:]), dtype=next_states.dtype
+        )
+        self._dones = np.empty(self.capacity, dtype=np.float64)
+        self._states[:size] = states
+        self._actions[:size] = actions
+        self._rewards[:size] = arrays["rewards"]
+        self._next_states[:size] = next_states
+        self._dones[:size] = arrays["dones"]
+        self._size = size
+        self._write = int(meta["write"])

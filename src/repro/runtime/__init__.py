@@ -15,13 +15,24 @@ degradation instead:
   weight vector over the currently healthy members;
 - :class:`ExecutorConfig` / :func:`run_ordered`
   (:mod:`repro.runtime.executor`) — the pluggable serial/thread/process
-  execution engine behind the pool's per-member fan-outs.
+  execution engine behind the pool's per-member fan-outs;
+- :class:`CheckpointManager` / :class:`CheckpointConfig`
+  (:mod:`repro.runtime.checkpoint`) — atomic, checksummed snapshots of
+  the full training/online state with corruption quarantine and
+  bit-exact resume.
 
 See ``docs/robustness.md`` for the fault model and guarantees, and
 ``docs/performance.md`` for executor backend selection.
 """
 
 from repro.runtime.breaker import BreakerState, CircuitBreaker
+from repro.runtime.checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    LoopCheckpointer,
+    Snapshot,
+    TrainingCheckpointer,
+)
 from repro.runtime.config import RuntimeGuardConfig
 from repro.runtime.executor import (
     ExecutorConfig,
@@ -39,8 +50,13 @@ from repro.runtime.health import (
 
 __all__ = [
     "BreakerState",
+    "CheckpointConfig",
+    "CheckpointManager",
     "CircuitBreaker",
     "ExecutorConfig",
+    "LoopCheckpointer",
+    "Snapshot",
+    "TrainingCheckpointer",
     "FailureEvent",
     "GuardedForecaster",
     "MemberHealth",

@@ -4,12 +4,16 @@ from repro.testing.faults import (
     FailureSchedule,
     FlakyForecaster,
     NaNForecaster,
+    SimulatedCrash,
     SlowForecaster,
+    TornWriter,
 )
 
 __all__ = [
     "FailureSchedule",
     "FlakyForecaster",
     "NaNForecaster",
+    "SimulatedCrash",
     "SlowForecaster",
+    "TornWriter",
 ]

@@ -11,17 +11,26 @@ rolling protocols. Keying on ``t`` rather than on a call counter makes a
 fault idempotent under the guard's retries: a member scheduled to fail
 at step ``t`` fails *every* attempt at ``t`` and recovers at ``t + 1``,
 so tests can reason about exact quarantine windows.
+
+The storage faults at the bottom (:class:`TornWriter` /
+:class:`SimulatedCrash`) target the checkpoint subsystem instead of the
+pool: they emulate a process dying mid-write, leaving a torn snapshot
+for the restore path to detect and quarantine.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
+from pathlib import Path
 from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.models.base import Forecaster
+from repro.persistence import PathLike, atomic_write_bytes
 
 
 class FailureSchedule:
@@ -156,3 +165,76 @@ class SlowForecaster(_FaultInjector):
     def _inject(self, history: np.ndarray, t: int) -> float:
         time.sleep(self.delay)
         return float(self.inner.predict_next(history))
+
+
+# ----------------------------------------------------------------------
+# Storage faults (checkpoint torn-write injection)
+# ----------------------------------------------------------------------
+class SimulatedCrash(BaseException):
+    """Process death emulated by :class:`TornWriter`.
+
+    Deliberately a ``BaseException``: like a real SIGKILL, it must not
+    be swallowed by ``except Exception`` recovery paths inside the code
+    under test — only the test harness catches it.
+    """
+
+
+class TornWriter:
+    """Byte-writer that dies mid-write on a deterministic schedule.
+
+    Drop-in for the ``writer`` seam of
+    :class:`repro.runtime.checkpoint.CheckpointManager`. Write calls are
+    counted; on a scheduled call index the writer puts only
+    ``fraction`` of the bytes at the destination **non-atomically** (no
+    temp file, no rename — the torn file is left in place, exactly the
+    on-disk state an unbuffered crash can produce on filesystems
+    without atomic-rename discipline) and then simulates process death:
+
+    - ``crash="raise"`` (default) raises :class:`SimulatedCrash`;
+    - ``crash="sigkill"`` sends ``SIGKILL`` to the current process (the
+      chaos smoke job's real-kill mode — nothing below the OS can
+      intercept it).
+
+    Unscheduled calls delegate to
+    :func:`repro.persistence.atomic_write_bytes`, so the snapshots
+    around the torn one are committed normally.
+    """
+
+    def __init__(
+        self,
+        schedule: FailureSchedule,
+        fraction: float = 0.5,
+        crash: str = "raise",
+    ):
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1), got {fraction}"
+            )
+        if crash not in ("raise", "sigkill"):
+            raise ConfigurationError(
+                f"crash must be 'raise' or 'sigkill', got {crash!r}"
+            )
+        self.schedule = schedule
+        self.fraction = fraction
+        self.crash = crash
+        self.calls = 0
+        self.torn_paths: list = []
+
+    def __call__(self, path: PathLike, data: bytes) -> Path:
+        index = self.calls
+        self.calls += 1
+        if not self.schedule.should_fail(index):
+            return atomic_write_bytes(path, data)
+        path = Path(os.fspath(path))
+        cut = int(len(data) * self.fraction)
+        with open(path, "wb") as handle:
+            handle.write(data[:cut])
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.torn_paths.append(path)
+        if self.crash == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise SimulatedCrash(
+            f"torn write at call {index}: {path} "
+            f"({cut}/{len(data)} bytes landed)"
+        )

@@ -7,7 +7,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, SerializationError
 from repro.nn import LSTM, Linear, Tensor, load_module, mlp, save_module
 
 
@@ -59,3 +59,62 @@ class TestSaveLoad:
         path = os.path.join(tmp_path, "n.npz")
         save_module(net, path)
         assert load_module(net, path) is net
+
+
+class TestAtomicityAndErrors:
+    def test_suffix_appended_and_roundtrips(self, tmp_path):
+        """save_module without .npz writes foo.npz and load finds it."""
+        net = Linear(3, 2, rng=np.random.default_rng(0))
+        written = save_module(net, tmp_path / "policy")
+        assert written.name == "policy.npz"
+        other = Linear(3, 2, rng=np.random.default_rng(1))
+        load_module(other, tmp_path / "policy")
+        for name, value in net.state_dict().items():
+            np.testing.assert_array_equal(value, other.state_dict()[name])
+
+    def test_save_leaves_no_temp_files_behind(self, tmp_path):
+        save_module(Linear(2, 2, rng=np.random.default_rng(0)),
+                    tmp_path / "net.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["net.npz"]
+
+    def test_failed_save_preserves_previous_file(self, tmp_path):
+        path = tmp_path / "net.npz"
+        good = Linear(2, 2, rng=np.random.default_rng(0))
+        save_module(good, path)
+        before = path.read_bytes()
+        from repro.nn import ReLU
+
+        with pytest.raises(DataValidationError):
+            save_module(ReLU(), path)
+        assert path.read_bytes() == before
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        net = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(SerializationError, match="not found"):
+            load_module(net, tmp_path / "absent.npz")
+
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "rot.npz"
+        path.write_bytes(b"this is not a zip archive")
+        net = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(SerializationError):
+            load_module(net, path)
+
+    def test_error_names_first_missing_key(self, tmp_path):
+        small = Linear(2, 2, rng=np.random.default_rng(0))
+        path = tmp_path / "small.npz"
+        save_module(small, path)
+        bigger = mlp([2, 4, 2], rng=np.random.default_rng(0))
+        first_missing = sorted(
+            set(bigger.state_dict()) - set(small.state_dict())
+        )[0]
+        with pytest.raises(SerializationError, match=first_missing):
+            load_module(bigger, path)
+
+    def test_error_names_unexpected_key(self, tmp_path):
+        bigger = mlp([2, 4, 2], rng=np.random.default_rng(0))
+        path = tmp_path / "big.npz"
+        save_module(bigger, path)
+        small = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(SerializationError, match="unexpected"):
+            load_module(small, path)

@@ -1,0 +1,256 @@
+"""Bit-exact checkpoint round-trips for every RL state holder.
+
+Each component test snapshots a *used* object (mid-stream, not fresh),
+restores into a brand-new instance, and asserts the restored object's
+future behaviour is bit-identical to the original's — the property the
+crash-safe runtime builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.nn.layers import Linear
+from repro.nn.optim import SGD, Adam, RMSprop
+from repro.rl import DDPGAgent, DDPGConfig, EnsembleMDP, RankReward
+from repro.rl.mdp import Transition
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+from repro.rl.replay import ReplayBuffer
+from repro.runtime import CheckpointManager, TrainingCheckpointer
+
+
+def _transition(rng, state_dim=6, action_dim=3) -> Transition:
+    return Transition(
+        state=rng.normal(size=state_dim),
+        action=rng.normal(size=action_dim),
+        reward=float(rng.normal()),
+        next_state=rng.normal(size=state_dim),
+        done=False,
+    )
+
+
+class TestReplayBufferRoundtrip:
+    @pytest.mark.parametrize("n_push", [7, 20, 33])
+    def test_future_samples_identical(self, rng, n_push):
+        """Covers partially filled, exactly full, and wrapped rings."""
+        capacity = 20
+        original = ReplayBuffer(capacity=capacity, seed=3)
+        for _ in range(n_push):
+            original.push(_transition(rng))
+        arrays, meta = original.checkpoint_state()
+        assert meta["write"] == n_push % capacity
+
+        restored = ReplayBuffer(capacity=capacity, seed=999)  # seed overridden
+        restored.restore_checkpoint_state(arrays, meta)
+        assert len(restored) == len(original)
+        for a, b in zip(original.sample(8, "median"),
+                        restored.sample(8, "median")):
+            assert np.array_equal(a, b)
+        for a, b in zip(original.sample_uniform(8), restored.sample_uniform(8)):
+            assert np.array_equal(a, b)
+
+    def test_push_after_restore_continues_ring(self, rng):
+        original = ReplayBuffer(capacity=5, seed=0)
+        for _ in range(7):  # wrapped: write cursor at 2
+            original.push(_transition(rng))
+        arrays, meta = original.checkpoint_state()
+        restored = ReplayBuffer(capacity=5, seed=0)
+        restored.restore_checkpoint_state(arrays, meta)
+        extra = _transition(rng)
+        original.push(extra)
+        restored.push(extra)
+        for a, b in zip(original.transitions(), restored.transitions()):
+            assert np.array_equal(a.state, b.state)
+            assert a.reward == b.reward
+
+    def test_capacity_mismatch_rejected(self, rng):
+        original = ReplayBuffer(capacity=8, seed=0)
+        original.push(_transition(rng))
+        arrays, meta = original.checkpoint_state()
+        with pytest.raises(CheckpointError, match="capacity"):
+            ReplayBuffer(capacity=16, seed=0).restore_checkpoint_state(
+                arrays, meta
+            )
+
+    def test_empty_buffer_roundtrip(self):
+        original = ReplayBuffer(capacity=8, seed=5)
+        arrays, meta = original.checkpoint_state()
+        assert arrays == {}
+        restored = ReplayBuffer(capacity=8, seed=0)
+        restored.restore_checkpoint_state(arrays, meta)
+        assert len(restored) == 0
+
+
+class TestNoiseRoundtrip:
+    def test_ou_future_samples_identical(self):
+        original = OrnsteinUhlenbeckNoise(size=4, seed=7)
+        for _ in range(13):
+            original.sample()
+        arrays, meta = original.checkpoint_state()
+        restored = OrnsteinUhlenbeckNoise(size=4, seed=0)
+        restored.restore_checkpoint_state(arrays, meta)
+        for _ in range(5):
+            assert np.array_equal(original.sample(), restored.sample())
+
+    def test_gaussian_decayed_sigma_preserved(self):
+        original = GaussianNoise(size=3, sigma=0.5, decay=0.9, seed=11)
+        for _ in range(4):
+            original.sample()
+            original.reset()  # decays sigma
+        arrays, meta = original.checkpoint_state()
+        restored = GaussianNoise(size=3, sigma=0.5, decay=0.9, seed=0)
+        restored.restore_checkpoint_state(arrays, meta)
+        assert restored._current_sigma == original._current_sigma
+        for _ in range(5):
+            assert np.array_equal(original.sample(), restored.sample())
+
+    def test_kind_mismatch_rejected(self):
+        arrays, meta = GaussianNoise(size=3).checkpoint_state()
+        with pytest.raises(CheckpointError, match="kind"):
+            OrnsteinUhlenbeckNoise(size=3).restore_checkpoint_state(
+                arrays, meta
+            )
+
+
+class TestOptimizerRoundtrip:
+    def _trained_pair(self, optimizer_cls, rng, steps=5, **kwargs):
+        layer_a = Linear(4, 3, rng=np.random.default_rng(0))
+        layer_b = Linear(4, 3, rng=np.random.default_rng(0))
+        opt_a = optimizer_cls(layer_a.parameters(), **kwargs)
+        opt_b = optimizer_cls(layer_b.parameters(), **kwargs)
+        for _ in range(steps):
+            for param in layer_a.parameters():
+                param.grad = rng.normal(size=param.data.shape)
+            opt_a.step()
+        return layer_a, opt_a, layer_b, opt_b
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (Adam, {"lr": 0.01}),
+        (SGD, {"lr": 0.01, "momentum": 0.9}),
+        (RMSprop, {"lr": 0.01}),
+    ])
+    def test_future_steps_identical(self, rng, optimizer_cls, kwargs):
+        layer_a, opt_a, layer_b, opt_b = self._trained_pair(
+            optimizer_cls, rng, **kwargs
+        )
+        arrays, meta = opt_a.checkpoint_state()
+        layer_b.load_state_dict(layer_a.state_dict())
+        opt_b.restore_checkpoint_state(arrays, meta)
+        grads = [rng.normal(size=p.data.shape) for p in layer_a.parameters()]
+        for layer, opt in ((layer_a, opt_a), (layer_b, opt_b)):
+            for param, grad in zip(layer.parameters(), grads):
+                param.grad = grad.copy()
+            opt.step()
+        for p_a, p_b in zip(layer_a.parameters(), layer_b.parameters()):
+            assert np.array_equal(p_a.data, p_b.data)
+
+    def test_adam_step_counter_restored(self, rng):
+        _, opt_a, _, opt_b = self._trained_pair(Adam, rng, steps=9, lr=0.01)
+        arrays, meta = opt_a.checkpoint_state()
+        assert meta["t"] == 9
+        opt_b.restore_checkpoint_state(arrays, meta)
+        assert opt_b._t == 9
+
+    def test_missing_slot_rejected(self, rng):
+        _, opt_a, _, opt_b = self._trained_pair(Adam, rng, lr=0.01)
+        arrays, meta = opt_a.checkpoint_state()
+        del arrays["m.0"]
+        with pytest.raises(CheckpointError, match="m.0"):
+            opt_b.restore_checkpoint_state(arrays, meta)
+
+
+@pytest.fixture
+def small_env(rng):
+    T, m = 80, 3
+    truth = np.sin(np.arange(T) * 0.25)
+    preds = truth[:, None] + 0.3 * rng.standard_normal((T, m))
+    return EnsembleMDP(preds, truth, window=8, reward_fn=RankReward())
+
+
+def _agent_config() -> DDPGConfig:
+    return DDPGConfig(seed=0, warmup_steps=16, batch_size=8)
+
+
+class TestAgentRoundtrip:
+    def test_restored_clone_behaves_identically(self, small_env):
+        """A restored clone's entire future matches the original's."""
+        original = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                             _agent_config())
+        original.train(small_env, episodes=2, max_iterations=20)
+        arrays, meta = original.checkpoint_state()
+
+        clone = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                          _agent_config())
+        clone.restore_checkpoint_state(arrays, meta)
+
+        # Both continue training from the captured state in lockstep.
+        original.train(small_env, episodes=2, max_iterations=20)
+        clone.train(small_env, episodes=2, max_iterations=20)
+
+        for (_, mod_a), (_, mod_b) in zip(original._checkpoint_modules(),
+                                          clone._checkpoint_modules()):
+            for name, value in mod_a.state_dict().items():
+                assert np.array_equal(value, mod_b.state_dict()[name])
+        assert (original.history.episode_rewards
+                == clone.history.episode_rewards)
+        assert original.history.critic_losses == clone.history.critic_losses
+
+    def test_dim_mismatch_rejected(self, small_env):
+        agent = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                          _agent_config())
+        arrays, meta = agent.checkpoint_state()
+        other = DDPGAgent(small_env.state_dim, small_env.action_dim + 1,
+                          _agent_config())
+        with pytest.raises(CheckpointError):
+            other.restore_checkpoint_state(arrays, meta)
+
+    def test_twin_critic_state_covered(self, small_env):
+        config = DDPGConfig(seed=0, warmup_steps=16, batch_size=8,
+                            twin_critic=True)
+        agent = DDPGAgent(small_env.state_dim, small_env.action_dim, config)
+        agent.train(small_env, episodes=1, max_iterations=10)
+        arrays, meta = agent.checkpoint_state()
+        assert any(name.startswith("critic2.") for name in arrays)
+        restored = DDPGAgent(small_env.state_dim, small_env.action_dim, config)
+        restored.restore_checkpoint_state(arrays, meta)
+        state = small_env.reset()
+        assert np.array_equal(agent.policy_weights(state),
+                              restored.policy_weights(state))
+
+    def test_twin_flag_mismatch_rejected(self, small_env):
+        config = DDPGConfig(seed=0, twin_critic=True)
+        agent = DDPGAgent(small_env.state_dim, small_env.action_dim, config)
+        arrays, meta = agent.checkpoint_state()
+        plain = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                          DDPGConfig(seed=0))
+        with pytest.raises(CheckpointError):
+            plain.restore_checkpoint_state(arrays, meta)
+
+
+class TestTrainingCheckpointerResume:
+    def test_killed_training_resumes_bit_identically(self, small_env, tmp_path):
+        manager = CheckpointManager(tmp_path)
+
+        reference = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                              _agent_config())
+        reference.train(small_env, episodes=4, max_iterations=20)
+
+        # Phase 1: run 2 episodes with snapshots, then "die".
+        victim = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                           _agent_config())
+        victim.train(small_env, episodes=2, max_iterations=20,
+                     checkpoint=TrainingCheckpointer(manager, every=1))
+
+        # Phase 2: fresh process -> fresh agent, resume to the full budget.
+        resumed = DDPGAgent(small_env.state_dim, small_env.action_dim,
+                            _agent_config())
+        resumed.train(small_env, episodes=4, max_iterations=20,
+                      checkpoint=TrainingCheckpointer(manager, every=1,
+                                                      resume=True))
+        assert (resumed.history.episode_rewards
+                == reference.history.episode_rewards)
+        state = small_env.reset()
+        assert np.array_equal(resumed.policy_weights(state),
+                              reference.policy_weights(state))

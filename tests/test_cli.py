@@ -45,6 +45,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["forecast", "--log-level", "loud"])
 
+    @pytest.mark.parametrize("command", ["forecast", "table2", "fig2", "report"])
+    def test_checkpoint_flags(self, command):
+        args = build_parser().parse_args([
+            command, "--checkpoint-dir", "ckpt", "--checkpoint-every", "25",
+            "--resume",
+        ])
+        assert args.checkpoint_dir == "ckpt"
+        assert args.checkpoint_every == 25
+        assert args.resume is True
+
+    def test_checkpoint_defaults_off(self):
+        args = build_parser().parse_args(["forecast"])
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 50
+        assert args.resume is False
+
+    def test_resume_without_dir_rejected(self):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            main(["forecast", "--dataset", "15", "--length", "200",
+                  "--episodes", "1", "--iterations", "5", "--resume"])
+
 
 class TestExecution:
     def test_list_runs(self, capsys):
@@ -130,6 +151,25 @@ class TestExecution:
                 "online_step", "span"} <= kinds
         steps = [e for e in events if e["event"] == "online_step"]
         assert all("weights" in e and "seconds" in e for e in steps)
+
+    def test_forecast_checkpoints_and_resumes(self, capsys, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        argv = [
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--checkpoint-every", "20",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(checkpoint_dir.glob("train-*.json"))
+        assert list(checkpoint_dir.glob("rolling-*.json"))
+
+        # Resuming a finished run replays it entirely from snapshots.
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert ("EA-DRL RMSE" in second
+                and first.splitlines()[-1] == second.splitlines()[-1])
 
     def test_forecast_quiet_silences_info_logs(self, capsys, tmp_path):
         code = main([
