@@ -6,6 +6,7 @@ Four subcommands map to the main workflows::
     python -m repro.cli forecast --dataset 9      # fit EA-DRL, report RMSE
     python -m repro.cli table2 --datasets 1,4,9   # regenerate Table II
     python -m repro.cli fig2 --dataset 9          # regenerate Figure 2
+    python -m repro.cli serve --port 8321         # online forecasting service
 
 Every subcommand accepts ``--length/--episodes/--pool`` to trade speed
 against fidelity (see ``--help`` per subcommand).
@@ -79,6 +80,10 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-level", default=None,
                         choices=("debug", "info", "warning", "error"),
                         help="explicit log level (overrides -v/-q)")
+    parser.add_argument("--metrics-flush-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="republish --metrics-out/--trace sinks every "
+                             "SECONDS while running (default: only at exit)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="raise log verbosity (-v=debug for the CLI)")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -213,6 +218,68 @@ def cmd_export_data(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.core import EADRL, EADRLConfig
+    from repro.datasets import load
+    from repro.obs import get_logger
+    from repro.preprocessing import train_test_split
+    from repro.rl.ddpg import DDPGConfig
+    from repro.serving import (
+        ForecastHTTPServer,
+        ForecastService,
+        GracefulShutdown,
+        ModelBundle,
+        ServiceConfig,
+    )
+
+    logger = get_logger("cli")
+    series = load(args.dataset, n=args.length)
+    train, _ = train_test_split(series)
+    logger.info("fitting EA-DRL on dataset %d before serving", args.dataset)
+    model = EADRL(
+        pool_size=args.pool,
+        config=EADRLConfig(
+            episodes=args.episodes,
+            max_iterations=args.iterations,
+            ddpg=DDPGConfig(seed=args.seed),
+            executor=args.executor,
+            n_jobs=args.jobs,
+        ),
+    )
+    model.fit(train)
+    bundle = ModelBundle.from_estimator(
+        model,
+        mode=args.session_mode,
+        interval=args.session_interval,
+    )
+    service = ForecastService(bundle, ServiceConfig(
+        max_sessions=args.max_sessions,
+        spill_dir=args.spill_dir,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+        batch_wait=args.batch_wait,
+        batch_size=args.batch_size,
+        n_jobs=args.jobs,
+    ))
+    server = ForecastHTTPServer(
+        service, host=args.host, port=args.port
+    ).start()
+    host, port = server.address
+    print(f"forecast service on http://{host}:{port} "
+          f"(SIGINT/SIGTERM for graceful shutdown)")
+    # The main thread parks on the latch; the first signal wakes it and
+    # the drain below flushes session checkpoints and telemetry sinks.
+    latch = GracefulShutdown().install()
+    latch.on_shutdown(server.shutdown)
+    try:
+        latch.wait()
+        logger.info("shutting down (%s)", latch.signal_name)
+        latch.drain()
+    finally:
+        latch.restore()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -282,6 +349,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--length", type=int, default=None)
     p_export.set_defaults(func=cmd_export_data)
 
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="fit EA-DRL and serve multi-tenant online forecasts over HTTP",
+    )
+    p_serve.add_argument("--dataset", type=int, default=9,
+                         help="dataset the served policy is fitted on")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--max-sessions", type=int, default=128,
+                         help="resident-session bound; excess sessions "
+                              "spill to --spill-dir (default 128)")
+    p_serve.add_argument("--spill-dir", default=None, metavar="DIR",
+                         help="checkpoint directory for evicted sessions "
+                              "(default: fresh temp dir)")
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         help="admission bound: requests beyond this get "
+                              "HTTP 429 (default 256)")
+    p_serve.add_argument("--deadline", type=float, default=2.0,
+                         help="per-request latency budget in seconds; "
+                              "missed deadlines get HTTP 503 (default 2)")
+    p_serve.add_argument("--batch-wait", type=float, default=0.002,
+                         help="micro-batch coalescing window in seconds "
+                              "(default 0.002)")
+    p_serve.add_argument("--batch-size", type=int, default=16,
+                         help="largest micro-batch (default 16)")
+    p_serve.add_argument("--session-mode", default="drift",
+                         choices=("periodic", "drift", "none"),
+                         help="per-session policy-update trigger "
+                              "(default drift)")
+    p_serve.add_argument("--session-interval", type=int, default=25,
+                         help="steps between periodic updates (default 25)")
+    _add_scale_arguments(p_serve)
+    _add_telemetry_arguments(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     return parser
 
 
@@ -301,10 +404,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if metrics_out or trace:
         obs.configure(obs.TelemetryConfig(
             metrics_path=metrics_out, trace_path=trace,
+            flush_interval=getattr(args, "metrics_flush_interval", None),
         ))
+    latch = None
+    if args.command != "serve":
+        # Long fit/forecast runs: treat SIGTERM like Ctrl-C so the
+        # except/finally below flush telemetry sinks; the crash-safe
+        # loop checkpoints already persist forecast state continuously.
+        from repro.serving import GracefulShutdown
+
+        latch = GracefulShutdown(interrupt=True).install()
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        signal_name = latch.signal_name if latch is not None else None
+        obs.OBS.emit(
+            "service_shutdown",
+            reason="signal",
+            signal=signal_name or "KeyboardInterrupt",
+        )
+        obs.get_logger("cli").warning(
+            "interrupted (%s); flushed checkpoints and telemetry sinks",
+            signal_name or "KeyboardInterrupt",
+        )
+        return 130
     finally:
+        if latch is not None:
+            latch.restore()
         obs.shutdown()
 
 

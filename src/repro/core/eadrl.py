@@ -37,7 +37,6 @@ from repro.core.config import EADRLConfig
 from repro.exceptions import (
     ConfigurationError,
     DataValidationError,
-    EnsembleUnavailableError,
     NotFittedError,
     SerializationError,
 )
@@ -57,7 +56,7 @@ from repro.runtime import (
     LoopCheckpointer,
     PoolHealth,
     TrainingCheckpointer,
-    renormalise_healthy,
+    combine_masked,
 )
 
 _LOG = get_logger("eadrl")
@@ -258,18 +257,11 @@ class EADRL:
     def _combine_masked(self, scaled_row, weights, mask, step):
         """Combine one prediction row, degrading over unhealthy members.
 
-        Returns ``(scaled_output, effective_weights)``. With a fully
-        healthy row this is exactly ``scaled_row @ weights`` (bit-for-bit
-        the unguarded behaviour); otherwise quarantined members are
-        zero-weighted and the rest renormalised on the simplex. Raises
-        :class:`EnsembleUnavailableError` when no member is healthy.
+        Delegates to :func:`repro.runtime.combine_masked` — the single
+        masked-combine code path shared with the serving step API
+        (:class:`repro.serving.SeriesSession`).
         """
-        if mask.all():
-            return float(scaled_row @ weights), weights
-        if not mask.any():
-            raise EnsembleUnavailableError(step)
-        w = renormalise_healthy(weights, mask)
-        return float(np.where(mask, scaled_row, 0.0) @ w), w
+        return combine_masked(scaled_row, weights, mask, step)
 
     # ------------------------------------------------------------------
     def fit(self, train_series: np.ndarray) -> "EADRL":
@@ -637,9 +629,14 @@ class EADRL:
         Non-finite cells in ``predictions`` are treated as unhealthy
         members for that step (weights renormalised over the rest, the
         transition stored with the realised weights).
-        """
-        from repro.baselines.drift import PageHinkley
 
+        The per-step mechanics live in
+        :class:`repro.serving.session.SeriesSession`; this method drives
+        one session over the matrix, adding the batch conveniences
+        (telemetry, crash-safe loop checkpoints, weight logging). Batch
+        and step-API outputs are bit-identical by construction — the
+        loop below *is* the step API.
+        """
         if mode not in ("periodic", "drift", "none"):
             raise ConfigurationError(
                 f"mode must be 'periodic', 'drift' or 'none', got {mode!r}"
@@ -668,21 +665,22 @@ class EADRL:
         if boot.shape[0] < omega:
             raise DataValidationError(f"bootstrap matrix needs >= ω={omega} rows")
 
-        from repro.rl.mdp import Transition
-        from repro.rl.rewards import RankReward
+        from repro.serving.session import SeriesSession
 
-        reward_fn = _make_reward(self.config)
         n_members = predictions.shape[1]
-        healthy = np.isfinite(predictions)
-        scaled_predictions = self._scaler.transform(predictions)
-        scaled_truth = self._scaler.transform(truth)
-        scaled_boot = self._scaler.transform(boot[-omega:])
-        uniform = np.full(n_members, 1.0 / n_members)
-        state = scaled_boot @ uniform
-        detector = PageHinkley(delta=0.05, threshold=3.0)
+        session = SeriesSession(
+            self.agent,
+            self._scaler,
+            window=omega,
+            n_members=n_members,
+            reward_fn=_make_reward(self.config),
+            bootstrap_matrix=boot,
+            mode=mode,
+            interval=int(interval),
+            updates_per_trigger=int(updates_per_trigger),
+        )
         outputs = np.empty(predictions.shape[0])
         weight_log = np.empty_like(predictions)
-        steps_since_update = 0
         checkpointer = self._loop_checkpointer(
             "online", n_members, predictions.shape[0],
             mode=mode, interval=int(interval),
@@ -693,88 +691,55 @@ class EADRL:
         if snapshot is not None:
             # The agent keeps learning in this loop, so its full state
             # (networks, Adam moments, replay ring, RNG/noise) is part
-            # of the snapshot alongside the loop window.
+            # of the snapshot alongside the loop window. The session's
+            # reward ring is re-derived from the raw matrix tail.
             first = int(snapshot.meta["next_step"])
-            state = snapshot.arrays["loop.state"].copy()
             outputs[:first] = snapshot.arrays["loop.outputs"]
             weight_log[:first] = snapshot.arrays["loop.weights"]
-            steps_since_update = int(snapshot.meta["steps_since_update"])
-            detector.restore_checkpoint_state(snapshot.meta["detector"])
             self.agent.restore_checkpoint_state(
                 _strip_prefix("agent", snapshot.arrays),
                 snapshot.meta["agent"],
             )
+            ring_lo = max(0, first - omega)
+            session.restore_loop_state(
+                state=snapshot.arrays["loop.state"],
+                next_step=first,
+                steps_since_update=int(snapshot.meta["steps_since_update"]),
+                detector_state=snapshot.meta["detector"],
+                recent_rows=predictions[ring_lo:first],
+                recent_truths=truth[ring_lo:first],
+            )
         with OBS.span("eadrl.rolling_forecast_online"):
             for i in range(first, predictions.shape[0]):
-                step_reward = step_rank = None
                 with OBS.span("online.step") as step_span:
-                    weights = self.agent.policy_weights(state)
-                    scaled_out, weights = self._combine_masked(
-                        scaled_predictions[i], weights, healthy[i], i
-                    )
-                    weight_log[i] = weights
-                    outputs[i] = self._scaler.inverse_transform(scaled_out)
-
-                    # Once ω true values have been observed, score the
-                    # action the same way the offline MDP does and store
-                    # the transition. Degraded windows (any non-finite
-                    # prediction) are skipped — fallback rows would
-                    # poison the replay buffer.
-                    if i >= omega and healthy[i - omega : i].all():
-                        recent_preds = scaled_predictions[i - omega : i]
-                        recent_truth = scaled_truth[i - omega : i]
-                        reward = reward_fn(recent_preds, recent_truth, weights)
-                        next_state = np.append(state[1:], scaled_out)
-                        self.agent.buffer.push(
-                            Transition(state, weights, reward, next_state, False)
-                        )
-                        step_reward = float(reward)
-                        if isinstance(reward_fn, RankReward):
-                            # Invert Eq. 3: r = m + 1 − ρ(f̄).
-                            step_rank = int(round(n_members + 1 - reward))
-
-                    state = np.append(state[1:], scaled_out)
-                    steps_since_update += 1
-
-                    error = abs(float(outputs[i]) - float(truth[i]))
-                    drifted = detector.update(error)
-                    periodic_due = (
-                        mode == "periodic" and steps_since_update >= interval
-                    )
-                    drift_due = mode == "drift" and drifted
-                    if periodic_due or drift_due:
-                        _LOG.debug(
-                            "online policy update at step %d (%s trigger)",
-                            i, "drift" if drift_due else "periodic",
-                        )
-                        for _ in range(updates_per_trigger):
-                            self.agent.update()
-                        steps_since_update = 0
+                    outputs[i] = session.forecast_step(predictions[i])
+                    weight_log[i] = session.last_weights
+                    session.feedback(truth[i])
                 node = step_span.node
                 if node is not None:
                     self._record_step(
                         "online", i, float(outputs[i]), weight_log[i],
-                        node.duration, reward=step_reward,
-                        ensemble_rank=step_rank,
+                        node.duration, reward=session.last_reward,
+                        ensemble_rank=session.last_rank,
                     )
                     registry = OBS.registry
-                    if drifted:
+                    if session.last_drifted:
                         registry.counter(
                             "repro_online_drift_events_total"
                         ).inc()
-                    if periodic_due or drift_due:
+                    if session.last_update_trigger is not None:
                         registry.counter(
                             "repro_online_policy_updates_total"
                         ).inc(updates_per_trigger)
                         OBS.emit(
                             "policy_update", step=i,
-                            trigger="drift" if drift_due else "periodic",
+                            trigger=session.last_update_trigger,
                             updates=updates_per_trigger,
                         )
                 if checkpointer is not None and checkpointer.due(i):
                     agent_arrays, agent_meta = self.agent.checkpoint_state()
                     arrays = _prefixed("agent", agent_arrays)
-                    arrays["loop.state"] = state
+                    arrays["loop.state"] = session.state
                     arrays["loop.outputs"] = outputs[: i + 1]
                     arrays["loop.weights"] = weight_log[: i + 1]
                     checkpointer.after_step(
@@ -782,13 +747,84 @@ class EADRL:
                         arrays,
                         {
                             "agent": agent_meta,
-                            "steps_since_update": steps_since_update,
-                            "detector": detector.checkpoint_state(),
+                            "steps_since_update": session.steps_since_update,
+                            "detector": session.detector.checkpoint_state(),
                         },
                     )
         if return_weights:
             return outputs, weight_log
         return outputs
+
+    def online_session(
+        self,
+        *,
+        mode: str = "periodic",
+        interval: int = 25,
+        updates_per_trigger: int = 10,
+        bootstrap_predictions: Optional[np.ndarray] = None,
+        history: Optional[np.ndarray] = None,
+        agent=None,
+        session_id: Optional[str] = None,
+    ):
+        """A live :class:`~repro.serving.session.SeriesSession` on this policy.
+
+        The step-API twin of :meth:`rolling_forecast_online`:
+        ``session.observe(y_t)`` closes the previous forecast with its
+        realised value (feeding the MDP transition, drift detector, and
+        policy-update triggers) and returns the forecast for the next
+        step. Two flavours:
+
+        - **matrix mode** (default) — mirrors
+          :meth:`rolling_forecast_online`: requires a policy trained via
+          :meth:`fit_policy_from_matrix` (or explicit
+          ``bootstrap_predictions``), and the caller passes each step's
+          base-model prediction row to ``observe``. Feeding the same
+          rows/truths produces bit-identical outputs to the batch
+          method.
+        - **pool mode** — pass ``history`` (true values, at least
+          ``pool.max_min_context() + ω`` long) after :meth:`fit`; the
+          session queries the fitted pool itself each step.
+
+        ``agent`` defaults to this estimator's own agent (the session
+        keeps training it in place); the serving layer passes per-tenant
+        clones instead.
+        """
+        from repro.serving.session import SeriesSession
+
+        agent = agent if agent is not None else self.agent
+        if agent is None:
+            raise NotFittedError(type(self).__name__)
+        omega = self.config.window
+        pool = None
+        if history is not None:
+            self._check_fitted()
+            history = validate_series(
+                history, min_length=self.pool.max_min_context() + omega
+            )
+            pool = self.pool
+            boot = pool.prediction_matrix(history, history.size - omega)
+        else:
+            if not self._fitted_from_matrix and bootstrap_predictions is None:
+                raise NotFittedError(type(self).__name__)
+            boot = (
+                np.asarray(bootstrap_predictions, dtype=np.float64)
+                if bootstrap_predictions is not None
+                else self._matrix_bootstrap
+            )
+        return SeriesSession(
+            agent,
+            self._scaler,
+            window=omega,
+            n_members=boot.shape[1],
+            reward_fn=_make_reward(self.config),
+            bootstrap_matrix=boot,
+            mode=mode,
+            interval=interval,
+            updates_per_trigger=updates_per_trigger,
+            pool=pool,
+            history=history,
+            session_id=session_id,
+        )
 
     # ------------------------------------------------------------------
     def timed_rolling_forecast(self, series: np.ndarray, start: int):

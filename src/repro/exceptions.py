@@ -91,6 +91,64 @@ class CheckpointCorruptError(CheckpointError):
     """
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the online forecasting service."""
+
+
+class SessionNotFoundError(ServingError, KeyError):
+    """A request named a session the service does not know about."""
+
+    def __init__(self, session_id: str):
+        Exception.__init__(
+            self, f"no such forecasting session: {session_id!r}"
+        )
+        self.session_id = session_id
+
+    # KeyError.__str__ repr()s its argument; keep normal formatting.
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class SessionExistsError(ServingError):
+    """A create request named a session id that is already live."""
+
+    def __init__(self, session_id: str):
+        super().__init__(
+            f"forecasting session already exists: {session_id!r}"
+        )
+        self.session_id = session_id
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control rejected a request (bounded queue full).
+
+    Maps to HTTP 429: the client should back off and retry.
+    """
+
+    def __init__(self, queue_depth: int, queue_limit: int):
+        super().__init__(
+            f"request queue is full ({queue_depth}/{queue_limit}); "
+            "back off and retry"
+        )
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+
+class DeadlineExceededError(ServingError):
+    """A request spent longer than its deadline budget (HTTP 503)."""
+
+    def __init__(self, deadline: float):
+        super().__init__(
+            f"request exceeded its {deadline:.3f}s deadline before "
+            "completing"
+        )
+        self.deadline = deadline
+
+
+class ServiceUnavailableError(ServingError):
+    """The service refused a request (circuit open or shutting down)."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped before reaching its tolerance."""
 

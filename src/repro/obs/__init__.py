@@ -33,6 +33,7 @@ from repro.obs.sinks import JsonlSink, MemorySink, PromTextSink, Sink
 from repro.obs.spans import SpanNode, SpanTracker
 from repro.obs.telemetry import (
     OBS,
+    PeriodicFlusher,
     Telemetry,
     TelemetryConfig,
     configure,
@@ -50,6 +51,7 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "OBS",
+    "PeriodicFlusher",
     "PromTextSink",
     "Sink",
     "SpanNode",

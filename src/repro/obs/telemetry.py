@@ -60,12 +60,19 @@ class TelemetryConfig:
     log_level:
         When set (``"debug"``/``"info"``/``"warning"``/``"error"``),
         :func:`repro.obs.configure_logging` is invoked at activation.
+    flush_interval:
+        When set (seconds, > 0), a :class:`PeriodicFlusher` daemon
+        thread calls :meth:`Telemetry.flush` — which drives
+        ``Sink.write_metrics`` on every sink — at this period, so
+        long-lived processes (the forecasting service) publish metrics
+        continuously instead of only at shutdown.
     """
 
     enabled: bool = True
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
     log_level: Optional[str] = None
+    flush_interval: Optional[float] = None
 
     def validate(self) -> None:
         if self.log_level is not None and self.log_level.lower() not in LEVELS:
@@ -73,6 +80,52 @@ class TelemetryConfig:
                 f"log_level must be one of {sorted(LEVELS)}, "
                 f"got {self.log_level!r}"
             )
+        if self.flush_interval is not None and self.flush_interval <= 0:
+            raise ConfigurationError(
+                f"flush_interval must be > 0 seconds, "
+                f"got {self.flush_interval}"
+            )
+
+
+class PeriodicFlusher(threading.Thread):
+    """Daemon thread flushing a telemetry session at a fixed period.
+
+    Each tick calls :meth:`Telemetry.flush`, which pushes the current
+    registry state through ``Sink.write_metrics`` and flushes buffered
+    event output — a :class:`~repro.obs.sinks.PromTextSink` therefore
+    republishes its exposition file continuously, not only at process
+    end. Started by :meth:`Telemetry.configure` when
+    ``TelemetryConfig.flush_interval`` is set (or constructed directly
+    around any sink set); stopped by :meth:`Telemetry.shutdown`.
+    """
+
+    def __init__(self, telemetry: "Telemetry", interval: float):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"flusher interval must be > 0, got {interval}"
+            )
+        super().__init__(name="repro-obs-flusher", daemon=True)
+        self.interval = float(interval)
+        self.flush_count = 0
+        self._telemetry = telemetry
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                self._telemetry.flush()
+                self.flush_count += 1
+            except Exception:  # pragma: no cover - never kill the app
+                # A failing sink must not take the flusher thread down;
+                # the final shutdown flush will surface persistent
+                # problems to the caller.
+                pass
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread to exit and join it (idempotent)."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=timeout)
 
 
 class Telemetry:
@@ -85,6 +138,7 @@ class Telemetry:
         self._seq = 0
         self._lock = threading.Lock()
         self._spans = SpanTracker(self._finish_root_span, self._close_span)
+        self._flusher: Optional[PeriodicFlusher] = None
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -111,6 +165,10 @@ class Telemetry:
         self.sinks = new_sinks
         self._seq = 0
         self.enabled = enabled
+        interval = config.flush_interval if config is not None else None
+        if enabled and interval is not None and self.sinks:
+            self._flusher = PeriodicFlusher(self, interval)
+            self._flusher.start()
         return self
 
     def shutdown(self) -> None:
@@ -120,6 +178,9 @@ class Telemetry:
         values after shutdown. Safe to call when never configured.
         """
         self.enabled = False
+        flusher, self._flusher = self._flusher, None
+        if flusher is not None:
+            flusher.stop()
         sinks, self.sinks = self.sinks, []
         for sink in sinks:
             sink.write_metrics(self.registry)

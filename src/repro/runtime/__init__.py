@@ -40,7 +40,11 @@ from repro.runtime.executor import (
     coerce_executor,
     run_ordered,
 )
-from repro.runtime.guards import GuardedForecaster, renormalise_healthy
+from repro.runtime.guards import (
+    GuardedForecaster,
+    combine_masked,
+    renormalise_healthy,
+)
 from repro.runtime.health import (
     FailureEvent,
     MemberHealth,
@@ -65,6 +69,7 @@ __all__ = [
     "TransitionEvent",
     "available_workers",
     "coerce_executor",
+    "combine_masked",
     "renormalise_healthy",
     "run_ordered",
 ]

@@ -62,6 +62,33 @@ def renormalise_healthy(weights: np.ndarray, mask: np.ndarray) -> np.ndarray:
     return w / total
 
 
+def combine_masked(
+    scaled_row: np.ndarray,
+    weights: np.ndarray,
+    mask: np.ndarray,
+    step: int,
+) -> Tuple[float, np.ndarray]:
+    """Combine one prediction row, degrading over unhealthy members.
+
+    Returns ``(scaled_output, effective_weights)``. With a fully healthy
+    row this is exactly ``scaled_row @ weights`` (bit-for-bit the
+    unguarded behaviour); otherwise quarantined members are
+    zero-weighted and the rest renormalised on the simplex. Raises
+    :class:`~repro.exceptions.EnsembleUnavailableError` when no member
+    is healthy. Shared by every EADRL online loop and by
+    :class:`repro.serving.SeriesSession` so batch and step-API
+    forecasting stay bit-identical.
+    """
+    from repro.exceptions import EnsembleUnavailableError
+
+    if mask.all():
+        return float(scaled_row @ weights), weights
+    if not mask.any():
+        raise EnsembleUnavailableError(step)
+    w = renormalise_healthy(weights, mask)
+    return float(np.where(mask, scaled_row, 0.0) @ w), w
+
+
 class GuardedForecaster(Forecaster):
     """Fault-isolation wrapper around one pool member.
 

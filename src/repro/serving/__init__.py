@@ -1,0 +1,45 @@
+"""Multi-tenant online forecasting service (paper Alg. 1 as a server).
+
+Hosts many concurrent EA-DRL online-forecasting sessions in one
+process, stdlib + numpy only:
+
+- :class:`SeriesSession` — per-series resumable online state; the
+  ``observe(y_t) -> forecast`` step API that
+  :meth:`repro.core.EADRL.rolling_forecast_online` also drives (one
+  shared code path, bit-identical outputs);
+- :class:`ModelBundle` — fitted artefacts shared across tenants plus
+  per-session policy-agent cloning;
+- :class:`SessionStore` — bounded LRU with checkpoint-backed spill to
+  disk; eviction + re-admission is bit-identical;
+- :class:`MicroBatcher` — coalesces concurrent one-step requests and
+  fans them through :mod:`repro.runtime.executor`;
+- :class:`ForecastService` — the transport-agnostic core with admission
+  control, per-request deadlines, and a service circuit breaker;
+- :class:`ForecastHTTPServer` — stdlib JSON-over-HTTP frontend
+  (``repro serve``);
+- :class:`GracefulShutdown` — SIGTERM/SIGINT latch flushing checkpoints
+  and telemetry sinks.
+
+See ``docs/serving.md`` for architecture, protocol, and a runbook.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.bundle import ModelBundle, session_seed
+from repro.serving.http import ForecastHTTPServer
+from repro.serving.lifecycle import GracefulShutdown
+from repro.serving.service import ForecastService, ServiceConfig
+from repro.serving.session import SeriesSession
+from repro.serving.store import SessionStore, validate_session_id
+
+__all__ = [
+    "ForecastHTTPServer",
+    "ForecastService",
+    "GracefulShutdown",
+    "MicroBatcher",
+    "ModelBundle",
+    "SeriesSession",
+    "ServiceConfig",
+    "SessionStore",
+    "session_seed",
+    "validate_session_id",
+]

@@ -1,0 +1,234 @@
+"""Micro-batched request execution with bounded-queue admission control.
+
+Concurrent one-step requests land in a bounded queue; a single collector
+thread coalesces whatever arrives within a small time/size budget
+(``max_wait`` / ``max_batch``) into one batch and fans the work through
+:func:`repro.runtime.run_ordered`. Per-series sessions are independent,
+so a batch of requests for *different* sessions parallelises across the
+executor's workers; requests for the same session serialise on its lock.
+
+Backpressure is explicit and immediate:
+
+- queue full at submit time → :class:`ServiceOverloadedError` (HTTP 429,
+  the client should back off);
+- a request still queued past its deadline → its future fails with
+  :class:`DeadlineExceededError` (HTTP 503) *without* running, shedding
+  work the caller has already given up on;
+- after :meth:`close` the queue drains, then new submits are refused
+  with :class:`ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Optional
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.obs import OBS, get_logger
+from repro.runtime import ExecutorConfig, run_ordered
+
+_LOG = get_logger("serving.batcher")
+
+
+class _Request:
+    __slots__ = ("fn", "future", "deadline", "expires_at")
+
+    def __init__(self, fn, deadline: Optional[float]):
+        self.fn = fn
+        self.future: Future = Future()
+        self.deadline = deadline
+        self.expires_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+
+
+class _Failure:
+    """Wrapper carrying an exception through ``run_ordered`` results."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+def _call_request(fn: Callable[[], Any]):
+    # One failing request must not poison its batch-mates.
+    try:
+        return fn()
+    except BaseException as err:  # noqa: BLE001 - transported to the future
+        return _Failure(err)
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into executor-fanned micro-batches."""
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 16,
+        max_wait: float = 0.002,
+        queue_limit: int = 256,
+        executor: Optional[ExecutorConfig] = None,
+    ):
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if max_wait < 0:
+            raise ConfigurationError(
+                f"max_wait must be >= 0, got {max_wait}"
+            )
+        if queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.queue_limit = int(queue_limit)
+        self.executor = (
+            executor if executor is not None else ExecutorConfig("thread")
+        )
+        self._queue: "queue.Queue[_Request]" = queue.Queue(
+            maxsize=queue_limit
+        )
+        self._closing = threading.Event()
+        self.batches = 0
+        self.shed = 0
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serving-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, fn: Callable[[], Any], *, deadline: Optional[float] = None
+    ) -> Future:
+        """Enqueue ``fn`` for the next micro-batch; returns its future."""
+        if self._closing.is_set():
+            raise ServiceUnavailableError(
+                "batcher is shut down; refusing new work"
+            )
+        request = _Request(fn, deadline)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_serving_shed_total", {"reason": "queue_full"}
+                ).inc()
+            raise ServiceOverloadedError(
+                self._queue.qsize(), self.queue_limit
+            ) from None
+        if OBS.enabled:
+            OBS.registry.gauge("repro_serving_queue_depth").set(
+                float(self._queue.qsize())
+            )
+        return request.future
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> list:
+        """Block for one request, then coalesce within the wait budget."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return []
+        batch = [first]
+        horizon = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = horizon - time.monotonic()
+            if remaining <= 0:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+        return batch
+
+    def _dispatch(self, batch: list) -> None:
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                continue  # caller cancelled while queued
+            if request.expires_at is not None and now > request.expires_at:
+                self.shed += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "repro_serving_shed_total", {"reason": "deadline"}
+                    ).inc()
+                request.future.set_exception(
+                    DeadlineExceededError(request.deadline)
+                )
+                continue
+            live.append(request)
+        if not live:
+            return
+        self.batches += 1
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.histogram("repro_serving_batch_size").observe(
+                float(len(live))
+            )
+            registry.gauge("repro_serving_queue_depth").set(
+                float(self._queue.qsize())
+            )
+        results = run_ordered(
+            _call_request,
+            [(request.fn,) for request in live],
+            self.executor,
+        )
+        for request, result in zip(live, results):
+            if isinstance(result, _Failure):
+                request.future.set_exception(result.error)
+            else:
+                request.future.set_result(result)
+
+    def _run(self) -> None:
+        while not (self._closing.is_set() and self._queue.empty()):
+            batch = self._collect()
+            if not batch:
+                continue
+            try:
+                self._dispatch(batch)
+            except BaseException as err:  # noqa: BLE001 - keep serving
+                # A dispatch-level failure (executor refusal, ...) fails
+                # the whole batch but must not kill the collector.
+                _LOG.error("batch dispatch failed: %s", err)
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(err)
+        # Drain anything that raced past the closing check.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ServiceUnavailableError("batcher shut down")
+                )
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, finish the queue, join the collector."""
+        self._closing.set()
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():  # pragma: no cover - pathological
+            _LOG.warning("batcher collector did not exit within %.1fs",
+                         timeout)
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()

@@ -1,0 +1,217 @@
+"""Shared model artefacts + per-tenant session construction.
+
+A :class:`ModelBundle` packages everything the serving layer shares
+across tenants — the fitted base-forecaster pool, the offline scaler,
+and the trained policy networks — and manufactures per-series
+:class:`~repro.serving.session.SeriesSession` objects from them.
+
+Sharing vs owning is deliberate:
+
+- the **pool** and **scaler** are shared by every session: member
+  ``predict_next`` and scaler transforms are pure reads of fitted state,
+  safe under concurrent use (guarded/parallel pool wrappers mutate
+  shared health state and must not be served concurrently — use a plain
+  :class:`~repro.models.pool.ForecasterPool`);
+- each session **owns a clone of the policy agent** (network weights
+  copied from the trained template, fresh optimizer/replay/noise with a
+  per-session seed), so tenants adapt online independently and a
+  session's full learning state can be spilled to disk and restored
+  bit-identically.
+
+The clone's replay capacity defaults to 512 transitions instead of the
+offline 10 000: a full ring costs ~2.2 MB per session, which at hundreds
+of tenants dominates memory for no benefit — online updates sample from
+the recent window anyway.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.preprocessing.embedding import validate_series
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.serving.session import SeriesSession
+
+#: Default per-session replay capacity (vs 10 000 offline).
+SESSION_BUFFER_CAPACITY = 512
+
+
+def session_seed(session_id: str) -> int:
+    """Deterministic per-session RNG seed derived from the session id.
+
+    CRC32 keeps restarts reproducible: the same tenant id always gets
+    the same exploration/replay stream, so a recreated service produces
+    the same forecasts for the same inputs.
+    """
+    return zlib.crc32(session_id.encode("utf-8")) & 0x7FFFFFFF
+
+
+class ModelBundle:
+    """Fitted artefacts shared by every session of one deployment."""
+
+    def __init__(
+        self,
+        pool,
+        scaler,
+        template_agent: DDPGAgent,
+        *,
+        window: int,
+        reward_fn,
+        mode: str = "drift",
+        interval: int = 25,
+        updates_per_trigger: int = 10,
+        agent_config: Optional[DDPGConfig] = None,
+    ):
+        self.pool = pool
+        self.scaler = scaler
+        self.template_agent = template_agent
+        self.window = int(window)
+        self.n_members = len(pool.names)
+        self.reward_fn = reward_fn
+        self.mode = mode
+        self.interval = int(interval)
+        self.updates_per_trigger = int(updates_per_trigger)
+        self.agent_config = (
+            agent_config
+            if agent_config is not None
+            else replace(
+                template_agent.config,
+                buffer_capacity=SESSION_BUFFER_CAPACITY,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_estimator(
+        cls,
+        estimator,
+        *,
+        mode: str = "drift",
+        interval: int = 25,
+        updates_per_trigger: int = 10,
+        buffer_capacity: int = SESSION_BUFFER_CAPACITY,
+    ) -> "ModelBundle":
+        """Build a bundle from a fitted :class:`repro.core.EADRL`."""
+        from repro.core.eadrl import _make_reward
+
+        if estimator.agent is None or estimator.pool is None:
+            raise ConfigurationError(
+                "ModelBundle requires an EADRL fitted with fit() — both "
+                "the pool and the policy must exist"
+            )
+        return cls(
+            estimator.pool,
+            estimator._scaler,
+            estimator.agent,
+            window=estimator.config.window,
+            reward_fn=_make_reward(estimator.config),
+            mode=mode,
+            interval=interval,
+            updates_per_trigger=updates_per_trigger,
+            agent_config=replace(
+                estimator.agent.config, buffer_capacity=buffer_capacity
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def min_history(self) -> int:
+        """Shortest admissible initial history for a new session."""
+        return self.pool.max_min_context() + self.window
+
+    def _clone_agent(self, seed: int) -> DDPGAgent:
+        """Fresh agent with the template's network weights.
+
+        Networks (actor/critic + targets, twin critic when present) copy
+        the trained parameters; optimizer moments, replay ring, RNG and
+        exploration noise start clean under the per-session seed.
+        """
+        agent = DDPGAgent(
+            self.template_agent.state_dim,
+            self.template_agent.action_dim,
+            replace(self.agent_config, seed=int(seed)),
+        )
+        agent.actor.copy_from(self.template_agent.actor)
+        agent.critic.copy_from(self.template_agent.critic)
+        agent.target_actor.copy_from(self.template_agent.target_actor)
+        agent.target_critic.copy_from(self.template_agent.target_critic)
+        if agent.critic2 is not None and self.template_agent.critic2 is not None:
+            agent.critic2.copy_from(self.template_agent.critic2)
+            agent.target_critic2.copy_from(self.template_agent.target_critic2)
+        return agent
+
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        session_id: str,
+        history: np.ndarray,
+        *,
+        mode: Optional[str] = None,
+        interval: Optional[int] = None,
+        updates_per_trigger: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> SeriesSession:
+        """New pool-mode session bootstrapped from a true-value history."""
+        history = validate_series(history, min_length=self.min_history())
+        boot = self.pool.prediction_matrix(
+            history, history.size - self.window
+        )
+        return SeriesSession(
+            self._clone_agent(
+                seed if seed is not None else session_seed(session_id)
+            ),
+            self.scaler,
+            window=self.window,
+            n_members=self.n_members,
+            reward_fn=self.reward_fn,
+            bootstrap_matrix=boot,
+            mode=mode if mode is not None else self.mode,
+            interval=interval if interval is not None else self.interval,
+            updates_per_trigger=(
+                updates_per_trigger
+                if updates_per_trigger is not None
+                else self.updates_per_trigger
+            ),
+            pool=self.pool,
+            history=history,
+            session_id=session_id,
+        )
+
+    def restore_session(
+        self, session_id: str, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> SeriesSession:
+        """Rebuild a spilled session from its checkpoint snapshot.
+
+        A skeleton session (zero bootstrap) is constructed with the
+        snapshot's own trigger configuration, then every piece of live
+        state — window, rings, detector, pending forecast, history, and
+        the full agent — is overwritten from the snapshot, making the
+        result bit-identical to the session that was spilled.
+        """
+        if int(meta["n_members"]) != self.n_members:
+            raise DataValidationError(
+                f"snapshot for {session_id!r} has {meta['n_members']} "
+                f"members; this bundle serves {self.n_members}"
+            )
+        skeleton = SeriesSession(
+            self._clone_agent(session_seed(session_id)),
+            self.scaler,
+            window=int(meta["window"]),
+            n_members=self.n_members,
+            reward_fn=self.reward_fn,
+            bootstrap_matrix=np.zeros(
+                (int(meta["window"]), self.n_members)
+            ),
+            mode=meta["mode"],
+            interval=int(meta["interval"]),
+            updates_per_trigger=int(meta["updates_per_trigger"]),
+            pool=self.pool,
+            history=np.zeros(1),
+            session_id=session_id,
+        )
+        skeleton.restore_checkpoint_state(arrays, meta)
+        return skeleton

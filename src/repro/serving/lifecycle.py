@@ -1,0 +1,141 @@
+"""Graceful-shutdown signal plumbing for long-running commands.
+
+:class:`GracefulShutdown` latches SIGTERM/SIGINT into a
+:class:`threading.Event`, so ``repro serve`` (and long ``repro
+forecast`` runs) can flush session checkpoints and telemetry sinks
+instead of dying mid-write. Two usage shapes:
+
+- **event-loop shape** (``repro serve``): the main thread blocks on
+  :meth:`wait` while worker threads serve traffic; on signal the wait
+  returns and the main thread runs :meth:`drain` — registered flush
+  callbacks execute in ordinary thread context, never inside the signal
+  handler (where arbitrary locks may be mid-acquire).
+- **busy-loop shape** (``repro forecast``): construct with
+  ``interrupt=True``; the first signal raises :class:`KeyboardInterrupt`
+  in the main thread (the standard Ctrl-C mechanism, which SIGTERM now
+  shares), unwinding the forecast loop into the CLI's ``finally`` block
+  where sinks are flushed. Crash-safe loop checkpoints mean no forecast
+  state is lost either way.
+
+A second signal falls through to the previous handler (normally: die
+hard), so an operator can still force-kill a wedged flush. Handlers must
+be installed from the main thread (a CPython restriction);
+:meth:`install` becomes a no-op elsewhere so library code can use the
+class unconditionally.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, List, Optional
+
+from repro.obs import OBS, get_logger
+
+_LOG = get_logger("serving.lifecycle")
+
+_DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulShutdown:
+    """One-shot shutdown latch wired to process signals."""
+
+    def __init__(self, signals=_DEFAULT_SIGNALS, interrupt: bool = False):
+        self.signals = tuple(signals)
+        self.interrupt = bool(interrupt)
+        self.triggered = threading.Event()
+        self.signal_name: Optional[str] = None
+        self._callbacks: List[Callable[[], None]] = []
+        self._previous: dict = {}
+        self._installed = False
+        self._drained = False
+        self._drain_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def install(self) -> "GracefulShutdown":
+        """Install handlers (main thread only; no-op elsewhere)."""
+        if threading.current_thread() is not threading.main_thread():
+            _LOG.debug(
+                "not installing signal handlers outside the main thread"
+            )
+            return self
+        for signum in self.signals:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        self._installed = True
+        return self
+
+    def restore(self) -> None:
+        """Put the previous signal handlers back (idempotent)."""
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.restore()
+
+    # ------------------------------------------------------------------
+    def on_shutdown(self, callback: Callable[[], None]) -> None:
+        """Register a flush callback for :meth:`drain`."""
+        self._callbacks.append(callback)
+
+    def request(self, reason: str = "manual") -> None:
+        """Trigger the latch programmatically (tests, admin endpoints)."""
+        if self.signal_name is None:
+            self.signal_name = reason
+        self.triggered.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown has been requested."""
+        return self.triggered.wait(timeout)
+
+    @property
+    def requested(self) -> bool:
+        return self.triggered.is_set()
+
+    def drain(self) -> None:
+        """Run the flush callbacks once, in registration order.
+
+        Callback failures are logged and skipped — a broken sink must
+        not stop session checkpoints from flushing. Emits the
+        ``service_shutdown_signal`` telemetry event afterwards.
+        """
+        with self._drain_lock:
+            if self._drained:
+                return
+            self._drained = True
+        for callback in self._callbacks:
+            try:
+                callback()
+            except Exception as err:  # noqa: BLE001 - flush what we can
+                _LOG.error("shutdown callback failed: %r", err)
+        if OBS.enabled:
+            OBS.emit(
+                "service_shutdown_signal",
+                signal=self.signal_name or "unknown",
+            )
+
+    # ------------------------------------------------------------------
+    def _handle(self, signum, frame) -> None:
+        name = signal.Signals(signum).name
+        if self.triggered.is_set():
+            # Second signal: restore and re-deliver so a stuck flush can
+            # still be interrupted the ordinary way.
+            _LOG.warning("second %s; falling through to default", name)
+            previous = self._previous.get(signum, signal.SIG_DFL)
+            signal.signal(signum, previous)
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.raise_signal(signum)
+            return
+        self.signal_name = name
+        self.triggered.set()
+        _LOG.info("received %s; beginning graceful shutdown", name)
+        if self.interrupt:
+            raise KeyboardInterrupt(name)

@@ -1,0 +1,357 @@
+"""Transport-agnostic multi-tenant online forecasting service.
+
+:class:`ForecastService` composes the serving subsystem — the shared
+:class:`~repro.serving.bundle.ModelBundle`, the LRU
+:class:`~repro.serving.store.SessionStore`, and the
+:class:`~repro.serving.batcher.MicroBatcher` — behind five operations
+(``create_session``, ``observe``, ``predict``, ``close_session``,
+``session_info``) plus ``health``/``stats``. The HTTP frontend
+(:mod:`repro.serving.http`) and in-process callers (the benchmark, the
+tests) speak to the same object, so admission control, the circuit
+breaker, and the metrics are exercised identically in both.
+
+Failure taxonomy (the HTTP layer maps these one-to-one onto status
+codes):
+
+- :class:`ServiceOverloadedError` — bounded queue full, HTTP 429;
+- :class:`DeadlineExceededError` — request missed its latency budget,
+  HTTP 503;
+- :class:`ServiceUnavailableError` — circuit open or shutting down,
+  HTTP 503;
+- :class:`SessionNotFoundError` / :class:`SessionExistsError` — 404/409;
+- :class:`DataValidationError`/:class:`ConfigurationError` — 400.
+
+The circuit breaker counts only *internal* errors (bugs, corrupt
+snapshots) — overload, deadlines, and client mistakes never trip it, so
+a misbehaving client cannot blacken the service for everyone else.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    ServiceUnavailableError,
+    ServingError,
+)
+from repro.obs import OBS, get_logger
+from repro.runtime import BreakerState, CircuitBreaker, ExecutorConfig
+from repro.serving.batcher import MicroBatcher
+from repro.serving.store import SessionStore
+
+_LOG = get_logger("serving.service")
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of the forecasting service.
+
+    Attributes
+    ----------
+    max_sessions:
+        Resident-session bound of the LRU store; excess sessions spill
+        to ``spill_dir``.
+    spill_dir:
+        Checkpoint directory for evicted sessions. ``None`` creates a
+        fresh temporary directory (sessions then do not survive a
+        process restart).
+    queue_limit:
+        Admission bound: requests beyond this are rejected immediately
+        with :class:`ServiceOverloadedError`.
+    deadline:
+        Per-request latency budget in seconds; requests that cannot
+        start (or finish) within it fail with
+        :class:`DeadlineExceededError`.
+    batch_wait / batch_size:
+        Micro-batch coalescing budget: how long the collector waits for
+        company and the largest batch it forms.
+    executor / n_jobs:
+        Backend fanning a batch across sessions
+        (:class:`repro.runtime.ExecutorConfig` semantics; processes are
+        rejected — sessions are stateful and must stay in-process).
+    breaker_threshold / breaker_cooldown:
+        Consecutive internal errors tripping the service breaker, and
+        the denied-call count absorbed before a half-open probe.
+    """
+
+    max_sessions: int = 128
+    spill_dir: Optional[str] = None
+    queue_limit: int = 256
+    deadline: float = 2.0
+    batch_wait: float = 0.002
+    batch_size: int = 16
+    executor: str = "thread"
+    n_jobs: Optional[int] = None
+    breaker_threshold: int = 5
+    breaker_cooldown: int = 50
+
+    def validate(self) -> None:
+        if self.max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0 seconds, got {self.deadline}"
+            )
+        if self.executor == "process":
+            raise ConfigurationError(
+                "executor='process' is not supported: sessions are "
+                "stateful and must stay in-process; use 'thread'"
+            )
+        ExecutorConfig(self.executor, self.n_jobs).validate()
+        if self.breaker_threshold < 1 or self.breaker_cooldown < 1:
+            raise ConfigurationError(
+                "breaker_threshold and breaker_cooldown must be >= 1"
+            )
+
+
+class ForecastService:
+    """Multi-tenant online forecasting core (transport-agnostic)."""
+
+    def __init__(self, bundle, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.config.validate()
+        spill_dir = self.config.spill_dir
+        if spill_dir is None:
+            spill_dir = tempfile.mkdtemp(prefix="repro-serving-")
+            _LOG.info("no spill_dir configured; using %s", spill_dir)
+        self.store = SessionStore(
+            bundle,
+            capacity=self.config.max_sessions,
+            spill_dir=spill_dir,
+        )
+        self.batcher = MicroBatcher(
+            max_batch=self.config.batch_size,
+            max_wait=self.config.batch_wait,
+            queue_limit=self.config.queue_limit,
+            executor=ExecutorConfig(self.config.executor, self.config.n_jobs),
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_steps=self.config.breaker_cooldown,
+            on_transition=self._on_breaker_transition,
+        )
+        self._breaker_lock = threading.Lock()
+        self._shutting_down = threading.Event()
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    def _on_breaker_transition(self, old, new) -> None:
+        _LOG.warning("service breaker %s -> %s", old.value, new.value)
+        if OBS.enabled:
+            OBS.emit(
+                "service_breaker", old=old.value, new=new.value
+            )
+            OBS.registry.gauge("repro_serving_breaker_open").set(
+                1.0 if new is BreakerState.OPEN else 0.0
+            )
+
+    def _admit(self) -> None:
+        if self._shutting_down.is_set():
+            raise ServiceUnavailableError(
+                "service is shutting down; refusing new requests"
+            )
+        with self._breaker_lock:
+            allowed = self.breaker.allow()
+        if not allowed:
+            raise ServiceUnavailableError(
+                "service circuit breaker is open (recent internal "
+                "errors); retry after cooldown"
+            )
+
+    def _observe_outcome(self, error: Optional[BaseException]) -> None:
+        """Feed the breaker: internal errors only, never client faults."""
+        if error is None:
+            with self._breaker_lock:
+                self.breaker.record_success()
+            return
+        internal = not isinstance(
+            error, (ServingError, DataValidationError, ConfigurationError)
+        )
+        if internal:
+            with self._breaker_lock:
+                self.breaker.record_failure()
+
+    def _timed(self, op: str, fn):
+        """Run one operation with request metrics + breaker accounting."""
+        start = time.perf_counter()
+        status = "ok"
+        try:
+            result = fn()
+            self._observe_outcome(None)
+            return result
+        except BaseException as err:
+            status = _status_label(err)
+            self._observe_outcome(err)
+            raise
+        finally:
+            if OBS.enabled:
+                registry = OBS.registry
+                registry.histogram(
+                    "repro_serving_request_seconds", {"op": op}
+                ).observe(time.perf_counter() - start)
+                registry.counter(
+                    "repro_serving_requests_total",
+                    {"op": op, "status": status},
+                ).inc()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def create_session(
+        self, session_id: str, history, **session_kwargs
+    ) -> Dict[str, Any]:
+        """Admit a new tenant series; returns its description."""
+        def run():
+            self._admit()
+            history_arr = np.asarray(history, dtype=np.float64)
+            session = self.store.create(
+                session_id, history_arr, **session_kwargs
+            )
+            return session.describe()
+
+        return self._timed("create", run)
+
+    def observe(self, session_id: str, value: float) -> Dict[str, Any]:
+        """Feed one realised value; returns the next-step forecast."""
+        def run():
+            self._admit()
+            future = self.batcher.submit(
+                lambda: self._observe_inner(session_id, value),
+                deadline=self.config.deadline,
+            )
+            try:
+                return future.result(timeout=self.config.deadline * 4)
+            except FutureTimeoutError:
+                future.cancel()
+                raise ServiceUnavailableError(
+                    "request did not complete within 4x its deadline"
+                ) from None
+
+        return self._timed("observe", run)
+
+    def _observe_inner(self, session_id: str, value: float) -> Dict[str, Any]:
+        with self.store.acquire(session_id) as session:
+            forecast = session.observe(float(value))
+            return {
+                "session": session_id,
+                "forecast": float(forecast),
+                "step": session.step,
+                "drift": session.last_drifted,
+                "policy_update": session.last_update_trigger,
+            }
+
+    def predict(self, session_id: str) -> Dict[str, Any]:
+        """Peek at the next-step forecast without advancing the session."""
+        def run():
+            self._admit()
+            future = self.batcher.submit(
+                lambda: self._predict_inner(session_id),
+                deadline=self.config.deadline,
+            )
+            return future.result(timeout=self.config.deadline * 4)
+
+        return self._timed("predict", run)
+
+    def _predict_inner(self, session_id: str) -> Dict[str, Any]:
+        with self.store.acquire(session_id) as session:
+            return {
+                "session": session_id,
+                "forecast": float(session.predict()),
+                "step": session.step,
+            }
+
+    def session_info(self, session_id: str) -> Dict[str, Any]:
+        def run():
+            with self.store.acquire(session_id) as session:
+                return session.describe()
+
+        return self._timed("info", run)
+
+    def close_session(self, session_id: str) -> None:
+        self._timed("close", lambda: self.store.close(session_id))
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        breaker = self.breaker.state.value
+        healthy = (
+            not self._shutting_down.is_set()
+            and self.breaker.state is not BreakerState.OPEN
+        )
+        return {
+            "status": "ok" if healthy else "unavailable",
+            "breaker": breaker,
+            "shutting_down": self._shutting_down.is_set(),
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sessions": self.store.stats(),
+            "queue_depth": self.batcher.depth,
+            "queue_limit": self.batcher.queue_limit,
+            "batches": self.batcher.batches,
+            "shed": self.batcher.shed,
+            "breaker": self.breaker.state.value,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+        }
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> Dict[str, Any]:
+        """Refuse new work, drain in-flight requests, spill every session.
+
+        Idempotent; returns a summary of what was flushed (also attached
+        to the ``service_shutdown`` telemetry event).
+        """
+        already = self._shutting_down.is_set()
+        self._shutting_down.set()
+        if already:
+            return {"spilled": 0, "repeat": True}
+        self.batcher.close()
+        spilled = self.store.spill_all()
+        summary = {
+            "spilled": spilled,
+            "sessions": self.store.stats(),
+            "batches": self.batcher.batches,
+        }
+        _LOG.info(
+            "service shut down: %d session(s) spilled to disk", spilled
+        )
+        if OBS.enabled:
+            OBS.emit("service_shutdown", **summary)
+            OBS.flush()
+        return summary
+
+
+def _status_label(error: BaseException) -> str:
+    """Stable low-cardinality status label for the requests counter."""
+    from repro.exceptions import (
+        DeadlineExceededError,
+        ServiceOverloadedError,
+        SessionExistsError,
+        SessionNotFoundError,
+    )
+
+    if isinstance(error, ServiceOverloadedError):
+        return "overloaded"
+    if isinstance(error, DeadlineExceededError):
+        return "deadline"
+    if isinstance(error, ServiceUnavailableError):
+        return "unavailable"
+    if isinstance(error, SessionNotFoundError):
+        return "not_found"
+    if isinstance(error, SessionExistsError):
+        return "conflict"
+    if isinstance(error, (DataValidationError, ConfigurationError)):
+        return "bad_request"
+    return "error"

@@ -1,0 +1,265 @@
+"""Bounded LRU session store with checkpoint-backed spill/restore.
+
+Holds at most ``capacity`` resident :class:`SeriesSession` objects; the
+least-recently-used unpinned session is spilled to disk when a new one
+needs the slot. Spill uses :class:`repro.runtime.CheckpointManager`
+(atomic payload+manifest, SHA-256 verified, corrupt snapshots
+quarantined), one subdirectory per session id, so an eviction survives a
+process crash and a restored session is **bit-identical** to one that
+never left memory (``tests/serving/test_store.py`` proves it against an
+always-resident twin).
+
+Concurrency model: one store-level mutex guards the LRU map, pin counts,
+and the spilled-id set; each session additionally carries its own RLock
+(taken by ``SeriesSession.observe``), so two requests for the *same*
+session serialise while requests for different sessions proceed in
+parallel. :meth:`acquire` pins the session for the duration of the
+caller's work — pinned sessions are never spilled mid-request.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    ServingError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.obs import OBS, get_logger
+from repro.runtime import CheckpointManager
+from repro.serving.session import SeriesSession
+
+_LOG = get_logger("serving.store")
+
+#: Session ids double as spill subdirectory names; keep them filesystem-
+#: and URL-safe.
+SESSION_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Snapshot kind used for spilled sessions ('-' and '/' are reserved).
+SPILL_KIND = "session"
+
+
+def validate_session_id(session_id: str) -> str:
+    if not isinstance(session_id, str) or not SESSION_ID_PATTERN.match(
+        session_id
+    ):
+        raise ServingError(
+            f"invalid session id {session_id!r}: must match "
+            f"{SESSION_ID_PATTERN.pattern}"
+        )
+    return session_id
+
+
+class SessionStore:
+    """LRU-bounded map of live sessions with transparent disk spill."""
+
+    def __init__(
+        self,
+        bundle,
+        *,
+        capacity: int = 128,
+        spill_dir: Optional[str] = None,
+        keep_snapshots: int = 2,
+    ):
+        if capacity < 1:
+            raise ServingError(f"capacity must be >= 1, got {capacity}")
+        self.bundle = bundle
+        self.capacity = int(capacity)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.keep_snapshots = int(keep_snapshots)
+        self._sessions: "OrderedDict[str, SeriesSession]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
+        self._spilled: set = set()
+        self._lock = threading.Lock()
+        self.evictions = 0
+        self.restores = 0
+        if self.spill_dir is not None and self.spill_dir.is_dir():
+            # Re-adopt sessions a previous process spilled (crash or
+            # graceful shutdown); they restore lazily on first access.
+            for child in self.spill_dir.iterdir():
+                if child.is_dir() and SESSION_ID_PATTERN.match(child.name):
+                    self._spilled.add(child.name)
+            if self._spilled:
+                _LOG.info(
+                    "adopted %d spilled session(s) from %s",
+                    len(self._spilled), self.spill_dir,
+                )
+
+    # ------------------------------------------------------------------
+    def _manager(self, session_id: str) -> CheckpointManager:
+        if self.spill_dir is None:
+            raise ServingError(
+                "session store has no spill directory configured"
+            )
+        return CheckpointManager(
+            self.spill_dir / session_id, keep=self.keep_snapshots
+        )
+
+    def _gauges(self) -> None:
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.gauge("repro_serving_sessions_resident").set(
+                float(len(self._sessions))
+            )
+            registry.gauge("repro_serving_sessions_spilled").set(
+                float(len(self._spilled))
+            )
+
+    # ------------------------------------------------------------------
+    def _evict_one_locked(self) -> bool:
+        """Spill the LRU unpinned session; False when all are pinned."""
+        victim_id = None
+        for sid in self._sessions:  # insertion order == LRU order
+            if self._pins.get(sid, 0) == 0:
+                victim_id = sid
+                break
+        if victim_id is None:
+            return False
+        session = self._sessions.pop(victim_id)
+        arrays, meta = session.checkpoint_state()
+        self._manager(victim_id).save(
+            SPILL_KIND,
+            session.step,
+            arrays,
+            meta,
+            context={"session_id": victim_id},
+        )
+        self._spilled.add(victim_id)
+        self.evictions += 1
+        if OBS.enabled:
+            OBS.registry.counter("repro_serving_evictions_total").inc()
+        _LOG.debug(
+            "spilled session %s at step %d", victim_id, session.step
+        )
+        return True
+
+    def _restore_locked(self, session_id: str) -> SeriesSession:
+        snapshot = self._manager(session_id).restore_latest(
+            SPILL_KIND, context={"session_id": session_id}
+        )
+        if snapshot is None:
+            # Every snapshot corrupt or missing: the session is gone.
+            self._spilled.discard(session_id)
+            raise SessionNotFoundError(session_id)
+        session = self.bundle.restore_session(
+            session_id, snapshot.arrays, snapshot.meta
+        )
+        self.restores += 1
+        if OBS.enabled:
+            OBS.registry.counter("repro_serving_restores_total").inc()
+        _LOG.debug(
+            "restored session %s at step %d", session_id, snapshot.step
+        )
+        return session
+
+    def _admit_locked(self, session_id: str, session: SeriesSession) -> None:
+        while len(self._sessions) >= self.capacity:
+            if not self._evict_one_locked():
+                # Every resident session mid-request: allow a temporary
+                # soft overshoot rather than failing the caller.
+                break
+        self._sessions[session_id] = session
+        self._sessions.move_to_end(session_id)
+        self._gauges()
+
+    # ------------------------------------------------------------------
+    def create(
+        self, session_id: str, history: np.ndarray, **session_kwargs
+    ) -> SeriesSession:
+        """Create and admit a new session (LRU-evicting if full)."""
+        validate_session_id(session_id)
+        with self._lock:
+            if session_id in self._sessions or session_id in self._spilled:
+                raise SessionExistsError(session_id)
+        # Build outside the lock: bootstrap prediction matrices are the
+        # expensive part and need no shared state.
+        session = self.bundle.create_session(
+            session_id, history, **session_kwargs
+        )
+        with self._lock:
+            if session_id in self._sessions or session_id in self._spilled:
+                raise SessionExistsError(session_id)
+            self._admit_locked(session_id, session)
+        return session
+
+    @contextmanager
+    def acquire(self, session_id: str) -> Iterator[SeriesSession]:
+        """Yield the (restored-if-spilled) session, pinned against spill."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                if session_id not in self._spilled:
+                    raise SessionNotFoundError(session_id)
+                session = self._restore_locked(session_id)
+                self._admit_locked(session_id, session)
+            else:
+                self._sessions.move_to_end(session_id)
+            self._pins[session_id] = self._pins.get(session_id, 0) + 1
+        try:
+            yield session
+        finally:
+            with self._lock:
+                remaining = self._pins.get(session_id, 1) - 1
+                if remaining:
+                    self._pins[session_id] = remaining
+                else:
+                    self._pins.pop(session_id, None)
+
+    def close(self, session_id: str) -> None:
+        """Forget a session and delete its spill snapshots."""
+        with self._lock:
+            known = (
+                self._sessions.pop(session_id, None) is not None
+                or session_id in self._spilled
+            )
+            self._spilled.discard(session_id)
+            self._gauges()
+        if not known:
+            raise SessionNotFoundError(session_id)
+        if self.spill_dir is not None:
+            shutil.rmtree(self.spill_dir / session_id, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def spill_all(self) -> int:
+        """Checkpoint every resident session to disk (shutdown path)."""
+        spilled = 0
+        with self._lock:
+            for sid in list(self._sessions):
+                if self._evict_one_locked():
+                    spilled += 1
+            self._gauges()
+        return spilled
+
+    def resident_ids(self) -> list:
+        with self._lock:
+            return list(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return (
+                session_id in self._sessions or session_id in self._spilled
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions) + len(self._spilled)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "resident": len(self._sessions),
+                "spilled": len(self._spilled),
+                "capacity": self.capacity,
+                "pinned": sum(1 for n in self._pins.values() if n > 0),
+                "evictions": self.evictions,
+                "restores": self.restores,
+            }

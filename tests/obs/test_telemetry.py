@@ -104,3 +104,56 @@ class TestTelemetryConfig:
     def test_bad_log_level_rejected(self):
         with pytest.raises(ConfigurationError):
             TelemetryConfig(log_level="verbose").validate()
+
+
+class TestPeriodicFlusher:
+    def test_configure_starts_flusher_and_shutdown_stops_it(self, tmp_path):
+        import time
+
+        from repro.obs import PeriodicFlusher
+
+        metrics = tmp_path / "m.prom"
+        configure(TelemetryConfig(
+            metrics_path=str(metrics), flush_interval=0.05,
+        ))
+        try:
+            OBS.registry.counter("repro_live_total").inc()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if (
+                    metrics.exists()
+                    and "repro_live_total" in metrics.read_text()
+                ):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("flusher never republished the metrics file")
+            flusher = OBS._flusher
+            assert isinstance(flusher, PeriodicFlusher)
+            assert flusher.flush_count >= 1
+        finally:
+            shutdown()
+        assert OBS._flusher is None
+        assert not flusher.is_alive()
+
+    def test_interval_must_be_positive(self):
+        from repro.obs import PeriodicFlusher
+
+        with pytest.raises(ConfigurationError):
+            PeriodicFlusher(OBS, 0.0)
+
+    def test_no_flusher_without_interval(self):
+        configure(sinks=[MemorySink()])
+        try:
+            assert OBS._flusher is None
+        finally:
+            shutdown()
+
+    def test_stop_is_idempotent(self):
+        from repro.obs import PeriodicFlusher
+
+        flusher = PeriodicFlusher(OBS, 10.0)
+        flusher.start()
+        flusher.stop()
+        flusher.stop()
+        assert not flusher.is_alive()

@@ -1,0 +1,69 @@
+"""Shared fixtures for the serving test suite.
+
+Model fits are slow relative to serving logic, so the fitted estimator
+and its bundle are module-agnostic session fixtures built from cheap
+pool members; tests derive fresh sessions/stores/services from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EADRL, EADRLConfig
+from repro.models.base import (
+    MeanForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.models.ets import SimpleExpSmoothing
+from repro.rl.ddpg import DDPGConfig
+from repro.serving import ModelBundle
+
+
+def cheap_members():
+    return [
+        NaiveForecaster(),
+        MeanForecaster(),
+        SeasonalNaiveForecaster(12),
+        SimpleExpSmoothing(),
+    ]
+
+
+def quick_config(**overrides) -> EADRLConfig:
+    defaults = dict(
+        window=8,
+        episodes=3,
+        max_iterations=15,
+        ddpg=DDPGConfig(seed=0, warmup_steps=16, batch_size=8),
+    )
+    defaults.update(overrides)
+    return EADRLConfig(**defaults)
+
+
+def make_series(n: int = 260, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (
+        12.0
+        + 0.02 * t
+        + 2.5 * np.sin(2 * np.pi * t / 12)
+        + rng.normal(0, 0.4, n)
+    )
+
+
+@pytest.fixture(scope="session")
+def series() -> np.ndarray:
+    return make_series()
+
+
+@pytest.fixture(scope="session")
+def fitted(series) -> EADRL:
+    model = EADRL(models=cheap_members(), config=quick_config())
+    model.fit(series[:180])
+    return model
+
+
+@pytest.fixture(scope="session")
+def bundle(fitted) -> ModelBundle:
+    return ModelBundle.from_estimator(fitted, mode="drift")

@@ -1,0 +1,130 @@
+"""MicroBatcher: coalescing, shedding, error isolation, clean close."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.serving import MicroBatcher
+
+
+@pytest.fixture()
+def batcher():
+    b = MicroBatcher(max_batch=8, max_wait=0.01, queue_limit=64)
+    yield b
+    b.close()
+
+
+class TestDispatch:
+    def test_results_round_trip(self, batcher):
+        futures = [
+            batcher.submit(lambda i=i: i * i) for i in range(20)
+        ]
+        assert [f.result(timeout=5) for f in futures] == [
+            i * i for i in range(20)
+        ]
+
+    def test_exceptions_are_isolated(self, batcher):
+        def boom():
+            raise ValueError("bad request")
+
+        ok = batcher.submit(lambda: "fine")
+        bad = batcher.submit(boom)
+        ok2 = batcher.submit(lambda: "also fine")
+        assert ok.result(timeout=5) == "fine"
+        with pytest.raises(ValueError, match="bad request"):
+            bad.result(timeout=5)
+        assert ok2.result(timeout=5) == "also fine"
+
+    def test_concurrent_submits_coalesce(self):
+        """Requests arriving together ride in shared batches."""
+        batcher = MicroBatcher(max_batch=8, max_wait=0.1, queue_limit=64)
+        start = threading.Barrier(12)
+        futures = []
+        lock = threading.Lock()
+
+        def submit_one(i):
+            start.wait()
+            f = batcher.submit(lambda i=i: i)
+            with lock:
+                futures.append(f)
+
+        threads = [
+            threading.Thread(target=submit_one, args=(i,))
+            for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert sorted(f.result(timeout=5) for f in futures) == list(
+                range(12)
+            )
+            # 12 near-simultaneous requests need far fewer than 12
+            # batches given the generous coalescing window.
+            assert batcher.batches < 12
+        finally:
+            batcher.close()
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_with_overload_error(self):
+        release = threading.Event()
+        batcher = MicroBatcher(max_batch=1, max_wait=0.0, queue_limit=2)
+        try:
+            # Jam the collector with a blocking request, then fill the
+            # queue; the next submit must be rejected immediately.
+            blocker = batcher.submit(release.wait)
+            time.sleep(0.1)  # let the collector pick the blocker up
+            backlog = [batcher.submit(lambda: None) for _ in range(2)]
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                for _ in range(8):
+                    backlog.append(batcher.submit(lambda: None))
+            assert excinfo.value.queue_limit == 2
+        finally:
+            release.set()
+            batcher.close()
+        assert blocker.result(timeout=5) is True
+
+    def test_expired_deadline_is_shed_at_dispatch(self):
+        release = threading.Event()
+        batcher = MicroBatcher(max_batch=1, max_wait=0.0, queue_limit=8)
+        try:
+            blocker = batcher.submit(release.wait)
+            time.sleep(0.05)
+            doomed = batcher.submit(lambda: "late", deadline=0.01)
+            time.sleep(0.1)  # deadline passes while queued
+            release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5)
+            assert blocker.result(timeout=5) is True
+        finally:
+            release.set()
+            batcher.close()
+
+
+class TestClose:
+    def test_close_drains_pending_work(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=0.05, queue_limit=64)
+        futures = [batcher.submit(lambda i=i: i) for i in range(10)]
+        batcher.close()
+        assert [f.result(timeout=1) for f in futures] == list(range(10))
+
+    def test_submit_after_close_is_rejected(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(ServiceUnavailableError):
+            batcher.submit(lambda: None)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        batcher.close()

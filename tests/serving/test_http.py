@@ -1,0 +1,164 @@
+"""HTTP frontend: routes, status-code mapping, shutdown telemetry."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import OBS, MemorySink, TelemetryConfig
+from repro.serving import ForecastHTTPServer, ForecastService, ServiceConfig
+
+
+@pytest.fixture()
+def server(bundle, tmp_path):
+    service = ForecastService(
+        bundle, ServiceConfig(max_sessions=8, spill_dir=str(tmp_path))
+    )
+    srv = ForecastHTTPServer(service, port=0).start()
+    yield srv
+    srv.shutdown()
+
+
+def _request(server, method, path, body=None):
+    host, port = server.address
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method
+    )
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _json(server, method, path, body=None):
+    status, raw = _request(server, method, path, body)
+    return status, json.loads(raw)
+
+
+class TestRoutes:
+    def test_full_session_lifecycle(self, server, series):
+        status, info = _json(server, "POST", "/v1/sessions", {
+            "session": "web", "history": series[:180].tolist(),
+        })
+        assert status == 201 and info["step"] == 0
+
+        status, out = _json(
+            server, "POST", "/v1/sessions/web/observe",
+            {"y": float(series[180])},
+        )
+        assert status == 200 and out["step"] == 1
+
+        status, peek = _json(server, "GET", "/v1/sessions/web/predict")
+        assert status == 200 and isinstance(peek["forecast"], float)
+
+        status, desc = _json(server, "GET", "/v1/sessions/web")
+        assert status == 200 and desc["session"] == "web"
+
+        status, closed = _json(server, "DELETE", "/v1/sessions/web")
+        assert status == 200 and closed == {"closed": "web"}
+
+        status, _ = _json(server, "GET", "/v1/sessions/web")
+        assert status == 404
+
+    def test_healthz_and_stats(self, server):
+        status, health = _json(server, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, stats = _json(server, "GET", "/stats")
+        assert status == 200 and "sessions" in stats
+
+    def test_metrics_is_prometheus_text(self, server, series):
+        # Metrics record only while telemetry is enabled.
+        OBS.configure(TelemetryConfig(enabled=True), sinks=[MemorySink()])
+        try:
+            _json(server, "POST", "/v1/sessions", {
+                "session": "m", "history": series[:180].tolist(),
+            })
+            _json(server, "POST", "/v1/sessions/m/observe",
+                  {"y": float(series[180])})
+            status, raw = _request(server, "GET", "/metrics")
+            text = raw.decode()
+            assert status == 200
+            assert "repro_serving_request_seconds" in text
+            assert "repro_serving_sessions_resident" in text
+        finally:
+            OBS.shutdown()
+
+
+class TestErrorMapping:
+    def test_duplicate_create_is_409(self, server, series):
+        body = {"session": "dup", "history": series[:180].tolist()}
+        assert _json(server, "POST", "/v1/sessions", body)[0] == 201
+        assert _json(server, "POST", "/v1/sessions", body)[0] == 409
+
+    def test_unknown_session_is_404(self, server):
+        assert _json(
+            server, "POST", "/v1/sessions/ghost/observe", {"y": 1.0}
+        )[0] == 404
+
+    @pytest.mark.parametrize("body", [
+        {},                                  # missing keys
+        {"session": "x"},                    # missing history
+        {"session": "a/b", "history": [1]},  # invalid id
+    ])
+    def test_bad_create_body_is_400(self, server, body):
+        assert _json(server, "POST", "/v1/sessions", body)[0] == 400
+
+    def test_non_numeric_y_is_400(self, server, series):
+        _json(server, "POST", "/v1/sessions", {
+            "session": "y", "history": series[:180].tolist(),
+        })
+        assert _json(
+            server, "POST", "/v1/sessions/y/observe", {"y": "NaNish"}
+        )[0] == 400
+
+    def test_unknown_route_is_404(self, server):
+        assert _json(server, "GET", "/v2/nope")[0] == 404
+
+    def test_overload_and_deadline_status_codes(self):
+        from repro.exceptions import (
+            DeadlineExceededError,
+            ServiceOverloadedError,
+            ServiceUnavailableError,
+        )
+        from repro.serving.http import _status_for
+
+        assert _status_for(ServiceOverloadedError(9, 8)) == 429
+        assert _status_for(DeadlineExceededError(0.5)) == 503
+        assert _status_for(ServiceUnavailableError("closing")) == 503
+        assert _status_for(RuntimeError("bug")) == 500
+
+
+class TestShutdownTelemetry:
+    def test_shutdown_emits_service_shutdown_event(self, bundle, series,
+                                                   tmp_path):
+        sink = MemorySink()
+        OBS.configure(TelemetryConfig(enabled=True), sinks=[sink])
+        try:
+            service = ForecastService(
+                bundle,
+                ServiceConfig(max_sessions=8, spill_dir=str(tmp_path)),
+            )
+            server = ForecastHTTPServer(service, port=0).start()
+            _json(server, "POST", "/v1/sessions", {
+                "session": "bye", "history": series[:180].tolist(),
+            })
+            _json(server, "POST", "/v1/sessions/bye/observe",
+                  {"y": float(series[180])})
+            server.shutdown()
+            events = [
+                e for e in sink.events
+                if e.get("event") == "service_shutdown"
+            ]
+            assert events and events[0]["spilled"] == 1
+            # After shutdown the server socket is closed.
+            with pytest.raises(OSError):
+                _json(server, "GET", "/healthz")
+        finally:
+            OBS.shutdown()

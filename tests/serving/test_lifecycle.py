@@ -1,0 +1,91 @@
+"""GracefulShutdown latch: signal handling, drain, telemetry event."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.obs import OBS, MemorySink, TelemetryConfig
+from repro.serving import GracefulShutdown
+
+
+class TestLatch:
+    def test_programmatic_request_unblocks_wait(self):
+        latch = GracefulShutdown()
+        assert not latch.requested
+        assert latch.wait(timeout=0.01) is False
+        latch.request("test")
+        assert latch.requested
+        assert latch.wait(timeout=0.01) is True
+        assert latch.signal_name == "test"
+
+    def test_drain_runs_callbacks_once_in_order(self):
+        latch = GracefulShutdown()
+        calls = []
+        latch.on_shutdown(lambda: calls.append("first"))
+        latch.on_shutdown(lambda: calls.append("second"))
+        latch.request()
+        latch.drain()
+        latch.drain()  # idempotent
+        assert calls == ["first", "second"]
+
+    def test_failing_callback_does_not_stop_later_ones(self):
+        latch = GracefulShutdown()
+        calls = []
+
+        def broken():
+            raise RuntimeError("sink is gone")
+
+        latch.on_shutdown(broken)
+        latch.on_shutdown(lambda: calls.append("still-ran"))
+        latch.request()
+        latch.drain()
+        assert calls == ["still-ran"]
+
+    def test_drain_emits_shutdown_signal_event(self):
+        sink = MemorySink()
+        OBS.configure(TelemetryConfig(enabled=True), sinks=[sink])
+        try:
+            latch = GracefulShutdown()
+            latch.request("SIGTERM")
+            latch.drain()
+            events = [
+                e for e in sink.events
+                if e.get("event") == "service_shutdown_signal"
+            ]
+            assert events and events[0]["signal"] == "SIGTERM"
+        finally:
+            OBS.shutdown()
+
+
+class TestSignals:
+    def test_sigterm_sets_latch_without_killing_process(self):
+        with GracefulShutdown() as latch:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert latch.wait(timeout=5)
+            assert latch.signal_name == "SIGTERM"
+        # restore() put the default handler back
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_interrupt_mode_raises_keyboard_interrupt(self):
+        import time
+
+        with GracefulShutdown(interrupt=True):
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)  # delivery interrupts the sleep
+
+    def test_install_outside_main_thread_is_noop(self):
+        result = {}
+
+        def worker():
+            latch = GracefulShutdown().install()
+            result["installed"] = latch._installed
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert result["installed"] is False

@@ -1,0 +1,111 @@
+"""Pool-mode SeriesSession behaviour and spill-snapshot round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.serving import SeriesSession
+
+
+class TestPoolModeSession:
+    def test_observe_advances_and_forecasts(self, bundle, series):
+        session = bundle.create_session("t1", series[:180])
+        assert session.step == 0 and not session.pending
+        first = session.observe(series[180])
+        assert isinstance(first, float) and np.isfinite(first)
+        assert session.pending and session.step == 1
+        assert session.last_forecast == first
+        second = session.observe(series[181])
+        assert session.step == 2
+        assert second != first  # new information moved the forecast
+
+    def test_forecasts_are_deterministic_per_session_id(self, bundle, series):
+        a = bundle.create_session("same-id", series[:180])
+        b = bundle.create_session("same-id", series[:180])
+        outs_a = [a.observe(v) for v in series[180:200]]
+        outs_b = [b.observe(v) for v in series[180:200]]
+        assert outs_a == outs_b
+
+    def test_predict_is_a_pure_read(self, bundle, series):
+        session = bundle.create_session("t2", series[:180])
+        session.observe(series[180])
+        peek1 = session.predict()
+        peek2 = session.predict()
+        assert peek1 == peek2
+        assert session.step == 1  # unchanged
+        # and the next observe is unaffected by the peeks
+        twin = bundle.create_session("t2", series[:180])
+        twin.observe(series[180])
+        assert session.observe(series[181]) == twin.observe(series[181])
+
+    def test_history_grows_with_observations(self, bundle, series):
+        session = bundle.create_session("t3", series[:180])
+        for value in series[180:185]:
+            session.observe(value)
+        assert session.history.size == 185  # 180 bootstrap + 5 observed
+        np.testing.assert_array_equal(session.history[-5:], series[180:185])
+
+    def test_matrix_mode_requires_row(self, fitted, series):
+        session = fitted.online_session(
+            history=series[:180], mode="none"
+        )
+        # pool mode works without a row ...
+        session.observe(series[180])
+        # ... matrix mode (no pool) insists on one
+        bad = SeriesSession(
+            session.agent, session.scaler,
+            window=session.window, n_members=session.n_members,
+            reward_fn=session.reward_fn,
+            bootstrap_matrix=np.zeros((session.window, session.n_members)),
+        )
+        with pytest.raises(ConfigurationError):
+            bad.observe(1.0)
+
+    def test_feedback_without_forecast_raises(self, bundle, series):
+        session = bundle.create_session("t4", series[:180])
+        with pytest.raises(ConfigurationError):
+            session.feedback(1.0)
+
+    def test_wrong_row_shape_raises(self, fitted, series):
+        session = fitted.online_session(history=series[:180])
+        with pytest.raises(DataValidationError):
+            session.forecast_step(np.zeros(99))
+
+
+class TestSessionSnapshot:
+    def test_round_trip_is_bit_identical(self, bundle, series):
+        session = bundle.create_session("snap", series[:180])
+        twin = bundle.create_session("snap", series[:180])
+        for value in series[180:210]:
+            session.observe(value)
+            twin.observe(value)
+        arrays, meta = session.checkpoint_state()
+        # Simulate the npz round trip the spill path performs.
+        import io
+
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        buf.seek(0)
+        loaded = dict(np.load(buf))
+        restored = bundle.restore_session("snap", loaded, meta)
+        outs_restored = [restored.observe(v) for v in series[210:240]]
+        outs_twin = [twin.observe(v) for v in series[210:240]]
+        assert outs_restored == outs_twin
+
+    def test_restore_rejects_member_mismatch(self, bundle, series):
+        session = bundle.create_session("snap2", series[:180])
+        arrays, meta = session.checkpoint_state()
+        meta = dict(meta, n_members=3)
+        with pytest.raises(DataValidationError):
+            bundle.restore_session("snap2", arrays, meta)
+
+    def test_describe_is_jsonable(self, bundle, series):
+        import json
+
+        session = bundle.create_session("desc", series[:180])
+        session.observe(series[180])
+        info = json.loads(json.dumps(session.describe()))
+        assert info["step"] == 1
+        assert info["history_length"] == 181

@@ -1,0 +1,110 @@
+"""Batch online loop vs the SeriesSession step API: one code path.
+
+``EADRL.rolling_forecast_online`` drives a :class:`SeriesSession`
+internally, so a manual ``forecast_step``/``feedback`` loop over the
+same matrix must produce **bit-identical** forecasts, weights, replay
+contents, drift events, and post-run policy parameters — including
+drift-triggered policy updates. These tests pin that refactor guarantee
+for every trigger mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EADRL
+from tests.serving.conftest import cheap_members, quick_config
+
+
+@pytest.fixture(scope="module")
+def matrix_data():
+    rng = np.random.default_rng(42)
+    T, m = 150, 4
+    truth = np.sin(np.arange(T) * 0.2) + 0.05 * np.arange(T)
+    preds = truth[:, None] + 0.3 * rng.standard_normal((T, m))
+    # A level shift two-thirds in makes the Page-Hinkley detector fire
+    # so the drift-triggered update path is genuinely exercised.
+    truth = truth.copy()
+    truth[100:] += 4.0
+    return {
+        "meta_preds": preds[:90], "meta_truth": truth[:90],
+        "test_preds": preds[90:], "test_truth": truth[90:],
+    }
+
+
+def _trained(matrix_data) -> EADRL:
+    model = EADRL(models=cheap_members(), config=quick_config())
+    model.fit_policy_from_matrix(
+        matrix_data["meta_preds"], matrix_data["meta_truth"]
+    )
+    return model
+
+
+@pytest.mark.parametrize("mode,interval", [
+    ("none", 25),
+    ("periodic", 10),
+    ("drift", 25),
+])
+def test_batch_and_step_api_are_bit_identical(matrix_data, mode, interval):
+    preds = matrix_data["test_preds"]
+    truth = matrix_data["test_truth"]
+
+    batch_model = _trained(matrix_data)
+    batch_out, batch_w = batch_model.rolling_forecast_online(
+        preds, truth, mode=mode, interval=interval,
+        updates_per_trigger=5, return_weights=True,
+    )
+
+    step_model = _trained(matrix_data)
+    session = step_model.online_session(
+        mode=mode, interval=interval, updates_per_trigger=5
+    )
+    step_out = np.empty_like(batch_out)
+    step_w = np.empty_like(batch_w)
+    drifts = []
+    for i in range(preds.shape[0]):
+        step_out[i] = session.forecast_step(preds[i])
+        step_w[i] = session.last_weights
+        session.feedback(truth[i])
+        drifts.append(session.last_drifted)
+
+    np.testing.assert_array_equal(step_out, batch_out)
+    np.testing.assert_array_equal(step_w, batch_w)
+    if mode == "drift":
+        assert any(drifts), "fixture must actually trigger drift updates"
+
+    # The learning state must match too: same replay contents, same
+    # policy parameters after the same (drift-triggered) updates.
+    batch_arrays, batch_meta = batch_model.agent.checkpoint_state()
+    step_arrays, step_meta = step_model.agent.checkpoint_state()
+    assert batch_arrays.keys() == step_arrays.keys()
+    for key in batch_arrays:
+        np.testing.assert_array_equal(
+            step_arrays[key], batch_arrays[key], err_msg=key
+        )
+    assert step_meta["buffer"] == batch_meta["buffer"]
+
+
+def test_observe_combines_feedback_and_forecast(matrix_data):
+    preds = matrix_data["test_preds"]
+    truth = matrix_data["test_truth"]
+
+    reference = _trained(matrix_data)
+    ref_out = reference.rolling_forecast_online(preds, truth, mode="none")
+
+    model = _trained(matrix_data)
+    session = model.online_session(mode="none")
+    out = [session.forecast_step(preds[0])]
+    # observe(y, row) == feedback(y) + forecast_step(row) in one call.
+    for i in range(1, preds.shape[0]):
+        out.append(session.observe(truth[i - 1], preds[i]))
+    np.testing.assert_array_equal(np.asarray(out), ref_out)
+
+
+def test_online_session_requires_policy(matrix_data):
+    from repro.exceptions import NotFittedError
+
+    model = EADRL(models=cheap_members(), config=quick_config())
+    with pytest.raises(NotFittedError):
+        model.online_session()
