@@ -226,10 +226,10 @@ def cmd_serve(args) -> int:
     from repro.rl.ddpg import DDPGConfig
     from repro.serving import (
         ForecastHTTPServer,
-        ForecastService,
         GracefulShutdown,
         ModelBundle,
         ServiceConfig,
+        make_service,
     )
 
     logger = get_logger("cli")
@@ -252,7 +252,7 @@ def cmd_serve(args) -> int:
         mode=args.session_mode,
         interval=args.session_interval,
     )
-    service = ForecastService(bundle, ServiceConfig(
+    service = make_service(bundle, ServiceConfig(
         max_sessions=args.max_sessions,
         spill_dir=args.spill_dir,
         queue_limit=args.queue_limit,
@@ -260,12 +260,19 @@ def cmd_serve(args) -> int:
         batch_wait=args.batch_wait,
         batch_size=args.batch_size,
         n_jobs=args.jobs,
+        executor="process" if args.shards else "thread",
+        shards=args.shards,
+        durable=args.durable,
     ))
     server = ForecastHTTPServer(
         service, host=args.host, port=args.port
     ).start()
     host, port = server.address
-    print(f"forecast service on http://{host}:{port} "
+    runtime = (
+        f"{args.shards} shard worker(s)" if args.shards
+        else "in-process service"
+    )
+    print(f"forecast service on http://{host}:{port} [{runtime}] "
           f"(SIGINT/SIGTERM for graceful shutdown)")
     # The main thread parks on the latch; the first signal wakes it and
     # the drain below flushes session checkpoints and telemetry sinks.
@@ -381,6 +388,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default drift)")
     p_serve.add_argument("--session-interval", type=int, default=25,
                          help="steps between periodic updates (default 25)")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="supervised shard worker processes; 0 runs "
+                              "the in-process service (default 0). "
+                              "Workers are crash-supervised: a killed "
+                              "shard restarts and recovers its sessions "
+                              "from the spill tier")
+    p_serve.add_argument("--durable", action="store_true",
+                         help="acknowledge observe only after the session "
+                              "checkpoint hits disk (always on inside "
+                              "shard workers)")
     _add_scale_arguments(p_serve)
     _add_telemetry_arguments(p_serve)
     p_serve.set_defaults(func=cmd_serve)

@@ -135,18 +135,64 @@ class ServiceOverloadedError(ServingError):
 
 
 class DeadlineExceededError(ServingError):
-    """A request spent longer than its deadline budget (HTTP 503)."""
+    """A request spent longer than its deadline budget (HTTP 503).
 
-    def __init__(self, deadline: float):
-        super().__init__(
-            f"request exceeded its {deadline:.3f}s deadline before "
-            "completing"
-        )
+    ``deadline`` is the relative budget in seconds when known; requests
+    carrying only an absolute propagated expiry pass ``None``.
+    """
+
+    def __init__(self, deadline: "float | None" = None):
+        if deadline is None:
+            super().__init__(
+                "request exceeded its deadline before completing"
+            )
+        else:
+            super().__init__(
+                f"request exceeded its {deadline:.3f}s deadline before "
+                "completing"
+            )
         self.deadline = deadline
 
 
 class ServiceUnavailableError(ServingError):
     """The service refused a request (circuit open or shutting down)."""
+
+
+class SessionCorruptError(ServingError):
+    """Every spill snapshot of a session failed integrity verification.
+
+    Raised by the session store when a restore finds snapshots on disk
+    but quarantines all of them as corrupt (torn writes, bit rot). The
+    session's learned state is unrecoverable; the service may still
+    answer from the degraded ensemble-average path, and the HTTP layer
+    maps this to a typed 503 with a ``Retry-After`` header otherwise.
+    The session id stays reserved until the client deletes or recreates
+    the session.
+    """
+
+    #: Suggested client back-off, surfaced as the HTTP ``Retry-After``.
+    retry_after: float = 1.0
+
+    def __init__(self, session_id: str):
+        super().__init__(
+            f"session {session_id!r} has only corrupt spill snapshots "
+            "(quarantined); its learned state is unrecoverable — delete "
+            "and recreate the session, or accept degraded forecasts"
+        )
+        self.session_id = session_id
+
+
+class WorkerCrashedError(ServingError):
+    """A shard worker died (or was killed) with this request in flight.
+
+    Internal to the shard runtime: the supervisor retries idempotent
+    requests against the restarted shard and maps exhausted retries to
+    :class:`ServiceUnavailableError` before anything reaches a client.
+    """
+
+    def __init__(self, shard: int, detail: str = "worker process died"):
+        super().__init__(f"shard {shard}: {detail}")
+        self.shard = shard
 
 
 class ConvergenceWarning(UserWarning):

@@ -34,6 +34,8 @@ from repro.runtime.checkpoint import (
     TrainingCheckpointer,
 )
 from repro.runtime.config import RuntimeGuardConfig
+from repro.runtime.deadline import Deadline, coerce_deadline
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.executor import (
     ExecutorConfig,
     available_workers,
@@ -57,6 +59,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointManager",
     "CircuitBreaker",
+    "Deadline",
     "ExecutorConfig",
     "LoopCheckpointer",
     "Snapshot",
@@ -65,9 +68,11 @@ __all__ = [
     "GuardedForecaster",
     "MemberHealth",
     "PoolHealth",
+    "RetryPolicy",
     "RuntimeGuardConfig",
     "TransitionEvent",
     "available_workers",
+    "coerce_deadline",
     "coerce_executor",
     "combine_masked",
     "renormalise_healthy",

@@ -367,6 +367,7 @@ class CheckpointManager:
         self,
         kind: str,
         context: Optional[Dict[str, Any]] = None,
+        strict: bool = False,
     ) -> Optional[Snapshot]:
         """Newest valid snapshot of ``kind`` matching ``context``.
 
@@ -375,13 +376,23 @@ class CheckpointManager:
         context does not match are skipped with a warning (they belong
         to a differently-configured run sharing the directory). Returns
         ``None`` when no usable snapshot exists.
+
+        With ``strict=True``, *ending up empty-handed because of
+        corruption* — at least one snapshot was quarantined and no valid
+        one remained to fall back to — raises
+        :class:`CheckpointCorruptError` instead of returning ``None``,
+        so callers can distinguish "never existed" from "existed but
+        unrecoverable" (the serving store turns the latter into
+        degraded-mode serving rather than a 404).
         """
+        corrupt: List[str] = []
         with OBS.span("checkpoint.restore"):
             for manifest_path in self.manifest_paths(kind):
                 try:
                     snapshot = self.load(manifest_path)
                 except CheckpointCorruptError as err:
                     self._quarantine(manifest_path, str(err))
+                    corrupt.append(manifest_path.stem)
                     continue
                 if context is not None:
                     mismatch = _context_mismatch(
@@ -408,6 +419,12 @@ class CheckpointManager:
                     kind, snapshot.step, manifest_path.name,
                 )
                 return snapshot
+        if strict and corrupt:
+            raise CheckpointCorruptError(
+                f"every {kind!r} snapshot in {self.directory} was "
+                f"quarantined as corrupt ({', '.join(corrupt)}); nothing "
+                "valid left to restore"
+            )
         return None
 
     # ------------------------------------------------------------------

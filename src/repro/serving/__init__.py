@@ -15,6 +15,11 @@ process, stdlib + numpy only:
   fans them through :mod:`repro.runtime.executor`;
 - :class:`ForecastService` — the transport-agnostic core with admission
   control, per-request deadlines, and a service circuit breaker;
+- :class:`ShardSupervisor` / :func:`make_service` — supervised shard
+  *worker processes* (consistent hashing on session id, heartbeat
+  monitoring, crash failover from the spill tier, per-shard restart
+  breakers) behind the same operation surface as the in-process
+  service;
 - :class:`ForecastHTTPServer` — stdlib JSON-over-HTTP frontend
   (``repro serve``);
 - :class:`GracefulShutdown` — SIGTERM/SIGINT latch flushing checkpoints
@@ -29,17 +34,30 @@ from repro.serving.http import ForecastHTTPServer
 from repro.serving.lifecycle import GracefulShutdown
 from repro.serving.service import ForecastService, ServiceConfig
 from repro.serving.session import SeriesSession
-from repro.serving.store import SessionStore, validate_session_id
+from repro.serving.store import (
+    DegradedSession,
+    SessionStore,
+    validate_session_id,
+)
+from repro.serving.supervisor import (
+    HashRing,
+    ShardSupervisor,
+    make_service,
+)
 
 __all__ = [
+    "DegradedSession",
     "ForecastHTTPServer",
     "ForecastService",
     "GracefulShutdown",
+    "HashRing",
     "MicroBatcher",
     "ModelBundle",
     "SeriesSession",
     "ServiceConfig",
     "SessionStore",
+    "ShardSupervisor",
+    "make_service",
     "session_seed",
     "validate_session_id",
 ]

@@ -41,13 +41,21 @@ _LOG = get_logger("serving.batcher")
 class _Request:
     __slots__ = ("fn", "future", "deadline", "expires_at")
 
-    def __init__(self, fn, deadline: Optional[float]):
+    def __init__(
+        self,
+        fn,
+        deadline: Optional[float],
+        expires_at: Optional[float] = None,
+    ):
         self.fn = fn
         self.future: Future = Future()
         self.deadline = deadline
-        self.expires_at = (
-            time.monotonic() + deadline if deadline is not None else None
-        )
+        if expires_at is not None:
+            self.expires_at = expires_at
+        else:
+            self.expires_at = (
+                time.monotonic() + deadline if deadline is not None else None
+            )
 
 
 class _Failure:
@@ -109,14 +117,35 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(
-        self, fn: Callable[[], Any], *, deadline: Optional[float] = None
+        self,
+        fn: Callable[[], Any],
+        *,
+        deadline: Optional[float] = None,
+        expires_at: Optional[float] = None,
     ) -> Future:
-        """Enqueue ``fn`` for the next micro-batch; returns its future."""
+        """Enqueue ``fn`` for the next micro-batch; returns its future.
+
+        ``expires_at`` is an absolute ``time.monotonic()`` instant (wins
+        over ``deadline``, a relative budget) — the hop that lets an
+        end-to-end deadline propagate through the queue unchanged. Work
+        already past its deadline is shed at submit time, before it ever
+        occupies a queue slot.
+        """
         if self._closing.is_set():
             raise ServiceUnavailableError(
                 "batcher is shut down; refusing new work"
             )
-        request = _Request(fn, deadline)
+        request = _Request(fn, deadline, expires_at)
+        if (
+            request.expires_at is not None
+            and time.monotonic() > request.expires_at
+        ):
+            self.shed += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_serving_shed_total", {"reason": "deadline"}
+                ).inc()
+            raise DeadlineExceededError(request.deadline)
         try:
             self._queue.put_nowait(request)
         except queue.Full:

@@ -21,11 +21,18 @@ Routes
 ==============================================  ======================
 
 Create body: ``{"session": "id", "history": [..], "mode"?, "interval"?,
-"updates_per_trigger"?, "seed"?}``. Observe body: ``{"y": <number>}``.
+"updates_per_trigger"?, "seed"?}``. Observe body: ``{"y": <number>,
+"seq"?: <int>, "deadline"?: <seconds>}`` — ``seq`` is the per-session
+sequence number making the observe idempotent under retries;
+``deadline`` (or the ``X-Deadline-Seconds`` header, body wins) is the
+client's remaining end-to-end budget, propagated through every hop.
 
 Status mapping: 400 bad JSON / validation, 404 unknown session, 409
 duplicate create, 429 queue full (back off), 503 deadline missed /
-breaker open / shutting down, 500 anything else.
+breaker open / shutting down / corrupt session state (with a
+``Retry-After`` header), 500 anything else. Degraded responses (corrupt
+checkpoint served from the ensemble-average fallback) are **200** with
+``"degraded": true`` in the body.
 """
 
 from __future__ import annotations
@@ -42,8 +49,10 @@ from repro.exceptions import (
     ServiceOverloadedError,
     ServiceUnavailableError,
     ServingError,
+    SessionCorruptError,
     SessionExistsError,
     SessionNotFoundError,
+    WorkerCrashedError,
 )
 from repro.obs import OBS, get_logger, render_prom_text
 from repro.serving.service import ForecastService
@@ -54,9 +63,14 @@ _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 def _status_for(error: BaseException) -> int:
+    # Order matters: the retryable subtypes must be matched before the
+    # ServingError catch-all turns them into client errors.
     if isinstance(error, ServiceOverloadedError):
         return 429
-    if isinstance(error, (DeadlineExceededError, ServiceUnavailableError)):
+    if isinstance(error, SessionCorruptError):
+        return 503
+    if isinstance(error, (DeadlineExceededError, ServiceUnavailableError,
+                          WorkerCrashedError)):
         return 503
     if isinstance(error, SessionNotFoundError):
         return 404
@@ -82,11 +96,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _LOG.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self, status: int, payload: Any, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,9 +113,41 @@ class _Handler(BaseHTTPRequestHandler):
         if status == 500:
             _LOG.error("internal error serving %s: %r", self.path, error)
         payload = {"error": type(error).__name__, "detail": str(error)}
+        headers = None
         if isinstance(error, ServiceOverloadedError):
             payload["retry_after"] = 0.05
-        self._send_json(status, payload)
+        if isinstance(error, SessionCorruptError):
+            # Typed 503: the state is corrupt, not the service — tell
+            # the client when to retry (or to delete and recreate).
+            payload["retry_after"] = error.retry_after
+            payload["session"] = error.session_id
+            headers = {"Retry-After": f"{error.retry_after:g}"}
+        self._send_json(status, payload, headers)
+
+    def _deadline_seconds(self, body: Optional[dict] = None):
+        """Client deadline budget: body ``deadline`` wins over the
+        ``X-Deadline-Seconds`` header; None when neither is given."""
+        if body is not None and "deadline" in body:
+            value = body["deadline"]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise DataValidationError(
+                    "'deadline' must be a positive number of seconds"
+                )
+            return float(value)
+        header = self.headers.get("X-Deadline-Seconds")
+        if header:
+            try:
+                value = float(header)
+            except ValueError:
+                raise DataValidationError(
+                    "X-Deadline-Seconds must be a number"
+                ) from None
+            if value <= 0:
+                raise DataValidationError(
+                    "X-Deadline-Seconds must be positive"
+                )
+            return value
+        return None
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -150,8 +200,21 @@ class _Handler(BaseHTTPRequestHandler):
                     raise DataValidationError(
                         "observe body needs a numeric 'y'"
                     )
+                seq = body.get("seq")
+                if seq is not None and (
+                    isinstance(seq, bool) or not isinstance(seq, int)
+                ):
+                    raise DataValidationError(
+                        "'seq' must be an integer sequence number"
+                    )
                 self._send_json(
-                    200, self.service.observe(session_id, float(body["y"]))
+                    200,
+                    self.service.observe(
+                        session_id,
+                        float(body["y"]),
+                        seq=seq,
+                        deadline=self._deadline_seconds(body),
+                    ),
                 )
                 return
             self._send_json(404, {"error": "NotFound", "detail": self.path})
@@ -183,7 +246,12 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             session_id, action = self._session_route()
             if session_id is not None and action == "predict":
-                self._send_json(200, self.service.predict(session_id))
+                self._send_json(
+                    200,
+                    self.service.predict(
+                        session_id, deadline=self._deadline_seconds()
+                    ),
+                )
                 return
             if session_id is not None and action is None:
                 self._send_json(200, self.service.session_info(session_id))
@@ -205,7 +273,10 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ForecastHTTPServer:
-    """Threaded HTTP server wrapping a :class:`ForecastService`.
+    """Threaded HTTP server wrapping a :class:`ForecastService` (or a
+    :class:`~repro.serving.supervisor.ShardSupervisor` — both expose the
+    same operations; build either with
+    :func:`~repro.serving.supervisor.make_service`).
 
     ``port=0`` binds an ephemeral port (the tests use this); read the
     bound address back from :attr:`address`. ``serve_forever`` blocks —

@@ -17,11 +17,14 @@ instead of dying mid-write. Two usage shapes:
   where sinks are flushed. Crash-safe loop checkpoints mean no forecast
   state is lost either way.
 
-A second signal falls through to the previous handler (normally: die
-hard), so an operator can still force-kill a wedged flush. Handlers must
-be installed from the main thread (a CPython restriction);
-:meth:`install` becomes a no-op elsewhere so library code can use the
-class unconditionally.
+A second signal while the drain is running is **absorbed**: an
+impatient repeat Ctrl-C (or a supervisor that sends SIGTERM twice) must
+not re-run flush callbacks or raise mid-flush — :meth:`drain` runs its
+callbacks exactly once. A *third* signal falls through to the previous
+handler (normally: die hard), so an operator can still force-kill a
+wedged flush. Handlers must be installed from the main thread (a
+CPython restriction); :meth:`install` becomes a no-op elsewhere so
+library code can use the class unconditionally.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ class GracefulShutdown:
         self._installed = False
         self._drained = False
         self._drain_lock = threading.Lock()
+        self._repeat_signals = 0
 
     # ------------------------------------------------------------------
     def install(self) -> "GracefulShutdown":
@@ -124,9 +128,19 @@ class GracefulShutdown:
     def _handle(self, signum, frame) -> None:
         name = signal.Signals(signum).name
         if self.triggered.is_set():
-            # Second signal: restore and re-deliver so a stuck flush can
+            self._repeat_signals += 1
+            if self._repeat_signals == 1:
+                # Second signal: the drain is (about to be) running —
+                # absorb it. Re-raising here would unwind the flush
+                # mid-write; re-running callbacks would double-flush.
+                _LOG.warning(
+                    "second %s during shutdown: drain in progress; "
+                    "absorbing (a third falls through)", name,
+                )
+                return
+            # Third signal: restore and re-deliver so a stuck flush can
             # still be interrupted the ordinary way.
-            _LOG.warning("second %s; falling through to default", name)
+            _LOG.warning("repeated %s; falling through to default", name)
             previous = self._previous.get(signum, signal.SIG_DFL)
             signal.signal(signum, previous)
             if callable(previous):

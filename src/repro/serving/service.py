@@ -40,11 +40,19 @@ import numpy as np
 from repro.exceptions import (
     ConfigurationError,
     DataValidationError,
+    DeadlineExceededError,
     ServiceUnavailableError,
     ServingError,
+    SessionCorruptError,
 )
 from repro.obs import OBS, get_logger
-from repro.runtime import BreakerState, CircuitBreaker, ExecutorConfig
+from repro.runtime import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    ExecutorConfig,
+    coerce_deadline,
+)
 from repro.serving.batcher import MicroBatcher
 from repro.serving.store import SessionStore
 
@@ -76,8 +84,23 @@ class ServiceConfig:
         company and the largest batch it forms.
     executor / n_jobs:
         Backend fanning a batch across sessions
-        (:class:`repro.runtime.ExecutorConfig` semantics; processes are
-        rejected — sessions are stateful and must stay in-process).
+        (:class:`repro.runtime.ExecutorConfig` semantics).
+        ``executor="process"`` selects the supervised shard runtime —
+        sessions are stateful, so process isolation means dedicated
+        shard *workers* (:class:`repro.serving.supervisor.ShardSupervisor`
+        via :func:`make_service`), not a process pool inside one
+        :class:`ForecastService`.
+    shards:
+        Number of supervised shard workers when the shard runtime is
+        selected. ``0`` picks a default from the CPU count.
+    durable:
+        Acknowledge ``observe`` only after the session state has been
+        checkpointed to the spill tier (write-through). Required for the
+        zero-lost-acknowledgements guarantee under worker crashes.
+    degraded_mode:
+        Serve a pool ensemble-average forecast flagged ``degraded: true``
+        for sessions whose checkpoints are corrupt, instead of failing
+        the request.
     breaker_threshold / breaker_cooldown:
         Consecutive internal errors tripping the service breaker, and
         the denied-call count absorbed before a half-open probe.
@@ -91,6 +114,9 @@ class ServiceConfig:
     batch_size: int = 16
     executor: str = "thread"
     n_jobs: Optional[int] = None
+    shards: int = 0
+    durable: bool = False
+    degraded_mode: bool = True
     breaker_threshold: int = 5
     breaker_cooldown: int = 50
 
@@ -103,16 +129,22 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"deadline must be > 0 seconds, got {self.deadline}"
             )
-        if self.executor == "process":
+        if self.executor != "process":
+            # The shard runtime owns the process backend; everything
+            # else must be a valid in-process executor.
+            ExecutorConfig(self.executor, self.n_jobs).validate()
+        if self.shards < 0:
             raise ConfigurationError(
-                "executor='process' is not supported: sessions are "
-                "stateful and must stay in-process; use 'thread'"
+                f"shards must be >= 0, got {self.shards}"
             )
-        ExecutorConfig(self.executor, self.n_jobs).validate()
         if self.breaker_threshold < 1 or self.breaker_cooldown < 1:
             raise ConfigurationError(
                 "breaker_threshold and breaker_cooldown must be >= 1"
             )
+
+    def wants_shards(self) -> bool:
+        """Whether this config selects the supervised shard runtime."""
+        return self.executor == "process" or self.shards > 0
 
 
 class ForecastService:
@@ -121,6 +153,14 @@ class ForecastService:
     def __init__(self, bundle, config: Optional[ServiceConfig] = None):
         self.config = config if config is not None else ServiceConfig()
         self.config.validate()
+        if self.config.executor == "process":
+            raise ConfigurationError(
+                "executor='process' selects the supervised shard "
+                "runtime: build the service with "
+                "repro.serving.make_service(bundle, config) (or "
+                "ShardSupervisor directly) instead of ForecastService"
+            )
+        self.bundle = bundle
         spill_dir = self.config.spill_dir
         if spill_dir is None:
             spill_dir = tempfile.mkdtemp(prefix="repro-serving-")
@@ -222,59 +262,232 @@ class ForecastService:
 
         return self._timed("create", run)
 
-    def observe(self, session_id: str, value: float) -> Dict[str, Any]:
-        """Feed one realised value; returns the next-step forecast."""
+    def _deadline(self, deadline) -> Deadline:
+        return coerce_deadline(deadline, self.config.deadline)
+
+    def _submit(self, fn, deadline: Deadline):
+        """Push work through the batcher and wait out the deadline."""
+        expires_at = None if deadline.unbounded else deadline.expires_at
+        future = self.batcher.submit(
+            fn, deadline=self.config.deadline, expires_at=expires_at
+        )
+        # Grace beyond the deadline covers work that *started* in time;
+        # a hang four budgets long is treated as unavailability.
+        timeout = (
+            self.config.deadline * 4
+            if deadline.unbounded
+            else deadline.remaining() + self.config.deadline
+        )
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise ServiceUnavailableError(
+                "request did not complete within its deadline grace "
+                "period"
+            ) from None
+
+    def observe(
+        self,
+        session_id: str,
+        value: float,
+        *,
+        seq: Optional[int] = None,
+        deadline=None,
+    ) -> Dict[str, Any]:
+        """Feed one realised value; returns the next-step forecast.
+
+        ``seq`` makes the call idempotent: a strictly increasing
+        per-session sequence number. Retrying the last acknowledged
+        ``seq`` returns the cached response without advancing the
+        session, so a retry after a crash can never double-apply an
+        observation. ``deadline`` is the remaining end-to-end budget
+        (seconds, or a :class:`~repro.runtime.Deadline`).
+        """
+        dl = self._deadline(deadline)
+
         def run():
             self._admit()
-            future = self.batcher.submit(
-                lambda: self._observe_inner(session_id, value),
-                deadline=self.config.deadline,
+            return self._submit(
+                lambda: self._observe_inner(session_id, value, seq), dl
             )
-            try:
-                return future.result(timeout=self.config.deadline * 4)
-            except FutureTimeoutError:
-                future.cancel()
-                raise ServiceUnavailableError(
-                    "request did not complete within 4x its deadline"
-                ) from None
 
         return self._timed("observe", run)
 
-    def _observe_inner(self, session_id: str, value: float) -> Dict[str, Any]:
-        with self.store.acquire(session_id) as session:
-            forecast = session.observe(float(value))
-            return {
-                "session": session_id,
-                "forecast": float(forecast),
-                "step": session.step,
-                "drift": session.last_drifted,
-                "policy_update": session.last_update_trigger,
-            }
+    def _check_seq(self, holder, seq: Optional[int], session_id: str):
+        """Idempotency ledger: cached response for a duplicate, error
+        for a stale or gapped sequence number, None to proceed."""
+        if seq is None or holder.ack_seq is None:
+            return None
+        if seq == holder.ack_seq:
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_serving_duplicate_observe_total"
+                ).inc()
+            return dict(holder.ack_response, duplicate=True)
+        if seq <= holder.ack_seq:
+            raise DataValidationError(
+                f"stale sequence number {seq} for session "
+                f"{session_id!r}: already acknowledged {holder.ack_seq}"
+            )
+        if seq != holder.ack_seq + 1:
+            raise DataValidationError(
+                f"sequence gap for session {session_id!r}: got {seq} "
+                f"after {holder.ack_seq}"
+            )
+        return None
 
-    def predict(self, session_id: str) -> Dict[str, Any]:
+    def _observe_inner(
+        self, session_id: str, value: float, seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        try:
+            with self.store.acquire(session_id) as session:
+                with session.lock:
+                    cached = self._check_seq(session, seq, session_id)
+                    if cached is not None:
+                        return cached
+                    forecast = session.observe(float(value))
+                    response = {
+                        "session": session_id,
+                        "forecast": float(forecast),
+                        "step": session.step,
+                        "drift": session.last_drifted,
+                        "policy_update": session.last_update_trigger,
+                        "degraded": False,
+                    }
+                    if seq is not None:
+                        session.ack_seq = seq
+                        session.ack_response = response
+                    if self.config.durable:
+                        # Commit point: the acknowledgement below is only
+                        # sent once the observation (ledger included) has
+                        # hit the spill tier.
+                        self.store.sync(session_id)
+                    return response
+        except SessionCorruptError:
+            if not self.config.degraded_mode:
+                raise
+            return self._observe_degraded(session_id, value, seq)
+
+    def predict(
+        self, session_id: str, *, deadline=None
+    ) -> Dict[str, Any]:
         """Peek at the next-step forecast without advancing the session."""
+        dl = self._deadline(deadline)
+
         def run():
             self._admit()
-            future = self.batcher.submit(
-                lambda: self._predict_inner(session_id),
-                deadline=self.config.deadline,
+            return self._submit(
+                lambda: self._predict_inner(session_id), dl
             )
-            return future.result(timeout=self.config.deadline * 4)
 
         return self._timed("predict", run)
 
     def _predict_inner(self, session_id: str) -> Dict[str, Any]:
-        with self.store.acquire(session_id) as session:
-            return {
+        try:
+            with self.store.acquire(session_id) as session:
+                return {
+                    "session": session_id,
+                    "forecast": float(session.predict()),
+                    "step": session.step,
+                    "degraded": False,
+                }
+        except SessionCorruptError:
+            if not self.config.degraded_mode:
+                raise
+            return self._predict_degraded(session_id)
+
+    # ------------------------------------------------------------------
+    # Degraded mode: corrupt-checkpoint sessions keep answering
+    # ------------------------------------------------------------------
+    def _ensemble_average(self, history: np.ndarray) -> float:
+        """Uniform average over the healthy pool members' forecasts.
+
+        The policy state is gone with the corrupt checkpoint, so the
+        best remaining estimator is the unweighted healthy ensemble —
+        the paper's baseline aggregation.
+        """
+        values, mask = self.bundle.pool.predict_next_with_mask(history)
+        values = np.asarray(values, dtype=np.float64)
+        usable = np.asarray(mask, dtype=bool) & np.isfinite(values)
+        if not usable.any():
+            raise ServiceUnavailableError(
+                "degraded forecast unavailable: no healthy pool member "
+                "produced a finite prediction"
+            )
+        return float(values[usable].mean())
+
+    def _degraded_state(self, session_id: str):
+        degraded = self.store.degraded_session(session_id)
+        if degraded is None or degraded.history is None:
+            # No sidecar survived either — nothing to forecast from.
+            raise SessionCorruptError(session_id)
+        return degraded
+
+    def _observe_degraded(
+        self, session_id: str, value: float, seq: Optional[int]
+    ) -> Dict[str, Any]:
+        degraded = self._degraded_state(session_id)
+        with degraded.lock:
+            cached = self._check_seq(degraded, seq, session_id)
+            if cached is not None:
+                return cached
+            degraded.history = np.append(
+                degraded.history, float(value)
+            )
+            forecast = self._ensemble_average(degraded.history)
+            response = {
                 "session": session_id,
-                "forecast": float(session.predict()),
-                "step": session.step,
+                "forecast": forecast,
+                "step": None,
+                "drift": False,
+                "policy_update": False,
+                "degraded": True,
             }
+            if seq is not None:
+                degraded.ack_seq = seq
+                degraded.ack_response = response
+            if self.config.durable:
+                self.store.persist_degraded(session_id)
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_serving_degraded_requests_total"
+                ).inc()
+            return response
+
+    def _predict_degraded(self, session_id: str) -> Dict[str, Any]:
+        degraded = self._degraded_state(session_id)
+        with degraded.lock:
+            forecast = self._ensemble_average(degraded.history)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_serving_degraded_requests_total"
+            ).inc()
+        return {
+            "session": session_id,
+            "forecast": forecast,
+            "step": None,
+            "degraded": True,
+        }
 
     def session_info(self, session_id: str) -> Dict[str, Any]:
         def run():
-            with self.store.acquire(session_id) as session:
-                return session.describe()
+            try:
+                with self.store.acquire(session_id) as session:
+                    info = session.describe()
+                    info["degraded"] = False
+                    return info
+            except SessionCorruptError:
+                if not self.config.degraded_mode:
+                    raise
+                degraded = self._degraded_state(session_id)
+                with degraded.lock:
+                    return {
+                        "session": session_id,
+                        "degraded": True,
+                        "history_length": int(degraded.history.size),
+                        "step": None,
+                    }
 
         return self._timed("info", run)
 
@@ -336,16 +549,20 @@ class ForecastService:
 def _status_label(error: BaseException) -> str:
     """Stable low-cardinality status label for the requests counter."""
     from repro.exceptions import (
-        DeadlineExceededError,
         ServiceOverloadedError,
         SessionExistsError,
         SessionNotFoundError,
+        WorkerCrashedError,
     )
 
     if isinstance(error, ServiceOverloadedError):
         return "overloaded"
     if isinstance(error, DeadlineExceededError):
         return "deadline"
+    if isinstance(error, SessionCorruptError):
+        return "corrupt"
+    if isinstance(error, WorkerCrashedError):
+        return "worker_crash"
     if isinstance(error, ServiceUnavailableError):
         return "unavailable"
     if isinstance(error, SessionNotFoundError):

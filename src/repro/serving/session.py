@@ -179,6 +179,12 @@ class SeriesSession:
 
         self.step = 0
         self.steps_since_update = 0
+        # Idempotency ledger for the serving layer: the last acknowledged
+        # client sequence number and the exact response it was sent.
+        # Checkpointed with the session, so a retry after a crash
+        # replays the cached answer instead of double-advancing the loop.
+        self.ack_seq: Optional[int] = None
+        self.ack_response: Optional[Dict[str, Any]] = None
         self.last_forecast: Optional[float] = None
         self.last_weights: Optional[np.ndarray] = None
         self.last_reward: Optional[float] = None
@@ -430,6 +436,8 @@ class SeriesSession:
                 "detector": self.detector.checkpoint_state(),
                 "pending": self._pending,
                 "last_forecast": self.last_forecast,
+                "ack_seq": self.ack_seq,
+                "ack_response": self.ack_response,
                 "mode": self.mode,
                 "interval": self.interval,
                 "updates_per_trigger": self.updates_per_trigger,
@@ -473,6 +481,14 @@ class SeriesSession:
             self.last_forecast = (
                 float(meta["last_forecast"])
                 if meta["last_forecast"] is not None else None
+            )
+            # .get(): snapshots written before the idempotency ledger
+            # existed restore with an empty ledger.
+            ack_seq = meta.get("ack_seq")
+            self.ack_seq = int(ack_seq) if ack_seq is not None else None
+            ack_response = meta.get("ack_response")
+            self.ack_response = (
+                dict(ack_response) if ack_response is not None else None
             )
 
     def describe(self) -> Dict[str, Any]:

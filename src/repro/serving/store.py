@@ -15,6 +15,22 @@ and the spilled-id set; each session additionally carries its own RLock
 session serialise while requests for different sessions proceed in
 parallel. :meth:`acquire` pins the session for the duration of the
 caller's work — pinned sessions are never spilled mid-request.
+
+Durability and corruption:
+
+- :meth:`sync` checkpoints a resident session **without** evicting it —
+  the write-through used by durable (shard-mode) serving, where an
+  ``observe`` is only acknowledged once its state has hit the spill
+  tier;
+- next to each session's snapshots lives a tiny *history sidecar*
+  (``history.npz``, the recent tail of the raw series) written on every
+  spill/sync. When restore finds only corrupt snapshots (all
+  quarantined by :class:`~repro.runtime.CheckpointManager`), the store
+  raises :class:`~repro.exceptions.SessionCorruptError` and parks a
+  :class:`DegradedSession` built from the sidecar, from which the
+  service serves ensemble-average forecasts instead of erroring. A
+  corrupt session can always be deleted and recreated — or recreated
+  directly, which purges the quarantined remnants.
 """
 
 from __future__ import annotations
@@ -25,16 +41,19 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.exceptions import (
+    CheckpointCorruptError,
     ServingError,
+    SessionCorruptError,
     SessionExistsError,
     SessionNotFoundError,
 )
 from repro.obs import OBS, get_logger
+from repro.persistence import atomic_write_bytes, load_npz_bytes, npz_bytes
 from repro.runtime import CheckpointManager
 from repro.serving.session import SeriesSession
 
@@ -46,6 +65,35 @@ SESSION_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 #: Snapshot kind used for spilled sessions ('-' and '/' are reserved).
 SPILL_KIND = "session"
+
+#: Sidecar filename inside a session's spill directory. Safe from the
+#: CheckpointManager sweep, which only touches ``<kind>-<step>.*``.
+SIDECAR_NAME = "history.npz"
+
+#: Minimum raw-history tail length kept in the sidecar.
+SIDECAR_MIN_TAIL = 128
+
+
+class DegradedSession:
+    """Leftover serving state of a session whose snapshots are corrupt.
+
+    Holds the raw-history tail recovered from the sidecar plus its own
+    idempotency ledger, so retried observes against a degraded session
+    are exactly-once too. Created lazily the first time a restore fails
+    with every snapshot quarantined.
+    """
+
+    __slots__ = ("session_id", "history", "ack_seq", "ack_response", "lock")
+
+    def __init__(self, session_id: str, history: Optional[np.ndarray]):
+        self.session_id = session_id
+        self.history = (
+            np.asarray(history, dtype=np.float64).copy()
+            if history is not None else None
+        )
+        self.ack_seq: Optional[int] = None
+        self.ack_response: Optional[Dict[str, Any]] = None
+        self.lock = threading.RLock()
 
 
 def validate_session_id(session_id: str) -> str:
@@ -79,9 +127,16 @@ class SessionStore:
         self._sessions: "OrderedDict[str, SeriesSession]" = OrderedDict()
         self._pins: Dict[str, int] = {}
         self._spilled: set = set()
+        self._degraded: Dict[str, DegradedSession] = {}
         self._lock = threading.Lock()
         self.evictions = 0
         self.restores = 0
+        self.corruptions = 0
+        min_history = getattr(bundle, "min_history", None)
+        self._sidecar_tail = max(
+            SIDECAR_MIN_TAIL,
+            int(min_history()) if callable(min_history) else 0,
+        )
         if self.spill_dir is not None and self.spill_dir.is_dir():
             # Re-adopt sessions a previous process spilled (crash or
             # graceful shutdown); they restore lazily on first access.
@@ -115,6 +170,38 @@ class SessionStore:
             )
 
     # ------------------------------------------------------------------
+    # Sidecar: raw-history tail for degraded-mode forecasting
+    # ------------------------------------------------------------------
+    def _sidecar_path(self, session_id: str) -> Path:
+        return self.spill_dir / session_id / SIDECAR_NAME
+
+    def _write_sidecar(self, session_id: str, history) -> None:
+        if history is None or self.spill_dir is None:
+            return
+        tail = np.asarray(history, dtype=np.float64)[-self._sidecar_tail:]
+        path = self._sidecar_path(session_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, npz_bytes({"history": tail}))
+
+    def _load_sidecar(self, session_id: str) -> Optional[np.ndarray]:
+        path = self._sidecar_path(session_id)
+        try:
+            return load_npz_bytes(path.read_bytes())["history"]
+        except Exception:  # noqa: BLE001 - a torn sidecar is best-effort
+            return None
+
+    # ------------------------------------------------------------------
+    def _save_snapshot(self, session_id: str, session: SeriesSession) -> None:
+        arrays, meta = session.checkpoint_state()
+        self._manager(session_id).save(
+            SPILL_KIND,
+            session.step,
+            arrays,
+            meta,
+            context={"session_id": session_id},
+        )
+        self._write_sidecar(session_id, session.history)
+
     def _evict_one_locked(self) -> bool:
         """Spill the LRU unpinned session; False when all are pinned."""
         victim_id = None
@@ -125,14 +212,7 @@ class SessionStore:
         if victim_id is None:
             return False
         session = self._sessions.pop(victim_id)
-        arrays, meta = session.checkpoint_state()
-        self._manager(victim_id).save(
-            SPILL_KIND,
-            session.step,
-            arrays,
-            meta,
-            context={"session_id": victim_id},
-        )
+        self._save_snapshot(victim_id, session)
         self._spilled.add(victim_id)
         self.evictions += 1
         if OBS.enabled:
@@ -143,11 +223,30 @@ class SessionStore:
         return True
 
     def _restore_locked(self, session_id: str) -> SeriesSession:
-        snapshot = self._manager(session_id).restore_latest(
-            SPILL_KIND, context={"session_id": session_id}
-        )
+        try:
+            snapshot = self._manager(session_id).restore_latest(
+                SPILL_KIND, context={"session_id": session_id}, strict=True
+            )
+        except CheckpointCorruptError as err:
+            # Snapshots existed but every one was quarantined: the
+            # learned state is unrecoverable. Park a DegradedSession
+            # built from the sidecar so the service can keep answering.
+            self._spilled.discard(session_id)
+            self._degraded[session_id] = DegradedSession(
+                session_id, self._load_sidecar(session_id)
+            )
+            self.corruptions += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_serving_corrupt_sessions_total"
+                ).inc()
+            _LOG.error(
+                "session %s is corrupt on disk; degraded mode engaged: %s",
+                session_id, err,
+            )
+            raise SessionCorruptError(session_id) from err
         if snapshot is None:
-            # Every snapshot corrupt or missing: the session is gone.
+            # No snapshot ever landed: the session is simply gone.
             self._spilled.discard(session_id)
             raise SessionNotFoundError(session_id)
         session = self.bundle.restore_session(
@@ -175,26 +274,44 @@ class SessionStore:
     def create(
         self, session_id: str, history: np.ndarray, **session_kwargs
     ) -> SeriesSession:
-        """Create and admit a new session (LRU-evicting if full)."""
+        """Create and admit a new session (LRU-evicting if full).
+
+        Recreating a session whose snapshots were quarantined as corrupt
+        is allowed: the degraded remnants (quarantine directory and
+        sidecar included) are purged and the id starts fresh.
+        """
         validate_session_id(session_id)
         with self._lock:
-            if session_id in self._sessions or session_id in self._spilled:
-                raise SessionExistsError(session_id)
+            self._check_creatable_locked(session_id)
         # Build outside the lock: bootstrap prediction matrices are the
         # expensive part and need no shared state.
         session = self.bundle.create_session(
             session_id, history, **session_kwargs
         )
         with self._lock:
-            if session_id in self._sessions or session_id in self._spilled:
-                raise SessionExistsError(session_id)
+            self._check_creatable_locked(session_id)
             self._admit_locked(session_id, session)
         return session
+
+    def _check_creatable_locked(self, session_id: str) -> None:
+        if session_id in self._sessions or session_id in self._spilled:
+            raise SessionExistsError(session_id)
+        if self._degraded.pop(session_id, None) is not None:
+            if self.spill_dir is not None:
+                shutil.rmtree(
+                    self.spill_dir / session_id, ignore_errors=True
+                )
+            _LOG.info(
+                "recreating corrupt session %s: quarantined remnants "
+                "purged", session_id,
+            )
 
     @contextmanager
     def acquire(self, session_id: str) -> Iterator[SeriesSession]:
         """Yield the (restored-if-spilled) session, pinned against spill."""
         with self._lock:
+            if session_id in self._degraded:
+                raise SessionCorruptError(session_id)
             session = self._sessions.get(session_id)
             if session is None:
                 if session_id not in self._spilled:
@@ -214,14 +331,50 @@ class SessionStore:
                 else:
                     self._pins.pop(session_id, None)
 
+    def sync(self, session_id: str) -> bool:
+        """Checkpoint a resident session in place (durable write-through).
+
+        The commit point of durable serving: an ``observe`` is only
+        acknowledged after ``sync`` returns, so an acknowledged
+        observation survives any subsequent crash. Spilled sessions are
+        already durable; returns False for those (and for unknown ids —
+        the caller holds the session via :meth:`acquire` anyway).
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        self._save_snapshot(session_id, session)
+        return True
+
+    # ------------------------------------------------------------------
+    # Degraded sessions (corrupt spill state)
+    # ------------------------------------------------------------------
+    def degraded_session(self, session_id: str) -> Optional[DegradedSession]:
+        """The parked degraded state of a corrupt session, if any."""
+        with self._lock:
+            return self._degraded.get(session_id)
+
+    def degraded_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._degraded)
+
+    def persist_degraded(self, session_id: str) -> None:
+        """Rewrite the sidecar so degraded observations survive restarts."""
+        degraded = self.degraded_session(session_id)
+        if degraded is not None and degraded.history is not None:
+            self._write_sidecar(session_id, degraded.history)
+
     def close(self, session_id: str) -> None:
         """Forget a session and delete its spill snapshots."""
         with self._lock:
             known = (
                 self._sessions.pop(session_id, None) is not None
                 or session_id in self._spilled
+                or session_id in self._degraded
             )
             self._spilled.discard(session_id)
+            self._degraded.pop(session_id, None)
             self._gauges()
         if not known:
             raise SessionNotFoundError(session_id)
@@ -246,20 +399,28 @@ class SessionStore:
     def __contains__(self, session_id: str) -> bool:
         with self._lock:
             return (
-                session_id in self._sessions or session_id in self._spilled
+                session_id in self._sessions
+                or session_id in self._spilled
+                or session_id in self._degraded
             )
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._sessions) + len(self._spilled)
+            return (
+                len(self._sessions)
+                + len(self._spilled)
+                + len(self._degraded)
+            )
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "resident": len(self._sessions),
                 "spilled": len(self._spilled),
+                "degraded": len(self._degraded),
                 "capacity": self.capacity,
                 "pinned": sum(1 for n in self._pins.values() if n > 0),
                 "evictions": self.evictions,
                 "restores": self.restores,
+                "corruptions": self.corruptions,
             }

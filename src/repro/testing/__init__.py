@@ -7,6 +7,8 @@ from repro.testing.faults import (
     SimulatedCrash,
     SlowForecaster,
     TornWriter,
+    corrupt_all_snapshots,
+    truncate_file,
 )
 
 __all__ = [
@@ -16,4 +18,6 @@ __all__ = [
     "SimulatedCrash",
     "SlowForecaster",
     "TornWriter",
+    "corrupt_all_snapshots",
+    "truncate_file",
 ]

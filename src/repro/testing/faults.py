@@ -238,3 +238,51 @@ class TornWriter:
             f"torn write at call {index}: {path} "
             f"({cut}/{len(data)} bytes landed)"
         )
+
+
+# ----------------------------------------------------------------------
+# On-disk corruption (bit rot / torn-at-rest injection)
+# ----------------------------------------------------------------------
+def truncate_file(path: PathLike, keep_fraction: float = 0.5) -> Path:
+    """Truncate a file in place to a fraction of its bytes.
+
+    Emulates a snapshot (or sidecar) torn *at rest* — e.g. a crash
+    during a filesystem journal replay — as opposed to
+    :class:`TornWriter`, which tears the write itself. The integrity
+    checks downstream (checkpoint SHA-256, npz parsing) must detect the
+    damage and quarantine, never crash.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigurationError(
+            f"keep_fraction must be in [0, 1), got {keep_fraction}"
+        )
+    path = Path(os.fspath(path))
+    size = path.stat().st_size
+    with open(path, "rb+") as handle:
+        handle.truncate(int(size * keep_fraction))
+    return path
+
+
+def corrupt_all_snapshots(
+    directory: PathLike, kind: str = "session"
+) -> int:
+    """Flip bytes in every ``<kind>-*.npz`` payload under ``directory``.
+
+    Renders *all* of a session's spill snapshots unrecoverable (the
+    manifests' SHA-256 no longer match), forcing the store's strict
+    restore down the corrupt path — the setup for degraded-mode tests
+    and the chaos harness. Sidecars and quarantine subdirectories are
+    untouched. Returns the number of payloads corrupted.
+    """
+    directory = Path(os.fspath(directory))
+    corrupted = 0
+    for payload in sorted(directory.glob(f"{kind}-*.npz")):
+        data = bytearray(payload.read_bytes())
+        if not data:
+            continue
+        # Flip a byte in the middle: past the zip header, inside the
+        # compressed stream the checksum covers.
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        corrupted += 1
+    return corrupted

@@ -110,6 +110,38 @@ class TestBackpressure:
             release.set()
             batcher.close()
 
+    def test_already_expired_absolute_deadline_shed_at_submit(self):
+        batcher = MicroBatcher(max_batch=1, max_wait=0.0, queue_limit=8)
+        try:
+            # An absolute expires_at in the past never takes a queue
+            # slot — the submit itself raises.
+            with pytest.raises(DeadlineExceededError):
+                batcher.submit(
+                    lambda: "late", expires_at=time.monotonic() - 0.01
+                )
+            assert batcher.shed == 1
+        finally:
+            batcher.close()
+
+    def test_absolute_deadline_wins_over_relative(self):
+        batcher = MicroBatcher(max_batch=4, max_wait=0.0, queue_limit=8)
+        try:
+            # Generous relative budget, expired absolute instant: the
+            # absolute one (the propagated end-to-end deadline) rules.
+            with pytest.raises(DeadlineExceededError):
+                batcher.submit(
+                    lambda: None,
+                    deadline=60.0,
+                    expires_at=time.monotonic() - 0.01,
+                )
+            # A live absolute deadline passes through normally.
+            future = batcher.submit(
+                lambda: 42, expires_at=time.monotonic() + 5.0
+            )
+            assert future.result(timeout=5) == 42
+        finally:
+            batcher.close()
+
 
 class TestClose:
     def test_close_drains_pending_work(self):

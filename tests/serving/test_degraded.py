@@ -1,0 +1,205 @@
+"""Corrupt-checkpoint sessions: quarantine, degraded serving, recreate.
+
+Exercises the failure path the chaos harness gates on: every spill
+snapshot of a session corrupted on disk → the store quarantines instead
+of crashing, the service answers a healthy-member ensemble-average
+forecast flagged ``degraded: true``, and the session id can be deleted
+or recreated cleanly afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    SessionCorruptError,
+    SessionNotFoundError,
+)
+from repro.serving import ForecastService, ServiceConfig, SessionStore
+from repro.serving.store import SIDECAR_NAME
+from repro.testing import corrupt_all_snapshots, truncate_file
+
+
+def _spilled_store(bundle, series, tmp_path, sid="victim"):
+    """A store whose session ``sid`` lives only on disk."""
+    store = SessionStore(bundle, capacity=4, spill_dir=tmp_path)
+    store.create(sid, series[:180])
+    with store.acquire(sid) as session:
+        for value in series[180:188]:
+            session.observe(float(value))
+    assert store.spill_all() == 1
+    return store
+
+
+class TestStoreCorruption:
+    def test_all_snapshots_corrupt_raises_typed_error(
+        self, bundle, series, tmp_path
+    ):
+        store = _spilled_store(bundle, series, tmp_path)
+        assert corrupt_all_snapshots(tmp_path / "victim") >= 1
+        with pytest.raises(SessionCorruptError):
+            with store.acquire("victim"):
+                pass
+        stats = store.stats()
+        assert stats["degraded"] == 1 and stats["corruptions"] == 1
+        # Still "known" — the id stays reserved until closed/recreated.
+        assert "victim" in store
+
+    def test_degraded_state_keeps_sidecar_history(
+        self, bundle, series, tmp_path
+    ):
+        store = _spilled_store(bundle, series, tmp_path)
+        corrupt_all_snapshots(tmp_path / "victim")
+        with pytest.raises(SessionCorruptError):
+            with store.acquire("victim"):
+                pass
+        degraded = store.degraded_session("victim")
+        assert degraded is not None
+        assert degraded.history is not None
+        np.testing.assert_allclose(
+            degraded.history[-8:], series[180:188]
+        )
+
+    def test_corrupt_session_can_be_closed(self, bundle, series, tmp_path):
+        store = _spilled_store(bundle, series, tmp_path)
+        corrupt_all_snapshots(tmp_path / "victim")
+        with pytest.raises(SessionCorruptError):
+            with store.acquire("victim"):
+                pass
+        store.close("victim")
+        assert "victim" not in store
+        with pytest.raises(SessionNotFoundError):
+            with store.acquire("victim"):
+                pass
+
+    def test_corrupt_session_can_be_recreated(
+        self, bundle, series, tmp_path
+    ):
+        store = _spilled_store(bundle, series, tmp_path)
+        corrupt_all_snapshots(tmp_path / "victim")
+        with pytest.raises(SessionCorruptError):
+            with store.acquire("victim"):
+                pass
+        # Recreate directly: quarantined remnants are purged.
+        session = store.create("victim", series[:180])
+        assert session.step == 0
+        assert store.stats()["degraded"] == 0
+        with store.acquire("victim") as fresh:
+            fresh.observe(float(series[180]))
+
+
+class TestSpillAdoption:
+    """Satellite: corrupt/truncated spill files at startup must
+    quarantine, not crash, and the session must be recreatable."""
+
+    def test_truncated_snapshot_adopted_then_quarantined(
+        self, bundle, series, tmp_path
+    ):
+        store = _spilled_store(bundle, series, tmp_path)
+        del store
+        # Tear every payload at rest, then start a fresh store over the
+        # same spill dir (the crash-restart path).
+        for payload in (tmp_path / "victim").glob("session-*.npz"):
+            truncate_file(payload, keep_fraction=0.4)
+        adopted = SessionStore(bundle, capacity=4, spill_dir=tmp_path)
+        assert "victim" in adopted  # adoption itself must not crash
+        with pytest.raises(SessionCorruptError):
+            with adopted.acquire("victim"):
+                pass
+        # ...and the id is recreatable afterwards.
+        adopted.create("victim", series[:180])
+        with adopted.acquire("victim") as session:
+            assert session.step == 0
+
+    def test_truncated_sidecar_is_best_effort(
+        self, bundle, series, tmp_path
+    ):
+        store = _spilled_store(bundle, series, tmp_path)
+        corrupt_all_snapshots(tmp_path / "victim")
+        truncate_file(tmp_path / "victim" / SIDECAR_NAME, 0.3)
+        with pytest.raises(SessionCorruptError):
+            with store.acquire("victim"):
+                pass
+        degraded = store.degraded_session("victim")
+        assert degraded is not None and degraded.history is None
+
+
+class TestDegradedService:
+    @pytest.fixture()
+    def corrupt_service(self, bundle, series, tmp_path):
+        svc = ForecastService(
+            bundle,
+            ServiceConfig(
+                max_sessions=8, spill_dir=str(tmp_path), durable=True
+            ),
+        )
+        svc.create_session("vic", series[:180])
+        for i, value in enumerate(series[180:188], start=1):
+            svc.observe("vic", float(value), seq=i)
+        svc.store.spill_all()
+        corrupt_all_snapshots(tmp_path / "vic")
+        yield svc
+        svc.shutdown()
+
+    def test_observe_serves_degraded_ensemble_average(
+        self, corrupt_service, bundle, series
+    ):
+        out = corrupt_service.observe("vic", float(series[188]), seq=9)
+        assert out["degraded"] is True and out["step"] is None
+        # The forecast is the healthy-member ensemble average over the
+        # sidecar history plus the new observation.
+        degraded = corrupt_service.store.degraded_session("vic")
+        values, mask = bundle.pool.predict_next_with_mask(
+            degraded.history
+        )
+        usable = np.asarray(mask, bool) & np.isfinite(values)
+        assert out["forecast"] == pytest.approx(
+            float(np.asarray(values)[usable].mean())
+        )
+
+    def test_degraded_observe_is_idempotent(self, corrupt_service, series):
+        first = corrupt_service.observe("vic", float(series[188]), seq=9)
+        replay = corrupt_service.observe("vic", float(series[188]), seq=9)
+        assert replay["duplicate"] is True
+        assert replay["forecast"] == first["forecast"]
+
+    def test_predict_degraded_does_not_advance(
+        self, corrupt_service, series
+    ):
+        peek1 = corrupt_service.predict("vic")
+        peek2 = corrupt_service.predict("vic")
+        assert peek1["degraded"] is True
+        assert peek1["forecast"] == peek2["forecast"]
+
+    def test_info_reports_degraded(self, corrupt_service):
+        info = corrupt_service.session_info("vic")
+        assert info["degraded"] is True and info["step"] is None
+
+    def test_degraded_mode_off_raises_typed_503(
+        self, bundle, series, tmp_path
+    ):
+        svc = ForecastService(
+            bundle,
+            ServiceConfig(
+                max_sessions=8,
+                spill_dir=str(tmp_path),
+                degraded_mode=False,
+            ),
+        )
+        try:
+            svc.create_session("vic", series[:180])
+            svc.store.spill_all()
+            corrupt_all_snapshots(tmp_path / "vic")
+            with pytest.raises(SessionCorruptError):
+                svc.observe("vic", 1.0)
+        finally:
+            svc.shutdown()
+
+    def test_recreate_through_service(self, corrupt_service, series):
+        corrupt_service.observe("vic", float(series[188]))  # park degraded
+        corrupt_service.close_session("vic")
+        info = corrupt_service.create_session("vic", series[:180])
+        assert info["step"] == 0
+        out = corrupt_service.observe("vic", float(series[180]))
+        assert out["degraded"] is False and out["step"] == 1

@@ -22,7 +22,7 @@ def server(bundle, tmp_path):
     srv.shutdown()
 
 
-def _request(server, method, path, body=None):
+def _request(server, method, path, body=None, headers=None):
     host, port = server.address
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(
@@ -30,15 +30,17 @@ def _request(server, method, path, body=None):
     )
     if data is not None:
         req.add_header("Content-Type", "application/json")
+    for name, value in (headers or {}).items():
+        req.add_header(name, value)
     try:
         with urllib.request.urlopen(req, timeout=10) as resp:
-            return resp.status, resp.read()
+            return resp.status, resp.read(), dict(resp.headers)
     except urllib.error.HTTPError as err:
-        return err.code, err.read()
+        return err.code, err.read(), dict(err.headers)
 
 
-def _json(server, method, path, body=None):
-    status, raw = _request(server, method, path, body)
+def _json(server, method, path, body=None, headers=None):
+    status, raw, _ = _request(server, method, path, body, headers)
     return status, json.loads(raw)
 
 
@@ -82,7 +84,7 @@ class TestRoutes:
             })
             _json(server, "POST", "/v1/sessions/m/observe",
                   {"y": float(series[180])})
-            status, raw = _request(server, "GET", "/metrics")
+            status, raw, _ = _request(server, "GET", "/metrics")
             text = raw.decode()
             assert status == 200
             assert "repro_serving_request_seconds" in text
@@ -126,13 +128,131 @@ class TestErrorMapping:
             DeadlineExceededError,
             ServiceOverloadedError,
             ServiceUnavailableError,
+            SessionCorruptError,
+            WorkerCrashedError,
         )
         from repro.serving.http import _status_for
 
         assert _status_for(ServiceOverloadedError(9, 8)) == 429
         assert _status_for(DeadlineExceededError(0.5)) == 503
         assert _status_for(ServiceUnavailableError("closing")) == 503
+        assert _status_for(SessionCorruptError("sx")) == 503
+        assert _status_for(WorkerCrashedError(1)) == 503
         assert _status_for(RuntimeError("bug")) == 500
+
+
+class TestDeadlineAndSeq:
+    def test_observe_accepts_seq_and_is_idempotent(self, server, series):
+        _json(server, "POST", "/v1/sessions", {
+            "session": "sq", "history": series[:180].tolist(),
+        })
+        status, first = _json(
+            server, "POST", "/v1/sessions/sq/observe",
+            {"y": float(series[180]), "seq": 1},
+        )
+        assert status == 200 and first["step"] == 1
+        status, replay = _json(
+            server, "POST", "/v1/sessions/sq/observe",
+            {"y": float(series[180]), "seq": 1},
+        )
+        assert status == 200 and replay["duplicate"] is True
+        assert replay["forecast"] == first["forecast"]
+
+    def test_invalid_seq_is_400(self, server, series):
+        _json(server, "POST", "/v1/sessions", {
+            "session": "sqbad", "history": series[:180].tolist(),
+        })
+        assert _json(
+            server, "POST", "/v1/sessions/sqbad/observe",
+            {"y": 1.0, "seq": "one"},
+        )[0] == 400
+
+    def test_deadline_body_and_header_accepted(self, server, series):
+        _json(server, "POST", "/v1/sessions", {
+            "session": "dl", "history": series[:180].tolist(),
+        })
+        status, out = _json(
+            server, "POST", "/v1/sessions/dl/observe",
+            {"y": float(series[180]), "deadline": 5.0},
+        )
+        assert status == 200 and out["step"] == 1
+        status, peek = _json(
+            server, "GET", "/v1/sessions/dl/predict",
+            headers={"X-Deadline-Seconds": "5"},
+        )
+        assert status == 200 and "forecast" in peek
+
+    def test_bad_deadline_is_400(self, server, series):
+        _json(server, "POST", "/v1/sessions", {
+            "session": "dlbad", "history": series[:180].tolist(),
+        })
+        assert _json(
+            server, "POST", "/v1/sessions/dlbad/observe",
+            {"y": 1.0, "deadline": -1},
+        )[0] == 400
+        assert _json(
+            server, "GET", "/v1/sessions/dlbad/predict",
+            headers={"X-Deadline-Seconds": "soon"},
+        )[0] == 400
+
+
+class TestCorruptSession:
+    def test_corrupt_session_is_typed_503_with_retry_after(
+        self, bundle, series, tmp_path
+    ):
+        from repro.testing import corrupt_all_snapshots
+
+        # degraded_mode off surfaces the typed 503 instead of fallback.
+        service = ForecastService(
+            bundle,
+            ServiceConfig(
+                max_sessions=8,
+                spill_dir=str(tmp_path),
+                degraded_mode=False,
+            ),
+        )
+        srv = ForecastHTTPServer(service, port=0).start()
+        try:
+            _json(srv, "POST", "/v1/sessions", {
+                "session": "rot", "history": series[:180].tolist(),
+            })
+            service.store.spill_all()
+            corrupt_all_snapshots(tmp_path / "rot")
+            status, raw, headers = _request(
+                srv, "POST", "/v1/sessions/rot/observe", {"y": 1.0}
+            )
+            payload = json.loads(raw)
+            assert status == 503
+            assert payload["error"] == "SessionCorruptError"
+            assert "Retry-After" in headers
+            assert float(headers["Retry-After"]) > 0
+        finally:
+            srv.shutdown()
+
+    def test_degraded_mode_serves_200_with_flag(
+        self, bundle, series, tmp_path
+    ):
+        from repro.testing import corrupt_all_snapshots
+
+        service = ForecastService(
+            bundle,
+            ServiceConfig(max_sessions=8, spill_dir=str(tmp_path)),
+        )
+        srv = ForecastHTTPServer(service, port=0).start()
+        try:
+            _json(srv, "POST", "/v1/sessions", {
+                "session": "deg", "history": series[:180].tolist(),
+            })
+            service.store.spill_all()
+            corrupt_all_snapshots(tmp_path / "deg")
+            status, out = _json(
+                srv, "POST", "/v1/sessions/deg/observe",
+                {"y": float(series[180])},
+            )
+            assert status == 200
+            assert out["degraded"] is True and out["step"] is None
+        finally:
+            srv.shutdown()
 
 
 class TestShutdownTelemetry:

@@ -78,6 +78,34 @@ class TestSignals:
                 os.kill(os.getpid(), signal.SIGTERM)
                 time.sleep(5)  # delivery interrupts the sleep
 
+    def test_second_signal_during_drain_is_absorbed(self):
+        # Satellite guarantee: an impatient double SIGTERM must neither
+        # re-run flush callbacks nor raise mid-flush.
+        runs = []
+        with GracefulShutdown() as latch:
+            latch.on_shutdown(lambda: runs.append("flush"))
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert latch.wait(timeout=5)
+            # Second signal lands while the drain would be running.
+            os.kill(os.getpid(), signal.SIGTERM)
+            signal.sigtimedwait([], 0.05)  # let delivery happen
+            latch.drain()
+            latch.drain()  # idempotent under explicit re-entry too
+        assert runs == ["flush"]
+
+    def test_double_signal_in_interrupt_mode_raises_once(self):
+        import time
+
+        with GracefulShutdown(interrupt=True) as latch:
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)
+            # The second signal is absorbed: no KeyboardInterrupt
+            # unwinds the cleanup path it would interrupt.
+            os.kill(os.getpid(), signal.SIGTERM)
+            signal.sigtimedwait([], 0.05)
+            assert latch.requested
+
     def test_install_outside_main_thread_is_noop(self):
         result = {}
 

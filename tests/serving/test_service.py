@@ -28,9 +28,19 @@ def service(bundle, tmp_path):
 
 
 class TestConfig:
-    def test_process_executor_rejected(self):
-        with pytest.raises(ConfigurationError, match="process"):
-            ServiceConfig(executor="process").validate()
+    def test_process_executor_selects_shard_runtime(self):
+        # The config is now valid (it selects the shard runtime)...
+        config = ServiceConfig(executor="process")
+        config.validate()
+        assert config.wants_shards()
+        assert ServiceConfig(shards=2).wants_shards()
+        assert not ServiceConfig().wants_shards()
+
+    def test_process_executor_rejected_by_forecast_service(self, bundle):
+        # ...but the in-process service still refuses it, pointing the
+        # caller at make_service / ShardSupervisor.
+        with pytest.raises(ConfigurationError, match="make_service"):
+            ForecastService(bundle, ServiceConfig(executor="process"))
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -67,6 +77,57 @@ class TestOperations:
         for value in series[180:200]:
             via_service = service.observe("ref", float(value))["forecast"]
             assert via_service == direct.observe(value)
+
+    def test_sequence_numbers_are_idempotent(self, service, series):
+        service.create_session("seq", series[:180])
+        first = service.observe("seq", float(series[180]), seq=1)
+        assert first["step"] == 1 and "duplicate" not in first
+        # Retrying the acknowledged seq returns the cached response
+        # without advancing the session (exactly-once under retries).
+        replay = service.observe("seq", float(series[180]), seq=1)
+        assert replay["duplicate"] is True
+        assert replay["forecast"] == first["forecast"]
+        assert service.session_info("seq")["step"] == 1
+        nxt = service.observe("seq", float(series[181]), seq=2)
+        assert nxt["step"] == 2
+
+    def test_stale_and_gapped_sequences_rejected(self, service, series):
+        from repro.exceptions import DataValidationError
+
+        service.create_session("gap", series[:180])
+        service.observe("gap", float(series[180]), seq=5)
+        with pytest.raises(DataValidationError, match="stale"):
+            service.observe("gap", float(series[181]), seq=3)
+        with pytest.raises(DataValidationError, match="gap"):
+            service.observe("gap", float(series[181]), seq=9)
+        assert service.session_info("gap")["step"] == 1
+
+    def test_ack_ledger_survives_spill_and_restore(
+        self, bundle, series, tmp_path
+    ):
+        svc = ForecastService(
+            bundle,
+            ServiceConfig(
+                max_sessions=8, spill_dir=str(tmp_path), durable=True
+            ),
+        )
+        try:
+            svc.create_session("led", series[:180])
+            acked = svc.observe("led", float(series[180]), seq=1)
+            svc.store.spill_all()
+            # Restored from disk: the duplicate is still recognised.
+            replay = svc.observe("led", float(series[180]), seq=1)
+            assert replay["duplicate"] is True
+            assert replay["forecast"] == acked["forecast"]
+        finally:
+            svc.shutdown()
+
+    def test_observe_accepts_deadline_budget(self, service, series):
+        service.create_session("dl", series[:180])
+        out = service.observe("dl", float(series[180]), deadline=1.5)
+        assert out["step"] == 1
+        peek = service.predict("dl", deadline=1.5)
+        assert np.isfinite(peek["forecast"])
 
     def test_health_and_stats(self, service, series):
         health = service.health()
@@ -122,7 +183,7 @@ class TestBreaker:
     def test_internal_errors_trip_breaker(self, service, series, monkeypatch):
         service.create_session("victim", series[:180])
 
-        def corrupted(session_id, value):
+        def corrupted(session_id, value, seq=None):
             raise RuntimeError("simulated internal fault")
 
         monkeypatch.setattr(service, "_observe_inner", corrupted)

@@ -1,0 +1,243 @@
+"""ShardSupervisor: hashing, RPC parity, SIGKILL failover, shutdown."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    SessionExistsError,
+    SessionNotFoundError,
+    WorkerCrashedError,
+)
+from repro.serving import (
+    HashRing,
+    ServiceConfig,
+    ShardSupervisor,
+    make_service,
+)
+from repro.serving.shard import decode_error, encode_error
+
+
+class TestHashRing:
+    def test_deterministic_and_in_range(self):
+        ring = HashRing(4)
+        ids = [f"tenant-{i}" for i in range(200)]
+        first = [ring.shard_for(sid) for sid in ids]
+        again = [ring.shard_for(sid) for sid in ids]
+        assert first == again
+        assert set(first) <= set(range(4))
+
+    def test_same_count_same_placement_across_instances(self):
+        # Placement must survive a supervisor restart: a fresh ring with
+        # the same shard count routes every session identically.
+        a, b = HashRing(4), HashRing(4)
+        for i in range(200):
+            sid = f"session-{i}"
+            assert a.shard_for(sid) == b.shard_for(sid)
+
+    def test_reasonable_balance(self):
+        ring = HashRing(4)
+        counts = np.bincount(
+            [ring.shard_for(f"s{i}") for i in range(2000)], minlength=4
+        )
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 3.0
+
+
+class TestErrorTransport:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            SessionNotFoundError("sx"),
+            SessionExistsError("sx"),
+            ServiceOverloadedError(9, 10),
+            DeadlineExceededError(1.5),
+            ServiceUnavailableError("draining"),
+            DataValidationError("bad y"),
+            WorkerCrashedError(3, "killed"),
+        ],
+    )
+    def test_roundtrip_preserves_type(self, error):
+        decoded = decode_error(encode_error(error))
+        assert type(decoded) is type(error)
+
+    def test_overload_attributes_survive(self):
+        decoded = decode_error(encode_error(ServiceOverloadedError(9, 10)))
+        assert decoded.queue_depth == 9 and decoded.queue_limit == 10
+
+    def test_unknown_type_decodes_to_internal_error(self):
+        decoded = decode_error(encode_error(ValueError("a bug")))
+        assert type(decoded) is RuntimeError
+        assert "a bug" in str(decoded)
+
+
+@pytest.fixture()
+def supervisor(bundle, tmp_path):
+    sup = ShardSupervisor(
+        bundle,
+        ServiceConfig(
+            executor="process",
+            shards=2,
+            spill_dir=str(tmp_path),
+            deadline=10.0,
+            max_sessions=8,
+        ),
+    )
+    yield sup
+    sup.shutdown()
+
+
+class TestSupervisorOperations:
+    def test_make_service_picks_runtime(self, bundle, tmp_path):
+        from repro.serving import ForecastService
+
+        svc = make_service(
+            bundle, ServiceConfig(spill_dir=str(tmp_path))
+        )
+        assert isinstance(svc, ForecastService)
+        svc.shutdown()
+
+    def test_full_cycle_across_shards(self, supervisor, series):
+        for sid in ("alpha", "beta", "gamma"):
+            info = supervisor.create_session(sid, series[:180])
+            assert info["step"] == 0
+        out = supervisor.observe("alpha", float(series[180]), seq=1)
+        assert out["step"] == 1 and out["degraded"] is False
+        peek = supervisor.predict("alpha")
+        assert np.isfinite(peek["forecast"])
+        assert supervisor.session_info("alpha")["step"] == 1
+        supervisor.close_session("beta")
+        with pytest.raises(SessionNotFoundError):
+            supervisor.observe("beta", 1.0)
+
+    def test_duplicate_create_conflicts(self, supervisor, series):
+        supervisor.create_session("dup", series[:180])
+        with pytest.raises(SessionExistsError):
+            supervisor.create_session("dup", series[:180])
+
+    def test_typed_errors_cross_the_process_boundary(self, supervisor):
+        with pytest.raises(SessionNotFoundError):
+            supervisor.observe("ghost", 1.0)
+        with pytest.raises(DataValidationError):
+            supervisor.create_session("short", [1.0, 2.0])
+
+    def test_health_reports_every_shard(self, supervisor):
+        health = supervisor.health()
+        assert health["status"] == "ok"
+        assert health["shards_up"] == 2
+        assert all(s["alive"] for s in health["shards"])
+
+    def test_stats_aggregates_shards(self, supervisor, series):
+        supervisor.create_session("st", series[:180])
+        stats = supervisor.stats()
+        assert stats["n_shards"] == 2
+        resident = sum(
+            s.get("sessions", {}).get("resident", 0)
+            for s in stats["shards"].values()
+        )
+        assert resident == 1
+
+
+class TestFailover:
+    def _kill_owner(self, supervisor, sid):
+        shard = supervisor._shards[supervisor.ring.shard_for(sid)]
+        os.kill(shard.process.pid, signal.SIGKILL)
+        return shard.index
+
+    def test_sigkill_failover_is_lossless_and_bit_identical(
+        self, supervisor, bundle, series
+    ):
+        # A local twin session with the same id evolves from the same
+        # per-id seed: the supervised path must match it bit-for-bit
+        # even across a SIGKILL + restore.
+        twin = bundle.create_session("twin", series[:180])
+        supervisor.create_session("twin", series[:180])
+        seq = 0
+        for value in series[180:186]:
+            seq += 1
+            out = supervisor.observe("twin", float(value), seq=seq)
+            assert out["forecast"] == twin.observe(float(value))
+        self._kill_owner(supervisor, "twin")
+        for value in series[186:192]:
+            seq += 1
+            out = supervisor.observe("twin", float(value), seq=seq)
+            assert out["forecast"] == twin.observe(float(value))
+        assert out["step"] == 12
+        assert supervisor.health()["restarts"] >= 1
+
+    def test_acknowledged_observe_survives_crash_as_duplicate(
+        self, supervisor, series
+    ):
+        supervisor.create_session("ack", series[:180])
+        acked = supervisor.observe("ack", float(series[180]), seq=1)
+        self._kill_owner(supervisor, "ack")
+        # Retrying the acknowledged seq after the crash must return the
+        # cached ack (exactly-once), not re-apply the observation.
+        replay = supervisor.observe("ack", float(series[180]), seq=1)
+        assert replay["duplicate"] is True
+        assert replay["forecast"] == acked["forecast"]
+        assert supervisor.session_info("ack")["step"] == 1
+
+    def test_unsequenced_observe_is_not_retried(
+        self, supervisor, series, monkeypatch
+    ):
+        supervisor.create_session("noseq", series[:180])
+        shard = supervisor._shards[supervisor.ring.shard_for("noseq")]
+
+        calls = {"n": 0}
+        original = supervisor._call_shard
+
+        def dying_call(s, op, args, dl):
+            if op == "observe":
+                calls["n"] += 1
+                raise WorkerCrashedError(s.index, "injected")
+            return original(s, op, args, dl)
+
+        monkeypatch.setattr(supervisor, "_call_shard", dying_call)
+        with pytest.raises(WorkerCrashedError):
+            supervisor.observe("noseq", float(series[180]))
+        assert calls["n"] == 1  # exactly one attempt without a seq
+        with pytest.raises(WorkerCrashedError):
+            supervisor.observe("noseq", float(series[180]), seq=1)
+        assert calls["n"] > 2  # sequenced observe retried
+
+    def test_shutdown_drains_and_refuses(self, bundle, series, tmp_path):
+        sup = ShardSupervisor(
+            bundle,
+            ServiceConfig(
+                executor="process",
+                shards=2,
+                spill_dir=str(tmp_path),
+                deadline=10.0,
+            ),
+        )
+        sup.create_session("bye", series[:180])
+        sup.observe("bye", float(series[180]), seq=1)
+        summary = sup.shutdown()
+        assert summary["drained"] == 2
+        with pytest.raises(ServiceUnavailableError):
+            sup.observe("bye", 1.0)
+        # The drained sessions are on disk: a fresh supervisor over the
+        # same spill root serves them where they left off.
+        sup2 = ShardSupervisor(
+            bundle,
+            ServiceConfig(
+                executor="process",
+                shards=2,
+                spill_dir=str(tmp_path),
+                deadline=10.0,
+            ),
+        )
+        try:
+            assert sup2.session_info("bye")["step"] == 1
+        finally:
+            sup2.shutdown()
