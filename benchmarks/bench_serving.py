@@ -176,6 +176,99 @@ def check_spill_bit_identity(bundle, series, *, steps: int) -> dict:
     }
 
 
+def check_batched_bit_identity(
+    bundle, series, *, sessions: int = 12, steps: int = 30
+) -> dict:
+    """Acceptance: stacked-batch inference == per-session, exactly.
+
+    Two services over the same bundle — one with ``batched_inference``,
+    one without — are driven in lockstep: every step, all tenants
+    submit concurrently to the batched service (so the micro-batcher
+    coalesces them into stacked dispatches) and serially to the plain
+    one. Forecasts are compared bitwise per step, and at the end every
+    checkpoint array of every session (policy network parameters,
+    replay ring, state window, RNG state) must match to the byte.
+    """
+    def build(batched: bool) -> ForecastService:
+        return ForecastService(bundle, ServiceConfig(
+            max_sessions=sessions + 4,
+            spill_dir=tempfile.mkdtemp(prefix="bench-serving-batched-"),
+            batched_inference=batched,
+            batch_wait=0.01,
+            batch_size=sessions,
+            queue_limit=max(64, 4 * sessions),
+        ))
+
+    batched_svc, serial_svc = build(True), build(False)
+    ids = [f"pair-{i:03d}" for i in range(sessions)]
+    forecast_mismatches = 0
+    state_mismatches = 0
+    failures = []
+    try:
+        for sid in ids:
+            batched_svc.create_session(sid, series[:200])
+            serial_svc.create_session(sid, series[:200])
+        for step in range(steps):
+            value = float(series[200 + step])
+            batched_out: dict = {}
+            barrier = threading.Barrier(sessions)
+
+            def client(sid: str) -> None:
+                barrier.wait()
+                try:
+                    batched_out[sid] = batched_svc.observe(sid, value)
+                except Exception as err:  # noqa: BLE001 - recorded
+                    failures.append((sid, step, repr(err)))
+
+            threads = [
+                threading.Thread(target=client, args=(sid,))
+                for sid in ids
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for sid in ids:
+                serial_fc = serial_svc.observe(sid, value)["forecast"]
+                if sid not in batched_out:
+                    continue
+                if np.float64(batched_out[sid]["forecast"]) != np.float64(
+                    serial_fc
+                ):
+                    forecast_mismatches += 1
+        for sid in ids:
+            with batched_svc.store.acquire(sid) as s1, \
+                    serial_svc.store.acquire(sid) as s2:
+                arrays1, _ = s1.checkpoint_state()
+                arrays2, _ = s2.checkpoint_state()
+                for key in set(arrays1) | set(arrays2):
+                    if key not in arrays1 or key not in arrays2 or (
+                        not np.array_equal(arrays1[key], arrays2[key])
+                    ):
+                        state_mismatches += 1
+        grouped_dispatches = batched_svc.batcher.grouped_dispatches
+        grouped_requests = batched_svc.batcher.grouped_requests
+    finally:
+        batched_svc.shutdown()
+        serial_svc.shutdown()
+    return {
+        "sessions": sessions,
+        "steps": steps,
+        "grouped_dispatches": int(grouped_dispatches),
+        "grouped_requests": int(grouped_requests),
+        "forecast_mismatches": forecast_mismatches,
+        "state_mismatches": state_mismatches,
+        "request_failures": len(failures),
+        "failures_sample": failures[:5],
+        "bit_identical": (
+            forecast_mismatches == 0
+            and state_mismatches == 0
+            and len(failures) == 0
+            and grouped_dispatches > 0
+        ),
+    }
+
+
 def http_smoke(bundle, series) -> dict:
     """Create/observe/predict/delete + /metrics over the wire."""
     service = ForecastService(
@@ -234,6 +327,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: small fleet, the >=100-"
                         "session gate is not enforced")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run a 1000-session short-burst "
+                        "profile phase (reported, not gated)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
@@ -279,11 +375,48 @@ def main(argv=None) -> int:
           f"shutdown spilled {shutdown_summary.get('spilled')} "
           f"(clean={clean_shutdown})")
 
+    profile_1k = None
+    if args.profile:
+        # Short-burst fleet profile: how does admission + spill churn
+        # behave at ~8x the gated tenant count? Reported, never gated.
+        profile_sessions, profile_steps = 1000, 3
+        profile_service = ForecastService(bundle, ServiceConfig(
+            max_sessions=args.max_resident,
+            spill_dir=tempfile.mkdtemp(prefix="bench-serving-1k-"),
+            queue_limit=max(512, 4 * profile_sessions),
+            deadline=120.0,
+            batch_wait=0.002,
+            batch_size=32,
+        ))
+        try:
+            profile_1k = run_load(
+                profile_service, series,
+                sessions=profile_sessions, steps=profile_steps,
+            )
+            profile_1k["store"] = profile_service.store.stats()
+        finally:
+            profile_service.shutdown()
+        if profile_1k["latency_ms"]:
+            print(f"1k profile: throughput "
+                  f"{profile_1k['throughput_rps']:8.1f} req/s   "
+                  f"p50 {profile_1k['latency_ms']['p50']:7.2f}ms   "
+                  f"p99 {profile_1k['latency_ms']['p99']:7.2f}ms")
+
     spill = check_spill_bit_identity(
         bundle, series, steps=30 if args.quick else 60
     )
     print(f"spill bit-identity: evictions={spill['evictions']} "
           f"mismatches={spill['mismatches']}")
+
+    batched = check_batched_bit_identity(
+        bundle, series,
+        sessions=8 if args.quick else 12,
+        steps=15 if args.quick else 30,
+    )
+    print(f"batched bit-identity: "
+          f"grouped_dispatches={batched['grouped_dispatches']} "
+          f"forecast_mismatches={batched['forecast_mismatches']} "
+          f"state_mismatches={batched['state_mismatches']}")
 
     http = http_smoke(bundle, series)
     print(f"http smoke: {'ok' if http['ok'] else 'FAILED'} ({http})")
@@ -303,9 +436,12 @@ def main(argv=None) -> int:
         "clean_shutdown": clean_shutdown,
         "all_requests_served": all_served,
         "spill_bit_identity": spill,
+        "batched_bit_identity": batched,
         "http_smoke": http,
         "min_sessions_gate": None if args.quick else MIN_SESSIONS_FULL,
     }
+    if profile_1k is not None:
+        result["profile_1k"] = profile_1k
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.output}")
 
@@ -316,6 +452,11 @@ def main(argv=None) -> int:
         )
     if not spill["bit_identical"]:
         failed.append("evicted/restored session diverged from resident twin")
+    if not batched["bit_identical"]:
+        failed.append(
+            "stacked-batch inference diverged from the per-session path "
+            "(or never coalesced a group)"
+        )
     if not clean_shutdown:
         failed.append("shutdown did not spill every resident session")
     if not http["ok"]:

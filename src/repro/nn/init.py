@@ -32,6 +32,23 @@ def final_layer_uniform(
     return rng.uniform(-scale, scale, size=(fan_in, fan_out))
 
 
+class ZeroDrawGenerator:
+    """Generator stand-in whose draws are all zeros, consuming no RNG.
+
+    Used when constructing a network *skeleton* whose every parameter
+    is immediately overwritten (checkpoint restore, template cloning):
+    real init draws would only burn time — and advancing a real
+    generator would be wrong anyway once its state is restored from a
+    snapshot. Implements just the methods the init schemes call.
+    """
+
+    def uniform(self, low=0.0, high=1.0, size=None) -> np.ndarray:
+        return np.zeros(() if size is None else size)
+
+    def standard_normal(self, size=None) -> np.ndarray:
+        return np.zeros(() if size is None else size)
+
+
 def orthogonal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
     """Orthogonal init (used for recurrent kernels)."""
     matrix = rng.standard_normal((max(fan_in, fan_out), min(fan_in, fan_out)))

@@ -116,8 +116,24 @@ class Module:
             param.data[...] = state[name]
 
     def copy_from(self, other: "Module") -> None:
-        """Hard-copy parameters from a same-architecture module."""
-        self.load_state_dict(other.state_dict())
+        """Hard-copy parameters from a same-architecture module.
+
+        Copies in place without the intermediate snapshot
+        :meth:`state_dict` would allocate — this runs per tenant clone
+        on the serving restore path. Any structural mismatch falls back
+        to :meth:`load_state_dict` for its precise error.
+        """
+        own = dict(self.named_parameters())
+        copied = 0
+        for name, source in other.named_parameters():
+            param = own.get(name)
+            if param is None or param.data.shape != source.data.shape:
+                self.load_state_dict(other.state_dict())
+                return
+            param.data[...] = source.data
+            copied += 1
+        if copied != len(own):
+            self.load_state_dict(other.state_dict())
 
     def soft_update_from(self, other: "Module", tau: float) -> None:
         """Polyak-average parameters: ``θ ← τ·θ_other + (1-τ)·θ``.

@@ -123,15 +123,25 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        # Moment buffers allocate on first use: serving restores build
+        # one Adam per network per tenant clone, and pristine tenants
+        # never step — eager zeros there were pure construction cost.
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
         self._t = 0
+
+    def _slots(self) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        if self._m is None:
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
+        return self._m, self._v
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for param, m, v in zip(self.params, self._m, self._v):
+        moments_m, moments_v = self._slots()
+        for param, m, v in zip(self.params, moments_m, moments_v):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -146,15 +156,17 @@ class Adam(Optimizer):
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
-        arrays = _slot_arrays("m", self._m)
-        arrays.update(_slot_arrays("v", self._v))
+        moments_m, moments_v = self._slots()
+        arrays = _slot_arrays("m", moments_m)
+        arrays.update(_slot_arrays("v", moments_v))
         return arrays, {"t": self._t}
 
     def restore_checkpoint_state(
         self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
     ) -> None:
-        _restore_slots(self._m, "m", arrays)
-        _restore_slots(self._v, "v", arrays)
+        moments_m, moments_v = self._slots()
+        _restore_slots(moments_m, "m", arrays)
+        _restore_slots(moments_v, "v", arrays)
         self._t = int(meta["t"])
 
 

@@ -18,14 +18,16 @@ writes so save/load always round-trip.
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import io
 import os
 import struct
 import tempfile
+import threading
 import zlib
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -86,6 +88,51 @@ def atomic_write_bytes(
     return target
 
 
+def write_bytes_unsynced(path: PathLike, data: bytes) -> Path:
+    """Fast cache-tier write of ``data`` to ``path``: no fsync anywhere.
+
+    Correct only for data that is *recomputable or disposable* and for
+    paths with **no concurrent reader or writer** — e.g. the serving
+    store's LRU spill snapshots in non-durable mode, where every
+    save/restore of a path is serialised by the store lock and the
+    spill directory is a cache of live sessions, not the system of
+    record. Durable artefacts must keep using
+    :func:`atomic_write_bytes`.
+
+    An existing target is rewritten in place (open ``r+b`` + truncate):
+    on ext4 this is ~50x cheaper than renaming over an existing
+    directory entry. A crash mid-write can therefore leave a torn file
+    — acceptable at this tier because every consumer verifies content
+    (checkpoint manifests carry SHA-256 digests; torn snapshots are
+    quarantined exactly like bit rot, and the sidecar loader is
+    try/except best-effort). A *new* target is created via temp file +
+    rename so other filenames in the directory never observe a
+    half-written member appearing.
+    """
+    target = Path(os.fspath(path))
+    try:
+        with open(target, "r+b") as handle:
+            handle.write(data)
+            handle.truncate()
+        return target
+    except FileNotFoundError:
+        pass
+    directory = target.parent if str(target.parent) else Path(".")
+    directory.mkdir(parents=True, exist_ok=True)
+    tmp = directory / f".{target.name}.{threading.get_ident()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
 def _fsync_directory(directory: Path) -> None:
     """Flush a directory entry (no-op on platforms that disallow it)."""
     try:
@@ -111,6 +158,48 @@ _CENTRAL_HEADER = struct.Struct("<4sHHHHHHIIIHHHHHII")
 _END_RECORD = struct.Struct("<4sHHHHIIH")
 
 
+#: ``.npy`` headers (magic + dict) keyed by (dtype, fortran, shape);
+#: checkpoint snapshots re-serialise the same array signatures every
+#: save, so the formatted header is paid once per signature.
+_NPY_WRITE_HEADER_CACHE: Dict[tuple, bytes] = {}
+_NPY_WRITE_HEADER_CACHE_MAX = 4096
+
+
+def _npy_member_bytes(array: np.ndarray) -> Optional[bytes]:
+    """One array as ``.npy`` bytes via cached header, or ``None``.
+
+    ``np.lib.format.write_array`` re-formats the header dict and walks
+    the buffer protocol on every call; snapshot saves emit the same
+    handful of array signatures thousands of times, so the header is
+    cached and the data appended with a single ``tobytes``. ``None``
+    (object dtypes, oversized v1 headers) sends the caller to the
+    stock writer.
+    """
+    if array.dtype.hasobject:
+        return None
+    fortran = array.flags.f_contiguous and not array.flags.c_contiguous
+    key = (array.dtype, fortran, array.shape)
+    header = _NPY_WRITE_HEADER_CACHE.get(key)
+    if header is None:
+        buffer = io.BytesIO()
+        try:
+            np.lib.format.write_array_header_1_0(
+                buffer,
+                {
+                    "descr": np.lib.format.dtype_to_descr(array.dtype),
+                    "fortran_order": fortran,
+                    "shape": array.shape,
+                },
+            )
+        except ValueError:
+            return None
+        header = buffer.getvalue()
+        if len(_NPY_WRITE_HEADER_CACHE) >= _NPY_WRITE_HEADER_CACHE_MAX:
+            _NPY_WRITE_HEADER_CACHE.clear()
+        _NPY_WRITE_HEADER_CACHE[key] = header
+    return header + array.tobytes("F" if fortran else "C")
+
+
 def npz_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
     """Serialise an array dict to in-memory ``.npz`` bytes.
 
@@ -123,11 +212,12 @@ def npz_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
     members = []
     total = 0
     for name, array in arrays.items():
-        buffer = io.BytesIO()
-        np.lib.format.write_array(
-            buffer, np.asanyarray(array), allow_pickle=False
-        )
-        payload = buffer.getvalue()
+        arr = np.asanyarray(array)
+        payload = _npy_member_bytes(arr)
+        if payload is None:
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, arr, allow_pickle=False)
+            payload = buffer.getvalue()
         members.append(((name + ".npy").encode(), payload))
         total += len(payload)
     if total > _ZIP32_MAX_BYTES or len(members) > _ZIP32_MAX_MEMBERS:
@@ -161,9 +251,130 @@ def npz_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
 
 
 def load_npz_bytes(data: bytes) -> Dict[str, np.ndarray]:
-    """Parse ``.npz`` bytes back into an array dict (pickles refused)."""
-    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
-        return {name: archive[name] for name in archive.files}
+    """Parse ``.npz`` bytes back into an array dict (pickles refused).
+
+    STORED (uncompressed) zip32 archives — what :func:`npz_bytes` and
+    default ``np.savez`` both emit — take a direct central-directory
+    walk with CRC-32 verification, several times cheaper than routing
+    every member through :mod:`zipfile`'s streaming reader; this is the
+    restore half of the serving store's spill hot path. Anything the
+    fast walk does not recognise (compression, zip64, archive comments)
+    falls back to ``np.load``, which also owns corruption reporting:
+    a CRC mismatch in the fast path defers to ``np.load`` so torn data
+    raises the same zipfile errors it always did.
+    """
+    try:
+        return _load_stored_npz(data)
+    except _FastNpzUnsupported:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+
+
+class _FastNpzUnsupported(Exception):
+    """Internal: archive shape the fast parser does not handle."""
+
+
+#: Parsed ``.npy`` headers keyed by their exact header bytes. Spill
+#: snapshots re-serialise the same arrays every few milliseconds, so
+#: the dict-literal parse amortises to zero. Bounded defensively.
+_NPY_HEADER_CACHE: Dict[bytes, tuple] = {}
+_NPY_HEADER_CACHE_MAX = 4096
+
+
+def _read_npy_member(payload: memoryview) -> np.ndarray:
+    """Decode one STORED ``.npy`` member, bit-identical to ``read_array``."""
+    if bytes(payload[:6]) != b"\x93NUMPY":
+        raise _FastNpzUnsupported
+    major = payload[6]
+    if major == 1:
+        (header_len,) = struct.unpack_from("<H", payload, 8)
+        data_start = 10 + header_len
+        header = bytes(payload[10:data_start])
+    elif major == 2:
+        (header_len,) = struct.unpack_from("<I", payload, 8)
+        data_start = 12 + header_len
+        header = bytes(payload[12:data_start])
+    else:
+        raise _FastNpzUnsupported
+    parsed = _NPY_HEADER_CACHE.get(header)
+    if parsed is None:
+        try:
+            fields = ast.literal_eval(header.decode("latin1"))
+            dtype = np.dtype(fields["descr"])
+            fortran = bool(fields["fortran_order"])
+            shape = tuple(int(n) for n in fields["shape"])
+        except Exception as err:
+            raise _FastNpzUnsupported from err
+        if dtype.hasobject:
+            raise _FastNpzUnsupported  # pickle territory: refuse
+        if len(_NPY_HEADER_CACHE) >= _NPY_HEADER_CACHE_MAX:
+            _NPY_HEADER_CACHE.clear()
+        parsed = (dtype, fortran, shape)
+        _NPY_HEADER_CACHE[header] = parsed
+    dtype, fortran, shape = parsed
+    count = 1
+    for n in shape:
+        count *= n
+    if data_start + count * dtype.itemsize != len(payload):
+        raise _FastNpzUnsupported
+    order = "F" if fortran else "C"
+    flat = np.frombuffer(payload, dtype=dtype, count=count, offset=data_start)
+    return flat.reshape(shape, order=order).copy(order=order)
+
+
+def _load_stored_npz(data: bytes) -> Dict[str, np.ndarray]:
+    end_size = _END_RECORD.size
+    if len(data) < end_size or data[-end_size:][:4] != b"PK\x05\x06":
+        raise _FastNpzUnsupported  # archive comment or not a plain zip
+    (
+        _, disk, cd_disk, disk_entries, total_entries,
+        cd_size, cd_offset, comment_len,
+    ) = _END_RECORD.unpack(data[-end_size:])
+    if (
+        comment_len or disk or cd_disk or disk_entries != total_entries
+        or 0xFFFF in (disk_entries, total_entries)
+        or 0xFFFFFFFF in (cd_size, cd_offset)
+    ):
+        raise _FastNpzUnsupported  # zip64 sentinels / multi-disk
+    view = memoryview(data)
+    arrays: Dict[str, np.ndarray] = {}
+    cursor = cd_offset
+    cd_end = cd_offset + cd_size
+    header_size = _CENTRAL_HEADER.size
+    for _ in range(total_entries):
+        if cursor + header_size > cd_end:
+            raise _FastNpzUnsupported
+        fields = _CENTRAL_HEADER.unpack(view[cursor:cursor + header_size])
+        (
+            signature, _, _, flags, method, _, _, crc,
+            compressed, uncompressed, name_len, extra_len,
+            comment, _, _, _, local_offset,
+        ) = fields
+        if signature != b"PK\x01\x02" or method != 0 or flags & 0x09:
+            raise _FastNpzUnsupported  # compressed/encrypted/streamed
+        if compressed != uncompressed:
+            raise _FastNpzUnsupported
+        name = bytes(view[cursor + header_size:
+                          cursor + header_size + name_len]).decode("utf-8")
+        cursor += header_size + name_len + extra_len + comment
+        local_header_size = _LOCAL_HEADER.size
+        local = _LOCAL_HEADER.unpack(
+            view[local_offset:local_offset + local_header_size]
+        )
+        if local[0] != b"PK\x03\x04":
+            raise _FastNpzUnsupported
+        payload_start = (
+            local_offset + local_header_size + local[9] + local[10]
+        )
+        payload = view[payload_start:payload_start + uncompressed]
+        if len(payload) != uncompressed or zlib.crc32(payload) != crc:
+            raise _FastNpzUnsupported  # torn data: np.load raises properly
+        if not name.endswith(".npy"):
+            raise _FastNpzUnsupported
+        arrays[name[:-4]] = _read_npy_member(payload)
+    if len(arrays) != total_entries:
+        raise _FastNpzUnsupported  # duplicate member names
+    return arrays
 
 
 def save_npz_atomic(path: PathLike, arrays: Dict[str, np.ndarray]) -> Path:

@@ -1,8 +1,20 @@
 """Reinforcement-learning substrate: MDP, rewards, replay, noise, DDPG."""
 
-from repro.rl.ddpg import Actor, Critic, DDPGAgent, DDPGConfig, TrainingHistory
+from repro.rl.ddpg import (
+    Actor,
+    Critic,
+    DDPGAgent,
+    DDPGConfig,
+    StackedActorParams,
+    TrainingHistory,
+)
 from repro.rl.dqn import DQNConfig, DQNSelector
-from repro.rl.mdp import EnsembleMDP, Transition, project_to_simplex
+from repro.rl.mdp import (
+    EnsembleMDP,
+    Transition,
+    project_to_simplex,
+    project_to_simplex_batch,
+)
 from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
 from repro.rl.replay import ReplayBuffer
 from repro.rl.rewards import (
@@ -29,9 +41,11 @@ __all__ = [
     "RankReward",
     "ReplayBuffer",
     "RewardFunction",
+    "StackedActorParams",
     "TrainingHistory",
     "Transition",
     "ensemble_window_error",
     "model_window_errors",
     "project_to_simplex",
+    "project_to_simplex_batch",
 ]

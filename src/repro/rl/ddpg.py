@@ -17,9 +17,24 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import CheckpointError, ConfigurationError, DataValidationError
-from repro.nn import Adam, Linear, Module, Tensor, clip_grad_norm, mse_loss
+from repro.nn import init as init_schemes
+from repro.nn import (
+    Adam,
+    Linear,
+    Module,
+    StackedLinears,
+    Tensor,
+    clip_grad_norm,
+    mse_loss,
+    rowwise_softmax,
+)
 from repro.obs import OBS
-from repro.rl.mdp import EnsembleMDP, Transition, project_to_simplex
+from repro.rl.mdp import (
+    EnsembleMDP,
+    Transition,
+    project_to_simplex,
+    project_to_simplex_batch,
+)
 from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
 from repro.rl.replay import ReplayBuffer
 
@@ -77,6 +92,60 @@ class Actor(Module):
         shifted = logits - logits.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class StackedActorParams:
+    """Per-layer weight stacks for N same-architecture actors.
+
+    Built once per coalesced serving batch via :meth:`from_actors`;
+    layer positions whose objects are still shared across every actor
+    (pristine tenant clones substituting the template's layers) collapse
+    to a single broadcast slice instead of an N-way copy. Feeding the
+    stack through :meth:`forward` reproduces each actor's
+    :meth:`Actor.forward_numpy` output bit-for-bit.
+    """
+
+    __slots__ = ("fc1", "fc2", "out", "logit_scale", "size")
+
+    def __init__(
+        self,
+        fc1: StackedLinears,
+        fc2: StackedLinears,
+        out: StackedLinears,
+        logit_scale: np.ndarray,
+        size: int,
+    ):
+        self.fc1 = fc1
+        self.fc2 = fc2
+        self.out = out
+        self.logit_scale = logit_scale
+        self.size = size
+
+    @classmethod
+    def from_actors(cls, actors: "list[Actor]") -> "StackedActorParams":
+        if not actors:
+            raise DataValidationError("need at least one actor to stack")
+        return cls(
+            StackedLinears.from_layers([actor.fc1 for actor in actors]),
+            StackedLinears.from_layers([actor.fc2 for actor in actors]),
+            StackedLinears.from_layers([actor.out for actor in actors]),
+            np.asarray(
+                [actor.logit_scale for actor in actors], dtype=np.float64
+            )[:, None],
+            len(actors),
+        )
+
+    def forward(self, states: np.ndarray) -> np.ndarray:
+        """One stacked forward for all N tenants (no autograd).
+
+        Per-slice matmuls plus elementwise activations: row ``i`` equals
+        ``actors[i].forward_numpy(states[i][None, :])[0]`` to the ulp.
+        """
+        h = np.maximum(self.fc1.apply(states), 0.0)
+        h = np.maximum(self.fc2.apply(h), 0.0)
+        logits = np.tanh(self.out.apply(h))
+        logits *= self.logit_scale
+        return rowwise_softmax(logits)
 
 
 class Critic(Module):
@@ -169,7 +238,14 @@ class TrainingHistory:
 class DDPGAgent:
     """Actor-critic learner for the ensemble-aggregation MDP."""
 
-    def __init__(self, state_dim: int, action_dim: int, config: Optional[DDPGConfig] = None):
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        config: Optional[DDPGConfig] = None,
+        *,
+        init_weights: bool = True,
+    ):
         self.config = config if config is not None else DDPGConfig()
         self.config.validate()
         if state_dim < 1 or action_dim < 1:
@@ -179,23 +255,31 @@ class DDPGAgent:
 
         rng = np.random.default_rng(self.config.seed)
         self._rng = rng
+        # ``init_weights=False`` builds a zero-weight skeleton: every
+        # parameter must then be overwritten by the caller (template
+        # copy or checkpoint restore). The agent's own RNG stays seeded
+        # but has consumed no init draws, so this is only sound when
+        # its state is also about to be restored/overwritten.
+        init_rng = rng if init_weights else init_schemes.ZeroDrawGenerator()
         hidden = self.config.hidden
         scale = self.config.logit_scale
-        self.actor = Actor(state_dim, action_dim, hidden, rng, logit_scale=scale)
-        self.critic = Critic(state_dim, action_dim, hidden, rng)
-        self.target_actor = Actor(state_dim, action_dim, hidden, rng, logit_scale=scale)
-        self.target_critic = Critic(state_dim, action_dim, hidden, rng)
-        self.target_actor.copy_from(self.actor)
-        self.target_critic.copy_from(self.critic)
+        self.actor = Actor(state_dim, action_dim, hidden, init_rng, logit_scale=scale)
+        self.critic = Critic(state_dim, action_dim, hidden, init_rng)
+        self.target_actor = Actor(state_dim, action_dim, hidden, init_rng, logit_scale=scale)
+        self.target_critic = Critic(state_dim, action_dim, hidden, init_rng)
+        if init_weights:
+            self.target_actor.copy_from(self.actor)
+            self.target_critic.copy_from(self.critic)
 
         # Optional TD3-style second critic: the TD target takes the
         # minimum of the two target critics, damping overestimation.
         self.critic2: Optional[Critic] = None
         self.target_critic2: Optional[Critic] = None
         if self.config.twin_critic:
-            self.critic2 = Critic(state_dim, action_dim, hidden, rng)
-            self.target_critic2 = Critic(state_dim, action_dim, hidden, rng)
-            self.target_critic2.copy_from(self.critic2)
+            self.critic2 = Critic(state_dim, action_dim, hidden, init_rng)
+            self.target_critic2 = Critic(state_dim, action_dim, hidden, init_rng)
+            if init_weights:
+                self.target_critic2.copy_from(self.critic2)
 
         self.actor_opt = Adam(self.actor.parameters(), lr=self.config.actor_lr)
         self.critic_opt = Adam(self.critic.parameters(), lr=self.config.critic_lr)
@@ -220,6 +304,10 @@ class DDPGAgent:
             )
         self.history = TrainingHistory()
         self._last_actor_grad_norm: Optional[float] = None
+        # Number of gradient updates actually applied. Serving clones
+        # that never trained (``updates_applied == 0``) still hold the
+        # template's exact weights, which unlocks the light spill path.
+        self.updates_applied = 0
 
     # ------------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = False) -> np.ndarray:
@@ -233,6 +321,36 @@ class DDPGAgent:
         if explore:
             weights = project_to_simplex(weights + self.noise.sample())
         return weights
+
+    @staticmethod
+    def act_batch(
+        states: np.ndarray, params: StackedActorParams
+    ) -> np.ndarray:
+        """Greedy policy outputs for N ``(state, actor)`` pairs at once.
+
+        ``states`` is ``(N, state_dim)`` aligned with the actors stacked
+        into ``params``; row ``i`` of the result is bit-identical to
+        ``agents[i].act(states[i], explore=False)``. Inference only —
+        exploration noise would consume per-agent RNG draws and cannot
+        be batched without changing the stream.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2 or states.shape[0] != params.size:
+            raise DataValidationError(
+                f"states must have shape ({params.size}, state_dim), "
+                f"got {states.shape}"
+            )
+        return params.forward(states)
+
+    @staticmethod
+    def policy_weights_batch(
+        states: np.ndarray, params: StackedActorParams
+    ) -> np.ndarray:
+        """Batched :meth:`policy_weights`: one stacked forward + row-wise
+        simplex projection, bit-identical per row to the serial path."""
+        return project_to_simplex_batch(
+            DDPGAgent.act_batch(states, params)
+        )
 
     # ------------------------------------------------------------------
     def update(self) -> None:
@@ -292,6 +410,7 @@ class DDPGAgent:
         self.history.critic_losses.append(critic_loss_value)
         self.history.actor_objectives.append(actor_objective_value)
         self._last_actor_grad_norm = actor_grad_norm
+        self.updates_applied += 1
         if OBS.enabled:
             registry = OBS.registry
             registry.counter("repro_ddpg_updates_total").inc()
@@ -461,7 +580,9 @@ class DDPGAgent:
             optimizers.append(("critic2_opt", self.critic2_opt))
         return optimizers
 
-    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    def checkpoint_state(
+        self, *, pristine_light: bool = False
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         """Capture *every* source of future behaviour, bit-exactly.
 
         Arrays: the four (or six, with a twin critic) network state
@@ -472,17 +593,27 @@ class DDPGAgent:
         noise sigma, and the last actor gradient norm. A restored agent
         continues training bit-identically to one that was never
         interrupted (``tests/integration/test_resume_determinism.py``).
+
+        ``pristine_light=True`` elides the network and optimizer arrays
+        when no gradient update has ever been applied
+        (``updates_applied == 0``) — they are byte-for-byte the template
+        the agent was cloned from, and the restorer re-copies them from
+        that template instead. ``meta["pristine"]`` records which form
+        was written; agents that have trained always get the full
+        snapshot regardless of the flag.
         """
+        pristine = pristine_light and self.updates_applied == 0
         arrays: Dict[str, np.ndarray] = {}
-        for prefix, module in self._checkpoint_modules():
-            for name, value in module.state_dict().items():
-                arrays[f"{prefix}.{name}"] = value
         opt_meta: Dict[str, Any] = {}
-        for prefix, optimizer in self._checkpoint_optimizers():
-            slot_arrays, slot_meta = optimizer.checkpoint_state()
-            for name, value in slot_arrays.items():
-                arrays[f"{prefix}.{name}"] = value
-            opt_meta[prefix] = slot_meta
+        if not pristine:
+            for prefix, module in self._checkpoint_modules():
+                for name, value in module.state_dict().items():
+                    arrays[f"{prefix}.{name}"] = value
+            for prefix, optimizer in self._checkpoint_optimizers():
+                slot_arrays, slot_meta = optimizer.checkpoint_state()
+                for name, value in slot_arrays.items():
+                    arrays[f"{prefix}.{name}"] = value
+                opt_meta[prefix] = slot_meta
         buffer_arrays, buffer_meta = self.buffer.checkpoint_state()
         for name, value in buffer_arrays.items():
             arrays[f"buffer.{name}"] = value
@@ -507,6 +638,8 @@ class DDPGAgent:
             "buffer": buffer_meta,
             "noise": noise_meta,
             "last_actor_grad_norm": self._last_actor_grad_norm,
+            "updates_applied": self.updates_applied,
+            "pristine": pristine,
         }
         return arrays, meta
 
@@ -537,17 +670,22 @@ class DDPGAgent:
                 if name.startswith(prefix + ".")
             }
 
-        for prefix, module in self._checkpoint_modules():
-            try:
-                module.load_state_dict(split(prefix))
-            except (KeyError, ValueError) as err:
-                raise CheckpointError(
-                    f"agent snapshot does not fit module {prefix!r}: {err}"
-                ) from err
-        for prefix, optimizer in self._checkpoint_optimizers():
-            optimizer.restore_checkpoint_state(
-                split(prefix), meta["optimizers"][prefix]
-            )
+        pristine = bool(meta.get("pristine", False))
+        if not pristine:
+            for prefix, module in self._checkpoint_modules():
+                try:
+                    module.load_state_dict(split(prefix))
+                except (KeyError, ValueError) as err:
+                    raise CheckpointError(
+                        f"agent snapshot does not fit module {prefix!r}: {err}"
+                    ) from err
+            for prefix, optimizer in self._checkpoint_optimizers():
+                optimizer.restore_checkpoint_state(
+                    split(prefix), meta["optimizers"][prefix]
+                )
+        # A pristine snapshot carries no network/optimizer arrays: the
+        # caller (ModelBundle.restore_session) is responsible for having
+        # copied the template weights into this agent already.
         self.buffer.restore_checkpoint_state(split("buffer"), meta["buffer"])
         self.noise.restore_checkpoint_state(split("noise"), meta["noise"])
         self.history.episode_rewards = [
@@ -563,4 +701,9 @@ class DDPGAgent:
         grad_norm = meta.get("last_actor_grad_norm")
         self._last_actor_grad_norm = (
             None if grad_norm is None else float(grad_norm)
+        )
+        # Older snapshots predate the counter; ``update()`` appends one
+        # critic loss per applied update, so the history length is exact.
+        self.updates_applied = int(
+            meta.get("updates_applied", len(self.history.critic_losses))
         )

@@ -49,6 +49,7 @@ from repro.persistence import (
     load_npz_bytes,
     npz_bytes,
     sha256_hex,
+    write_bytes_unsynced,
 )
 
 FORMAT_VERSION = 1
@@ -186,6 +187,13 @@ class CheckpointManager:
         for the fault-injection harness
         (:class:`repro.testing.TornWriter`) which simulates crashes
         mid-write.
+    durable:
+        ``False`` selects the fsync-free cache-tier writer
+        (:func:`repro.persistence.write_bytes_unsynced`) for both files:
+        snapshots are still atomic (never torn) but may vanish on power
+        loss. Only for directories that are caches of live state — the
+        serving store's spill tier in non-durable mode — never for a
+        system of record. Ignored when an explicit ``writer`` is given.
     """
 
     def __init__(
@@ -193,12 +201,28 @@ class CheckpointManager:
         directory: PathLike,
         keep: int = 3,
         writer: Optional[Callable[[PathLike, bytes], Any]] = None,
+        durable: bool = True,
     ):
         if keep < 1:
             raise ConfigurationError(f"keep must be >= 1, got {keep}")
         self.directory = Path(os.fspath(directory))
         self.keep = keep
-        self.writer = writer if writer is not None else atomic_write_bytes
+        if writer is not None:
+            self.writer = writer
+        elif durable:
+            self.writer = atomic_write_bytes
+        else:
+            self.writer = write_bytes_unsynced
+        #: Non-durable cache-tier managers (the serving spill store)
+        #: skip re-encoding the manifest to check its digest on load —
+        #: the payload SHA-256 is still verified, and within one
+        #: process nothing tears an unsynced manifest. Durable managers
+        #: and custom writers keep the full check.
+        self._verify_manifest_digest = durable or writer is not None
+        # mkdir-once guard: save() runs per eviction on the serving
+        # spill path, and the two syscalls per save added up. Reset by
+        # nobody — a directory removed mid-run fails the write loudly.
+        self._directory_ready = False
 
     # ------------------------------------------------------------------
     @property
@@ -233,7 +257,9 @@ class CheckpointManager:
         if step < 0:
             raise ConfigurationError(f"step must be >= 0, got {step}")
         with OBS.span("checkpoint.save"):
-            self.directory.mkdir(parents=True, exist_ok=True)
+            if not self._directory_ready:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._directory_ready = True
             payload = npz_bytes(arrays)
             payload_name = self._payload_name(kind, step)
             if self.writer is atomic_write_bytes:
@@ -258,13 +284,18 @@ class CheckpointManager:
                 "context": context if context is not None else {},
                 "meta": meta if meta is not None else {},
             }
-            manifest["digest"] = sha256_hex(_canonical(manifest))
+            # The digest covers the canonical (sorted, compact) body;
+            # splicing it into that same serialisation writes the file
+            # with a single JSON encode — snapshot meta (RNG state
+            # dicts, ring indices) is big enough that a second encode
+            # showed up on the per-request serving spill path.
+            body = _canonical(manifest)
+            digest = sha256_hex(body)
+            manifest["digest"] = digest
             manifest_path = self.directory / self._manifest_name(kind, step)
             self.writer(
                 manifest_path,
-                json.dumps(manifest, indent=2, default=_json_default).encode(
-                    "utf-8"
-                ),
+                b'{"digest":"' + digest.encode("ascii") + b'",' + body[1:],
             )
             self._sweep(kind)
             if OBS.enabled:
@@ -286,18 +317,24 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     def manifest_paths(self, kind: Optional[str] = None) -> List[Path]:
         """Manifest files on disk, newest step first."""
-        if not self.directory.is_dir():
+        try:
+            entries = os.scandir(os.fspath(self.directory))
+        except OSError:
             return []
-        found: List[Tuple[int, Path]] = []
-        for path in self.directory.glob("*.json"):
-            stem_kind, _, stem_step = path.stem.rpartition("-")
-            if not stem_kind or not stem_step.isdigit():
-                continue
-            if kind is not None and stem_kind != kind:
-                continue
-            found.append((int(stem_step), path))
+        found: List[Tuple[int, str]] = []
+        with entries:
+            for entry in entries:
+                stem, _, ext = entry.name.rpartition(".")
+                if ext != "json":
+                    continue
+                stem_kind, _, stem_step = stem.rpartition("-")
+                if not stem_kind or not stem_step.isdigit():
+                    continue
+                if kind is not None and stem_kind != kind:
+                    continue
+                found.append((int(stem_step), entry.name))
         found.sort(key=lambda item: item[0], reverse=True)
-        return [path for _, path in found]
+        return [self.directory / name for _, name in found]
 
     def load(self, manifest_path: PathLike) -> Snapshot:
         """Load + verify one snapshot; raises on any integrity failure.
@@ -331,7 +368,9 @@ class CheckpointManager:
                 f"{manifest['format_version']}; this build reads version "
                 f"{FORMAT_VERSION}"
             )
-        if sha256_hex(_canonical(manifest)) != manifest["digest"]:
+        if self._verify_manifest_digest and sha256_hex(
+            _canonical(manifest)
+        ) != manifest["digest"]:
             raise CheckpointCorruptError(
                 f"manifest {manifest_path} failed its digest check"
             )
@@ -454,24 +493,47 @@ class CheckpointManager:
 
         Also removes orphan payloads of this kind (a payload whose
         manifest never landed — the footprint of a crash between the
-        two writes).
+        two writes). One ``os.scandir`` pass with string matching: this
+        runs after every save, and on the serving spill path every
+        eviction is a save, so two ``pathlib`` globs here were a
+        measurable slice of the round trip.
         """
-        manifests = self.manifest_paths(kind)
-        for manifest_path in manifests[self.keep :]:
-            for path in (manifest_path, manifest_path.with_suffix(".npz")):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-        live = {path.stem for path in manifests[: self.keep]}
-        for payload_path in self.directory.glob(f"{kind}-*.npz"):
-            stem_kind, _, stem_step = payload_path.stem.rpartition("-")
-            if stem_kind == kind and stem_step.isdigit():
-                if payload_path.stem not in live:
-                    try:
-                        payload_path.unlink()
-                    except OSError:
-                        pass
+        prefix = f"{kind}-"
+        directory = os.fspath(self.directory)
+        manifest_steps: List[int] = []
+        payload_steps: List[int] = []
+        try:
+            entries = os.scandir(directory)
+        except OSError:
+            return
+        with entries:
+            for entry in entries:
+                name = entry.name
+                if not name.startswith(prefix):
+                    continue
+                stem, _, ext = name.rpartition(".")
+                step_text = stem[len(prefix) :]
+                if not step_text.isdigit():
+                    continue
+                if ext == "json":
+                    manifest_steps.append(int(step_text))
+                elif ext == "npz":
+                    payload_steps.append(int(step_text))
+        manifest_steps.sort(reverse=True)
+        live = set(manifest_steps[: self.keep])
+        doomed = [(step, ".json") for step in manifest_steps[self.keep :]]
+        doomed += [
+            (step, ".npz")
+            for step in set(manifest_steps[self.keep :]) | set(payload_steps)
+            if step not in live
+        ]
+        for step, suffix in doomed:
+            try:
+                os.unlink(
+                    os.path.join(directory, f"{prefix}{step:010d}{suffix}")
+                )
+            except OSError:
+                pass
 
 
 def _context_mismatch(

@@ -39,15 +39,17 @@ _LOG = get_logger("serving.batcher")
 
 
 class _Request:
-    __slots__ = ("fn", "future", "deadline", "expires_at")
+    __slots__ = ("fn", "payload", "future", "deadline", "expires_at")
 
     def __init__(
         self,
         fn,
         deadline: Optional[float],
         expires_at: Optional[float] = None,
+        payload: Any = None,
     ):
         self.fn = fn
+        self.payload = payload
         self.future: Future = Future()
         self.deadline = deadline
         if expires_at is not None:
@@ -85,6 +87,7 @@ class MicroBatcher:
         max_wait: float = 0.002,
         queue_limit: int = 256,
         executor: Optional[ExecutorConfig] = None,
+        group_handler: Optional[Callable[[list], list]] = None,
     ):
         if max_batch < 1:
             raise ConfigurationError(
@@ -101,6 +104,12 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self.queue_limit = int(queue_limit)
+        #: When set, requests submitted with a ``payload`` are handed to
+        #: this callable as one list per dispatch (the vectorised
+        #: serving path) instead of being fanned out one-by-one. The
+        #: handler returns one outcome per payload, aligned by index;
+        #: an exception outcome fails just that request's future.
+        self.group_handler = group_handler
         self.executor = (
             executor if executor is not None else ExecutorConfig("thread")
         )
@@ -110,6 +119,11 @@ class MicroBatcher:
         self._closing = threading.Event()
         self.batches = 0
         self.shed = 0
+        #: Grouped-dispatch tallies (plain attributes so callers can
+        #: assert coalescing without the obs registry): number of
+        #: stacked dispatches and total requests they carried.
+        self.grouped_dispatches = 0
+        self.grouped_requests = 0
         self._worker = threading.Thread(
             target=self._run, name="repro-serving-batcher", daemon=True
         )
@@ -122,6 +136,7 @@ class MicroBatcher:
         *,
         deadline: Optional[float] = None,
         expires_at: Optional[float] = None,
+        payload: Any = None,
     ) -> Future:
         """Enqueue ``fn`` for the next micro-batch; returns its future.
 
@@ -130,12 +145,18 @@ class MicroBatcher:
         end-to-end deadline propagate through the queue unchanged. Work
         already past its deadline is shed at submit time, before it ever
         occupies a queue slot.
+
+        ``payload`` opts the request into the batcher's
+        :attr:`group_handler` (when one is configured): all payloads of
+        a dispatch are handed over together so the handler can run them
+        as one vectorised pass. ``fn`` remains the single-request
+        fallback used when no handler is configured.
         """
         if self._closing.is_set():
             raise ServiceUnavailableError(
                 "batcher is shut down; refusing new work"
             )
-        request = _Request(fn, deadline, expires_at)
+        request = _Request(fn, deadline, expires_at, payload)
         if (
             request.expires_at is not None
             and time.monotonic() > request.expires_at
@@ -213,16 +234,64 @@ class MicroBatcher:
             registry.gauge("repro_serving_queue_depth").set(
                 float(self._queue.qsize())
             )
-        results = run_ordered(
-            _call_request,
-            [(request.fn,) for request in live],
-            self.executor,
-        )
-        for request, result in zip(live, results):
-            if isinstance(result, _Failure):
-                request.future.set_exception(result.error)
+        if self.group_handler is not None:
+            grouped = [r for r in live if r.payload is not None]
+            singles = [r for r in live if r.payload is None]
+            if len(grouped) == 1:
+                # A lone payload gains nothing from the stacked path;
+                # its per-session fallback fn is strictly cheaper.
+                singles = live
+                grouped = []
+        else:
+            grouped, singles = [], live
+        if grouped:
+            self._dispatch_grouped(grouped)
+        if singles:
+            results = run_ordered(
+                _call_request,
+                [(request.fn,) for request in singles],
+                self.executor,
+            )
+            for request, result in zip(singles, results):
+                if isinstance(result, _Failure):
+                    request.future.set_exception(result.error)
+                else:
+                    request.future.set_result(result)
+
+    def _dispatch_grouped(self, grouped: list) -> None:
+        """Run payload-carrying requests through the group handler.
+
+        The handler returns one outcome per payload (exceptions as
+        values); a handler-level failure fails every grouped future but
+        never the collector.
+        """
+        self.grouped_dispatches += 1
+        self.grouped_requests += len(grouped)
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "repro_serving_batched_group_size"
+            ).observe(float(len(grouped)))
+        try:
+            outcomes = self.group_handler(
+                [request.payload for request in grouped]
+            )
+            if len(outcomes) != len(grouped):
+                raise RuntimeError(
+                    f"group handler returned {len(outcomes)} outcomes "
+                    f"for {len(grouped)} requests"
+                )
+        except BaseException as err:  # noqa: BLE001 - fail the group only
+            _LOG.error("grouped dispatch failed: %s", err)
+            for request in grouped:
+                request.future.set_exception(err)
+            return
+        for request, outcome in zip(grouped, outcomes):
+            if isinstance(outcome, _Failure):
+                request.future.set_exception(outcome.error)
+            elif isinstance(outcome, BaseException):
+                request.future.set_exception(outcome)
             else:
-                request.future.set_result(result)
+                request.future.set_result(outcome)
 
     def _run(self) -> None:
         while not (self._closing.is_set() and self._queue.empty()):

@@ -26,13 +26,18 @@ the recent window anyway.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import replace
 from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DataValidationError,
+)
 from repro.preprocessing.embedding import validate_series
 from repro.rl.ddpg import DDPGAgent, DDPGConfig
 from repro.serving.session import SeriesSession
@@ -84,6 +89,12 @@ class ModelBundle:
                 buffer_capacity=SESSION_BUFFER_CAPACITY,
             )
         )
+        self._template_digest: Optional[str] = None
+        # (module name, template module, its parameter arrays) — the
+        # parameter traversal is cached once so per-tenant clones copy
+        # weights positionally instead of re-walking the module tree
+        # (and re-keying a dict) four-plus times per clone.
+        self._template_params: Optional[list] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -123,25 +134,87 @@ class ModelBundle:
         """Shortest admissible initial history for a new session."""
         return self.pool.max_min_context() + self.window
 
-    def _clone_agent(self, seed: int) -> DDPGAgent:
+    def _template_modules(self):
+        template = self.template_agent
+        modules = [
+            ("actor", template.actor),
+            ("critic", template.critic),
+            ("target_actor", template.target_actor),
+            ("target_critic", template.target_critic),
+        ]
+        if template.critic2 is not None:
+            modules.append(("critic2", template.critic2))
+            modules.append(("target_critic2", template.target_critic2))
+        return modules
+
+    def template_digest(self) -> str:
+        """SHA-256 over the template networks' parameters (cached).
+
+        Stamped into pristine-light spill snapshots: a snapshot that
+        omitted its network arrays (agent never updated — the restorer
+        re-copies them from this template) must refuse to restore
+        against a *different* template, or the restored session would
+        silently diverge from the one that was spilled.
+        """
+        if self._template_digest is None:
+            digest = hashlib.sha256()
+            for module_name, module in self._template_modules():
+                state = module.state_dict()
+                for name in sorted(state):
+                    digest.update(f"{module_name}.{name}".encode())
+                    digest.update(
+                        np.ascontiguousarray(state[name]).tobytes()
+                    )
+            self._template_digest = digest.hexdigest()
+        return self._template_digest
+
+    def _clone_agent(self, seed: int, *, init_weights: bool = True) -> DDPGAgent:
         """Fresh agent with the template's network weights.
 
         Networks (actor/critic + targets, twin critic when present) copy
         the trained parameters; optimizer moments, replay ring, RNG and
         exploration noise start clean under the per-session seed.
+
+        ``init_weights=False`` skips the skeleton's own init draws —
+        safe only for restore clones, whose RNG/noise/replay state is
+        overwritten from the snapshot right after (the template copy
+        below still supplies the network weights either way).
         """
         agent = DDPGAgent(
             self.template_agent.state_dim,
             self.template_agent.action_dim,
             replace(self.agent_config, seed=int(seed)),
+            init_weights=init_weights,
         )
-        agent.actor.copy_from(self.template_agent.actor)
-        agent.critic.copy_from(self.template_agent.critic)
-        agent.target_actor.copy_from(self.template_agent.target_actor)
-        agent.target_critic.copy_from(self.template_agent.target_critic)
-        if agent.critic2 is not None and self.template_agent.critic2 is not None:
-            agent.critic2.copy_from(self.template_agent.critic2)
-            agent.target_critic2.copy_from(self.template_agent.target_critic2)
+        if self._template_params is None:
+            self._template_params = [
+                (name, module, [p.data for p in module.parameters()])
+                for name, module in self._template_modules()
+            ]
+        clone_modules = dict(
+            (name, module)
+            for name, module in (
+                ("actor", agent.actor),
+                ("critic", agent.critic),
+                ("target_actor", agent.target_actor),
+                ("target_critic", agent.target_critic),
+                ("critic2", agent.critic2),
+                ("target_critic2", agent.target_critic2),
+            )
+            if module is not None
+        )
+        for name, template_module, sources in self._template_params:
+            module = clone_modules.get(name)
+            if module is None:
+                continue
+            params = module.parameters()
+            if len(params) == len(sources) and all(
+                p.data.shape == s.shape for p, s in zip(params, sources)
+            ):
+                for param, source in zip(params, sources):
+                    param.data[...] = source
+            else:  # pragma: no cover - same-config clones always match
+                module.copy_from(template_module)
         return agent
 
     # ------------------------------------------------------------------
@@ -197,8 +270,19 @@ class ModelBundle:
                 f"snapshot for {session_id!r} has {meta['n_members']} "
                 f"members; this bundle serves {self.n_members}"
             )
+        if meta.get("agent", {}).get("pristine"):
+            # Light snapshot: the agent's networks are *not* in the
+            # payload — the skeleton clone below supplies them from the
+            # template, which must be the exact one the snapshot assumed.
+            expected = meta.get("template_digest")
+            if expected is not None and expected != self.template_digest():
+                raise CheckpointError(
+                    f"pristine snapshot of session {session_id!r} was "
+                    "written against a different template agent; cannot "
+                    "restore its network weights from this bundle"
+                )
         skeleton = SeriesSession(
-            self._clone_agent(session_seed(session_id)),
+            self._clone_agent(session_seed(session_id), init_weights=False),
             self.scaler,
             window=int(meta["window"]),
             n_members=self.n_members,

@@ -28,12 +28,13 @@ a misbehaving client cannot blacken the service for everyone else.
 
 from __future__ import annotations
 
+import contextlib
 import tempfile
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +54,7 @@ from repro.runtime import (
     ExecutorConfig,
     coerce_deadline,
 )
+from repro.rl import DDPGAgent, StackedActorParams
 from repro.serving.batcher import MicroBatcher
 from repro.serving.store import SessionStore
 
@@ -82,6 +84,13 @@ class ServiceConfig:
     batch_wait / batch_size:
         Micro-batch coalescing budget: how long the collector waits for
         company and the largest batch it forms.
+    batched_inference:
+        Coalesce the ``observe`` requests of one micro-batch into a
+        single stacked actor forward plus vectorised pool evaluation
+        (bit-identical to the per-session path by construction).
+        Requests the stacked pass cannot take — duplicate session ids
+        within one batch, acquire failures, heterogeneous agents — fall
+        back to the unchanged per-session path automatically.
     executor / n_jobs:
         Backend fanning a batch across sessions
         (:class:`repro.runtime.ExecutorConfig` semantics).
@@ -112,6 +121,7 @@ class ServiceConfig:
     deadline: float = 2.0
     batch_wait: float = 0.002
     batch_size: int = 16
+    batched_inference: bool = True
     executor: str = "thread"
     n_jobs: Optional[int] = None
     shards: int = 0
@@ -169,12 +179,17 @@ class ForecastService:
             bundle,
             capacity=self.config.max_sessions,
             spill_dir=spill_dir,
+            durable=self.config.durable,
         )
         self.batcher = MicroBatcher(
             max_batch=self.config.batch_size,
             max_wait=self.config.batch_wait,
             queue_limit=self.config.queue_limit,
             executor=ExecutorConfig(self.config.executor, self.config.n_jobs),
+            group_handler=(
+                self._observe_batch
+                if self.config.batched_inference else None
+            ),
         )
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
@@ -265,11 +280,14 @@ class ForecastService:
     def _deadline(self, deadline) -> Deadline:
         return coerce_deadline(deadline, self.config.deadline)
 
-    def _submit(self, fn, deadline: Deadline):
+    def _submit(self, fn, deadline: Deadline, payload=None):
         """Push work through the batcher and wait out the deadline."""
         expires_at = None if deadline.unbounded else deadline.expires_at
         future = self.batcher.submit(
-            fn, deadline=self.config.deadline, expires_at=expires_at
+            fn,
+            deadline=self.config.deadline,
+            expires_at=expires_at,
+            payload=payload,
         )
         # Grace beyond the deadline covers work that *started* in time;
         # a hang four budgets long is treated as unavailability.
@@ -309,7 +327,12 @@ class ForecastService:
         def run():
             self._admit()
             return self._submit(
-                lambda: self._observe_inner(session_id, value, seq), dl
+                lambda: self._observe_inner(session_id, value, seq),
+                dl,
+                payload=(
+                    (session_id, value, seq)
+                    if self.config.batched_inference else None
+                ),
             )
 
         return self._timed("observe", run)
@@ -368,6 +391,172 @@ class ForecastService:
             if not self.config.degraded_mode:
                 raise
             return self._observe_degraded(session_id, value, seq)
+
+    # ------------------------------------------------------------------
+    # Batched observe: one stacked forward per coalesced micro-batch
+    # ------------------------------------------------------------------
+    def _count_observe_path(
+        self, path: str, reason: Optional[str] = None, n: int = 1
+    ) -> None:
+        if OBS.enabled and n:
+            OBS.registry.counter(
+                "repro_serving_batched_observe_total",
+                {"path": path, "reason": reason or "-"},
+            ).inc(float(n))
+
+    def _observe_batch(self, payloads: List[Tuple]) -> list:
+        """Group handler for the micro-batcher's coalesced observes.
+
+        Acquires (pins) and locks every batchable session up front, runs
+        one vectorised pool + stacked-actor pass per shape group, and
+        scatters the per-session results. Lock-ordering safety: every
+        thread that locks a session pins it first, and the store's
+        eviction only ever touches *unpinned* sessions, so holding many
+        pinned sessions' locks here cannot deadlock against the store
+        (and ``_admit_locked`` soft-overshoots capacity rather than
+        failing when a whole batch is pinned).
+
+        Requests the stacked pass cannot take run the unchanged serial
+        path *after* the batch locks drop, in arrival order: duplicate
+        session ids within the batch (lock is not reentrant across
+        requests' semantics), acquire failures (missing / corrupt /
+        degraded sessions — the serial path owns that failure taxonomy).
+        Outcomes are index-aligned; exceptions travel as values.
+        """
+        outcomes: list = [None] * len(payloads)
+        counts: Dict[str, int] = {}
+        for sid, _, _ in payloads:
+            counts[sid] = counts.get(sid, 0) + 1
+        serial: List[Tuple[int, str]] = []
+        with contextlib.ExitStack() as stack:
+            groups: Dict[tuple, list] = {}
+            for index, (sid, value, seq) in enumerate(payloads):
+                if counts[sid] > 1:
+                    serial.append((index, "same_session"))
+                    continue
+                try:
+                    session = stack.enter_context(self.store.acquire(sid))
+                    stack.enter_context(session.lock)
+                except BaseException:  # noqa: BLE001 - retried serially
+                    serial.append((index, "acquire"))
+                    continue
+                key = (id(session.pool), session.window, session.n_members)
+                groups.setdefault(key, []).append((index, session))
+            for members in groups.values():
+                self._observe_group(payloads, outcomes, members)
+        for index, reason in sorted(serial):
+            sid, value, seq = payloads[index]
+            self._count_observe_path("fallback", reason)
+            try:
+                outcomes[index] = self._observe_inner(sid, value, seq)
+            except BaseException as err:  # noqa: BLE001 - to the future
+                outcomes[index] = err
+        return outcomes
+
+    def _observe_group(
+        self, payloads: List[Tuple], outcomes: list, members: list
+    ) -> None:
+        """One shape group of locked sessions → one stacked forward.
+
+        Bit-identity contract: every numerical step either *is* the
+        serial code (``prepare_forecast``/``apply_forecast``) or is a
+        batched kernel proven bitwise-equal to its serial counterpart
+        (``predict_next_batch_with_mask``, ``policy_weights_batch``).
+        """
+        ready = []
+        for index, session in members:
+            sid, value, seq = payloads[index]
+            try:
+                cached = self._check_seq(session, seq, sid)
+                if cached is not None:
+                    outcomes[index] = cached
+                    continue
+                session.begin_observe(float(value))
+                if session.pool is None:
+                    raise ConfigurationError(
+                        "matrix-mode session needs an explicit "
+                        "prediction_row"
+                    )
+            except BaseException as err:  # noqa: BLE001 - to the future
+                outcomes[index] = err
+                continue
+            ready.append((index, session))
+        if not ready:
+            return
+        rows = masks = None
+        try:
+            pool = ready[0][1].pool
+            rows, masks = pool.predict_next_batch_with_mask(
+                [session.history for _, session in ready]
+            )
+        except BaseException:  # noqa: BLE001 - per-session calls surface it
+            rows = None
+        prepared = []
+        for j, (index, session) in enumerate(ready):
+            try:
+                if rows is not None:
+                    scaled_row, healthy = session.prepare_forecast(
+                        rows[j], masks[j]
+                    )
+                else:
+                    values, health = session.pool.predict_next_with_mask(
+                        session.history
+                    )
+                    scaled_row, healthy = session.prepare_forecast(
+                        values, health
+                    )
+                prepared.append((index, session, scaled_row, healthy))
+            except BaseException as err:  # noqa: BLE001 - to the future
+                outcomes[index] = err
+        if not prepared:
+            return
+        weights = None
+        try:
+            states = np.stack(
+                [session.state for _, session, _, _ in prepared]
+            )
+            params = StackedActorParams.from_actors(
+                [session.agent.actor for _, session, _, _ in prepared]
+            )
+            weights = DDPGAgent.policy_weights_batch(states, params)
+        except BaseException:  # noqa: BLE001 - heterogeneous agents
+            weights = None
+        if weights is not None:
+            self._count_observe_path("batched", n=len(prepared))
+        else:
+            self._count_observe_path("fallback", "stack", n=len(prepared))
+        for j, (index, session, scaled_row, healthy) in enumerate(prepared):
+            sid, value, seq = payloads[index]
+            try:
+                try:
+                    w = (
+                        weights[j].copy() if weights is not None
+                        else session.agent.policy_weights(session.state)
+                    )
+                    forecast = session.apply_forecast(scaled_row, healthy, w)
+                    response = {
+                        "session": sid,
+                        "forecast": float(forecast),
+                        "step": session.step,
+                        "drift": session.last_drifted,
+                        "policy_update": session.last_update_trigger,
+                        "degraded": False,
+                    }
+                    if seq is not None:
+                        session.ack_seq = seq
+                        session.ack_response = response
+                    if self.config.durable:
+                        self.store.sync(sid)
+                    outcomes[index] = response
+                except SessionCorruptError:
+                    # Same conversion the serial path applies.
+                    if not self.config.degraded_mode:
+                        raise
+                    outcomes[index] = self._observe_degraded(
+                        sid, value, seq
+                    )
+            except BaseException as err:  # noqa: BLE001 - to the future
+                outcomes[index] = err
 
     def predict(
         self, session_id: str, *, deadline=None

@@ -222,6 +222,24 @@ class SeriesSession:
         advance the state window with the (scaled) ensemble output.
         ``mask`` defaults to ``isfinite(prediction_row)``; pool mode
         additionally intersects the pool's health mask.
+
+        Internally split into a pure assembly phase
+        (:meth:`prepare_forecast`), the policy query, and a mutation
+        tail (:meth:`apply_forecast`) so the batched serving path can
+        run one stacked actor forward for many sessions and still be
+        bit-identical to this method.
+        """
+        scaled_row, healthy = self.prepare_forecast(prediction_row, mask)
+        weights = self.agent.policy_weights(self._state)
+        return self.apply_forecast(scaled_row, healthy, weights)
+
+    def prepare_forecast(
+        self, prediction_row: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pure phase of :meth:`forecast_step`: validate and scale.
+
+        Returns ``(scaled_row, healthy)`` and mutates nothing; the
+        session state is untouched until :meth:`apply_forecast`.
         """
         row = np.asarray(prediction_row, dtype=np.float64)
         if row.shape != (self.n_members,):
@@ -232,8 +250,20 @@ class SeriesSession:
         healthy = np.isfinite(row)
         if mask is not None:
             healthy = healthy & np.asarray(mask, dtype=bool)
-        scaled_row = self.scaler.transform(row)
-        weights = self.agent.policy_weights(self._state)
+        return self.scaler.transform(row), healthy
+
+    def apply_forecast(
+        self,
+        scaled_row: np.ndarray,
+        healthy: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        """Mutation tail of :meth:`forecast_step`.
+
+        ``weights`` must be ``agent.policy_weights(self.state)`` — the
+        caller either computed it per session or took its row of a
+        stacked batched forward (bit-identical by construction).
+        """
         scaled_out, weights = combine_masked(
             scaled_row, weights, healthy, self.step
         )
@@ -328,15 +358,7 @@ class SeriesSession:
         only extends the history.
         """
         with self.lock:
-            if self._pending:
-                self.feedback(y)
-            elif self._history is not None:
-                self._history = np.append(self._history, float(y))
-            else:
-                raise ConfigurationError(
-                    "observe() before any forecast on a matrix-mode "
-                    "session; call forecast_step() first"
-                )
+            self.begin_observe(y)
             if prediction_row is not None:
                 return self.forecast_step(prediction_row)
             if self.pool is None:
@@ -345,6 +367,25 @@ class SeriesSession:
                 )
             values, health = self.pool.predict_next_with_mask(self._history)
             return self.forecast_step(values, mask=health)
+
+    def begin_observe(self, y: float) -> None:
+        """The head of :meth:`observe`: absorb the realised value.
+
+        Closes the outstanding forecast (reward transition, drift
+        detection, policy updates — everything that can change the
+        policy parameters happens *here*, before any forward pass) or,
+        on a fresh pool-mode session, just extends the history. Caller
+        must hold :attr:`lock`.
+        """
+        if self._pending:
+            self.feedback(y)
+        elif self._history is not None:
+            self._history = np.append(self._history, float(y))
+        else:
+            raise ConfigurationError(
+                "observe() before any forecast on a matrix-mode "
+                "session; call forecast_step() first"
+            )
 
     def predict(self) -> float:
         """Forecast the next value *without* advancing the session.
@@ -407,13 +448,21 @@ class SeriesSession:
     # ------------------------------------------------------------------
     # Spill / restore (serving SessionStore)
     # ------------------------------------------------------------------
-    def checkpoint_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    def checkpoint_state(
+        self, *, pristine_light: bool = False
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         """Capture every source of future behaviour, bit-exactly.
 
         Includes the session's own policy state (networks, optimizer
         moments, replay ring, RNG/noise) — serving sessions own their
         agent — plus the ω-window, the reward ring, the drift detector,
         the pending forecast, and (pool mode) the true history.
+
+        ``pristine_light`` is forwarded to
+        :meth:`DDPGAgent.checkpoint_state`: a never-updated agent then
+        omits its network/optimizer arrays (the restorer re-copies them
+        from the bundle template), shrinking spill payloads by an order
+        of magnitude.
         """
         with self.lock:
             arrays: Dict[str, np.ndarray] = {
@@ -426,7 +475,9 @@ class SeriesSession:
             }
             if self._history is not None:
                 arrays["session.history"] = self._history.copy()
-            agent_arrays, agent_meta = self.agent.checkpoint_state()
+            agent_arrays, agent_meta = self.agent.checkpoint_state(
+                pristine_light=pristine_light
+            )
             arrays.update(_prefixed("agent", agent_arrays))
             meta: Dict[str, Any] = {
                 "agent": agent_meta,

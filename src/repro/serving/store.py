@@ -38,6 +38,7 @@ from __future__ import annotations
 import re
 import shutil
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -47,13 +48,19 @@ import numpy as np
 
 from repro.exceptions import (
     CheckpointCorruptError,
+    CheckpointError,
     ServingError,
     SessionCorruptError,
     SessionExistsError,
     SessionNotFoundError,
 )
 from repro.obs import OBS, get_logger
-from repro.persistence import atomic_write_bytes, load_npz_bytes, npz_bytes
+from repro.persistence import (
+    atomic_write_bytes,
+    load_npz_bytes,
+    npz_bytes,
+    write_bytes_unsynced,
+)
 from repro.runtime import CheckpointManager
 from repro.serving.session import SeriesSession
 
@@ -117,6 +124,7 @@ class SessionStore:
         capacity: int = 128,
         spill_dir: Optional[str] = None,
         keep_snapshots: int = 2,
+        durable: bool = False,
     ):
         if capacity < 1:
             raise ServingError(f"capacity must be >= 1, got {capacity}")
@@ -124,7 +132,20 @@ class SessionStore:
         self.capacity = int(capacity)
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.keep_snapshots = int(keep_snapshots)
+        #: Durable spill writes fsync payload+manifest (the write-through
+        #: commit point of durable serving); non-durable treats the spill
+        #: directory as a cache of live sessions — atomic but unsynced
+        #: writes, several times cheaper on the LRU-churn hot path.
+        self.durable = bool(durable)
         self._sessions: "OrderedDict[str, SeriesSession]" = OrderedDict()
+        self._managers: Dict[str, CheckpointManager] = {}
+        #: Manifest path of each session's newest spill snapshot — lets
+        #: the restore path load it directly instead of re-scanning the
+        #: session's directory on every acquire-miss.
+        self._last_manifest: Dict[str, Path] = {}
+        #: Sessions whose spill directory is known to exist (mkdir-once
+        #: guard for the per-eviction sidecar write).
+        self._sidecar_dirs: set = set()
         self._pins: Dict[str, int] = {}
         self._spilled: set = set()
         self._degraded: Dict[str, DegradedSession] = {}
@@ -132,6 +153,11 @@ class SessionStore:
         self.evictions = 0
         self.restores = 0
         self.corruptions = 0
+        self.acquires = 0
+        # Recent restore wall-times (seconds) for the thrash baseline
+        # surfaced by stats(); bounded so a long-lived store stays O(1).
+        self._restore_times: List[float] = []
+        self._restore_times_cap = 1024
         min_history = getattr(bundle, "min_history", None)
         self._sidecar_tail = max(
             SIDECAR_MIN_TAIL,
@@ -155,9 +181,17 @@ class SessionStore:
             raise ServingError(
                 "session store has no spill directory configured"
             )
-        return CheckpointManager(
-            self.spill_dir / session_id, keep=self.keep_snapshots
-        )
+        # Cached per session: manager construction is cheap but the
+        # spill hot path runs once per evicted request at capacity.
+        manager = self._managers.get(session_id)
+        if manager is None:
+            manager = CheckpointManager(
+                self.spill_dir / session_id,
+                keep=self.keep_snapshots,
+                durable=self.durable,
+            )
+            self._managers[session_id] = manager
+        return manager
 
     def _gauges(self) -> None:
         if OBS.enabled:
@@ -180,8 +214,11 @@ class SessionStore:
             return
         tail = np.asarray(history, dtype=np.float64)[-self._sidecar_tail:]
         path = self._sidecar_path(session_id)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(path, npz_bytes({"history": tail}))
+        if session_id not in self._sidecar_dirs:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._sidecar_dirs.add(session_id)
+        writer = atomic_write_bytes if self.durable else write_bytes_unsynced
+        writer(path, npz_bytes({"history": tail}))
 
     def _load_sidecar(self, session_id: str) -> Optional[np.ndarray]:
         path = self._sidecar_path(session_id)
@@ -192,8 +229,17 @@ class SessionStore:
 
     # ------------------------------------------------------------------
     def _save_snapshot(self, session_id: str, session: SeriesSession) -> None:
-        arrays, meta = session.checkpoint_state()
-        self._manager(session_id).save(
+        # pristine_light: a session whose agent never ran a policy update
+        # spills without its network/optimizer arrays — the restorer
+        # re-copies them from the bundle template, guarded by the digest
+        # stamped here (a redeploy with different template weights must
+        # not silently restore against them).
+        arrays, meta = session.checkpoint_state(pristine_light=True)
+        if meta.get("agent", {}).get("pristine"):
+            digest = getattr(self.bundle, "template_digest", None)
+            if callable(digest):
+                meta["template_digest"] = digest()
+        self._last_manifest[session_id] = self._manager(session_id).save(
             SPILL_KIND,
             session.step,
             arrays,
@@ -223,10 +269,30 @@ class SessionStore:
         return True
 
     def _restore_locked(self, session_id: str) -> SeriesSession:
+        t0 = time.perf_counter()
         try:
-            snapshot = self._manager(session_id).restore_latest(
-                SPILL_KIND, context={"session_id": session_id}, strict=True
-            )
+            snapshot = None
+            last = self._last_manifest.get(session_id)
+            if last is not None:
+                # Fast path: this process wrote the snapshot, so load
+                # it directly. Any problem — moved, torn, rewritten by
+                # a redeploy — falls back to the scanning path below,
+                # which owns quarantine/degraded semantics.
+                try:
+                    candidate = self._manager(session_id).load(last)
+                    if (
+                        candidate.manifest.get("context", {}).get(
+                            "session_id"
+                        ) == session_id
+                    ):
+                        snapshot = candidate
+                except (CheckpointError, CheckpointCorruptError, OSError):
+                    self._last_manifest.pop(session_id, None)
+            if snapshot is None:
+                snapshot = self._manager(session_id).restore_latest(
+                    SPILL_KIND, context={"session_id": session_id},
+                    strict=True,
+                )
         except CheckpointCorruptError as err:
             # Snapshots existed but every one was quarantined: the
             # learned state is unrecoverable. Park a DegradedSession
@@ -253,8 +319,15 @@ class SessionStore:
             session_id, snapshot.arrays, snapshot.meta
         )
         self.restores += 1
+        elapsed = time.perf_counter() - t0
+        if len(self._restore_times) >= self._restore_times_cap:
+            del self._restore_times[: self._restore_times_cap // 2]
+        self._restore_times.append(elapsed)
         if OBS.enabled:
             OBS.registry.counter("repro_serving_restores_total").inc()
+            OBS.registry.histogram(
+                "repro_serving_restore_seconds"
+            ).observe(elapsed)
         _LOG.debug(
             "restored session %s at step %d", session_id, snapshot.step
         )
@@ -310,6 +383,7 @@ class SessionStore:
     def acquire(self, session_id: str) -> Iterator[SeriesSession]:
         """Yield the (restored-if-spilled) session, pinned against spill."""
         with self._lock:
+            self.acquires += 1
             if session_id in self._degraded:
                 raise SessionCorruptError(session_id)
             session = self._sessions.get(session_id)
@@ -375,6 +449,9 @@ class SessionStore:
             )
             self._spilled.discard(session_id)
             self._degraded.pop(session_id, None)
+            self._managers.pop(session_id, None)
+            self._last_manifest.pop(session_id, None)
+            self._sidecar_dirs.discard(session_id)
             self._gauges()
         if not known:
             raise SessionNotFoundError(session_id)
@@ -414,6 +491,7 @@ class SessionStore:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
+            times = np.asarray(self._restore_times)
             return {
                 "resident": len(self._sessions),
                 "spilled": len(self._spilled),
@@ -423,4 +501,14 @@ class SessionStore:
                 "evictions": self.evictions,
                 "restores": self.restores,
                 "corruptions": self.corruptions,
+                "acquires": self.acquires,
+                # Thrash baseline for eviction-policy work: how often an
+                # acquire paid a disk restore, and what one cost.
+                "restores_per_acquire": (
+                    self.restores / self.acquires if self.acquires else 0.0
+                ),
+                "restore_latency_ms": {
+                    "p50": float(np.percentile(times, 50) * 1e3),
+                    "p95": float(np.percentile(times, 95) * 1e3),
+                } if times.size else None,
             }
