@@ -20,8 +20,14 @@ where noted):
 An HTTP smoke phase then starts the stdlib frontend on an ephemeral
 port, runs one session through create/observe/predict/delete plus a
 ``/metrics`` scrape, and shuts the server down — proving the wire path
-end to end. Results land in ``BENCH_serving.json`` for CI artifact
-upload.
+end to end. A distributed-tracing phase follows: the 4-shard supervised
+runtime is driven over HTTP with tracing on, the per-process JSONL
+trace files are assembled, and every observe trace must cover >= 95%
+of its request wall time with spans from both sides of the process
+boundary (frontend and shard worker), coalesced requests linking to
+their shared batch span (gated in both modes). Results land in
+``BENCH_serving.json`` (plus the raw ``BENCH_serving_traces.jsonl``
+artifact) for CI upload.
 
 Run directly::
 
@@ -269,6 +275,140 @@ def check_batched_bit_identity(
     }
 
 
+def check_trace_coverage(
+    bundle,
+    series,
+    *,
+    sessions: int = 8,
+    steps: int = 6,
+    shards: int = 4,
+    artifact: Path = None,
+) -> dict:
+    """Acceptance: assembled traces explain the supervised request path.
+
+    Runs the shard-supervised runtime behind the HTTP frontend with
+    ``trace_dir`` set, drives concurrent observes (one with a pinned
+    ``X-Trace-Id``), then assembles the per-process trace files and
+    checks that every observe trace covers >= 95% of its request wall
+    time, crosses the frontend/worker process boundary, and that
+    coalesced requests link to a shared batch span.
+    """
+    from repro.obs import assemble_trace_dir, iter_trace_records
+    from repro.serving import make_service
+
+    trace_dir = tempfile.mkdtemp(prefix="bench-serving-traces-")
+    service = make_service(bundle, ServiceConfig(
+        executor="process",
+        shards=shards,
+        max_sessions=max(16, sessions),
+        spill_dir=tempfile.mkdtemp(prefix="bench-serving-shards-"),
+        queue_limit=max(256, 4 * sessions),
+        deadline=30.0,
+        batch_wait=0.002,
+        batch_size=16,
+        trace_dir=trace_dir,
+    ))
+    server = ForecastHTTPServer(service, port=0).start()
+    host, port = server.address
+    base = f"http://{host}:{port}"
+    pinned_id = "feedbeefcafef00d"
+
+    def post(path, body, headers=None):
+        req = urllib.request.Request(
+            base + path, data=json.dumps(body).encode()
+        )
+        req.add_header("Content-Type", "application/json")
+        for key, value in (headers or {}).items():
+            req.add_header(key, value)
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return json.loads(resp.read()), dict(resp.headers)
+
+    failures = []
+    echoed = False
+    try:
+        for i in range(sessions):
+            post("/v1/sessions", {
+                "session": f"trace-{i:03d}",
+                "history": series[:200].tolist(),
+            })
+        barrier = threading.Barrier(sessions)
+
+        def client(i: int) -> None:
+            sid = f"trace-{i:03d}"
+            barrier.wait()
+            for step in range(steps):
+                try:
+                    post(f"/v1/sessions/{sid}/observe",
+                         {"y": float(series[200 + step]), "seq": step})
+                except Exception as err:  # noqa: BLE001 - recorded
+                    failures.append((sid, step, repr(err)))
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # A client-supplied trace id must be adopted and echoed back.
+        _, headers = post(
+            "/v1/sessions/trace-000/observe",
+            {"y": float(series[200 + steps]), "seq": steps},
+            headers={"X-Trace-Id": pinned_id},
+        )
+        echoed = headers.get("X-Trace-Id") == pinned_id
+    finally:
+        server.shutdown()
+
+    assembler = assemble_trace_dir(trace_dir)
+    observes = [
+        t for t in assembler.traces()
+        if t.root is not None and t.root.name == "http.request"
+        and str(t.root.attrs.get("path", "")).endswith("/observe")
+    ]
+    coverages = [t.coverage() for t in observes]
+    worst = min(coverages) if coverages else 0.0
+    cross_process = sum(1 for t in observes if len(t.processes) >= 2)
+    batch_linked = sum(1 for t in observes if t.batch_links())
+    if artifact is not None:
+        files = sorted(Path(trace_dir).glob("*.jsonl"))
+        with artifact.open("w", encoding="utf-8") as handle:
+            for record in iter_trace_records(files):
+                handle.write(json.dumps(record) + "\n")
+    result = {
+        "sessions": sessions,
+        "steps": steps,
+        "shards": shards,
+        "observe_traces": len(observes),
+        "request_failures": len(failures),
+        "failures_sample": failures[:5],
+        "coverage_min": worst,
+        "coverage_mean": (
+            sum(coverages) / len(coverages) if coverages else 0.0
+        ),
+        "cross_process_traces": cross_process,
+        "batch_linked_traces": batch_linked,
+        "pinned_trace_found": assembler.trace(pinned_id) is not None,
+        "trace_id_echoed": echoed,
+        "spans_dropped": assembler.spans_dropped,
+        "malformed_lines": assembler.malformed_lines,
+        "trace_artifact": str(artifact) if artifact is not None else None,
+    }
+    result["ok"] = (
+        len(failures) == 0
+        and len(observes) > 0
+        and worst >= 0.95
+        and cross_process == len(observes)
+        and batch_linked >= 1
+        and result["pinned_trace_found"]
+        and echoed
+        and assembler.spans_dropped == 0
+    )
+    return result
+
+
 def http_smoke(bundle, series) -> dict:
     """Create/observe/predict/delete + /metrics over the wire."""
     service = ForecastService(
@@ -421,6 +561,18 @@ def main(argv=None) -> int:
     http = http_smoke(bundle, series)
     print(f"http smoke: {'ok' if http['ok'] else 'FAILED'} ({http})")
 
+    trace = check_trace_coverage(
+        bundle, series,
+        sessions=6 if args.quick else 10,
+        steps=4 if args.quick else 8,
+        artifact=args.output.parent / "BENCH_serving_traces.jsonl",
+    )
+    print(f"trace coverage: {'ok' if trace['ok'] else 'FAILED'} "
+          f"(observe_traces={trace['observe_traces']} "
+          f"min={trace['coverage_min']:.3f} "
+          f"mean={trace['coverage_mean']:.3f} "
+          f"batch_linked={trace['batch_linked_traces']})")
+
     all_served = load["requests_failed"] == 0 and (
         load["requests_completed"]
         == load["sessions"] * load["steps_per_session"]
@@ -438,6 +590,7 @@ def main(argv=None) -> int:
         "spill_bit_identity": spill,
         "batched_bit_identity": batched,
         "http_smoke": http,
+        "trace_coverage": trace,
         "min_sessions_gate": None if args.quick else MIN_SESSIONS_FULL,
     }
     if profile_1k is not None:
@@ -461,6 +614,11 @@ def main(argv=None) -> int:
         failed.append("shutdown did not spill every resident session")
     if not http["ok"]:
         failed.append("http smoke phase failed")
+    if not trace["ok"]:
+        failed.append(
+            "distributed-trace phase failed (coverage < 95%, missing "
+            "cross-process spans, or unlinked coalesced requests)"
+        )
     if not args.quick and args.sessions < MIN_SESSIONS_FULL:
         failed.append(
             f"full-scale run needs >= {MIN_SESSIONS_FULL} sessions, "

@@ -7,6 +7,7 @@ Four subcommands map to the main workflows::
     python -m repro.cli table2 --datasets 1,4,9   # regenerate Table II
     python -m repro.cli fig2 --dataset 9          # regenerate Figure 2
     python -m repro.cli serve --port 8321         # online forecasting service
+    python -m repro.cli trace traces/             # assemble request traces
 
 Every subcommand accepts ``--length/--episodes/--pool`` to trade speed
 against fidelity (see ``--help`` per subcommand).
@@ -263,6 +264,7 @@ def cmd_serve(args) -> int:
         executor="process" if args.shards else "thread",
         shards=args.shards,
         durable=args.durable,
+        trace_dir=args.trace_dir,
     ))
     server = ForecastHTTPServer(
         service, host=args.host, port=args.port
@@ -284,6 +286,40 @@ def cmd_serve(args) -> int:
         latch.drain()
     finally:
         latch.restore()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json as _json
+
+    from repro.obs import TraceAssembler
+
+    assembler = TraceAssembler()
+    for path in args.paths:
+        assembler.add_path(path)
+    if args.trace_id:
+        trace = assembler.trace(args.trace_id)
+        if trace is None:
+            print(f"trace {args.trace_id} not found", file=sys.stderr)
+            return 1
+        print(trace.render(assembler))
+        return 0
+    report = assembler.report(root_name=args.root, limit=args.limit)
+    if args.json:
+        print(_json.dumps(report, indent=2))
+        return 0
+    traces = assembler.traces()
+    if args.root:
+        traces = [
+            t for t in traces
+            if t.root is not None and t.root.name == args.root
+        ]
+    for trace in traces[:args.limit]:
+        print(trace.render(assembler))
+        print()
+    print(f"{report['n_traces']} trace(s) from {report['files_read']} "
+          f"file(s); {report['spans_dropped']} span(s) dropped, "
+          f"{report['malformed_lines']} malformed line(s)")
     return 0
 
 
@@ -398,9 +434,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="acknowledge observe only after the session "
                               "checkpoint hits disk (always on inside "
                               "shard workers)")
+    p_serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="enable distributed request tracing: every "
+                              "runtime process appends its spans to a "
+                              "JSONL file under DIR; assemble per-request "
+                              "timelines later with 'repro trace DIR'")
     _add_scale_arguments(p_serve)
     _add_telemetry_arguments(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = subparsers.add_parser(
+        "trace",
+        help="stitch per-process trace files into per-request timelines",
+    )
+    p_trace.add_argument("paths", nargs="+", metavar="PATH",
+                         help="trace JSONL files and/or directories "
+                              "(a serve run's --trace-dir)")
+    p_trace.add_argument("--root", default=None, metavar="NAME",
+                         help="only traces rooted at span NAME "
+                              "(e.g. http.request)")
+    p_trace.add_argument("--trace-id", default=None, metavar="ID",
+                         help="render one trace by id instead of listing")
+    p_trace.add_argument("--limit", type=int, default=20,
+                         help="max traces rendered/reported (default 20)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report (coverage, "
+                              "critical-path breakdown, drop counts) "
+                              "instead of timelines")
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

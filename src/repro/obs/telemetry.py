@@ -218,6 +218,13 @@ class Telemetry:
         self.registry.histogram(
             "repro_span_seconds", {"span": node.name}
         ).observe(node.duration)
+        if node.dropped_children:
+            # The child cap in spans.py truncates silently at record
+            # time; surface the loss so a short tree is visibly
+            # incomplete rather than quietly wrong.
+            self.registry.counter(
+                "repro_obs_spans_dropped_total", {"source": "span_tree"}
+            ).inc(node.dropped_children)
 
     def _finish_root_span(self, node: SpanNode) -> None:
         self.emit("span", span=node.name, seconds=node.duration,

@@ -22,6 +22,8 @@ process, stdlib + numpy only:
   service;
 - :class:`ForecastHTTPServer` — stdlib JSON-over-HTTP frontend
   (``repro serve``);
+- :class:`TenantAccountant` — bounded-cardinality per-tenant request
+  accounting surfaced on ``/stats`` (mergeable across shard workers);
 - :class:`GracefulShutdown` — SIGTERM/SIGINT latch flushing checkpoints
   and telemetry sinks.
 
@@ -44,6 +46,7 @@ from repro.serving.supervisor import (
     ShardSupervisor,
     make_service,
 )
+from repro.serving.tenantstats import TenantAccountant
 
 __all__ = [
     "DegradedSession",
@@ -57,6 +60,7 @@ __all__ = [
     "ServiceConfig",
     "SessionStore",
     "ShardSupervisor",
+    "TenantAccountant",
     "make_service",
     "session_seed",
     "validate_session_id",

@@ -33,13 +33,17 @@ from repro.exceptions import (
     ServiceUnavailableError,
 )
 from repro.obs import OBS, get_logger
+from repro.obs.trace import NEW_TRACE, TRACER
 from repro.runtime import ExecutorConfig, run_ordered
 
 _LOG = get_logger("serving.batcher")
 
 
 class _Request:
-    __slots__ = ("fn", "payload", "future", "deadline", "expires_at")
+    __slots__ = (
+        "fn", "payload", "future", "deadline", "expires_at",
+        "trace_ctx", "enqueued_at",
+    )
 
     def __init__(
         self,
@@ -52,6 +56,11 @@ class _Request:
         self.payload = payload
         self.future: Future = Future()
         self.deadline = deadline
+        # Trace propagation across the queue hop: the submitting
+        # thread's ambient context travels with the request so the
+        # collector/executor threads keep the causal chain.
+        self.trace_ctx = TRACER.current() if TRACER.enabled else None
+        self.enqueued_at = time.time() if self.trace_ctx is not None else 0.0
         if expires_at is not None:
             self.expires_at = expires_at
         else:
@@ -69,9 +78,14 @@ class _Failure:
         self.error = error
 
 
-def _call_request(fn: Callable[[], Any]):
+def _call_request(fn: Callable[[], Any], ctx=None):
     # One failing request must not poison its batch-mates.
     try:
+        if ctx is not None and TRACER.enabled:
+            # Executor thread hop: reinstate the request's context so
+            # store/pool/actor child spans land in its trace.
+            with TRACER.span("batcher.exec", parent=ctx):
+                return fn()
         return fn()
     except BaseException as err:  # noqa: BLE001 - transported to the future
         return _Failure(err)
@@ -234,6 +248,30 @@ class MicroBatcher:
             registry.gauge("repro_serving_queue_depth").set(
                 float(self._queue.qsize())
             )
+        batch_span = None
+        if TRACER.enabled:
+            traced = [r for r in live if r.trace_ctx is not None]
+            if traced:
+                # One shared span per dispatch, in its own trace: every
+                # coalesced request records a queue-wait span carrying a
+                # link to it, so the assembler can join a request's
+                # timeline to the batch it rode in.
+                batch_span = TRACER.span(
+                    "batcher.batch", parent=NEW_TRACE,
+                    requests=len(live),
+                    linked_traces=[
+                        r.trace_ctx.trace_id for r in traced[:32]
+                    ],
+                )
+                now_wall = time.time()
+                for request in traced:
+                    TRACER.record(
+                        "batcher.queue", request.trace_ctx,
+                        start=request.enqueued_at,
+                        duration=max(0.0, now_wall - request.enqueued_at),
+                        batch_span=batch_span.ctx.span_id,
+                        batch_trace=batch_span.ctx.trace_id,
+                    )
         if self.group_handler is not None:
             grouped = [r for r in live if r.payload is not None]
             singles = [r for r in live if r.payload is None]
@@ -244,19 +282,27 @@ class MicroBatcher:
                 grouped = []
         else:
             grouped, singles = [], live
-        if grouped:
-            self._dispatch_grouped(grouped)
-        if singles:
-            results = run_ordered(
-                _call_request,
-                [(request.fn,) for request in singles],
-                self.executor,
-            )
-            for request, result in zip(singles, results):
-                if isinstance(result, _Failure):
-                    request.future.set_exception(result.error)
-                else:
-                    request.future.set_result(result)
+
+        def execute() -> None:
+            if grouped:
+                self._dispatch_grouped(grouped)
+            if singles:
+                results = run_ordered(
+                    _call_request,
+                    [(request.fn, request.trace_ctx) for request in singles],
+                    self.executor,
+                )
+                for request, result in zip(singles, results):
+                    if isinstance(result, _Failure):
+                        request.future.set_exception(result.error)
+                    else:
+                        request.future.set_result(result)
+
+        if batch_span is not None:
+            with batch_span:
+                execute()
+        else:
+            execute()
 
     def _dispatch_grouped(self, grouped: list) -> None:
         """Run payload-carrying requests through the group handler.

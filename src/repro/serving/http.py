@@ -33,6 +33,15 @@ breaker open / shutting down / corrupt session state (with a
 ``Retry-After`` header), 500 anything else. Degraded responses (corrupt
 checkpoint served from the ensemble-average fallback) are **200** with
 ``"degraded": true`` in the body.
+
+Tracing: when the service runs with a ``trace_dir``, every request gets
+a root ``http.request`` span. A client may supply its own trace id via
+the ``X-Trace-Id`` header (hex, 8–32 chars; malformed ids are ignored
+and a fresh trace minted); the effective id is echoed back in the
+response's ``X-Trace-Id`` header either way, ready for ``repro trace``.
+Behind a :class:`~repro.serving.supervisor.ShardSupervisor`,
+``/metrics`` merges per-shard worker registries into one exposition and
+``/healthz`` carries per-shard worker state.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ from repro.exceptions import (
     WorkerCrashedError,
 )
 from repro.obs import OBS, get_logger, render_prom_text
+from repro.obs.trace import NOOP_TRACE_SPAN, TRACE_ID_HEADER, TRACER
 from repro.serving.service import ForecastService
 
 _LOG = get_logger("serving.http")
@@ -96,6 +106,25 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _LOG.debug("%s %s", self.address_string(), format % args)
 
+    def _ingress(self):
+        """Root span of the request's distributed trace.
+
+        Ingress either adopts a (well-formed) client ``X-Trace-Id`` or
+        mints a fresh trace; the id is echoed on the response so callers
+        can find their timeline with ``repro trace`` either way.
+        """
+        self._trace_ctx = None
+        if not TRACER.enabled:
+            return NOOP_TRACE_SPAN
+        span = TRACER.span(
+            "http.request",
+            parent=TRACER.from_headers(self.headers),
+            method=self.command,
+            path=self.path.split("?", 1)[0],
+        )
+        self._trace_ctx = span.ctx
+        return span
+
     def _send_json(
         self, status: int, payload: Any, headers: Optional[dict] = None
     ) -> None:
@@ -103,6 +132,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        ctx = getattr(self, "_trace_ctx", None)
+        if ctx is not None:
+            self.send_header(TRACE_ID_HEADER, ctx.trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -174,102 +206,114 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- methods -------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib API
-        try:
-            path = self.path.split("?", 1)[0]
-            if path == "/v1/sessions":
-                body = self._read_json()
-                if "session" not in body or "history" not in body:
-                    raise DataValidationError(
-                        "create body needs 'session' and 'history'"
+        with self._ingress():
+            try:
+                path = self.path.split("?", 1)[0]
+                if path == "/v1/sessions":
+                    body = self._read_json()
+                    if "session" not in body or "history" not in body:
+                        raise DataValidationError(
+                            "create body needs 'session' and 'history'"
+                        )
+                    kwargs = {
+                        key: body[key]
+                        for key in ("mode", "interval", "updates_per_trigger",
+                                    "seed")
+                        if key in body
+                    }
+                    info = self.service.create_session(
+                        body["session"], body["history"], **kwargs
                     )
-                kwargs = {
-                    key: body[key]
-                    for key in ("mode", "interval", "updates_per_trigger",
-                                "seed")
-                    if key in body
-                }
-                info = self.service.create_session(
-                    body["session"], body["history"], **kwargs
-                )
-                self._send_json(201, info)
-                return
-            session_id, action = self._session_route()
-            if session_id is not None and action == "observe":
-                body = self._read_json()
-                if "y" not in body or not isinstance(body["y"], (int, float)):
-                    raise DataValidationError(
-                        "observe body needs a numeric 'y'"
+                    self._send_json(201, info)
+                    return
+                session_id, action = self._session_route()
+                if session_id is not None and action == "observe":
+                    body = self._read_json()
+                    if "y" not in body or not isinstance(body["y"], (int, float)):
+                        raise DataValidationError(
+                            "observe body needs a numeric 'y'"
+                        )
+                    seq = body.get("seq")
+                    if seq is not None and (
+                        isinstance(seq, bool) or not isinstance(seq, int)
+                    ):
+                        raise DataValidationError(
+                            "'seq' must be an integer sequence number"
+                        )
+                    self._send_json(
+                        200,
+                        self.service.observe(
+                            session_id,
+                            float(body["y"]),
+                            seq=seq,
+                            deadline=self._deadline_seconds(body),
+                        ),
                     )
-                seq = body.get("seq")
-                if seq is not None and (
-                    isinstance(seq, bool) or not isinstance(seq, int)
-                ):
-                    raise DataValidationError(
-                        "'seq' must be an integer sequence number"
-                    )
-                self._send_json(
-                    200,
-                    self.service.observe(
-                        session_id,
-                        float(body["y"]),
-                        seq=seq,
-                        deadline=self._deadline_seconds(body),
-                    ),
-                )
-                return
-            self._send_json(404, {"error": "NotFound", "detail": self.path})
-        except BaseException as err:  # noqa: BLE001 - becomes the response
-            self._send_error_json(err)
+                    return
+                self._send_json(404, {"error": "NotFound", "detail": self.path})
+            except BaseException as err:  # noqa: BLE001 - becomes the response
+                self._send_error_json(err)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
-        try:
-            path = self.path.split("?", 1)[0]
-            if path == "/healthz":
-                health = self.service.health()
-                self._send_json(
-                    200 if health["status"] == "ok" else 503, health
-                )
-                return
-            if path == "/stats":
-                self._send_json(200, self.service.stats())
-                return
-            if path == "/metrics":
-                text = render_prom_text(OBS.registry)
-                body = text.encode("utf-8")
-                self.send_response(200)
-                self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4"
-                )
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-                return
-            session_id, action = self._session_route()
-            if session_id is not None and action == "predict":
-                self._send_json(
-                    200,
-                    self.service.predict(
-                        session_id, deadline=self._deadline_seconds()
-                    ),
-                )
-                return
-            if session_id is not None and action is None:
-                self._send_json(200, self.service.session_info(session_id))
-                return
-            self._send_json(404, {"error": "NotFound", "detail": self.path})
-        except BaseException as err:  # noqa: BLE001 - becomes the response
-            self._send_error_json(err)
+        with self._ingress():
+            try:
+                path = self.path.split("?", 1)[0]
+                if path == "/healthz":
+                    health = self.service.health()
+                    self._send_json(
+                        200 if health["status"] == "ok" else 503, health
+                    )
+                    return
+                if path == "/stats":
+                    self._send_json(200, self.service.stats())
+                    return
+                if path == "/metrics":
+                    # ForecastService renders its own registry; the
+                    # supervisor merges per-shard worker snapshots into
+                    # one fleet-wide exposition.
+                    metrics_text = getattr(
+                        self.service, "metrics_text", None
+                    )
+                    text = (
+                        metrics_text() if metrics_text is not None
+                        else render_prom_text(OBS.registry)
+                    )
+                    body = text.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                session_id, action = self._session_route()
+                if session_id is not None and action == "predict":
+                    self._send_json(
+                        200,
+                        self.service.predict(
+                            session_id, deadline=self._deadline_seconds()
+                        ),
+                    )
+                    return
+                if session_id is not None and action is None:
+                    self._send_json(200, self.service.session_info(session_id))
+                    return
+                self._send_json(404, {"error": "NotFound", "detail": self.path})
+            except BaseException as err:  # noqa: BLE001 - becomes the response
+                self._send_error_json(err)
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib API
-        try:
-            session_id, action = self._session_route()
-            if session_id is not None and action is None:
-                self.service.close_session(session_id)
-                self._send_json(200, {"closed": session_id})
-                return
-            self._send_json(404, {"error": "NotFound", "detail": self.path})
-        except BaseException as err:  # noqa: BLE001 - becomes the response
-            self._send_error_json(err)
+        with self._ingress():
+            try:
+                session_id, action = self._session_route()
+                if session_id is not None and action is None:
+                    self.service.close_session(session_id)
+                    self._send_json(200, {"closed": session_id})
+                    return
+                self._send_json(404, {"error": "NotFound", "detail": self.path})
+            except BaseException as err:  # noqa: BLE001 - becomes the response
+                self._send_error_json(err)
 
 
 class ForecastHTTPServer:

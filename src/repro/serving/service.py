@@ -46,7 +46,9 @@ from repro.exceptions import (
     ServingError,
     SessionCorruptError,
 )
-from repro.obs import OBS, get_logger
+from repro.obs import OBS, get_logger, render_prom_text
+from repro.obs.registry import FAST_BUCKETS
+from repro.obs.trace import NOOP_TRACE_SPAN, TRACER
 from repro.runtime import (
     BreakerState,
     CircuitBreaker,
@@ -57,6 +59,7 @@ from repro.runtime import (
 from repro.rl import DDPGAgent, StackedActorParams
 from repro.serving.batcher import MicroBatcher
 from repro.serving.store import SessionStore
+from repro.serving.tenantstats import TenantAccountant
 
 _LOG = get_logger("serving.service")
 
@@ -113,6 +116,18 @@ class ServiceConfig:
     breaker_threshold / breaker_cooldown:
         Consecutive internal errors tripping the service breaker, and
         the denied-call count absorbed before a half-open probe.
+    trace_dir:
+        When set, distributed request tracing is enabled: every process
+        of the runtime (frontend, shard workers) appends its spans to
+        its own JSONL file under this directory, assembled offline by
+        ``repro trace`` / :class:`repro.obs.TraceAssembler`. ``None``
+        (the default) keeps the one-attribute-check no-op fast path.
+    worker_telemetry:
+        Enable a registry-only telemetry session inside shard worker
+        processes so the supervisor can merge their
+        :class:`~repro.obs.MetricsRegistry` snapshots into one
+        ``/metrics`` output. Set automatically by the supervisor when
+        the frontend has telemetry or tracing on.
     """
 
     max_sessions: int = 128
@@ -129,6 +144,8 @@ class ServiceConfig:
     degraded_mode: bool = True
     breaker_threshold: int = 5
     breaker_cooldown: int = 50
+    trace_dir: Optional[str] = None
+    worker_telemetry: bool = False
 
     def validate(self) -> None:
         if self.max_sessions < 1:
@@ -171,16 +188,27 @@ class ForecastService:
                 "ShardSupervisor directly) instead of ForecastService"
             )
         self.bundle = bundle
+        self._owns_tracer = False
+        if self.config.trace_dir and not TRACER.enabled:
+            # Shard workers enable their tracer (with a shard role)
+            # before building their service, so this only fires for
+            # in-process deployments and the plain-service path.
+            TRACER.enable(self.config.trace_dir, "service")
+            self._owns_tracer = True
         spill_dir = self.config.spill_dir
         if spill_dir is None:
             spill_dir = tempfile.mkdtemp(prefix="repro-serving-")
             _LOG.info("no spill_dir configured; using %s", spill_dir)
+        self.tenants = TenantAccountant()
         self.store = SessionStore(
             bundle,
             capacity=self.config.max_sessions,
             spill_dir=spill_dir,
             durable=self.config.durable,
         )
+        # Spill restores are attributed per tenant (bounded by the
+        # accountant's cap, never per raw session id in the registry).
+        self.store.restore_listener = self.tenants.record_restore
         self.batcher = MicroBatcher(
             max_batch=self.config.batch_size,
             max_wait=self.config.batch_wait,
@@ -237,12 +265,22 @@ class ForecastService:
             with self._breaker_lock:
                 self.breaker.record_failure()
 
-    def _timed(self, op: str, fn):
-        """Run one operation with request metrics + breaker accounting."""
+    def _timed(self, op: str, fn, tenant: Optional[str] = None):
+        """Run one operation with request metrics, the ``service.<op>``
+        trace span, per-tenant accounting, and breaker accounting."""
+        span = NOOP_TRACE_SPAN
+        if TRACER.enabled:
+            span = (
+                TRACER.span(f"service.{op}", session=tenant)
+                if tenant is not None
+                else TRACER.span(f"service.{op}")
+            )
         start = time.perf_counter()
         status = "ok"
+        result = None
         try:
-            result = fn()
+            with span:
+                result = fn()
             self._observe_outcome(None)
             return result
         except BaseException as err:
@@ -250,11 +288,18 @@ class ForecastService:
             self._observe_outcome(err)
             raise
         finally:
+            elapsed = time.perf_counter() - start
+            if tenant is not None:
+                self.tenants.record(
+                    tenant, op, elapsed,
+                    response=result if status == "ok" else None,
+                    error=status != "ok",
+                )
             if OBS.enabled:
                 registry = OBS.registry
                 registry.histogram(
                     "repro_serving_request_seconds", {"op": op}
-                ).observe(time.perf_counter() - start)
+                ).observe(elapsed)
                 registry.counter(
                     "repro_serving_requests_total",
                     {"op": op, "status": status},
@@ -275,7 +320,7 @@ class ForecastService:
             )
             return session.describe()
 
-        return self._timed("create", run)
+        return self._timed("create", run, tenant=session_id)
 
     def _deadline(self, deadline) -> Deadline:
         return coerce_deadline(deadline, self.config.deadline)
@@ -335,7 +380,7 @@ class ForecastService:
                 ),
             )
 
-        return self._timed("observe", run)
+        return self._timed("observe", run, tenant=session_id)
 
     def _check_seq(self, holder, seq: Optional[int], session_id: str):
         """Idempotency ledger: cached response for a duplicate, error
@@ -369,7 +414,10 @@ class ForecastService:
                     cached = self._check_seq(session, seq, session_id)
                     if cached is not None:
                         return cached
-                    forecast = session.observe(float(value))
+                    with TRACER.child_span(
+                        "session.step", session=session_id
+                    ):
+                        forecast = session.observe(float(value))
                     response = {
                         "session": session_id,
                         "forecast": float(forecast),
@@ -486,9 +534,10 @@ class ForecastService:
         rows = masks = None
         try:
             pool = ready[0][1].pool
-            rows, masks = pool.predict_next_batch_with_mask(
-                [session.history for _, session in ready]
-            )
+            with TRACER.child_span("pool.eval", sessions=len(ready)):
+                rows, masks = pool.predict_next_batch_with_mask(
+                    [session.history for _, session in ready]
+                )
         except BaseException:  # noqa: BLE001 - per-session calls surface it
             rows = None
         prepared = []
@@ -512,13 +561,22 @@ class ForecastService:
             return
         weights = None
         try:
-            states = np.stack(
-                [session.state for _, session, _, _ in prepared]
-            )
-            params = StackedActorParams.from_actors(
-                [session.agent.actor for _, session, _, _ in prepared]
-            )
-            weights = DDPGAgent.policy_weights_batch(states, params)
+            forward_start = time.perf_counter()
+            with TRACER.child_span("actor.forward", sessions=len(prepared)):
+                states = np.stack(
+                    [session.state for _, session, _, _ in prepared]
+                )
+                params = StackedActorParams.from_actors(
+                    [session.agent.actor for _, session, _, _ in prepared]
+                )
+                weights = DDPGAgent.policy_weights_batch(states, params)
+            if OBS.enabled:
+                # Sub-ms ladder: the stacked forward sits well under
+                # the default grid's 1 ms bucket.
+                OBS.registry.histogram(
+                    "repro_actor_forward_seconds", {"path": "batched"},
+                    buckets=FAST_BUCKETS,
+                ).observe(time.perf_counter() - forward_start)
         except BaseException:  # noqa: BLE001 - heterogeneous agents
             weights = None
         if weights is not None:
@@ -570,7 +628,7 @@ class ForecastService:
                 lambda: self._predict_inner(session_id), dl
             )
 
-        return self._timed("predict", run)
+        return self._timed("predict", run, tenant=session_id)
 
     def _predict_inner(self, session_id: str) -> Dict[str, Any]:
         try:
@@ -678,10 +736,13 @@ class ForecastService:
                         "step": None,
                     }
 
-        return self._timed("info", run)
+        return self._timed("info", run, tenant=session_id)
 
     def close_session(self, session_id: str) -> None:
-        self._timed("close", lambda: self.store.close(session_id))
+        self._timed(
+            "close", lambda: self.store.close(session_id),
+            tenant=session_id,
+        )
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -706,7 +767,16 @@ class ForecastService:
             "shed": self.batcher.shed,
             "breaker": self.breaker.state.value,
             "uptime_seconds": round(time.time() - self._started_at, 3),
+            "tenants": self.tenants.snapshot(),
         }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """This process's registry snapshot (mergeable across workers)."""
+        return OBS.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of this process's registry."""
+        return render_prom_text(OBS.registry)
 
     # ------------------------------------------------------------------
     def shutdown(self) -> Dict[str, Any]:
@@ -732,6 +802,8 @@ class ForecastService:
         if OBS.enabled:
             OBS.emit("service_shutdown", **summary)
             OBS.flush()
+        if self._owns_tracer:
+            TRACER.disable()
         return summary
 
 

@@ -29,13 +29,16 @@ memory.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.baselines.drift import PageHinkley
 from repro.exceptions import ConfigurationError, DataValidationError
-from repro.obs import get_logger
+from repro.obs import OBS, get_logger
+from repro.obs.registry import FAST_BUCKETS
+from repro.obs.trace import TRACER
 from repro.rl.mdp import Transition
 from repro.rl.rewards import RankReward, RewardFunction
 from repro.runtime import combine_masked
@@ -230,8 +233,27 @@ class SeriesSession:
         bit-identical to this method.
         """
         scaled_row, healthy = self.prepare_forecast(prediction_row, mask)
-        weights = self.agent.policy_weights(self._state)
+        if OBS.enabled or TRACER.enabled:
+            weights = self._timed_forward()
+        else:
+            weights = self.agent.policy_weights(self._state)
         return self.apply_forecast(scaled_row, healthy, weights)
+
+    def _timed_forward(self) -> np.ndarray:
+        """Policy forward with trace span + sub-ms histogram (slow path).
+
+        Split out of :meth:`forecast_step` so the telemetry-off hot
+        path stays a single attribute check per step.
+        """
+        t0 = time.perf_counter()
+        with TRACER.child_span("actor.forward"):
+            weights = self.agent.policy_weights(self._state)
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "repro_actor_forward_seconds", {"path": "serial"},
+                buckets=FAST_BUCKETS,
+            ).observe(time.perf_counter() - t0)
+        return weights
 
     def prepare_forecast(
         self, prediction_row: np.ndarray, mask: Optional[np.ndarray] = None
@@ -365,7 +387,10 @@ class SeriesSession:
                 raise ConfigurationError(
                     "matrix-mode session needs an explicit prediction_row"
                 )
-            values, health = self.pool.predict_next_with_mask(self._history)
+            with TRACER.child_span("pool.eval"):
+                values, health = self.pool.predict_next_with_mask(
+                    self._history
+                )
             return self.forecast_step(values, mask=health)
 
     def begin_observe(self, y: float) -> None:

@@ -49,7 +49,7 @@ from repro.exceptions import (
     SessionNotFoundError,
     WorkerCrashedError,
 )
-from repro.obs import get_logger
+from repro.obs import OBS, TRACER, TraceContext, get_logger
 from repro.runtime import Deadline
 
 _LOG = get_logger("serving.shard")
@@ -138,6 +138,24 @@ def _handle(service, msg: Dict[str, Any]) -> Dict[str, Any]:
     deadline = (
         Deadline.at(float(expires_at)) if expires_at is not None else None
     )
+    ctx = (
+        TraceContext.from_wire(msg.get("trace"))
+        if TRACER.enabled else None
+    )
+    if ctx is not None:
+        # Re-root the supervisor's trace in this process: everything the
+        # service records below nests under one ``worker.handle`` span.
+        with TRACER.span("worker.handle", parent=ctx, op=msg.get("op")):
+            return _dispatch(service, msg, request_id, deadline)
+    return _dispatch(service, msg, request_id, deadline)
+
+
+def _dispatch(
+    service,
+    msg: Dict[str, Any],
+    request_id,
+    deadline: Optional[Deadline],
+) -> Dict[str, Any]:
     try:
         if deadline is not None and deadline.expired():
             # Shed before touching the service: the client (or the
@@ -171,6 +189,8 @@ def _handle(service, msg: Dict[str, Any]) -> Dict[str, Any]:
             result = service.health()
         elif op == "stats":
             result = service.stats()
+        elif op == "metrics":
+            result = service.metrics_snapshot()
         elif op == "ping":
             result = {"pong": True}
         else:
@@ -190,6 +210,18 @@ def worker_main(shard_index: int, conn, heartbeat, bundle, config) -> None:
     # down workers mid-request before the parent has drained them.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     from repro.serving.service import ForecastService
+
+    trace_dir = getattr(config, "trace_dir", None)
+    if trace_dir:
+        # Each incarnation writes its own file (the name embeds the
+        # pid), so a failover never interleaves two workers' spans.
+        TRACER.enable(trace_dir, f"shard-{shard_index}")
+    if getattr(config, "worker_telemetry", False) and not OBS.enabled:
+        # Registry-only session (no sinks): counters/histograms for the
+        # supervisor's merged /metrics without any file I/O here.
+        from repro.obs import TelemetryConfig, configure
+
+        configure(TelemetryConfig(enabled=True))
 
     service = ForecastService(bundle, config)
     stop = threading.Event()
@@ -248,3 +280,6 @@ def worker_main(shard_index: int, conn, heartbeat, bundle, config) -> None:
         stop.set()
         pool.shutdown(wait=False)
         service.shutdown()
+        # multiprocessing children exit via os._exit (no atexit), so the
+        # tracer's drop-count meta line must be flushed here.
+        TRACER.disable()

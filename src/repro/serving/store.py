@@ -55,6 +55,8 @@ from repro.exceptions import (
     SessionNotFoundError,
 )
 from repro.obs import OBS, get_logger
+from repro.obs.registry import FAST_BUCKETS
+from repro.obs.trace import TRACER
 from repro.persistence import (
     atomic_write_bytes,
     load_npz_bytes,
@@ -150,6 +152,10 @@ class SessionStore:
         self._spilled: set = set()
         self._degraded: Dict[str, DegradedSession] = {}
         self._lock = threading.Lock()
+        #: Optional callable ``(session_id) -> None`` invoked after each
+        #: successful spill restore — the service points it at the
+        #: tenant accountant so restores are attributed per tenant.
+        self.restore_listener = None
         self.evictions = 0
         self.restores = 0
         self.corruptions = 0
@@ -258,7 +264,8 @@ class SessionStore:
         if victim_id is None:
             return False
         session = self._sessions.pop(victim_id)
-        self._save_snapshot(victim_id, session)
+        with TRACER.child_span("store.spill", session=victim_id):
+            self._save_snapshot(victim_id, session)
         self._spilled.add(victim_id)
         self.evictions += 1
         if OBS.enabled:
@@ -269,6 +276,10 @@ class SessionStore:
         return True
 
     def _restore_locked(self, session_id: str) -> SeriesSession:
+        with TRACER.child_span("store.restore", session=session_id):
+            return self._restore_inner_locked(session_id)
+
+    def _restore_inner_locked(self, session_id: str) -> SeriesSession:
         t0 = time.perf_counter()
         try:
             snapshot = None
@@ -325,9 +336,14 @@ class SessionStore:
         self._restore_times.append(elapsed)
         if OBS.enabled:
             OBS.registry.counter("repro_serving_restores_total").inc()
+            # Sub-ms ladder: post-PR 7 restores cluster around 0.85 ms,
+            # one bucket wide on the default grid.
             OBS.registry.histogram(
-                "repro_serving_restore_seconds"
+                "repro_serving_restore_seconds", buckets=FAST_BUCKETS
             ).observe(elapsed)
+        if self.restore_listener is not None:
+            # Accountant hook — takes only its own lock, never ours.
+            self.restore_listener(session_id)
         _LOG.debug(
             "restored session %s at step %d", session_id, snapshot.step
         )
@@ -418,7 +434,8 @@ class SessionStore:
             session = self._sessions.get(session_id)
         if session is None:
             return False
-        self._save_snapshot(session_id, session)
+        with TRACER.child_span("store.checkpoint", session=session_id):
+            self._save_snapshot(session_id, session)
         return True
 
     # ------------------------------------------------------------------

@@ -56,7 +56,13 @@ from repro.exceptions import (
     SessionNotFoundError,
     WorkerCrashedError,
 )
-from repro.obs import OBS, get_logger
+from repro.obs import (
+    OBS,
+    TRACER,
+    get_logger,
+    merge_snapshots,
+    render_prom_snapshot,
+)
 from repro.runtime import (
     BreakerState,
     CircuitBreaker,
@@ -67,6 +73,7 @@ from repro.runtime import (
 from repro.serving.service import ForecastService, ServiceConfig
 from repro.serving.shard import decode_error, worker_main
 from repro.serving.store import validate_session_id
+from repro.serving.tenantstats import TenantAccountant
 
 _LOG = get_logger("serving.supervisor")
 
@@ -186,6 +193,12 @@ class ShardSupervisor:
         )
         self.retry_policy.validate()
         self.heartbeat_timeout = float(heartbeat_timeout)
+        self._owns_tracer = False
+        if self.config.trace_dir and not TRACER.enabled:
+            # The supervisor process is the request frontend; workers
+            # enable their own tracers (role ``shard-<i>``) on spawn.
+            TRACER.enable(self.config.trace_dir, "frontend")
+            self._owns_tracer = True
         self._ctx = _mp_context()
         self._rng = np.random.default_rng(0xC0FFEE)
         self._request_ids = iter(range(1, 1 << 62)).__next__
@@ -216,13 +229,21 @@ class ShardSupervisor:
     def _worker_config(self, shard: _Shard) -> ServiceConfig:
         # Workers always run durable thread-executor services: the
         # ack-after-checkpoint write-through is what makes failover
-        # lossless for acknowledged observations.
+        # lossless for acknowledged observations. ``trace_dir`` rides
+        # along via ``replace``; workers get a registry-only telemetry
+        # session whenever the supervisor's is live (or tracing is on)
+        # so ``/metrics`` can merge every shard's snapshot.
         return replace(
             self.config,
             executor="thread",
             shards=0,
             durable=True,
             spill_dir=shard.spill_dir,
+            worker_telemetry=(
+                self.config.worker_telemetry
+                or OBS.enabled
+                or bool(self.config.trace_dir)
+            ),
         )
 
     def _spawn_locked(self, shard: _Shard) -> None:
@@ -375,56 +396,59 @@ class ShardSupervisor:
         self, shard: _Shard, op: str, args: Dict[str, Any], dl: Deadline
     ) -> Any:
         """One attempt against one shard; raises typed errors."""
-        request_id = self._next_id()
-        future: Future = Future()
-        with shard.lock:
-            if not shard.alive:
-                if shard.breaker.state is BreakerState.OPEN:
-                    raise ServiceUnavailableError(
-                        f"shard {shard.index} is crash-looping; its "
-                        "restart breaker is open — retry later"
-                    )
-                raise WorkerCrashedError(
-                    shard.index, "worker is down (restarting)"
-                )
-            shard.pending[request_id] = future
-            try:
-                shard.conn.send(
-                    {
-                        "id": request_id,
-                        "op": op,
-                        "args": args,
-                        "expires_at": (
-                            None if dl.unbounded else dl.expires_at
-                        ),
-                    }
-                )
-            except (OSError, BrokenPipeError) as err:
-                shard.pending.pop(request_id, None)
-                raise WorkerCrashedError(
-                    shard.index, f"send failed: {err}"
-                ) from None
-        timeout = (
-            self.config.deadline * 4
-            if dl.unbounded
-            else max(0.0, dl.remaining()) + self.config.deadline
-        )
-        try:
-            payload = future.result(timeout=timeout)
-        except FutureTimeoutError:
+        span = TRACER.child_span("rpc.shard", shard=shard.index, op=op)
+        with span:
+            request_id = self._next_id()
+            future: Future = Future()
+            envelope = {
+                "id": request_id,
+                "op": op,
+                "args": args,
+                "expires_at": None if dl.unbounded else dl.expires_at,
+            }
+            if span.ctx is not None:
+                # The worker parents its ``worker.handle`` span here, so
+                # the assembled trace crosses the process boundary.
+                envelope["trace"] = span.ctx.to_wire()
             with shard.lock:
-                shard.pending.pop(request_id, None)
-            raise ServiceUnavailableError(
-                f"shard {shard.index} did not answer within the "
-                "deadline grace period"
-            ) from None
-        if payload is None:
-            raise WorkerCrashedError(
-                shard.index, "worker died with this request in flight"
+                if not shard.alive:
+                    if shard.breaker.state is BreakerState.OPEN:
+                        raise ServiceUnavailableError(
+                            f"shard {shard.index} is crash-looping; its "
+                            "restart breaker is open — retry later"
+                        )
+                    raise WorkerCrashedError(
+                        shard.index, "worker is down (restarting)"
+                    )
+                shard.pending[request_id] = future
+                try:
+                    shard.conn.send(envelope)
+                except (OSError, BrokenPipeError) as err:
+                    shard.pending.pop(request_id, None)
+                    raise WorkerCrashedError(
+                        shard.index, f"send failed: {err}"
+                    ) from None
+            timeout = (
+                self.config.deadline * 4
+                if dl.unbounded
+                else max(0.0, dl.remaining()) + self.config.deadline
             )
-        if payload.get("ok"):
-            return payload["result"]
-        raise decode_error(payload)
+            try:
+                payload = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                with shard.lock:
+                    shard.pending.pop(request_id, None)
+                raise ServiceUnavailableError(
+                    f"shard {shard.index} did not answer within the "
+                    "deadline grace period"
+                ) from None
+            if payload is None:
+                raise WorkerCrashedError(
+                    shard.index, "worker died with this request in flight"
+                )
+            if payload.get("ok"):
+                return payload["result"]
+            raise decode_error(payload)
 
     def _request(
         self,
@@ -446,18 +470,24 @@ class ShardSupervisor:
         def attempt():
             return self._call_shard(shard, op, args, dl)
 
-        if not idempotent:
-            return attempt()
-        return self.retry_policy.call(
-            attempt,
-            retry_on=(WorkerCrashedError,),
-            deadline=dl,
-            rng=self._rng,
-            on_retry=lambda n, err: _LOG.warning(
-                "retrying %s on shard %d (attempt %d): %s",
-                op, shard.index, n + 1, err,
-            ),
-        )
+        def run():
+            if not idempotent:
+                return attempt()
+            return self.retry_policy.call(
+                attempt,
+                retry_on=(WorkerCrashedError,),
+                deadline=dl,
+                rng=self._rng,
+                on_retry=lambda n, err: _LOG.warning(
+                    "retrying %s on shard %d (attempt %d): %s",
+                    op, shard.index, n + 1, err,
+                ),
+            )
+
+        # ``child_span`` keeps direct (non-HTTP) calls traceless rather
+        # than minting orphan single-request traces.
+        with TRACER.child_span(f"service.{op}", session=session_id):
+            return run()
 
     # ------------------------------------------------------------------
     # ForecastService-parity operations
@@ -558,19 +588,37 @@ class ShardSupervisor:
     def health(self) -> Dict[str, Any]:
         shards = []
         up = 0
+        now = time.monotonic()
         for shard in self._shards:
             with shard.lock:
                 alive = shard.alive
-                breaker = shard.breaker.state.value
+                breaker_state = shard.breaker.state
                 generation = shard.generation
+                stable = shard.stable
+                heartbeat = (
+                    shard.heartbeat.value
+                    if shard.heartbeat is not None else None
+                )
             if alive:
                 up += 1
+                state = "alive"
+            elif breaker_state is BreakerState.OPEN:
+                state = "breaker_open"
+            else:
+                state = "restarting"
             shards.append(
                 {
                     "shard": shard.index,
                     "alive": alive,
+                    "state": state,
+                    "stable": stable,
                     "generation": generation,
-                    "breaker": breaker,
+                    "breaker": breaker_state.value,
+                    "heartbeat_age_seconds": (
+                        round(max(0.0, now - heartbeat), 3)
+                        if alive and heartbeat is not None
+                        else None
+                    ),
                 }
             )
         if self._shutting_down.is_set():
@@ -600,12 +648,44 @@ class ShardSupervisor:
                 )
             except Exception as err:  # noqa: BLE001 - stats best-effort
                 per_shard[str(shard.index)] = {"error": str(err)}
+        # Shards partition tenants by the hash ring, so the fleet-wide
+        # per-tenant view is a bounded merge of per-shard snapshots.
+        tenants = TenantAccountant.merge(
+            [
+                shard_stats.get("tenants", {})
+                for shard_stats in per_shard.values()
+                if isinstance(shard_stats, dict)
+            ]
+        )
         return {
             "shards": per_shard,
+            "tenants": tenants,
             "restarts": self.restarts,
             "n_shards": self.n_shards,
             "uptime_seconds": round(time.time() - self._started_at, 3),
         }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Fleet-wide registry snapshot: supervisor + every live shard.
+
+        Best-effort per shard — a dead or slow worker contributes
+        nothing rather than failing the scrape.
+        """
+        snapshots = [OBS.registry.snapshot()]
+        for shard in self._shards:
+            try:
+                snapshot = self._call_shard(
+                    shard, "metrics", {}, Deadline.from_budget(1.0)
+                )
+            except Exception:  # noqa: BLE001 - scrape best-effort
+                continue
+            if isinstance(snapshot, dict):
+                snapshots.append(snapshot)
+        return merge_snapshots(snapshots)
+
+    def metrics_text(self) -> str:
+        """Prometheus text of the merged cross-worker snapshot."""
+        return render_prom_snapshot(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     def shutdown(self) -> Dict[str, Any]:
@@ -660,6 +740,8 @@ class ShardSupervisor:
         if OBS.enabled:
             OBS.emit("supervisor_shutdown", **summary)
             OBS.flush()
+        if self._owns_tracer:
+            TRACER.disable()
         return summary
 
 

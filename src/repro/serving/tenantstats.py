@@ -1,0 +1,242 @@
+"""Bounded-cardinality per-tenant accounting for the serving runtime.
+
+Millions of sessions cannot each own a Prometheus label set or an
+unbounded stats row, so :class:`TenantAccountant` keeps exact per-tenant
+tallies for at most :data:`MAX_TRACKED_TENANTS` tenants and folds
+everything past the cap into one aggregate ``_overflow`` row — totals
+stay exact, only per-tenant resolution degrades, and the cardinality of
+``/stats`` (and anything derived from it) is bounded by construction.
+
+Per tracked tenant: request / error / degraded-serve counts, drift
+events and drift-triggered policy updates (the Alg. 1 signals the
+drift-scenario roadmap item needs per tenant), spill restores, and a
+fixed-size latency reservoir giving p50/p95/max. ``snapshot(top=K)``
+returns the top-K tenants by request count; :meth:`merge` combines
+snapshots from shard workers (tenants are partitioned across shards by
+the consistent-hash ring, so cross-shard rows never collide — the merge
+is a concatenate + re-rank, with overflow rows summed).
+
+The accountant is always on (it is plain dict arithmetic, far below the
+request path's noise floor) and never feeds a value back into a
+computation, preserving the serving path's bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Exactly-tracked tenant bound; the rest share one aggregate row.
+MAX_TRACKED_TENANTS = 256
+
+#: Latency observations retained per tenant (ring buffer).
+LATENCY_WINDOW = 128
+
+#: Row key for everything past the cap (mirrors the registry's
+#: overflow label value).
+OVERFLOW_KEY = "_overflow"
+
+#: Default number of rows a snapshot exposes.
+DEFAULT_TOP_K = 10
+
+
+class _TenantSlot:
+    __slots__ = (
+        "requests", "errors", "degraded", "drift_events",
+        "policy_updates", "restores", "latencies", "_next",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.degraded = 0
+        self.drift_events = 0
+        self.policy_updates = 0
+        self.restores = 0
+        self.latencies: List[float] = []
+        self._next = 0
+
+    def observe_latency(self, seconds: float) -> None:
+        if len(self.latencies) < LATENCY_WINDOW:
+            self.latencies.append(seconds)
+        else:
+            self.latencies[self._next] = seconds
+            self._next = (self._next + 1) % LATENCY_WINDOW
+
+    def row(self, tenant: str) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "tenant": tenant,
+            "requests": self.requests,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "drift_events": self.drift_events,
+            "policy_updates": self.policy_updates,
+            "restores": self.restores,
+        }
+        if self.latencies:
+            ordered = sorted(self.latencies)
+            n = len(ordered)
+            row["latency_ms"] = {
+                "p50": round(ordered[n // 2] * 1e3, 3),
+                "p95": round(ordered[min(n - 1, int(n * 0.95))] * 1e3, 3),
+                "max": round(ordered[-1] * 1e3, 3),
+                "samples": n,
+            }
+        return row
+
+
+class TenantAccountant:
+    """Thread-safe, capacity-bounded per-tenant request accounting."""
+
+    def __init__(
+        self,
+        max_tenants: int = MAX_TRACKED_TENANTS,
+        top_k: int = DEFAULT_TOP_K,
+    ) -> None:
+        self.max_tenants = int(max_tenants)
+        self.top_k = int(top_k)
+        self._slots: Dict[str, _TenantSlot] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _slot(self, tenant: str) -> _TenantSlot:
+        slot = self._slots.get(tenant)
+        if slot is None:
+            if (
+                len(self._slots) >= self.max_tenants
+                and tenant != OVERFLOW_KEY
+            ):
+                return self._slot(OVERFLOW_KEY)
+            slot = _TenantSlot()
+            self._slots[tenant] = slot
+        return slot
+
+    def record(
+        self,
+        tenant: str,
+        op: str,
+        seconds: float,
+        response: Optional[Mapping[str, Any]] = None,
+        error: bool = False,
+    ) -> None:
+        """Account one finished request for ``tenant``.
+
+        ``response`` is the (ok) service response dict — its ``drift``,
+        ``policy_update``, and ``degraded`` fields feed the per-tenant
+        signals; ``error=True`` counts a failed request instead.
+        """
+        with self._lock:
+            slot = self._slot(str(tenant))
+            slot.requests += 1
+            slot.observe_latency(float(seconds))
+            if error:
+                slot.errors += 1
+                return
+            if response:
+                if response.get("degraded"):
+                    slot.degraded += 1
+                if op == "observe":
+                    if response.get("drift"):
+                        slot.drift_events += 1
+                    if response.get("policy_update"):
+                        slot.policy_updates += 1
+
+    def record_restore(self, tenant: str) -> None:
+        """Attribute one spill restore (store hook; no latency sample)."""
+        with self._lock:
+            self._slot(str(tenant)).restores += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self, top: Optional[int] = None) -> Dict[str, Any]:
+        """Totals plus the top-K tenants by request count.
+
+        The overflow row (if any) always rides along regardless of its
+        rank so capped-out traffic stays visible.
+        """
+        k = self.top_k if top is None else int(top)
+        with self._lock:
+            rows = [
+                slot.row(tenant) for tenant, slot in self._slots.items()
+            ]
+            tracked = len(self._slots)
+        overflow = [r for r in rows if r["tenant"] == OVERFLOW_KEY]
+        ranked = sorted(
+            (r for r in rows if r["tenant"] != OVERFLOW_KEY),
+            key=lambda r: (-r["requests"], r["tenant"]),
+        )
+        return {
+            "tracked": tracked,
+            "cap": self.max_tenants,
+            "totals": _totals(rows),
+            "top": ranked[:k] + overflow,
+        }
+
+    @staticmethod
+    def merge(
+        snapshots: List[Dict[str, Any]], top: int = DEFAULT_TOP_K
+    ) -> Dict[str, Any]:
+        """Combine per-shard snapshots into one fleet-wide view.
+
+        Shards partition tenants, so same-tenant rows across shards only
+        occur for the overflow bucket — those sum; everything else is
+        re-ranked. Latency quantiles keep the per-shard resolution of
+        the busiest shard for a tenant (they cannot be merged exactly
+        from quantiles, and a tenant lives on exactly one shard anyway).
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        totals = {
+            "requests": 0, "errors": 0, "degraded": 0,
+            "drift_events": 0, "policy_updates": 0, "restores": 0,
+        }
+        tracked = 0
+        cap = 0
+        for snapshot in snapshots:
+            if not snapshot:
+                continue
+            tracked += snapshot.get("tracked", 0)
+            cap = max(cap, snapshot.get("cap", 0))
+            for field in totals:
+                # Shard totals cover *all* its tenants, not just the
+                # top-K rows it shipped — sum those, not the rows.
+                totals[field] += snapshot.get("totals", {}).get(field, 0)
+            for row in snapshot.get("top", []):
+                tenant = row["tenant"]
+                slot = merged.get(tenant)
+                if slot is None:
+                    merged[tenant] = dict(row)
+                    continue
+                for field in (
+                    "requests", "errors", "degraded", "drift_events",
+                    "policy_updates", "restores",
+                ):
+                    slot[field] = slot.get(field, 0) + row.get(field, 0)
+                theirs = row.get("latency_ms")
+                ours = slot.get("latency_ms")
+                if theirs and (
+                    not ours
+                    or theirs.get("samples", 0) > ours.get("samples", 0)
+                ):
+                    slot["latency_ms"] = theirs
+        rows = list(merged.values())
+        overflow = [r for r in rows if r["tenant"] == OVERFLOW_KEY]
+        ranked = sorted(
+            (r for r in rows if r["tenant"] != OVERFLOW_KEY),
+            key=lambda r: (-r["requests"], r["tenant"]),
+        )
+        return {
+            "tracked": tracked,
+            "cap": cap,
+            "totals": totals,
+            "top": ranked[:top] + overflow,
+        }
+
+
+def _totals(rows: List[Dict[str, Any]]) -> Dict[str, int]:
+    totals = {
+        "requests": 0, "errors": 0, "degraded": 0,
+        "drift_events": 0, "policy_updates": 0, "restores": 0,
+    }
+    for row in rows:
+        for field in totals:
+            totals[field] += row.get(field, 0)
+    return totals

@@ -8,7 +8,16 @@ import threading
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, render_prom_text
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    FAST_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prom_snapshot,
+    render_prom_text,
+    sanitize_metric_name,
+)
+from repro.obs.registry import OVERFLOW_LABEL_VALUE
 
 
 class TestInstruments:
@@ -140,3 +149,120 @@ class TestPromText:
 
     def test_empty_registry_renders_empty(self):
         assert render_prom_text(MetricsRegistry()) == ""
+
+
+class TestNameSanitization:
+    def test_legal_names_pass_through_unchanged(self):
+        assert sanitize_metric_name("repro_x_total") == "repro_x_total"
+        assert sanitize_metric_name("ns:sub_total") == "ns:sub_total"
+
+    def test_illegal_characters_become_underscores(self):
+        assert (
+            sanitize_metric_name("repro.latency-ms[p95]")
+            == "repro_latency_ms_p95_"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("") == "_"
+
+    def test_registry_applies_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.bad name").inc()
+        text = render_prom_text(registry)
+        assert "repro_bad_name 1.0" in text
+
+
+class TestBoundedCardinality:
+    def test_label_sets_past_cap_collapse_to_overflow(self):
+        registry = MetricsRegistry(max_series_per_metric=3)
+        for i in range(10):
+            registry.counter(
+                "repro_req_total", {"tenant": f"t{i}"}
+            ).inc()
+        snapshot = registry.snapshot()
+        rows = [
+            r for r in snapshot["counters"]
+            if r["name"] == "repro_req_total"
+        ]
+        # 3 exact series + one shared overflow series holding the rest.
+        assert len(rows) == 4
+        overflow = [
+            r for r in rows
+            if r["labels"].get("tenant") == OVERFLOW_LABEL_VALUE
+        ]
+        assert overflow[0]["value"] == 7.0
+        assert registry.overflow_series["repro_req_total"] == 7
+
+    def test_unlabelled_series_never_capped(self):
+        registry = MetricsRegistry(max_series_per_metric=1)
+        registry.counter("repro_a_total", {"k": "v"}).inc()
+        registry.counter("repro_b_total").inc()
+        assert registry.overflow_series == {}
+
+    def test_fast_buckets_resolve_sub_ms(self):
+        assert FAST_BUCKETS[0] < 0.0001
+        assert sum(1 for b in FAST_BUCKETS if b <= 0.001) >= 8
+        assert list(FAST_BUCKETS) == sorted(FAST_BUCKETS)
+        hist = MetricsRegistry().histogram(
+            "repro_fast_seconds", buckets=FAST_BUCKETS
+        )
+        for _ in range(100):
+            hist.observe(0.00085)  # a typical sub-ms restore
+        p95 = hist.summary()["p95"]
+        # DEFAULT_BUCKETS would report the 5ms-bucket midpoint here.
+        assert 0.0008 <= p95 <= 0.0015
+
+
+class TestSnapshotMerging:
+    def _worker_snapshot(self, inc, values):
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", {"op": "observe"}).inc(inc)
+        registry.gauge("repro_fill").set(inc)
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        for value in values:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_counters_sum_and_gauges_sum(self):
+        merged = merge_snapshots([
+            self._worker_snapshot(2, [0.05]),
+            self._worker_snapshot(3, [0.5]),
+        ])
+        (counter,) = merged["counters"]
+        assert counter["value"] == 5.0
+        (gauge,) = merged["gauges"]
+        assert gauge["value"] == 5.0
+
+    def test_histograms_merge_exactly_on_matching_grids(self):
+        merged = merge_snapshots([
+            self._worker_snapshot(1, [0.05, 0.05]),
+            self._worker_snapshot(1, [0.5]),
+        ])
+        (hist,) = merged["histograms"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.6)
+        assert hist["bucket_counts"][0] == 2
+        assert hist["bucket_counts"][1] == 1
+
+    def test_render_prom_snapshot_matches_live_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", {"op": "observe"}).inc(4)
+        registry.histogram(
+            "repro_lat_seconds", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        live = render_prom_text(registry)
+        from_snapshot = render_prom_snapshot(registry.snapshot())
+        # Section ordering may differ; every exposition line must match.
+        assert set(from_snapshot.splitlines()) == set(live.splitlines())
+
+    def test_merged_snapshot_renders_cumulative_buckets(self):
+        merged = merge_snapshots([
+            self._worker_snapshot(1, [0.05]),
+            self._worker_snapshot(1, [0.5]),
+        ])
+        text = render_prom_snapshot(merged)
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_seconds_count 2" in text

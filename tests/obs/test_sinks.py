@@ -67,6 +67,21 @@ class TestPromTextSink:
         assert "repro_steps_total 2.0" in text
         assert text.count("# TYPE repro_steps_total") == 1
 
+    def test_label_values_escaped_in_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_x_total", {"member": 'quo"te\\slash\nnewline'}
+        ).inc()
+        sink = PromTextSink(str(path))
+        sink.write_metrics(registry)
+        sink.close()
+        text = path.read_text()
+        # Exposition-format escapes: \" for quotes, \\ for backslashes,
+        # \n for newlines — one metric line, no raw newline in a value.
+        assert r'member="quo\"te\\slash\nnewline"' in text
+        assert len([l for l in text.splitlines() if "repro_x_total{" in l]) == 1
+
 
 class TestMemorySink:
     def test_captures_events_and_snapshots(self):

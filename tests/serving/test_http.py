@@ -282,3 +282,52 @@ class TestShutdownTelemetry:
                 _json(server, "GET", "/healthz")
         finally:
             OBS.shutdown()
+
+
+class TestTracing:
+    def test_trace_ids_minted_adopted_and_written(
+        self, bundle, series, tmp_path
+    ):
+        from repro.obs import assemble_trace_dir
+
+        trace_dir = tmp_path / "traces"
+        service = ForecastService(
+            bundle,
+            ServiceConfig(
+                max_sessions=8,
+                spill_dir=str(tmp_path / "spill"),
+                trace_dir=str(trace_dir),
+            ),
+        )
+        server = ForecastHTTPServer(service, port=0).start()
+        pinned = "ab12cd34ef56ab78"
+        try:
+            status, _, headers = _request(server, "POST", "/v1/sessions", {
+                "session": "tr", "history": series[:180].tolist(),
+            })
+            assert status == 201
+            minted = headers.get("X-Trace-Id")
+            assert minted and len(minted) == 16
+            status, _, headers = _request(
+                server, "POST", "/v1/sessions/tr/observe",
+                {"y": float(series[180])},
+                headers={"X-Trace-Id": pinned},
+            )
+            assert status == 200
+            assert headers.get("X-Trace-Id") == pinned
+        finally:
+            server.shutdown()
+        assembler = assemble_trace_dir(trace_dir)
+        pinned_trace = assembler.trace(pinned)
+        assert pinned_trace is not None
+        assert pinned_trace.root.name == "http.request"
+        names = {s.name for s in pinned_trace.spans}
+        assert "service.observe" in names
+        assert pinned_trace.coverage() > 0.9
+
+    def test_untraced_service_sends_no_trace_header(self, server, series):
+        status, _, headers = _request(server, "POST", "/v1/sessions", {
+            "session": "plain", "history": series[:180].tolist(),
+        })
+        assert status == 201
+        assert "X-Trace-Id" not in headers

@@ -1,0 +1,144 @@
+"""TenantAccountant: bounded per-tenant accounting and shard merging."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.tenantstats import (
+    LATENCY_WINDOW,
+    OVERFLOW_KEY,
+    TenantAccountant,
+)
+
+
+def _row(snapshot, tenant):
+    for row in snapshot["top"]:
+        if row["tenant"] == tenant:
+            return row
+    return None
+
+
+class TestAccounting:
+    def test_requests_latency_and_signals(self):
+        acc = TenantAccountant()
+        acc.record("t1", "observe", 0.010, response={"drift": True})
+        acc.record(
+            "t1", "observe", 0.020,
+            response={"drift": True, "policy_update": True},
+        )
+        acc.record("t1", "predict", 0.001, response={"degraded": True})
+        acc.record("t1", "observe", 0.002, error=True)
+        acc.record_restore("t1")
+        row = _row(acc.snapshot(), "t1")
+        assert row["requests"] == 4
+        assert row["errors"] == 1
+        assert row["degraded"] == 1
+        assert row["drift_events"] == 2
+        assert row["policy_updates"] == 1
+        assert row["restores"] == 1
+        assert row["latency_ms"]["samples"] == 4
+        assert row["latency_ms"]["max"] == 20.0
+
+    def test_drift_signals_only_counted_for_observe(self):
+        acc = TenantAccountant()
+        acc.record("t1", "predict", 0.001, response={"drift": True})
+        assert _row(acc.snapshot(), "t1")["drift_events"] == 0
+
+    def test_latency_ring_is_bounded(self):
+        acc = TenantAccountant()
+        for i in range(LATENCY_WINDOW * 2):
+            acc.record("t1", "observe", float(i))
+        assert (
+            _row(acc.snapshot(), "t1")["latency_ms"]["samples"]
+            == LATENCY_WINDOW
+        )
+
+    def test_top_k_ranked_by_requests(self):
+        acc = TenantAccountant(top_k=2)
+        for tenant, count in (("a", 1), ("b", 5), ("c", 3)):
+            for _ in range(count):
+                acc.record(tenant, "observe", 0.001)
+        top = acc.snapshot()["top"]
+        assert [row["tenant"] for row in top] == ["b", "c"]
+        assert acc.snapshot(top=3)["totals"]["requests"] == 9
+
+    def test_cardinality_cap_folds_into_overflow(self):
+        acc = TenantAccountant(max_tenants=2)
+        for i in range(10):
+            acc.record(f"t{i}", "observe", 0.001)
+        snapshot = acc.snapshot(top=100)
+        assert snapshot["tracked"] <= 3  # 2 exact + the overflow row
+        overflow = _row(snapshot, OVERFLOW_KEY)
+        assert overflow["requests"] == 8
+        # Totals stay exact even past the cap.
+        assert snapshot["totals"]["requests"] == 10
+
+    def test_overflow_row_always_visible(self):
+        acc = TenantAccountant(max_tenants=1, top_k=1)
+        for _ in range(5):
+            acc.record("busy", "observe", 0.001)
+        acc.record("squeezed", "observe", 0.001)
+        top = acc.snapshot()["top"]
+        assert [row["tenant"] for row in top] == ["busy", OVERFLOW_KEY]
+
+    def test_thread_safety_totals_exact(self):
+        acc = TenantAccountant()
+
+        def work(tenant):
+            for _ in range(500):
+                acc.record(tenant, "observe", 0.001)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i % 3}",))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert acc.snapshot()["totals"]["requests"] == 3000
+
+
+class TestMerge:
+    def _shard(self, tenants):
+        acc = TenantAccountant()
+        for tenant, count in tenants.items():
+            for _ in range(count):
+                acc.record(tenant, "observe", 0.001)
+        return acc.snapshot()
+
+    def test_merge_sums_totals_and_reranks(self):
+        merged = TenantAccountant.merge([
+            self._shard({"a": 5, "b": 1}),
+            self._shard({"c": 3}),
+        ])
+        assert merged["totals"]["requests"] == 9
+        assert [row["tenant"] for row in merged["top"]] == ["a", "c", "b"]
+
+    def test_merge_totals_cover_below_topk_tenants(self):
+        # A shard ships only its top-K rows, but its totals cover every
+        # tenant — the merge must use the totals, not re-sum the rows.
+        shard = TenantAccountant(top_k=1)
+        for tenant, count in (("a", 5), ("hidden", 2)):
+            for _ in range(count):
+                shard.record(tenant, "observe", 0.001)
+        merged = TenantAccountant.merge([shard.snapshot()])
+        assert merged["totals"]["requests"] == 7
+
+    def test_merge_sums_overflow_rows(self):
+        def capped():
+            acc = TenantAccountant(max_tenants=1)
+            acc.record("pinned", "observe", 0.001)
+            acc.record("extra", "observe", 0.001)
+            return acc.snapshot()
+
+        merged = TenantAccountant.merge([capped(), capped()])
+        overflow = [
+            row for row in merged["top"]
+            if row["tenant"] == OVERFLOW_KEY
+        ]
+        assert overflow[0]["requests"] == 2
+
+    def test_merge_tolerates_empty_and_error_snapshots(self):
+        merged = TenantAccountant.merge([{}, self._shard({"a": 1})])
+        assert merged["totals"]["requests"] == 1
