@@ -148,6 +148,69 @@ def run_load(service, series, *, sessions: int, steps: int) -> dict:
     }
 
 
+def profile_gil_ceiling(
+    bundle,
+    series,
+    *,
+    sessions: int = 1000,
+    steps: int = 2,
+    shard_counts: tuple = (2, 4, 8),
+    max_resident: int = 256,
+) -> dict:
+    """Reported-only: in-process GIL ceiling vs supervised shard fleets.
+
+    Drives the same short 1k-tenant burst against one in-process
+    service (every forecast competes for one GIL) and against fleets of
+    2/4/8 shard *processes*. The speedup column quantifies how much
+    single-process throughput the GIL caps and how the supervised
+    runtime scales it back; never gated, since absolute numbers are
+    machine-dependent.
+    """
+    from repro.serving import make_service
+
+    runs = []
+    for shards in (0,) + tuple(shard_counts):
+        service = make_service(bundle, ServiceConfig(
+            executor="process" if shards else "thread",
+            shards=shards,
+            max_sessions=max_resident,
+            spill_dir=tempfile.mkdtemp(prefix="bench-serving-gil-"),
+            queue_limit=max(512, 4 * sessions),
+            deadline=120.0,
+            batch_wait=0.002,
+            batch_size=32,
+        ))
+        try:
+            stats = run_load(
+                service, series, sessions=sessions, steps=steps
+            )
+        finally:
+            service.shutdown()
+        runs.append({
+            "shards": shards,
+            "runtime": "supervised" if shards else "in-process",
+            "throughput_rps": stats["throughput_rps"],
+            "requests_completed": stats["requests_completed"],
+            "requests_failed": stats["requests_failed"],
+            "latency_ms": stats["latency_ms"],
+        })
+        label = f"{shards} shard(s)" if shards else "in-process"
+        print(f"gil ceiling [{label:>10}]: "
+              f"{stats['throughput_rps']:8.1f} req/s   "
+              f"failed={stats['requests_failed']}")
+    baseline = runs[0]["throughput_rps"] or 1.0
+    for run in runs:
+        run["speedup_vs_in_process"] = run["throughput_rps"] / baseline
+    return {
+        "sessions": sessions,
+        "steps": steps,
+        "runs": runs,
+        "best_speedup": max(
+            run["speedup_vs_in_process"] for run in runs
+        ),
+    }
+
+
 def check_spill_bit_identity(bundle, series, *, steps: int) -> dict:
     """Acceptance: evicted-then-restored == always-resident, exactly."""
     resident = bundle.create_session("twin", series[:200])
@@ -467,9 +530,14 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: small fleet, the >=100-"
                         "session gate is not enforced")
-    parser.add_argument("--profile", action="store_true",
-                        help="also run a 1000-session short-burst "
-                        "profile phase (reported, not gated)")
+    parser.add_argument("--profile", nargs="?", const="1k", default=None,
+                        choices=["1k", "gil_ceiling"],
+                        help="extra reported-only profile phase: '1k' "
+                        "(default when the flag is bare) runs a 1000-"
+                        "session short burst in-process; 'gil_ceiling' "
+                        "runs that burst against 1 in-process service "
+                        "vs 2/4/8 shard processes to measure how much "
+                        "throughput the GIL caps")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
@@ -516,7 +584,16 @@ def main(argv=None) -> int:
           f"(clean={clean_shutdown})")
 
     profile_1k = None
-    if args.profile:
+    gil_ceiling = None
+    if args.profile == "gil_ceiling":
+        gil_ceiling = profile_gil_ceiling(
+            bundle, series,
+            sessions=200 if args.quick else 1000,
+            steps=2,
+            shard_counts=(2, 4) if args.quick else (2, 4, 8),
+            max_resident=max(args.max_resident, 256),
+        )
+    elif args.profile == "1k":
         # Short-burst fleet profile: how does admission + spill churn
         # behave at ~8x the gated tenant count? Reported, never gated.
         profile_sessions, profile_steps = 1000, 3
@@ -595,6 +672,8 @@ def main(argv=None) -> int:
     }
     if profile_1k is not None:
         result["profile_1k"] = profile_1k
+    if gil_ceiling is not None:
+        result["profile_gil_ceiling"] = gil_ceiling
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.output}")
 

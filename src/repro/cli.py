@@ -253,6 +253,16 @@ def cmd_serve(args) -> int:
         mode=args.session_mode,
         interval=args.session_interval,
     )
+    autoscale = str(args.shards).strip().lower() == "auto"
+    if autoscale:
+        shards = 0  # supervisor picks a start size inside the bounds
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            raise SystemExit(
+                f"--shards must be an integer or 'auto', got {args.shards!r}"
+            ) from None
     service = make_service(bundle, ServiceConfig(
         max_sessions=args.max_sessions,
         spill_dir=args.spill_dir,
@@ -261,8 +271,11 @@ def cmd_serve(args) -> int:
         batch_wait=args.batch_wait,
         batch_size=args.batch_size,
         n_jobs=args.jobs,
-        executor="process" if args.shards else "thread",
-        shards=args.shards,
+        executor="process" if (shards or autoscale) else "thread",
+        shards=shards,
+        autoscale=autoscale,
+        min_shards=args.min_shards,
+        max_shards=args.max_shards,
         durable=args.durable,
         trace_dir=args.trace_dir,
     ))
@@ -270,10 +283,15 @@ def cmd_serve(args) -> int:
         service, host=args.host, port=args.port
     ).start()
     host, port = server.address
-    runtime = (
-        f"{args.shards} shard worker(s)" if args.shards
-        else "in-process service"
-    )
+    if autoscale:
+        runtime = (
+            f"auto-scaling shard workers "
+            f"({args.min_shards}..{args.max_shards})"
+        )
+    elif shards:
+        runtime = f"{shards} shard worker(s)"
+    else:
+        runtime = "in-process service"
     print(f"forecast service on http://{host}:{port} [{runtime}] "
           f"(SIGINT/SIGTERM for graceful shutdown)")
     # The main thread parks on the latch; the first signal wakes it and
@@ -424,12 +442,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default drift)")
     p_serve.add_argument("--session-interval", type=int, default=25,
                          help="steps between periodic updates (default 25)")
-    p_serve.add_argument("--shards", type=int, default=0,
+    p_serve.add_argument("--shards", default="0", metavar="N|auto",
                          help="supervised shard worker processes; 0 runs "
                               "the in-process service (default 0). "
                               "Workers are crash-supervised: a killed "
                               "shard restarts and recovers its sessions "
-                              "from the spill tier")
+                              "from the spill tier. 'auto' enables "
+                              "load-adaptive scaling between --min-shards "
+                              "and --max-shards")
+    p_serve.add_argument("--min-shards", type=int, default=1,
+                         help="smallest fleet size with --shards auto "
+                              "(default 1)")
+    p_serve.add_argument("--max-shards", type=int, default=8,
+                         help="largest fleet size with --shards auto "
+                              "(default 8)")
     p_serve.add_argument("--durable", action="store_true",
                          help="acknowledge observe only after the session "
                               "checkpoint hits disk (always on inside "

@@ -20,6 +20,10 @@ process, stdlib + numpy only:
   monitoring, crash failover from the spill tier, per-shard restart
   breakers) behind the same operation surface as the in-process
   service;
+- :class:`HashRing` / :class:`Rebalancer` / :class:`ScalingController`
+  — the elastic half of the shard runtime: versioned weighted ring,
+  live resize with zero-loss session migration, and load-adaptive
+  scaling with hysteresis and a rebalance circuit breaker;
 - :class:`ForecastHTTPServer` — stdlib JSON-over-HTTP frontend
   (``repro serve``);
 - :class:`TenantAccountant` — bounded-cardinality per-tenant request
@@ -34,6 +38,16 @@ from repro.serving.batcher import MicroBatcher
 from repro.serving.bundle import ModelBundle, session_seed
 from repro.serving.http import ForecastHTTPServer
 from repro.serving.lifecycle import GracefulShutdown
+from repro.serving.rebalance import (
+    Migration,
+    MigrationReport,
+    Rebalancer,
+    ScalingConfig,
+    ScalingController,
+    ShardLoad,
+    plan_migrations,
+)
+from repro.serving.ring import HashRing
 from repro.serving.service import ForecastService, ServiceConfig
 from repro.serving.session import SeriesSession
 from repro.serving.store import (
@@ -42,7 +56,6 @@ from repro.serving.store import (
     validate_session_id,
 )
 from repro.serving.supervisor import (
-    HashRing,
     ShardSupervisor,
     make_service,
 )
@@ -55,13 +68,20 @@ __all__ = [
     "GracefulShutdown",
     "HashRing",
     "MicroBatcher",
+    "Migration",
+    "MigrationReport",
     "ModelBundle",
+    "Rebalancer",
+    "ScalingConfig",
+    "ScalingController",
     "SeriesSession",
     "ServiceConfig",
     "SessionStore",
+    "ShardLoad",
     "ShardSupervisor",
     "TenantAccountant",
     "make_service",
+    "plan_migrations",
     "session_seed",
     "validate_session_id",
 ]

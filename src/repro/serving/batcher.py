@@ -133,6 +133,10 @@ class MicroBatcher:
         self._closing = threading.Event()
         self.batches = 0
         self.shed = 0
+        # EWMA of dispatch throughput (requests/second), maintained by
+        # the collector thread; backs the Retry-After hint handed to
+        # shed clients (how long until the queue plausibly has room).
+        self._drain_rate = 0.0
         #: Grouped-dispatch tallies (plain attributes so callers can
         #: assert coalescing without the obs registry): number of
         #: stacked dispatches and total requests they carried.
@@ -189,7 +193,8 @@ class MicroBatcher:
                     "repro_serving_shed_total", {"reason": "queue_full"}
                 ).inc()
             raise ServiceOverloadedError(
-                self._queue.qsize(), self.queue_limit
+                self._queue.qsize(), self.queue_limit,
+                retry_after=self.retry_after_hint(),
             ) from None
         if OBS.enabled:
             OBS.registry.gauge("repro_serving_queue_depth").set(
@@ -298,11 +303,18 @@ class MicroBatcher:
                     else:
                         request.future.set_result(result)
 
+        t0 = time.monotonic()
         if batch_span is not None:
             with batch_span:
                 execute()
         else:
             execute()
+        elapsed = max(1e-6, time.monotonic() - t0)
+        instant = len(live) / elapsed
+        self._drain_rate = (
+            instant if self._drain_rate == 0.0
+            else 0.3 * instant + 0.7 * self._drain_rate
+        )
 
     def _dispatch_grouped(self, grouped: list) -> None:
         """Run payload-carrying requests through the group handler.
@@ -376,3 +388,20 @@ class MicroBatcher:
     @property
     def depth(self) -> int:
         return self._queue.qsize()
+
+    @property
+    def drain_rate(self) -> float:
+        """Smoothed dispatch throughput, requests per second."""
+        return self._drain_rate
+
+    def retry_after_hint(self) -> float:
+        """Suggested client back-off (seconds) after a 429.
+
+        Queue depth over the smoothed drain rate — roughly when the
+        queue will have room again — clamped to [0.05 s, 5 s]. Before
+        any batch has completed (no rate yet), the floor applies.
+        """
+        rate = self._drain_rate
+        if rate <= 0.0:
+            return 0.05
+        return min(5.0, max(0.05, self._queue.qsize() / rate))

@@ -140,6 +140,9 @@ class ServiceConfig:
     executor: str = "thread"
     n_jobs: Optional[int] = None
     shards: int = 0
+    autoscale: bool = False
+    min_shards: int = 1
+    max_shards: int = 8
     durable: bool = False
     degraded_mode: bool = True
     breaker_threshold: int = 5
@@ -164,6 +167,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"shards must be >= 0, got {self.shards}"
             )
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ConfigurationError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"{self.min_shards}..{self.max_shards}"
+            )
         if self.breaker_threshold < 1 or self.breaker_cooldown < 1:
             raise ConfigurationError(
                 "breaker_threshold and breaker_cooldown must be >= 1"
@@ -171,7 +179,11 @@ class ServiceConfig:
 
     def wants_shards(self) -> bool:
         """Whether this config selects the supervised shard runtime."""
-        return self.executor == "process" or self.shards > 0
+        return (
+            self.executor == "process"
+            or self.shards > 0
+            or self.autoscale
+        )
 
 
 class ForecastService:
@@ -743,6 +755,30 @@ class ForecastService:
             "close", lambda: self.store.close(session_id),
             tenant=session_id,
         )
+
+    # ------------------------------------------------------------------
+    # Migration hooks (used by the shard runtime's rebalancer)
+    # ------------------------------------------------------------------
+    def release_session(
+        self, session_id: str, *, timeout: float = 5.0
+    ) -> Dict[str, Any]:
+        """Quiesce + final checkpoint; ownership passes to the caller."""
+        return self.store.release(session_id, timeout=timeout)
+
+    def adopt_session(self, session_id: str) -> bool:
+        """Register a spill directory migrated into this service's tree."""
+        return self.store.adopt(session_id)
+
+    def session_ids(self) -> List[str]:
+        """Every session this service answers for (any tier)."""
+        return self.store.session_ids()
+
+    def load_stats(self) -> Dict[str, Any]:
+        """Cheap load signals for the supervisor's scaling controller."""
+        return {
+            "queue_depth": self.batcher.depth,
+            "sessions": len(self.store),
+        }
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:

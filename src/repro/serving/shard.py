@@ -46,6 +46,7 @@ from repro.exceptions import (
     ServingError,
     SessionCorruptError,
     SessionExistsError,
+    SessionMigratingError,
     SessionNotFoundError,
     WorkerCrashedError,
 )
@@ -96,8 +97,13 @@ _DECODERS = {
     "SessionCorruptError": lambda d, x: SessionCorruptError(
         x.get("session_id", "?")
     ),
+    "SessionMigratingError": lambda d, x: SessionMigratingError(
+        x.get("session_id", "?")
+    ),
     "ServiceOverloadedError": lambda d, x: ServiceOverloadedError(
-        int(x.get("queue_depth", 0)), int(x.get("queue_limit", 0))
+        int(x.get("queue_depth", 0)),
+        int(x.get("queue_limit", 0)),
+        x.get("retry_after"),
     ),
     "DeadlineExceededError": lambda d, x: DeadlineExceededError(
         float(x.get("deadline", 0.0))
@@ -185,6 +191,16 @@ def _dispatch(
         elif op == "close":
             service.close_session(args["session_id"])
             result = {"closed": args["session_id"]}
+        elif op == "release":
+            result = service.release_session(
+                args["session_id"], timeout=args.get("timeout", 5.0)
+            )
+        elif op == "adopt":
+            result = service.adopt_session(args["session_id"])
+        elif op == "sessions":
+            result = service.session_ids()
+        elif op == "load":
+            result = service.load_stats()
         elif op == "health":
             result = service.health()
         elif op == "stats":

@@ -1,0 +1,157 @@
+"""Property tests for the versioned consistent-hash ring.
+
+These pin the three guarantees the elastic runtime leans on (see the
+module docstring of :mod:`repro.serving.ring`): balanced ownership,
+placement stability across restarts, and minimal disruption on resize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving.ring import MIN_WEIGHT, VNODES, HashRing
+
+
+def key_corpus(n: int = 4000, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    return [f"tenant-{rng.integers(0, 10**9)}-{i}" for i in range(n)]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 8, 16, 32])
+    def test_ownership_balance_across_shard_counts(self, n_shards):
+        # With 64 vnodes/shard the per-shard key share should sit near
+        # 1/n: bound the relative stddev and the worst single shard.
+        ring = HashRing(n_shards)
+        keys = key_corpus()
+        counts = np.bincount(
+            [ring.shard_for(k) for k in keys], minlength=n_shards
+        ).astype(float)
+        share = counts / len(keys)
+        expected = 1.0 / n_shards
+        rel_std = float(share.std() / expected)
+        assert rel_std < 0.40, f"relative stddev {rel_std:.3f}"
+        assert share.max() < 2.0 * expected
+        assert share.min() > 0.25 * expected
+
+    def test_every_shard_owns_vnodes(self):
+        for n in (2, 8, 32):
+            assert all(c > 0 for c in HashRing(n).vnode_counts())
+
+    def test_weight_scales_vnode_count(self):
+        ring = HashRing(4, weights=[1.0, 0.5, 2.0, 1.0])
+        counts = ring.vnode_counts()
+        assert counts[1] == round(VNODES * 0.5)
+        assert counts[2] == round(VNODES * 2.0)
+
+    def test_near_zero_weight_owns_nothing(self):
+        ring = HashRing(3, weights=[1.0, MIN_WEIGHT / 2, 1.0])
+        assert ring.vnode_counts()[1] == 0
+        keys = key_corpus(1000)
+        assert all(ring.shard_for(k) != 1 for k in keys)
+
+
+class TestStability:
+    def test_identical_config_identical_placement(self):
+        # A supervisor restart rebuilds the ring from persisted
+        # (n_shards, vnodes, weights); every session must route back to
+        # the shard whose spill subtree holds its checkpoints.
+        keys = key_corpus()
+        for n in (2, 5, 16):
+            a, b = HashRing(n), HashRing(n)
+            assert [a.shard_for(k) for k in keys] == [
+                b.shard_for(k) for k in keys
+            ]
+
+    def test_placement_independent_of_version(self):
+        keys = key_corpus(500)
+        base = HashRing(4)
+        restored = HashRing.from_dict(
+            dict(base.to_dict(), version=base.version + 7)
+        )
+        assert [base.shard_for(k) for k in keys] == [
+            restored.shard_for(k) for k in keys
+        ]
+
+    def test_round_trip_through_dict(self):
+        ring = HashRing(5, weights=[1, 0.5, 1, 2, 1], version=3)
+        clone = HashRing.from_dict(ring.to_dict())
+        assert clone.to_dict() == ring.to_dict()
+        keys = key_corpus(500)
+        assert [ring.shard_for(k) for k in keys] == [
+            clone.shard_for(k) for k in keys
+        ]
+
+
+class TestMinimalDisruption:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8, 16])
+    def test_grow_by_one_moves_about_k_over_n(self, n_shards):
+        keys = key_corpus()
+        old = HashRing(n_shards)
+        new = old.resized(n_shards + 1)
+        moved = HashRing.ownership_diff(old, new, keys)
+        bound = 1.5 * len(keys) / (n_shards + 1)
+        assert len(moved) <= bound, f"{len(moved)} moved > {bound:.0f}"
+        # Every move lands on the new shard; nothing reshuffles between
+        # surviving shards.
+        assert all(dst == n_shards for _, dst in moved.values())
+
+    @pytest.mark.parametrize("n_shards", [3, 4, 8, 16])
+    def test_shrink_by_one_moves_about_k_over_n(self, n_shards):
+        keys = key_corpus()
+        old = HashRing(n_shards)
+        new = old.resized(n_shards - 1)
+        moved = HashRing.ownership_diff(old, new, keys)
+        bound = 1.5 * len(keys) / n_shards
+        assert len(moved) <= bound
+        # Only keys leaving the removed shard move.
+        assert all(src == n_shards - 1 for src, _ in moved.values())
+
+    def test_reweight_down_only_moves_keys_off_that_shard(self):
+        keys = key_corpus()
+        old = HashRing(4)
+        new = old.reweighted(2, 0.5)
+        moved = HashRing.ownership_diff(old, new, keys)
+        assert moved, "halving a weight should shed some keys"
+        assert all(src == 2 for src, _ in moved.values())
+
+    def test_grow_then_shrink_round_trips_placement(self):
+        keys = key_corpus(1000)
+        base = HashRing(4)
+        back = base.resized(6).resized(4)
+        assert [base.shard_for(k) for k in keys] == [
+            back.shard_for(k) for k in keys
+        ]
+
+
+class TestVersioningAndValidation:
+    def test_derived_rings_bump_version(self):
+        ring = HashRing(3)
+        assert ring.resized(4).version == 1
+        assert ring.reweighted(0, 0.5).version == 1
+        assert ring.resized(4).resized(3).version == 2
+
+    def test_resize_preserves_surviving_weights(self):
+        ring = HashRing(3, weights=[1.0, 0.5, 2.0])
+        grown = ring.resized(5)
+        assert grown.weights == (1.0, 0.5, 2.0, 1.0, 1.0)
+        assert ring.resized(2).weights == (1.0, 0.5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: HashRing(0),
+            lambda: HashRing(2, 0),
+            lambda: HashRing(2, weights=[1.0]),
+            lambda: HashRing(2, weights=[1.0, -0.5]),
+            lambda: HashRing(2, weights=[0.0, 0.0]),
+            lambda: HashRing(2).resized(0),
+            lambda: HashRing(2).reweighted(5, 1.0),
+            lambda: HashRing(2).reweighted(0, -1.0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            bad()
