@@ -21,6 +21,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--length", type=int, default=400,
@@ -32,6 +34,11 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pool", choices=("small", "medium", "full"),
                         default="small", help="base-model pool preset")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--agent", default="ddpg",
+                        help="policy agent learning the ensemble weights: "
+                             "ddpg (paper default), td3, sac, or any name "
+                             "registered via repro.rl.agents (validated "
+                             "against the registry, exit 2 on unknown)")
     parser.add_argument("--executor", choices=("serial", "thread", "process"),
                         default="serial",
                         help="pool execution backend (default serial; "
@@ -100,6 +107,7 @@ def _protocol(args) -> "ProtocolConfig":
         episodes=args.episodes,
         max_iterations=args.iterations,
         seed=args.seed,
+        agent=args.agent,
         executor=args.executor,
         n_jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
@@ -146,6 +154,7 @@ def cmd_forecast(args) -> int:
         config=EADRLConfig(
             episodes=args.episodes,
             max_iterations=args.iterations,
+            agent=args.agent,
             ddpg=DDPGConfig(seed=args.seed),
             runtime_guards=guards,
             executor=args.executor,
@@ -242,6 +251,7 @@ def cmd_serve(args) -> int:
         config=EADRLConfig(
             episodes=args.episodes,
             max_iterations=args.iterations,
+            agent=args.agent,
             ddpg=DDPGConfig(seed=args.seed),
             executor=args.executor,
             n_jobs=args.jobs,
@@ -264,6 +274,7 @@ def cmd_serve(args) -> int:
                 f"--shards must be an integer or 'auto', got {args.shards!r}"
             ) from None
     service = make_service(bundle, ServiceConfig(
+        agent=args.agent,
         max_sessions=args.max_sessions,
         spill_dir=args.spill_dir,
         queue_limit=args.queue_limit,
@@ -520,6 +531,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         latch = GracefulShutdown(interrupt=True).install()
     try:
         return args.func(args)
+    except ConfigurationError as err:
+        # Bad flag combinations (e.g. --agent bogus) are usage errors:
+        # one line on stderr, conventional exit code 2, no traceback.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         signal_name = latch.signal_name if latch is not None else None
         obs.OBS.emit(

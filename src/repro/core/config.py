@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.obs import TelemetryConfig
 from repro.rl.ddpg import DDPGConfig
 from repro.runtime import CheckpointConfig, ExecutorConfig, RuntimeGuardConfig
+
+#: DDPG hyper-parameters whose meaning is agent-independent: when no
+#: explicit ``agent_config`` is given, these carry over from the nested
+#: ``ddpg`` config onto the selected agent's config dataclass (only the
+#: fields that dataclass actually declares). Algorithm-defining switches
+#: (``twin_critic``) deliberately do not carry.
+_SHARED_AGENT_FIELDS = frozenset({
+    "gamma", "actor_lr", "critic_lr", "tau", "hidden", "batch_size",
+    "buffer_capacity", "noise_sigma", "noise_decay", "noise_type",
+    "sampling", "grad_clip", "warmup_steps", "logit_scale", "seed",
+})
 
 __all__ = [
     "CheckpointConfig",
@@ -39,9 +50,21 @@ class EADRLConfig:
     reward:
         ``"rank"`` (paper Eq. 3), ``"nrmse"`` (Fig. 2a comparison), or
         ``"rank+diversity"`` (§III-B future-work ablation).
+    agent:
+        Which registered policy agent learns the ensemble weights —
+        ``"ddpg"`` (the paper's algorithm, default), ``"td3"`` or
+        ``"sac"``, or any name added via
+        :func:`repro.rl.agents.register_agent`. CLI: ``--agent``.
+    agent_config:
+        Explicit config instance for a non-DDPG agent (e.g. a
+        :class:`~repro.rl.agents.td3.TD3Config`). ``None`` derives one
+        from the nested ``ddpg`` config by carrying the shared
+        hyper-parameters over (see :meth:`resolve_agent_config`).
     ddpg:
         Nested agent hyper-parameters; ``ddpg.sampling`` selects the
-        paper's median-balanced replay (Eq. 4) vs. uniform.
+        paper's median-balanced replay (Eq. 4) vs. uniform. For
+        non-DDPG agents this still seeds the shared fields unless
+        ``agent_config`` is set.
     runtime_guards:
         When set, the base-model pool runs under the fault-tolerant
         runtime (:mod:`repro.runtime`): per-member timeout/retry guards,
@@ -85,6 +108,8 @@ class EADRLConfig:
     pool_train_fraction: float = 0.7
     reward: str = "rank"
     diversity_weight: float = 0.5
+    agent: str = "ddpg"
+    agent_config: Optional[Any] = None
     ddpg: DDPGConfig = field(default_factory=DDPGConfig)
     runtime_guards: Optional[RuntimeGuardConfig] = None
     executor: str = "serial"
@@ -120,3 +145,41 @@ class EADRLConfig:
             self.checkpoint.validate()
         ExecutorConfig(backend=self.executor, n_jobs=self.n_jobs).validate()
         self.ddpg.validate()
+        # Unknown names raise ConfigurationError listing the registry.
+        from repro.rl.agents import get_agent_spec
+
+        spec = get_agent_spec(self.agent)
+        if self.agent_config is not None:
+            if not isinstance(self.agent_config, spec.config_cls):
+                raise ConfigurationError(
+                    f"agent_config for {self.agent!r} must be a "
+                    f"{spec.config_cls.__name__}, got "
+                    f"{type(self.agent_config).__name__}"
+                )
+            self.agent_config.validate()
+
+    def resolve_agent_config(self, name: Optional[str] = None):
+        """Config object for the selected (or ``name``d) agent.
+
+        An explicit ``agent_config`` wins when its type matches; for
+        DDPG the nested ``ddpg`` config is used directly (paper path,
+        bit-identical to pre-registry behaviour). For other agents the
+        shared hyper-parameters are carried over from ``ddpg`` onto the
+        target config dataclass, so ``--seed``/tuning applied once
+        affects every agent uniformly.
+        """
+        from repro.rl.agents import get_agent_spec
+
+        spec = get_agent_spec(name if name is not None else self.agent)
+        if self.agent_config is not None and isinstance(
+            self.agent_config, spec.config_cls
+        ):
+            return self.agent_config
+        if isinstance(self.ddpg, spec.config_cls):
+            return self.ddpg
+        shared = {
+            f.name: getattr(self.ddpg, f.name)
+            for f in fields(spec.config_cls)
+            if f.name in _SHARED_AGENT_FIELDS and hasattr(self.ddpg, f.name)
+        }
+        return spec.config_cls(**shared)

@@ -48,7 +48,8 @@ from repro.obs import get_logger
 from repro.persistence import resolve_npz_path, save_npz_atomic
 from repro.preprocessing.embedding import validate_series
 from repro.preprocessing.scaling import StandardScaler
-from repro.rl.ddpg import DDPGAgent, TrainingHistory, _action_entropy
+from repro.rl.agents import AgentProtocol, make_agent
+from repro.rl.ddpg import TrainingHistory, _action_entropy
 from repro.rl.mdp import EnsembleMDP, project_to_simplex
 from repro.rl.rewards import DiversityRankReward, NRMSEReward, RankReward, RewardFunction
 from repro.runtime import (
@@ -137,7 +138,7 @@ class EADRL:
             executor=self.config.executor,
             n_jobs=self.config.n_jobs,
         )
-        self.agent: Optional[DDPGAgent] = None
+        self.agent: Optional[AgentProtocol] = None
         self._checkpoint_manager: Optional[CheckpointManager] = None
         self._scaler = StandardScaler()
         self._fitted = False
@@ -181,7 +182,7 @@ class EADRL:
     def _training_checkpointer(
         self, state_dim: int, action_dim: int
     ) -> Optional[TrainingCheckpointer]:
-        """Episode-boundary hook passed to :meth:`DDPGAgent.train`."""
+        """Episode-boundary hook passed to the agent's ``train``."""
         manager = self.checkpoint_manager()
         if manager is None:
             return None
@@ -195,6 +196,7 @@ class EADRL:
                 "action_dim": int(action_dim),
                 "episodes": int(self.config.episodes),
                 "reward": self.config.reward,
+                "agent": self.config.agent,
             },
         )
 
@@ -298,7 +300,12 @@ class EADRL:
                 window=self.config.window,
                 reward_fn=_make_reward(self.config),
             )
-            self.agent = DDPGAgent(env.state_dim, env.action_dim, self.config.ddpg)
+            self.agent = make_agent(
+                self.config.agent,
+                env.state_dim,
+                env.action_dim,
+                self.config.resolve_agent_config(),
+            )
             self.agent.train(
                 env,
                 episodes=self.config.episodes,
@@ -361,8 +368,11 @@ class EADRL:
             window=self.config.window,
             reward_fn=_make_reward(self.config),
         )
-        self.agent = DDPGAgent(
-            env.state_dim, meta_predictions.shape[1], self.config.ddpg
+        self.agent = make_agent(
+            self.config.agent,
+            env.state_dim,
+            meta_predictions.shape[1],
+            self.config.resolve_agent_config(),
         )
         self.agent.train(
             env,
@@ -863,14 +873,10 @@ class EADRL:
             raise NotFittedError(type(self).__name__)
         payload = {"meta.state_dim": np.array([self.agent.state_dim]),
                    "meta.action_dim": np.array([self.agent.action_dim]),
+                   "meta.agent": np.array(type(self.agent).name),
                    "scaler.mean": np.atleast_1d(self._scaler.mean_),
                    "scaler.scale": np.atleast_1d(self._scaler.scale_)}
-        for prefix, module in (
-            ("actor", self.agent.actor),
-            ("critic", self.agent.critic),
-            ("target_actor", self.agent.target_actor),
-            ("target_critic", self.agent.target_critic),
-        ):
+        for prefix, module in self.agent._checkpoint_modules():
             for name, value in module.state_dict().items():
                 payload[f"{prefix}.{name}"] = value
         if self._matrix_bootstrap is not None:
@@ -880,9 +886,11 @@ class EADRL:
     def load_policy(self, path) -> "EADRL":
         """Restore a policy saved with :meth:`save_policy`.
 
-        Rebuilds the DDPG agent (architecture from the file's metadata
-        plus this estimator's ``config.ddpg``) and marks the matrix-level
-        prediction API as ready. A missing or truncated archive raises
+        Rebuilds the agent named in the archive's ``meta.agent`` key
+        (architecture from the file's metadata plus this estimator's
+        agent config; archives predating the registry are DDPG) and
+        marks the matrix-level prediction API as ready. A missing or
+        truncated archive raises
         :class:`~repro.exceptions.SerializationError` naming the first
         offending key; a wrong-architecture archive raises it from
         :meth:`Module.load_state_dict`.
@@ -912,18 +920,32 @@ class EADRL:
             self._scaler.mean_ = self._scaler.mean_[0]
             self._scaler.scale_ = self._scaler.scale_[0]
         bootstrap = data.pop("bootstrap", None)
-        self.agent = DDPGAgent(state_dim, action_dim, self.config.ddpg)
-        for prefix, module in (
-            ("actor", self.agent.actor),
-            ("critic", self.agent.critic),
-            ("target_actor", self.agent.target_actor),
-            ("target_critic", self.agent.target_critic),
-        ):
+        legacy = "meta.agent" not in data
+        agent_name = "ddpg" if legacy else str(data.pop("meta.agent"))
+        self.agent = make_agent(
+            agent_name,
+            state_dim,
+            action_dim,
+            self.config.resolve_agent_config(agent_name),
+        )
+        for prefix, module in self.agent._checkpoint_modules():
             state = {
                 name[len(prefix) + 1 :]: value
                 for name, value in data.items()
                 if name.startswith(prefix + ".")
             }
+            if not state:
+                # Pre-registry archives stored only the four canonical
+                # DDPG modules; tolerate absent extras (e.g. critic2 of
+                # a twin-critic config) so old files keep loading.
+                if legacy and prefix not in (
+                    "actor", "critic", "target_actor", "target_critic"
+                ):
+                    continue
+                raise SerializationError(
+                    f"policy archive {resolved} has no arrays for "
+                    f"module {prefix!r} of agent {agent_name!r}"
+                )
             module.load_state_dict(state)
         if bootstrap is not None:
             self._matrix_bootstrap = bootstrap

@@ -46,6 +46,7 @@ class ProtocolConfig:
     max_iterations: int = 60
     neural_epochs: int = 40
     seed: int = 0
+    agent: str = "ddpg"
     executor: str = "serial"
     n_jobs: Optional[int] = None
     checkpoint_dir: Optional[str] = None

@@ -98,16 +98,22 @@ def run_eadrl(
     """Train and evaluate EA-DRL on a prepared dataset."""
     ddpg = DDPGConfig(seed=seed if seed is not None else protocol.seed,
                       sampling=sampling)
+    agent = getattr(protocol, "agent", "ddpg")
+    subdir = f"ds{run.dataset_id}-{reward}-{sampling}"
+    if agent != "ddpg":
+        # Per-agent snapshot isolation: a td3 leg resumed into a ddpg
+        # leg's directory would be rejected by the checkpoint context
+        # anyway — this keeps the trees separate in the first place.
+        subdir = f"{subdir}-{agent}"
     config = EADRLConfig(
         window=protocol.window,
         embedding_dimension=protocol.embedding_dimension,
         episodes=protocol.episodes,
         max_iterations=protocol.max_iterations,
         reward=reward,
+        agent=agent,
         ddpg=ddpg,
-        checkpoint=protocol.checkpoint_config(
-            subdir=f"ds{run.dataset_id}-{reward}-{sampling}"
-        ),
+        checkpoint=protocol.checkpoint_config(subdir=subdir),
     )
     model = EADRL(models=run.pool.models, config=config)
     model.fit_policy_from_matrix(run.meta_predictions, run.meta_truth)

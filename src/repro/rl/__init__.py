@@ -1,5 +1,21 @@
-"""Reinforcement-learning substrate: MDP, rewards, replay, noise, DDPG."""
+"""RL substrate: MDP, rewards, replay, noise, and the agent registry.
 
+Policy agents (DDPG from the paper, TD3/SAC extensions) register in
+:mod:`repro.rl.agents`; construct them by name with
+:func:`~repro.rl.agents.make_agent`.
+"""
+
+from repro.rl.agents import (
+    AGENT_REGISTRY,
+    AgentProtocol,
+    BaseAgent,
+    agent_names,
+    get_agent_spec,
+    make_agent,
+    register_agent,
+)
+from repro.rl.agents.sac import SACAgent, SACConfig
+from repro.rl.agents.td3 import TD3Agent, TD3Config
 from repro.rl.ddpg import (
     Actor,
     Critic,
@@ -27,7 +43,10 @@ from repro.rl.rewards import (
 )
 
 __all__ = [
+    "AGENT_REGISTRY",
     "Actor",
+    "AgentProtocol",
+    "BaseAgent",
     "Critic",
     "DDPGAgent",
     "DDPGConfig",
@@ -41,11 +60,19 @@ __all__ = [
     "RankReward",
     "ReplayBuffer",
     "RewardFunction",
+    "SACAgent",
+    "SACConfig",
     "StackedActorParams",
+    "TD3Agent",
+    "TD3Config",
     "TrainingHistory",
     "Transition",
+    "agent_names",
     "ensemble_window_error",
+    "get_agent_spec",
+    "make_agent",
     "model_window_errors",
     "project_to_simplex",
     "project_to_simplex_batch",
+    "register_agent",
 ]

@@ -1,0 +1,66 @@
+"""Pluggable policy-agent subsystem (DDPG / TD3 / SAC).
+
+Public surface:
+
+- :class:`AgentProtocol` / :class:`BaseAgent` — the interface every
+  agent satisfies and the shared implementation skeleton;
+- :data:`AGENT_REGISTRY`, :func:`register_agent`, :func:`agent_names`,
+  :func:`get_agent_spec`, :func:`make_agent` — the string-keyed
+  factory the estimator, serving bundle, and CLI construct agents
+  through;
+- ``TD3Agent`` / ``TD3Config`` and ``SACAgent`` / ``SACConfig`` — the
+  two non-paper agents (``DDPGAgent`` stays in :mod:`repro.rl.ddpg`).
+
+The concrete agent classes are exported lazily: the agent modules
+import :mod:`repro.rl.agents.base`, which executes this package's
+``__init__`` first, so importing them eagerly here would cycle.
+"""
+
+from repro.rl.agents.base import (
+    AgentProtocol,
+    BaseAgent,
+    TrainingHistory,
+)
+from repro.rl.agents.registry import (
+    AGENT_REGISTRY,
+    AgentSpec,
+    agent_names,
+    get_agent_spec,
+    make_agent,
+    register_agent,
+)
+
+__all__ = [
+    "AGENT_REGISTRY",
+    "AgentProtocol",
+    "AgentSpec",
+    "BaseAgent",
+    "SACAgent",
+    "SACConfig",
+    "TD3Agent",
+    "TD3Config",
+    "TrainingHistory",
+    "agent_names",
+    "get_agent_spec",
+    "make_agent",
+    "register_agent",
+]
+
+_LAZY = {
+    "TD3Agent": ("repro.rl.agents.td3", "TD3Agent"),
+    "TD3Config": ("repro.rl.agents.td3", "TD3Config"),
+    "SACAgent": ("repro.rl.agents.sac", "SACAgent"),
+    "SACConfig": ("repro.rl.agents.sac", "SACConfig"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,111 @@
+"""String-keyed agent registry: ``make_agent("td3", ...)``.
+
+The FinRL-style ``MODELS = {"ddpg": ..., "td3": ..., "sac": ...}``
+pattern, adapted to this repo's conventions: each registered agent is
+a :class:`~repro.rl.agents.base.BaseAgent` subclass paired with its
+config dataclass, and every layer that constructs an agent — the
+estimator, the serving bundle, the CLI — goes through
+:func:`make_agent` so a new agent registers once and works everywhere.
+
+Built-in agents self-register at import time from their own modules;
+:func:`_load_builtins` imports them lazily so this module stays free
+of import cycles (the agent modules import :mod:`repro.rl.agents.base`
+which shares a package with this registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.exceptions import ConfigurationError
+from repro.rl.agents.base import AgentProtocol, BaseAgent
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One registry entry: the agent class and its config dataclass."""
+
+    name: str
+    agent_cls: Type[BaseAgent]
+    config_cls: type
+
+
+#: name -> spec. Mutated only through :func:`register_agent`.
+AGENT_REGISTRY: Dict[str, AgentSpec] = {}
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    """Import the built-in agent modules (each self-registers)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.rl.ddpg  # noqa: F401  (registers "ddpg")
+    import repro.rl.agents.td3  # noqa: F401  (registers "td3")
+    import repro.rl.agents.sac  # noqa: F401  (registers "sac")
+
+
+def register_agent(
+    name: str, agent_cls: Type[BaseAgent], config_cls: type
+) -> None:
+    """Register an agent class under ``name`` (idempotent per class).
+
+    Re-registering the same class under the same name is a no-op (the
+    agent modules run their registration at import time and may be
+    re-imported); registering a *different* class under an existing
+    name raises, so a typo cannot silently shadow a built-in.
+    """
+    existing = AGENT_REGISTRY.get(name)
+    if existing is not None and existing.agent_cls is not agent_cls:
+        raise ConfigurationError(
+            f"agent name {name!r} is already registered to "
+            f"{existing.agent_cls.__name__}"
+        )
+    AGENT_REGISTRY[name] = AgentSpec(name, agent_cls, config_cls)
+
+
+def agent_names() -> List[str]:
+    """Sorted names of every registered agent."""
+    _load_builtins()
+    return sorted(AGENT_REGISTRY)
+
+
+def get_agent_spec(name: str) -> AgentSpec:
+    """Registry entry for ``name``; unknown names list the valid ones."""
+    _load_builtins()
+    spec = AGENT_REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown agent {name!r}; registered agents: "
+            f"{', '.join(sorted(AGENT_REGISTRY))}"
+        )
+    return spec
+
+
+def make_agent(
+    name: str,
+    state_dim: int,
+    action_dim: int,
+    config=None,
+    *,
+    init_weights: bool = True,
+) -> AgentProtocol:
+    """Construct a registered agent by name.
+
+    ``config`` must be an instance of the agent's config dataclass (or
+    ``None`` for the agent's defaults); passing another agent's config
+    is rejected here rather than surfacing as an attribute error deep
+    inside the agent.
+    """
+    spec = get_agent_spec(name)
+    if config is not None and not isinstance(config, spec.config_cls):
+        raise ConfigurationError(
+            f"agent {name!r} takes a {spec.config_cls.__name__}, got "
+            f"{type(config).__name__}"
+        )
+    return spec.agent_cls(
+        state_dim, action_dim, config, init_weights=init_weights
+    )

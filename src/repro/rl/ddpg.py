@@ -7,17 +7,21 @@ keeps weights positive and summing to one). The critic estimates
 networks are Polyak-averaged each update, and the replay buffer supports
 either uniform sampling (the reference algorithm) or the paper's
 median-balanced scheme (Eq. 4).
+
+The training loop, warmup, telemetry, and crash-safe checkpointing live
+in :class:`repro.rl.agents.base.BaseAgent`; this module contributes the
+DDPG networks and update rule and registers the agent as ``"ddpg"`` in
+the agent registry (:mod:`repro.rl.agents`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.exceptions import CheckpointError, ConfigurationError, DataValidationError
-from repro.nn import init as init_schemes
 from repro.nn import (
     Adam,
     Linear,
@@ -29,25 +33,14 @@ from repro.nn import (
     rowwise_softmax,
 )
 from repro.obs import OBS
-from repro.rl.mdp import (
-    EnsembleMDP,
-    Transition,
-    project_to_simplex,
-    project_to_simplex_batch,
+from repro.rl.agents.base import (  # noqa: F401  (re-exported for compat)
+    BaseAgent,
+    TrainingHistory,
+    _action_entropy,
 )
+from repro.rl.agents.registry import register_agent
+from repro.rl.mdp import project_to_simplex, project_to_simplex_batch
 from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
-from repro.rl.replay import ReplayBuffer
-
-
-def _action_entropy(weights: np.ndarray) -> float:
-    """Shannon entropy of a simplex weight vector (nats).
-
-    0 at a one-hot vertex, ``log(m)`` at the uniform point — the
-    telemetry proxy for how concentrated the policy currently is
-    (paper Fig. 3 tracks the same collapse of the weight vector).
-    """
-    w = np.clip(weights, 1e-12, None)
-    return float(-np.sum(w * np.log(w)))
 
 
 class Actor(Module):
@@ -206,63 +199,17 @@ class DDPGConfig:
             )
 
 
-@dataclass
-class TrainingHistory:
-    """Per-episode learning diagnostics (drives the Fig. 2 benches)."""
-
-    episode_rewards: List[float] = field(default_factory=list)
-    critic_losses: List[float] = field(default_factory=list)
-    actor_objectives: List[float] = field(default_factory=list)
-
-    @property
-    def n_episodes(self) -> int:
-        return len(self.episode_rewards)
-
-    def moving_average(self, span: int = 5) -> np.ndarray:
-        """Smoothed episode rewards (for learning-curve plots).
-
-        ``span`` is clamped to the number of recorded episodes, so a
-        span larger than the history degrades to the overall mean; an
-        empty history returns an empty array.
-        """
-        if span < 1:
-            raise ConfigurationError(f"span must be >= 1, got {span}")
-        rewards = np.asarray(self.episode_rewards, dtype=np.float64)
-        if rewards.size == 0:
-            return rewards
-        width = min(span, rewards.size)
-        kernel = np.ones(width) / width
-        return np.convolve(rewards, kernel, mode="valid")
-
-
-class DDPGAgent:
+class DDPGAgent(BaseAgent):
     """Actor-critic learner for the ensemble-aggregation MDP."""
 
-    def __init__(
-        self,
-        state_dim: int,
-        action_dim: int,
-        config: Optional[DDPGConfig] = None,
-        *,
-        init_weights: bool = True,
-    ):
-        self.config = config if config is not None else DDPGConfig()
-        self.config.validate()
-        if state_dim < 1 or action_dim < 1:
-            raise ConfigurationError("state_dim and action_dim must be >= 1")
-        self.state_dim = state_dim
-        self.action_dim = action_dim
+    name = "ddpg"
+    batchable = True
+    config_cls = DDPGConfig
 
-        rng = np.random.default_rng(self.config.seed)
-        self._rng = rng
-        # ``init_weights=False`` builds a zero-weight skeleton: every
-        # parameter must then be overwritten by the caller (template
-        # copy or checkpoint restore). The agent's own RNG stays seeded
-        # but has consumed no init draws, so this is only sound when
-        # its state is also about to be restored/overwritten.
-        init_rng = rng if init_weights else init_schemes.ZeroDrawGenerator()
+    def _build(self, init_rng, init_weights: bool) -> None:
         hidden = self.config.hidden
         scale = self.config.logit_scale
+        state_dim, action_dim = self.state_dim, self.action_dim
         self.actor = Actor(state_dim, action_dim, hidden, init_rng, logit_scale=scale)
         self.critic = Critic(state_dim, action_dim, hidden, init_rng)
         self.target_actor = Actor(state_dim, action_dim, hidden, init_rng, logit_scale=scale)
@@ -288,39 +235,39 @@ class DDPGAgent:
             if self.critic2 is not None
             else None
         )
-        self.buffer = ReplayBuffer(self.config.buffer_capacity, seed=self.config.seed)
+
+    def _build_noise(self):
         if self.config.noise_type == "ou":
-            self.noise = OrnsteinUhlenbeckNoise(
-                action_dim,
+            return OrnsteinUhlenbeckNoise(
+                self.action_dim,
                 sigma=self.config.noise_sigma,
                 seed=self.config.seed + 1,
             )
-        else:
-            self.noise = GaussianNoise(
-                action_dim,
-                sigma=self.config.noise_sigma,
-                decay=self.config.noise_decay,
-                seed=self.config.seed + 1,
-            )
-        self.history = TrainingHistory()
-        self._last_actor_grad_norm: Optional[float] = None
-        # Number of gradient updates actually applied. Serving clones
-        # that never trained (``updates_applied == 0``) still hold the
-        # template's exact weights, which unlocks the light spill path.
-        self.updates_applied = 0
+        return GaussianNoise(
+            self.action_dim,
+            sigma=self.config.noise_sigma,
+            decay=self.config.noise_decay,
+            seed=self.config.seed + 1,
+        )
 
     # ------------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = False) -> np.ndarray:
         """Deterministic policy output, optionally perturbed with noise."""
-        state = np.asarray(state, dtype=np.float64)
-        if state.shape != (self.state_dim,):
-            raise DataValidationError(
-                f"state must have shape ({self.state_dim},), got {state.shape}"
-            )
+        state = self._check_state(state)
         weights = self.actor.forward_numpy(state[None, :])[0]
         if explore:
             weights = project_to_simplex(weights + self.noise.sample())
         return weights
+
+    @staticmethod
+    def stack_actor_params(actors) -> StackedActorParams:
+        """Stack N same-architecture actors for one batched forward.
+
+        The serving layer calls this through the agent *class* (any
+        agent with ``batchable = True`` must provide it together with
+        :meth:`policy_weights_batch`).
+        """
+        return StackedActorParams.from_actors(actors)
 
     @staticmethod
     def act_batch(
@@ -422,141 +369,6 @@ class DDPGAgent:
             )
 
     # ------------------------------------------------------------------
-    def train(
-        self,
-        env: EnsembleMDP,
-        episodes: int = 100,
-        max_iterations: Optional[int] = 100,
-        updates_per_step: int = 1,
-        checkpoint=None,
-    ) -> TrainingHistory:
-        """Run the training loop (paper: max.ep = max.iter = 100).
-
-        Each episode resets the environment, rolls the policy with
-        exploration noise, stores transitions, and performs
-        ``updates_per_step`` gradient updates per environment step.
-        Returns the accumulated :class:`TrainingHistory`.
-
-        ``checkpoint`` accepts a
-        :class:`repro.runtime.TrainingCheckpointer`: training then
-        snapshots the agent's full resumable state at the configured
-        episode period, and — when the checkpointer is in resume mode —
-        restores the newest valid snapshot before the first episode and
-        continues from the episode after it, bit-identically to an
-        uninterrupted run. The hook is duck-typed (``restore_into`` /
-        ``after_episode``) so this module needs no runtime import.
-        """
-        if episodes < 1:
-            raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
-        with OBS.span("ddpg.train"):
-            start_episode = 0
-            if checkpoint is not None:
-                start_episode = checkpoint.restore_into(self)
-            self._warmup(env)
-            for episode_index in range(start_episode, episodes):
-                state = env.reset()
-                self.noise.reset()
-                total_reward = 0.0
-                steps = env.steps_per_episode
-                if max_iterations is not None:
-                    steps = min(steps, max_iterations)
-                telemetry_on = OBS.enabled
-                entropy_sum, entropy_steps = 0.0, 0
-                loss_start = len(self.history.critic_losses)
-                for _ in range(steps):
-                    action = self.act(state, explore=True)
-                    if telemetry_on:
-                        entropy_sum += _action_entropy(action)
-                        entropy_steps += 1
-                    next_state, reward, done = env.step(action)
-                    self.buffer.push(
-                        Transition(state, action, reward, next_state, done)
-                    )
-                    total_reward += reward
-                    state = next_state
-                    for _ in range(updates_per_step):
-                        self.update()
-                    if done:
-                        break
-                self.history.episode_rewards.append(total_reward / max(steps, 1))
-                if telemetry_on:
-                    self._record_episode_telemetry(
-                        episode_index, entropy_sum, entropy_steps, loss_start
-                    )
-                if checkpoint is not None:
-                    checkpoint.after_episode(
-                        self, episode_index,
-                        final=episode_index == episodes - 1,
-                    )
-        return self.history
-
-    def _record_episode_telemetry(
-        self,
-        episode: int,
-        entropy_sum: float,
-        entropy_steps: int,
-        loss_start: int,
-    ) -> None:
-        """One ``train_episode`` event + registry updates (enabled only).
-
-        Surfaces the paper's Fig. 2 learning-curve signal (per-episode
-        mean reward under Eq. 4 median-balanced sampling) plus the
-        stability diagnostics around it: mean critic loss over the
-        episode's updates, the last actor pre-clip gradient norm, mean
-        exploration-action entropy, replay fill, and the Eq. 4 split
-        median of the buffered rewards.
-        """
-        registry = OBS.registry
-        mean_reward = self.history.episode_rewards[-1]
-        losses = self.history.critic_losses[loss_start:]
-        critic_loss = float(np.mean(losses)) if losses else None
-        entropy = entropy_sum / entropy_steps if entropy_steps else None
-        fill = len(self.buffer)
-        reward_median = self.buffer.reward_median() if fill else None
-        registry.counter("repro_ddpg_episodes_total").inc()
-        registry.gauge("repro_ddpg_replay_fill").set(fill)
-        if reward_median is not None:
-            registry.gauge("repro_ddpg_replay_reward_median").set(reward_median)
-        if entropy is not None:
-            registry.histogram("repro_ddpg_action_entropy").observe(entropy)
-        OBS.emit(
-            "train_episode",
-            episode=episode,
-            mean_reward=mean_reward,
-            critic_loss=critic_loss,
-            actor_grad_norm=self._last_actor_grad_norm,
-            action_entropy=entropy,
-            replay_fill=fill,
-            reward_median=reward_median,
-        )
-
-    # ------------------------------------------------------------------
-    def _warmup(self, env: EnsembleMDP) -> None:
-        """Seed the buffer with Dirichlet-random simplex actions.
-
-        Exposes the critic to the whole action space before the
-        deterministic policy starts steering data collection, which
-        prevents the actor from locking onto a poorly estimated vertex.
-        """
-        remaining = self.config.warmup_steps - len(self.buffer)
-        if remaining <= 0:
-            return
-        state = env.reset()
-        # Alternate concentrated (vertex-like) and diffuse actions.
-        while remaining > 0:
-            alpha = 0.3 if remaining % 2 == 0 else 1.0
-            action = self._rng.dirichlet(np.full(self.action_dim, alpha))
-            next_state, reward, done = env.step(action)
-            self.buffer.push(Transition(state, action, reward, next_state, done))
-            state = env.reset() if done else next_state
-            remaining -= 1
-
-    # ------------------------------------------------------------------
-    def policy_weights(self, state: np.ndarray) -> np.ndarray:
-        """Greedy simplex weights for deployment (paper Alg. 1 line 2/6)."""
-        return project_to_simplex(self.act(state, explore=False))
-
-    # ------------------------------------------------------------------
     # Crash-safe checkpointing (repro.runtime.checkpoint)
     # ------------------------------------------------------------------
     def _checkpoint_modules(self):
@@ -580,130 +392,15 @@ class DDPGAgent:
             optimizers.append(("critic2_opt", self.critic2_opt))
         return optimizers
 
-    def checkpoint_state(
-        self, *, pristine_light: bool = False
-    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
-        """Capture *every* source of future behaviour, bit-exactly.
+    def _extra_checkpoint_meta(self) -> Dict[str, Any]:
+        return {"twin_critic": self.config.twin_critic}
 
-        Arrays: the four (or six, with a twin critic) network state
-        dicts, the Adam moment slots, the replay ring, the OU process
-        value (when used), and the :class:`TrainingHistory` series.
-        Meta: Adam step counters, replay cursors, RNG bit-generator
-        states (warmup/Dirichlet, replay sampler, noise), the decayed
-        noise sigma, and the last actor gradient norm. A restored agent
-        continues training bit-identically to one that was never
-        interrupted (``tests/integration/test_resume_determinism.py``).
-
-        ``pristine_light=True`` elides the network and optimizer arrays
-        when no gradient update has ever been applied
-        (``updates_applied == 0``) — they are byte-for-byte the template
-        the agent was cloned from, and the restorer re-copies them from
-        that template instead. ``meta["pristine"]`` records which form
-        was written; agents that have trained always get the full
-        snapshot regardless of the flag.
-        """
-        pristine = pristine_light and self.updates_applied == 0
-        arrays: Dict[str, np.ndarray] = {}
-        opt_meta: Dict[str, Any] = {}
-        if not pristine:
-            for prefix, module in self._checkpoint_modules():
-                for name, value in module.state_dict().items():
-                    arrays[f"{prefix}.{name}"] = value
-            for prefix, optimizer in self._checkpoint_optimizers():
-                slot_arrays, slot_meta = optimizer.checkpoint_state()
-                for name, value in slot_arrays.items():
-                    arrays[f"{prefix}.{name}"] = value
-                opt_meta[prefix] = slot_meta
-        buffer_arrays, buffer_meta = self.buffer.checkpoint_state()
-        for name, value in buffer_arrays.items():
-            arrays[f"buffer.{name}"] = value
-        noise_arrays, noise_meta = self.noise.checkpoint_state()
-        for name, value in noise_arrays.items():
-            arrays[f"noise.{name}"] = value
-        arrays["history.episode_rewards"] = np.asarray(
-            self.history.episode_rewards, dtype=np.float64
-        )
-        arrays["history.critic_losses"] = np.asarray(
-            self.history.critic_losses, dtype=np.float64
-        )
-        arrays["history.actor_objectives"] = np.asarray(
-            self.history.actor_objectives, dtype=np.float64
-        )
-        meta: Dict[str, Any] = {
-            "state_dim": self.state_dim,
-            "action_dim": self.action_dim,
-            "twin_critic": self.config.twin_critic,
-            "rng": self._rng.bit_generator.state,
-            "optimizers": opt_meta,
-            "buffer": buffer_meta,
-            "noise": noise_meta,
-            "last_actor_grad_norm": self._last_actor_grad_norm,
-            "updates_applied": self.updates_applied,
-            "pristine": pristine,
-        }
-        return arrays, meta
-
-    def restore_checkpoint_state(
-        self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
-    ) -> None:
-        """Restore a snapshot from :meth:`checkpoint_state` in place."""
-        if (
-            int(meta["state_dim"]) != self.state_dim
-            or int(meta["action_dim"]) != self.action_dim
-        ):
-            raise CheckpointError(
-                f"agent snapshot is for dims "
-                f"({meta['state_dim']}, {meta['action_dim']}); this agent "
-                f"has ({self.state_dim}, {self.action_dim})"
-            )
+    def _check_restore_meta(self, meta: Dict[str, Any]) -> None:
         if bool(meta["twin_critic"]) != self.config.twin_critic:
             raise CheckpointError(
                 "agent snapshot twin_critic setting does not match "
                 "this agent's config"
             )
 
-        def split(prefix: str) -> Dict[str, np.ndarray]:
-            cut = len(prefix) + 1
-            return {
-                name[cut:]: value
-                for name, value in arrays.items()
-                if name.startswith(prefix + ".")
-            }
 
-        pristine = bool(meta.get("pristine", False))
-        if not pristine:
-            for prefix, module in self._checkpoint_modules():
-                try:
-                    module.load_state_dict(split(prefix))
-                except (KeyError, ValueError) as err:
-                    raise CheckpointError(
-                        f"agent snapshot does not fit module {prefix!r}: {err}"
-                    ) from err
-            for prefix, optimizer in self._checkpoint_optimizers():
-                optimizer.restore_checkpoint_state(
-                    split(prefix), meta["optimizers"][prefix]
-                )
-        # A pristine snapshot carries no network/optimizer arrays: the
-        # caller (ModelBundle.restore_session) is responsible for having
-        # copied the template weights into this agent already.
-        self.buffer.restore_checkpoint_state(split("buffer"), meta["buffer"])
-        self.noise.restore_checkpoint_state(split("noise"), meta["noise"])
-        self.history.episode_rewards = [
-            float(x) for x in arrays["history.episode_rewards"]
-        ]
-        self.history.critic_losses = [
-            float(x) for x in arrays["history.critic_losses"]
-        ]
-        self.history.actor_objectives = [
-            float(x) for x in arrays["history.actor_objectives"]
-        ]
-        self._rng.bit_generator.state = meta["rng"]
-        grad_norm = meta.get("last_actor_grad_norm")
-        self._last_actor_grad_norm = (
-            None if grad_norm is None else float(grad_norm)
-        )
-        # Older snapshots predate the counter; ``update()`` appends one
-        # critic loss per applied update, so the history length is exact.
-        self.updates_applied = int(
-            meta.get("updates_applied", len(self.history.critic_losses))
-        )
+register_agent("ddpg", DDPGAgent, DDPGConfig)

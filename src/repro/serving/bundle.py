@@ -39,7 +39,7 @@ from repro.exceptions import (
     DataValidationError,
 )
 from repro.preprocessing.embedding import validate_series
-from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.agents import AgentProtocol
 from repro.serving.session import SeriesSession
 
 #: Default per-session replay capacity (vs 10 000 offline).
@@ -63,14 +63,14 @@ class ModelBundle:
         self,
         pool,
         scaler,
-        template_agent: DDPGAgent,
+        template_agent: AgentProtocol,
         *,
         window: int,
         reward_fn,
         mode: str = "drift",
         interval: int = 25,
         updates_per_trigger: int = 10,
-        agent_config: Optional[DDPGConfig] = None,
+        agent_config: Optional[Any] = None,
     ):
         self.pool = pool
         self.scaler = scaler
@@ -90,11 +90,6 @@ class ModelBundle:
             )
         )
         self._template_digest: Optional[str] = None
-        # (module name, template module, its parameter arrays) — the
-        # parameter traversal is cached once so per-tenant clones copy
-        # weights positionally instead of re-walking the module tree
-        # (and re-keying a dict) four-plus times per clone.
-        self._template_params: Optional[list] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -134,18 +129,13 @@ class ModelBundle:
         """Shortest admissible initial history for a new session."""
         return self.pool.max_min_context() + self.window
 
+    @property
+    def agent_name(self) -> str:
+        """Registry key of the policy agent this bundle serves."""
+        return type(self.template_agent).name
+
     def _template_modules(self):
-        template = self.template_agent
-        modules = [
-            ("actor", template.actor),
-            ("critic", template.critic),
-            ("target_actor", template.target_actor),
-            ("target_critic", template.target_critic),
-        ]
-        if template.critic2 is not None:
-            modules.append(("critic2", template.critic2))
-            modules.append(("target_critic2", template.target_critic2))
-        return modules
+        return list(self.template_agent._checkpoint_modules())
 
     def template_digest(self) -> str:
         """SHA-256 over the template networks' parameters (cached).
@@ -168,54 +158,18 @@ class ModelBundle:
             self._template_digest = digest.hexdigest()
         return self._template_digest
 
-    def _clone_agent(self, seed: int, *, init_weights: bool = True) -> DDPGAgent:
+    def _clone_agent(self, seed: int, *, init_weights: bool = True):
         """Fresh agent with the template's network weights.
 
-        Networks (actor/critic + targets, twin critic when present) copy
-        the trained parameters; optimizer moments, replay ring, RNG and
-        exploration noise start clean under the per-session seed.
-
-        ``init_weights=False`` skips the skeleton's own init draws —
-        safe only for restore clones, whose RNG/noise/replay state is
-        overwritten from the snapshot right after (the template copy
-        below still supplies the network weights either way).
+        Delegates to the agent's own
+        :meth:`~repro.rl.agents.BaseAgent.clone_for_session` — networks
+        copy the trained parameters; optimizer moments, replay ring,
+        RNG and exploration state start clean under the per-session
+        seed, with this bundle's session-sized ``agent_config``.
         """
-        agent = DDPGAgent(
-            self.template_agent.state_dim,
-            self.template_agent.action_dim,
-            replace(self.agent_config, seed=int(seed)),
-            init_weights=init_weights,
+        return self.template_agent.clone_for_session(
+            seed, config=self.agent_config, init_weights=init_weights
         )
-        if self._template_params is None:
-            self._template_params = [
-                (name, module, [p.data for p in module.parameters()])
-                for name, module in self._template_modules()
-            ]
-        clone_modules = dict(
-            (name, module)
-            for name, module in (
-                ("actor", agent.actor),
-                ("critic", agent.critic),
-                ("target_actor", agent.target_actor),
-                ("target_critic", agent.target_critic),
-                ("critic2", agent.critic2),
-                ("target_critic2", agent.target_critic2),
-            )
-            if module is not None
-        )
-        for name, template_module, sources in self._template_params:
-            module = clone_modules.get(name)
-            if module is None:
-                continue
-            params = module.parameters()
-            if len(params) == len(sources) and all(
-                p.data.shape == s.shape for p, s in zip(params, sources)
-            ):
-                for param, source in zip(params, sources):
-                    param.data[...] = source
-            else:  # pragma: no cover - same-config clones always match
-                module.copy_from(template_module)
-        return agent
 
     # ------------------------------------------------------------------
     def create_session(
@@ -269,6 +223,13 @@ class ModelBundle:
             raise DataValidationError(
                 f"snapshot for {session_id!r} has {meta['n_members']} "
                 f"members; this bundle serves {self.n_members}"
+            )
+        snapshot_kind = meta.get("agent", {}).get("kind", "ddpg")
+        if snapshot_kind != self.agent_name:
+            raise CheckpointError(
+                f"snapshot of session {session_id!r} holds a "
+                f"{snapshot_kind!r} agent; this bundle serves "
+                f"{self.agent_name!r}"
             )
         if meta.get("agent", {}).get("pristine"):
             # Light snapshot: the agent's networks are *not* in the

@@ -56,7 +56,6 @@ from repro.runtime import (
     ExecutorConfig,
     coerce_deadline,
 )
-from repro.rl import DDPGAgent, StackedActorParams
 from repro.serving.batcher import MicroBatcher
 from repro.serving.store import SessionStore
 from repro.serving.tenantstats import TenantAccountant
@@ -92,8 +91,15 @@ class ServiceConfig:
         single stacked actor forward plus vectorised pool evaluation
         (bit-identical to the per-session path by construction).
         Requests the stacked pass cannot take — duplicate session ids
-        within one batch, acquire failures, heterogeneous agents — fall
-        back to the unchanged per-session path automatically.
+        within one batch, acquire failures, heterogeneous agents, or an
+        agent class without a native batched policy (``batchable``
+        False, e.g. SAC) — fall back to the unchanged per-session path
+        automatically.
+    agent:
+        When set, the registry name the served bundle's policy agent
+        must carry (e.g. ``"td3"``); a mismatch fails service
+        construction with :class:`ConfigurationError` instead of
+        surfacing at the first observe. ``None`` serves any bundle.
     executor / n_jobs:
         Backend fanning a batch across sessions
         (:class:`repro.runtime.ExecutorConfig` semantics).
@@ -137,6 +143,7 @@ class ServiceConfig:
     batch_wait: float = 0.002
     batch_size: int = 16
     batched_inference: bool = True
+    agent: Optional[str] = None
     executor: str = "thread"
     n_jobs: Optional[int] = None
     shards: int = 0
@@ -198,6 +205,14 @@ class ForecastService:
                 "runtime: build the service with "
                 "repro.serving.make_service(bundle, config) (or "
                 "ShardSupervisor directly) instead of ForecastService"
+            )
+        if (
+            self.config.agent is not None
+            and self.config.agent != bundle.agent_name
+        ):
+            raise ConfigurationError(
+                f"service configured for agent {self.config.agent!r} but "
+                f"the bundle serves a {bundle.agent_name!r} policy"
             )
         self.bundle = bundle
         self._owns_tracer = False
@@ -572,29 +587,41 @@ class ForecastService:
         if not prepared:
             return
         weights = None
-        try:
-            forward_start = time.perf_counter()
-            with TRACER.child_span("actor.forward", sessions=len(prepared)):
-                states = np.stack(
-                    [session.state for _, session, _, _ in prepared]
-                )
-                params = StackedActorParams.from_actors(
-                    [session.agent.actor for _, session, _, _ in prepared]
-                )
-                weights = DDPGAgent.policy_weights_batch(states, params)
-            if OBS.enabled:
-                # Sub-ms ladder: the stacked forward sits well under
-                # the default grid's 1 ms bucket.
-                OBS.registry.histogram(
-                    "repro_actor_forward_seconds", {"path": "batched"},
-                    buckets=FAST_BUCKETS,
-                ).observe(time.perf_counter() - forward_start)
-        except BaseException:  # noqa: BLE001 - heterogeneous agents
-            weights = None
-        if weights is not None:
-            self._count_observe_path("batched", n=len(prepared))
+        agent_cls = type(prepared[0][1].agent)
+        if not getattr(agent_cls, "batchable", False):
+            # Stochastic policies (SAC) have no stacked deterministic
+            # forward; their sessions take the serial policy call below.
+            self._count_observe_path(
+                "fallback", "agent_unbatched", n=len(prepared)
+            )
         else:
-            self._count_observe_path("fallback", "stack", n=len(prepared))
+            try:
+                forward_start = time.perf_counter()
+                with TRACER.child_span(
+                    "actor.forward", sessions=len(prepared)
+                ):
+                    states = np.stack(
+                        [session.state for _, session, _, _ in prepared]
+                    )
+                    params = agent_cls.stack_actor_params(
+                        [session.agent.actor for _, session, _, _ in prepared]
+                    )
+                    weights = agent_cls.policy_weights_batch(states, params)
+                if OBS.enabled:
+                    # Sub-ms ladder: the stacked forward sits well under
+                    # the default grid's 1 ms bucket.
+                    OBS.registry.histogram(
+                        "repro_actor_forward_seconds", {"path": "batched"},
+                        buckets=FAST_BUCKETS,
+                    ).observe(time.perf_counter() - forward_start)
+            except BaseException:  # noqa: BLE001 - heterogeneous agents
+                weights = None
+            if weights is not None:
+                self._count_observe_path("batched", n=len(prepared))
+            else:
+                self._count_observe_path(
+                    "fallback", "stack", n=len(prepared)
+                )
         for j, (index, session, scaled_row, healthy) in enumerate(prepared):
             sid, value, seq = payloads[index]
             try:

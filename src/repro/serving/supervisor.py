@@ -1441,6 +1441,13 @@ def make_service(bundle, config: Optional[ServiceConfig] = None):
     """
     config = config if config is not None else ServiceConfig()
     config.validate()
+    if config.agent is not None and config.agent != bundle.agent_name:
+        # Reject the mismatch here — before any shard worker forks or
+        # a session observes — so a bad deployment fails at startup.
+        raise ConfigurationError(
+            f"service configured for agent {config.agent!r} but the "
+            f"bundle serves a {bundle.agent_name!r} policy"
+        )
     if config.wants_shards():
         return ShardSupervisor(bundle, config)
     return ForecastService(bundle, config)

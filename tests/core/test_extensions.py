@@ -253,6 +253,24 @@ class TestPolicyPersistence:
         )
         assert np.all(np.isfinite(online))
 
+    @pytest.mark.parametrize("agent", ["td3", "sac"])
+    def test_roundtrip_restores_registered_agent(self, toy_matrix,
+                                                 tmp_path, agent):
+        """The archive records the agent kind; load rebuilds that kind
+        (not whatever the restoring config defaults to)."""
+        P, y = toy_matrix
+        model = EADRL(pool_size="small", config=quick_config(agent=agent))
+        model.fit_policy_from_matrix(P[:60], y[:60])
+        out1 = model.rolling_forecast_from_matrix(P[60:])
+        path = os.path.join(tmp_path, f"{agent}.npz")
+        model.save_policy(path)
+
+        restored = EADRL(pool_size="small", config=quick_config())
+        restored.load_policy(path)
+        assert type(restored.agent).name == agent
+        out2 = restored.rolling_forecast_from_matrix(P[60:])
+        np.testing.assert_array_equal(out1, out2)
+
     def test_save_unfitted_raises(self, tmp_path):
         model = EADRL(pool_size="small", config=quick_config())
         with pytest.raises(NotFittedError):

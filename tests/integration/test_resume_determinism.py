@@ -37,11 +37,13 @@ def _members():
     ]
 
 
-def _config(checkpoint=None, executor="serial", n_jobs=None) -> EADRLConfig:
+def _config(checkpoint=None, executor="serial", n_jobs=None,
+            agent="ddpg") -> EADRLConfig:
     return EADRLConfig(
         window=8,
         episodes=EPISODES,
         max_iterations=ITERATIONS,
+        agent=agent,
         ddpg=DDPGConfig(seed=0, warmup_steps=16, batch_size=8),
         checkpoint=checkpoint,
         executor=executor,
@@ -83,16 +85,24 @@ def _install_torn_writer(model: EADRL, cut_call: int) -> TornWriter:
 
 
 class TestTrainingResume:
-    """Kill DDPG training mid-checkpoint, resume, compare bit-for-bit."""
+    """Kill agent training mid-checkpoint, resume, compare bit-for-bit.
+
+    Parametrized over every registered agent: the checkpoint contract
+    (killed anywhere + resumed ≡ uninterrupted, bitwise) must hold for
+    TD3's delayed updates/smoothing RNG and SAC's temperature and
+    sampling streams exactly as it does for DDPG.
+    """
 
     # Each episode commits one snapshot = 2 writes (payload, manifest).
     # Cut at 0: no snapshot ever lands (resume starts from scratch).
     # Cut at 1: episode 0's manifest is torn (quarantine, fresh start).
     # Cut at 3: episode 1's manifest is torn (fall back to episode 0).
     # Cut at 4: episode 2's payload is torn (resume from episode 1).
+    @pytest.mark.parametrize("agent", ["ddpg", "td3", "sac"])
     @pytest.mark.parametrize("cut_call", [0, 1, 3, 4])
-    def test_bit_identical_after_kill(self, matrix_data, tmp_path, cut_call):
-        reference = EADRL(models=_members(), config=_config())
+    def test_bit_identical_after_kill(self, matrix_data, tmp_path, cut_call,
+                                      agent):
+        reference = EADRL(models=_members(), config=_config(agent=agent))
         reference.fit_policy_from_matrix(
             matrix_data["meta_preds"], matrix_data["meta_truth"]
         )
@@ -101,7 +111,7 @@ class TestTrainingResume:
         )
 
         victim = EADRL(models=_members(),
-                       config=_config(_checkpoint(tmp_path)))
+                       config=_config(_checkpoint(tmp_path), agent=agent))
         _install_torn_writer(victim, cut_call)
         with pytest.raises(SimulatedCrash):
             victim.fit_policy_from_matrix(
@@ -109,7 +119,8 @@ class TestTrainingResume:
             )
 
         resumed = EADRL(models=_members(),
-                        config=_config(_checkpoint(tmp_path, resume=True)))
+                        config=_config(_checkpoint(tmp_path, resume=True),
+                                       agent=agent))
         resumed.fit_policy_from_matrix(
             matrix_data["meta_preds"], matrix_data["meta_truth"]
         )
@@ -151,12 +162,14 @@ class TestMatrixLoopResume:
 class TestOnlineLoopResume:
     """The hardest loop: the agent keeps learning while forecasting."""
 
+    @pytest.mark.parametrize("agent", ["ddpg", "td3", "sac"])
     @pytest.mark.parametrize("mode", ["periodic", "drift"])
     @pytest.mark.parametrize("cut_call", [2, 5])
     def test_bit_identical_after_kill(self, matrix_data, tmp_path, cut_call,
-                                      mode):
+                                      mode, agent):
         def fitted(checkpoint=None) -> EADRL:
-            model = EADRL(models=_members(), config=_config(checkpoint))
+            model = EADRL(models=_members(),
+                          config=_config(checkpoint, agent=agent))
             model.fit_policy_from_matrix(
                 matrix_data["meta_preds"], matrix_data["meta_truth"]
             )

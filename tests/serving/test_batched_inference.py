@@ -197,15 +197,13 @@ class TestFallbacks:
             batched_svc.create_session(sid, series[:200])
             serial_svc.create_session(sid, series[:200])
 
-        import repro.serving.service as service_module
+        from repro.rl import DDPGAgent
 
-        class Unstackable:
-            @staticmethod
-            def from_actors(actors):
-                raise RuntimeError("heterogeneous agents")
+        def unstackable(actors):
+            raise RuntimeError("heterogeneous agents")
 
         monkeypatch.setattr(
-            service_module, "StackedActorParams", Unstackable
+            DDPGAgent, "stack_actor_params", staticmethod(unstackable)
         )
         value = float(series[200])
         outcomes = batched_svc._observe_batch(

@@ -86,6 +86,27 @@ class TestExecution:
         assert "EA-DRL RMSE" in out
         assert (tmp_path / "p.npz").exists()
 
+    def test_forecast_unknown_agent_exits_2(self, capsys):
+        code = main([
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--agent", "dreamer",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        # The usage error names every registered agent, no traceback.
+        for name in ("ddpg", "td3", "sac"):
+            assert name in err
+
+    def test_forecast_runs_with_td3(self, capsys):
+        code = main([
+            "forecast", "--dataset", "15", "--length", "200",
+            "--episodes", "2", "--iterations", "10",
+            "--agent", "td3",
+        ])
+        assert code == 0
+        assert "EA-DRL RMSE" in capsys.readouterr().out
+
     def test_fig2_runs_quick(self, capsys):
         code = main([
             "fig2", "--dataset", "9", "--length", "200",
